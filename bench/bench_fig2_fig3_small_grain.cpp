@@ -1,0 +1,65 @@
+/// \file bench_fig2_fig3_small_grain.cpp
+/// \brief Reproduces Figures 2 and 3: star hierarchies with one or two
+/// servers under DGEMM 10×10.
+///
+/// Paper claims: at this grain both deployments are *agent-limited*, so
+/// (a) the measured curves saturate at nearly the same level with the
+/// 2-server star slightly below the 1-server star (Fig 2: 295 vs 283
+/// req/s), and (b) measured throughput is far below the model's
+/// prediction because per-request middleware overheads dominate at small
+/// grain (Fig 3: 1052 predicted vs 295 measured for 1 SeD).
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace adept;
+  bench::banner("Figures 2 & 3 — star with 1 vs 2 servers, DGEMM 10x10");
+
+  const MiddlewareParams params = bench::params();
+  const Platform platform = gen::grid5000_lyon(3);
+  const ServiceSpec service = dgemm_service(10);
+
+  Hierarchy one_sed;
+  const auto root1 = one_sed.add_root(0);
+  one_sed.add_server(root1, 1);
+  Hierarchy two_sed;
+  const auto root2 = two_sed.add_root(0);
+  two_sed.add_server(root2, 1);
+  two_sed.add_server(root2, 2);
+
+  const std::vector<std::size_t> clients{1, 2, 5, 10, 20, 40, 60, 80, 100,
+                                         120, 160, 200};
+  const auto config = bench::sweep_config();
+  const auto curve1 =
+      sim::load_sweep(one_sed, platform, params, service, clients, config);
+  const auto curve2 =
+      sim::load_sweep(two_sed, platform, params, service, clients, config);
+
+  bench::print_curves(
+      "Fig 2 — measured throughput vs load (paper: both plateau ~295/283)",
+      {"1 SeD", "2 SeDs"}, {curve1, curve2});
+
+  const auto predicted1 = model::evaluate(one_sed, platform, params, service);
+  const auto predicted2 = model::evaluate(two_sed, platform, params, service);
+  const RequestRate measured1 = sim::peak_throughput(curve1);
+  const RequestRate measured2 = sim::peak_throughput(curve2);
+
+  Table fig3("Fig 3 — predicted vs measured maximum throughput (req/s)");
+  fig3.set_header({"deployment", "predicted", "measured", "paper pred",
+                   "paper meas"});
+  fig3.add_row({"1 SeD", Table::num(predicted1.overall, 0),
+                Table::num(measured1, 0), "1052", "295"});
+  fig3.add_row({"2 SeDs", Table::num(predicted2.overall, 0),
+                Table::num(measured2, 0), "1460", "283"});
+  std::cout << fig3 << '\n';
+
+  bench::verdict("both deployments are agent-limited in the model",
+                 predicted1.bottleneck == model::Bottleneck::AgentScheduling &&
+                     predicted2.bottleneck == model::Bottleneck::AgentScheduling);
+  bench::verdict("adding the second server does not raise measured throughput",
+                 measured2 <= 1.05 * measured1);
+  bench::verdict("measured is well below predicted (overhead-dominated grain)",
+                 measured1 < 0.7 * predicted1.overall &&
+                     measured2 < 0.7 * predicted2.overall);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file bench_fig4_fig5_large_grain.cpp
+/// \brief Reproduces Figures 4 and 5: star hierarchies with one or two
+/// servers under DGEMM 200×200.
+///
+/// Paper claims: at this grain both deployments are *server-limited*, so
+/// (a) the second server roughly doubles measured throughput (Fig 4:
+/// ~35 → ~70 req/s), and (b) prediction and measurement are close because
+/// the service computation dwarfs per-request overheads (Fig 5: 45
+/// predicted vs 35 measured for 1 SeD, 90 vs 70 for 2 SeDs).
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace adept;
+  bench::banner("Figures 4 & 5 — star with 1 vs 2 servers, DGEMM 200x200");
+
+  const MiddlewareParams params = bench::params();
+  const Platform platform = gen::grid5000_lyon(3);
+  const ServiceSpec service = dgemm_service(200);
+
+  Hierarchy one_sed;
+  const auto root1 = one_sed.add_root(0);
+  one_sed.add_server(root1, 1);
+  Hierarchy two_sed;
+  const auto root2 = two_sed.add_root(0);
+  two_sed.add_server(root2, 1);
+  two_sed.add_server(root2, 2);
+
+  const std::vector<std::size_t> clients{1, 2, 5, 10, 25, 50, 100, 150, 200,
+                                         250, 300};
+  const auto config = bench::sweep_config();
+  const auto curve1 =
+      sim::load_sweep(one_sed, platform, params, service, clients, config);
+  const auto curve2 =
+      sim::load_sweep(two_sed, platform, params, service, clients, config);
+
+  bench::print_curves(
+      "Fig 4 — measured throughput vs load (paper: ~35 vs ~70 plateaus)",
+      {"1 SeD", "2 SeDs"}, {curve1, curve2});
+
+  const auto predicted1 = model::evaluate(one_sed, platform, params, service);
+  const auto predicted2 = model::evaluate(two_sed, platform, params, service);
+  const RequestRate measured1 = sim::peak_throughput(curve1);
+  const RequestRate measured2 = sim::peak_throughput(curve2);
+
+  Table fig5("Fig 5 — predicted vs measured maximum throughput (req/s)");
+  fig5.set_header({"deployment", "predicted", "measured", "paper pred",
+                   "paper meas"});
+  fig5.add_row({"1 SeD", Table::num(predicted1.overall, 1),
+                Table::num(measured1, 1), "45", "35"});
+  fig5.add_row({"2 SeDs", Table::num(predicted2.overall, 1),
+                Table::num(measured2, 1), "90", "70"});
+  std::cout << fig5 << '\n';
+
+  bench::verdict("both deployments are service-limited in the model",
+                 predicted1.bottleneck == model::Bottleneck::Service &&
+                     predicted2.bottleneck == model::Bottleneck::Service);
+  bench::verdict("the second server roughly doubles measured throughput",
+                 measured2 > 1.7 * measured1 && measured2 < 2.1 * measured1);
+  bench::verdict("measured is close to predicted at this grain (within 15%)",
+                 measured1 > 0.85 * predicted1.overall &&
+                     measured2 > 0.85 * predicted2.overall);
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file bench_micro_perf.cpp
+/// \brief google-benchmark microbenchmarks: cost scaling of the model
+/// evaluation, the planners, the simulator, and the DGEMM kernel. These
+/// guard the "plans a 200-node cluster interactively" property the CLI
+/// relies on.
+
+#include <benchmark/benchmark.h>
+
+#include "model/evaluate.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+#include "sim/simulator.hpp"
+#include "workload/dgemm.hpp"
+
+namespace {
+
+using namespace adept;
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+
+Hierarchy star_over(std::size_t n) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  for (NodeId id = 1; id < n; ++id) h.add_server(root, id);
+  return h;
+}
+
+void BM_EvaluateHierarchy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Platform platform = gen::homogeneous(n, 1000.0, 1000.0);
+  const Hierarchy h = star_over(n);
+  const ServiceSpec service = dgemm_service(310);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::evaluate_unchecked(h, platform, kParams, service));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluateHierarchy)->Range(8, 512)->Complexity(benchmark::oN);
+
+void BM_PlanHeuristic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Platform platform = gen::uniform(n, 200.0, 1200.0, 1000.0, rng);
+  const ServiceSpec service = dgemm_service(310);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_heterogeneous(platform, kParams, service));
+  }
+}
+BENCHMARK(BM_PlanHeuristic)->Range(8, 256)->Unit(benchmark::kMillisecond);
+
+void BM_PlanHomogeneousOptimal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Platform platform = gen::homogeneous(n, 1000.0, 1000.0);
+  const ServiceSpec service = dgemm_service(310);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_homogeneous_optimal(platform, kParams, service));
+  }
+}
+BENCHMARK(BM_PlanHomogeneousOptimal)->Range(8, 128)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateStar(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  const Platform platform = gen::homogeneous(9, 1000.0, 1000.0);
+  const Hierarchy h = star_over(9);
+  const ServiceSpec service = dgemm_service(310);
+  sim::SimConfig config;
+  config.warmup = 0.2;
+  config.measure = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate(h, platform, kParams, service, clients, config));
+  }
+}
+BENCHMARK(BM_SimulateStar)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_DgemmKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = workload::make_matrix(n, 1);
+  const auto b = workload::make_matrix(n, 2);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    workload::dgemm(a.data(), b.data(), c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(2 * n * n * n));
+}
+BENCHMARK(BM_DgemmKernel)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

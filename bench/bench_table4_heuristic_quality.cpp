@@ -1,0 +1,122 @@
+/// \file bench_table4_heuristic_quality.cpp
+/// \brief Reproduces Table 4: the percentage of optimal throughput the
+/// heterogeneous heuristic achieves on homogeneous clusters, against the
+/// optimal degree (measured) and the homogeneous model's degree (ref [10]).
+///
+/// Paper rows (DGEMM size, nodes, optimal deg, homo deg, heur deg, perf):
+///   10   21   1   1   1  100.0%
+///   100  25   2   2   2  100.0%
+///   310  45  15  22  33   89.0%
+///   1000 21  20  20  20  100.0%
+/// The absolute degrees depend on the testbed's cost ratios; the
+/// reproduced claim is the last column — the heuristic delivers ≥89% of
+/// the measured-optimal throughput on every workload.
+
+#include "bench_util.hpp"
+
+#include "common/thread_pool.hpp"
+#include "planner/dary.hpp"
+
+namespace {
+
+using namespace adept;
+
+/// Simulated saturated throughput of one deployment. The window scales
+/// with the job length so large grains (a DGEMM 1000 runs ~10 s on these
+/// nodes) still span several job generations.
+RequestRate measure(const Hierarchy& hierarchy, const Platform& platform,
+                    const MiddlewareParams& params, const ServiceSpec& service) {
+  sim::SimConfig config = bench::sweep_config();
+  const Seconds job = service.wapp / platform.min_power();
+  config.warmup = std::max(2.0, 5.0 * job);
+  config.measure = std::max(4.0, 10.0 * job);
+  // Load far past saturation for every workload in this table.
+  const std::size_t clients = 3 * platform.size();
+  return sim::simulate(hierarchy, platform, params, service, clients, config)
+      .throughput;
+}
+
+struct Row {
+  std::size_t dgemm = 0;
+  std::size_t nodes = 0;
+  std::size_t optimal_degree = 0;
+  RequestRate optimal_measured = 0.0;
+  std::size_t homo_degree = 0;
+  std::size_t heur_degree = 0;
+  RequestRate heur_measured = 0.0;
+};
+
+Row run_row(std::size_t dgemm, std::size_t nodes) {
+  const MiddlewareParams params = bench::params();
+  // Unloaded Grid'5000-class nodes (see gen::grid5000_lyon).
+  const Platform platform = gen::homogeneous(nodes, 200.0, 1000.0);
+  const ServiceSpec service = dgemm_service(dgemm);
+
+  Row row;
+  row.dgemm = dgemm;
+  row.nodes = nodes;
+
+  // "Optimal degree": best *measured* complete d-ary tree, the quantity
+  // the paper's earlier experiments established. Simulations per degree
+  // are independent — run them on all cores.
+  std::vector<NodeId> order(nodes);
+  for (NodeId id = 0; id < nodes; ++id) order[id] = id;
+  std::vector<RequestRate> measured(nodes, 0.0);
+  parallel_for(nodes - 1, [&](std::size_t i) {
+    const std::size_t degree = i + 1;
+    const Hierarchy tree = detail::complete_dary(order, degree);
+    if (!tree.validate(&platform).empty()) return;
+    measured[degree] = measure(tree, platform, params, service);
+  });
+  for (std::size_t degree = 1; degree < nodes; ++degree) {
+    if (measured[degree] > row.optimal_measured) {
+      row.optimal_measured = measured[degree];
+      row.optimal_degree = degree;
+    }
+  }
+
+  // "Homo. Deg.": the degree the homogeneous model of ref [10] chooses.
+  const auto homo = plan_homogeneous_optimal(platform, params, service);
+  row.homo_degree = homo.hierarchy.degree(homo.hierarchy.root());
+
+  // "Heur. Deg." / "Heur. Perf.": Algorithm 1's deployment, measured.
+  const auto heuristic = plan_heterogeneous(platform, params, service);
+  row.heur_degree = heuristic.hierarchy.degree(heuristic.hierarchy.root());
+  row.heur_measured = measure(heuristic.hierarchy, platform, params, service);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace adept;
+  bench::banner("Table 4 — heuristic vs optimal on homogeneous clusters");
+
+  const std::vector<std::pair<std::size_t, std::size_t>> cases{
+      {10, 21}, {100, 25}, {310, 45}, {1000, 21}};
+  const std::vector<std::string> paper_rows{
+      "1 / 1 / 1 / 100.0%", "2 / 2 / 2 / 100.0%", "15 / 22 / 33 / 89.0%",
+      "20 / 20 / 20 / 100.0%"};
+
+  Table table("Table 4 (measured on the ADePT simulator)");
+  table.set_header({"DGEMM", "nodes", "opt deg", "homo deg", "heur deg",
+                    "heur perf", "paper (opt/homo/heur/perf)"});
+  bool all_above_bound = true;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Row row = run_row(cases[i].first, cases[i].second);
+    const double perf = 100.0 * row.heur_measured / row.optimal_measured;
+    all_above_bound = all_above_bound && perf >= 89.0;
+    table.add_row({Table::num(static_cast<long long>(row.dgemm)),
+                   Table::num(static_cast<long long>(row.nodes)),
+                   Table::num(static_cast<long long>(row.optimal_degree)),
+                   Table::num(static_cast<long long>(row.homo_degree)),
+                   Table::num(static_cast<long long>(row.heur_degree)),
+                   Table::num(perf, 1) + "%", paper_rows[i]});
+  }
+  std::cout << table << '\n';
+
+  bench::verdict(
+      "heuristic achieves >= 89% of measured-optimal on every workload",
+      all_above_bound);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared setup for the experiment harnesses (bench_*): canonical
+/// parameters, simulation configs, and printing helpers.
+///
+/// Every harness prints (a) the series/rows the corresponding paper table
+/// or figure reports, (b) the paper's own headline numbers for visual
+/// comparison, and (c) a one-line shape verdict. Absolute values are not
+/// expected to match (our substrate is a simulator, not Grid'5000); the
+/// orderings and ratios are.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "model/evaluate.hpp"
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+#include "sim/simulator.hpp"
+
+namespace adept::bench {
+
+/// Table 3 parameters — all harnesses use the paper's measured values.
+inline MiddlewareParams params() { return MiddlewareParams::diet_grid5000(); }
+
+/// Simulation config for figure sweeps: long enough for a stable plateau,
+/// short enough that a full figure regenerates in seconds.
+inline sim::SimConfig sweep_config() {
+  sim::SimConfig config;
+  config.warmup = 1.5;
+  config.measure = 4.0;
+  return config;
+}
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::cout << '\n' << std::string(72, '=') << '\n'
+            << title << '\n'
+            << std::string(72, '=') << "\n\n";
+}
+
+/// Prints a throughput-vs-clients curve set as one aligned table.
+inline void print_curves(const std::string& title,
+                         const std::vector<std::string>& names,
+                         const std::vector<std::vector<sim::LoadPoint>>& curves) {
+  Table table(title);
+  std::vector<std::string> header{"clients"};
+  for (const auto& name : names) header.push_back(name + " (req/s)");
+  table.set_header(header);
+  for (std::size_t row = 0; row < curves.front().size(); ++row) {
+    std::vector<std::string> cells{Table::num(
+        static_cast<long long>(curves.front()[row].clients))};
+    for (const auto& curve : curves)
+      cells.push_back(Table::num(curve[row].throughput, 1));
+    table.add_row(cells);
+  }
+  std::cout << table << '\n';
+}
+
+/// One-line PASS/DIVERGES verdict for a shape claim.
+inline void verdict(const std::string& claim, bool holds) {
+  std::cout << (holds ? "[shape OK]   " : "[shape MISS] ") << claim << '\n';
+}
+
+}  // namespace adept::bench

@@ -1,0 +1,65 @@
+/// \file adaptive_replanning.cpp
+/// \brief Closed-loop deployment: plan with a guessed workload, observe
+/// real executions, forecast the true cost statistically, and replan —
+/// the paper's future-work item on statistical execution-time
+/// forecasting, wired end to end.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+#include "sim/simulator.hpp"
+#include "workload/forecast.hpp"
+
+int main() {
+  using namespace adept;
+
+  std::cout << "== ADePT adaptive replanning ==\n\n";
+
+  // Heterogeneous pool so observed execution times span several node
+  // powers (the forecaster's regression needs that spread).
+  Rng rng(8);
+  const Platform platform = gen::uniform(40, 120.0, 280.0, 1000.0, rng);
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+
+  // The operator guesses the clients will send small DGEMM 100 requests…
+  const ServiceSpec guessed = dgemm_service(100);
+  // …but the actual workload is DGEMM 420 — 74x the computation.
+  const ServiceSpec actual = dgemm_service(420);
+
+  const auto naive = plan_heterogeneous(platform, params, guessed);
+  std::cout << "planned for " << guessed.name << " (" << guessed.wapp
+            << " MFlop): " << naive.nodes_used() << " nodes, predicted "
+            << Table::num(naive.report.overall, 1) << " req/s\n";
+
+  // Deploy and watch: the simulator runs the *actual* workload; every
+  // service execution yields an observed (node power, seconds) sample.
+  sim::SimConfig config;
+  config.warmup = 3.0;
+  config.measure = 6.0;
+  const auto observed = sim::simulate(naive.hierarchy, platform, params, actual,
+                                      80, config);
+  std::cout << "measured with the real workload: "
+            << Table::num(observed.throughput, 1) << " req/s ("
+            << observed.service_samples.size() << " execution samples)\n\n";
+
+  // Forecast: regress observed seconds against 1/power; the slope is the
+  // true W_app, with any fixed overhead absorbed by the intercept.
+  const auto estimate = workload::estimate_wapp(observed.service_samples);
+  std::cout << "forecast from samples: W_app ≈ " << Table::num(estimate.wapp, 1)
+            << " MFlop (truth " << actual.wapp << "), overhead "
+            << Table::num(estimate.overhead * 1e3, 2) << " ms, correlation "
+            << Table::num(estimate.correlation, 3) << "\n";
+
+  // Replan with the estimate and redeploy.
+  const ServiceSpec forecast{"forecast", estimate.wapp};
+  const auto replanned = plan_heterogeneous(platform, params, forecast);
+  const auto after = sim::simulate(replanned.hierarchy, platform, params,
+                                   actual, 80, config);
+  std::cout << "replanned: " << replanned.nodes_used()
+            << " nodes, measured " << Table::num(after.throughput, 1)
+            << " req/s (" << Table::num(after.throughput / observed.throughput, 2)
+            << "x the naive deployment)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file capacity_planning.cpp
+/// \brief Demand-driven provisioning with Algorithm 1's demand parameter:
+/// "we expect N requests per second — how few machines can serve it?"
+/// The paper's tie-break rule (fewest resources among equal-throughput
+/// deployments) is exactly what a shared-cluster operator wants.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace adept;
+
+  std::cout << "== ADePT capacity planning: provisioning for a target load ==\n\n";
+
+  const Platform platform = gen::homogeneous(80, 1000.0, 1000.0);
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  const ServiceSpec service = dgemm_service(400);  // 128 MFlop per request
+
+  // What is the ceiling of this pool?
+  const auto ceiling = plan_heterogeneous(platform, params, service);
+  std::cout << "pool ceiling: " << Table::num(ceiling.report.overall, 1)
+            << " req/s using " << ceiling.nodes_used() << " nodes\n\n";
+
+  Table table("Provisioning plans per target demand");
+  table.set_header({"demand (req/s)", "nodes", "agents", "servers",
+                    "predicted rho", "simulated rho"});
+  sim::SimConfig config;
+  config.warmup = 1.0;
+  config.measure = 3.0;
+  for (const double demand : {5.0, 15.0, 30.0, 60.0, 120.0}) {
+    const auto plan = plan_heterogeneous(platform, params, service, demand);
+    const auto run = sim::simulate(plan.hierarchy, platform, params, service,
+                                   /*clients=*/120, config);
+    table.add_row({Table::num(demand, 0),
+                   Table::num(static_cast<long long>(plan.nodes_used())),
+                   Table::num(static_cast<long long>(plan.hierarchy.agent_count())),
+                   Table::num(static_cast<long long>(plan.hierarchy.server_count())),
+                   Table::num(plan.report.overall, 1),
+                   Table::num(run.throughput, 1)});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "Reading: each plan commits just enough servers for its\n"
+               "demand; the predicted and simulated rates agree because the\n"
+               "workload grain keeps middleware overheads negligible.\n";
+  return 0;
+}

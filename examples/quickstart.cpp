@@ -1,0 +1,55 @@
+/// \file quickstart.cpp
+/// \brief 60-second tour of the ADePT API: describe a platform, plan a
+/// deployment with the paper's heuristic, inspect the prediction, and
+/// export the GoDIET XML a deployment tool would consume.
+
+#include <iostream>
+
+#include "hierarchy/xml.hpp"
+#include "model/evaluate.hpp"
+#include "planner/planner.hpp"
+#include "platform/platform.hpp"
+
+int main() {
+  using namespace adept;
+
+  // 1. Describe the resource pool: heterogeneous nodes (MFlop/s) behind a
+  //    homogeneous gigabit network (Mbit/s).
+  Platform platform({{"frontend", 1400.0},
+                     {"node-a", 1000.0},
+                     {"node-b", 1000.0},
+                     {"node-c", 800.0},
+                     {"node-d", 800.0},
+                     {"node-e", 600.0},
+                     {"node-f", 600.0},
+                     {"node-g", 400.0}},
+                    1000.0);
+
+  // 2. Pick the middleware cost model (Table 3 of the paper) and the
+  //    application service the servers will run.
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  const ServiceSpec service = dgemm_service(310);  // 310x310 matrix multiply
+
+  // 3. Plan: Algorithm 1 decides which nodes become agents, which become
+  //    servers, and the tree shape that maximises completed requests/s.
+  const PlanResult plan = plan_heterogeneous(platform, params, service);
+
+  std::cout << "planned deployment uses " << plan.nodes_used() << " of "
+            << platform.size() << " nodes ("
+            << plan.hierarchy.agent_count() << " agents, "
+            << plan.hierarchy.server_count() << " servers)\n";
+  std::cout << "predicted throughput: " << plan.report.overall
+            << " requests/s, bottleneck: "
+            << model::bottleneck_name(plan.report.bottleneck) << "\n";
+
+  // 4. The root agent should sit on the strongest node.
+  const auto& root_node =
+      platform.node(plan.hierarchy.node_of(plan.hierarchy.root()));
+  std::cout << "root agent on: " << root_node.name << " (" << root_node.power
+            << " MFlop/s)\n\n";
+
+  // 5. Export the plan in the format the deployment tool consumes
+  //    (Algorithm 1's write_xml step).
+  std::cout << write_godiet_xml(plan.hierarchy, platform);
+  return 0;
+}

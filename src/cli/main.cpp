@@ -1,0 +1,265 @@
+/// \file main.cpp
+/// \brief `adept` — the command-line front end (the ADePT tool the paper's
+/// conclusion announces).
+///
+/// Subcommands:
+///   generate   write a synthetic platform description file
+///   plan       run a planner on a platform file, print / export the plan
+///   predict    evaluate a deployment XML with the throughput model
+///   simulate   run the discrete-event simulator against a deployment XML
+///   calibrate  reproduce the Table 3 measurement procedure on this host
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/argparse.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "hierarchy/dot.hpp"
+#include "hierarchy/xml.hpp"
+#include "model/evaluate.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+#include "platform/io.hpp"
+#include "sim/simulator.hpp"
+#include "workload/calibration.hpp"
+
+namespace {
+
+using namespace adept;
+
+ServiceSpec parse_service(const std::string& spec) {
+  // Accept "dgemm-310" / "dgemm:310" or a raw MFlop count.
+  if (strings::starts_with(spec, "dgemm-") || strings::starts_with(spec, "dgemm:")) {
+    const auto n = strings::parse_int(spec.substr(6));
+    ADEPT_CHECK(n.has_value() && *n > 0, "bad DGEMM size in '" + spec + "'");
+    return dgemm_service(static_cast<std::size_t>(*n));
+  }
+  const auto wapp = strings::parse_double(spec);
+  ADEPT_CHECK(wapp.has_value() && *wapp > 0.0,
+              "service must be dgemm-<n> or a positive MFlop count");
+  return ServiceSpec{"custom", *wapp};
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  ADEPT_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << content;
+  ADEPT_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+void print_plan_summary(const PlanResult& plan, const Platform& platform) {
+  const auto& r = plan.report;
+  std::cout << "nodes used      : " << plan.nodes_used() << " of "
+            << platform.size() << " (" << plan.hierarchy.agent_count()
+            << " agents, " << plan.hierarchy.server_count() << " servers)\n";
+  std::cout << "tree depth      : " << plan.hierarchy.max_depth()
+            << ", max degree: " << plan.hierarchy.max_degree() << "\n";
+  std::cout << "rho (overall)   : " << r.overall << " req/s\n";
+  std::cout << "rho_sched       : " << r.sched << " req/s\n";
+  std::cout << "rho_service     : " << r.service << " req/s\n";
+  std::cout << "bottleneck      : " << model::bottleneck_name(r.bottleneck)
+            << "\n";
+  for (const auto& line : plan.trace) std::cout << "trace           : " << line << "\n";
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  ArgParser parser("adept generate", "Write a synthetic platform file.");
+  parser.add_option("kind", "homogeneous|uniform|bimodal|clustered|power-law|orsay",
+                    "uniform");
+  parser.add_option("count", "number of nodes", "50");
+  parser.add_option("power", "nominal node power, MFlop/s", "1000");
+  parser.add_option("min", "minimum power (uniform/power-law)", "200");
+  parser.add_option("max", "maximum power (uniform/power-law)", "1200");
+  parser.add_option("bandwidth", "link bandwidth, Mbit/s", "1000");
+  parser.add_option("seed", "RNG seed", "1");
+  parser.add_option("links", "heterogeneous links: lo:hi in Mbit/s");
+  parser.add_option("out", "output file (default: stdout)");
+  parser.parse(args);
+
+  const auto count = static_cast<std::size_t>(parser.get_int("count"));
+  const MbitRate bandwidth = parser.get_double("bandwidth");
+  Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+  const std::string kind = parser.get("kind");
+
+  Platform platform;
+  if (kind == "homogeneous")
+    platform = gen::homogeneous(count, parser.get_double("power"), bandwidth);
+  else if (kind == "uniform")
+    platform = gen::uniform(count, parser.get_double("min"),
+                            parser.get_double("max"), bandwidth, rng);
+  else if (kind == "bimodal")
+    platform = gen::bimodal(count, parser.get_double("power"), 0.5, 0.4,
+                            bandwidth, rng);
+  else if (kind == "clustered")
+    platform = gen::clustered(count, 4, parser.get_double("power"), 0.5, bandwidth);
+  else if (kind == "power-law")
+    platform = gen::power_law(count, parser.get_double("min"),
+                              parser.get_double("max"), 1.5, bandwidth, rng);
+  else if (kind == "orsay")
+    platform = gen::grid5000_orsay_loaded(count, rng);
+  else
+    throw Error("unknown platform kind '" + kind + "'\n" + parser.usage());
+
+  if (parser.has("links")) {
+    const auto bounds = strings::split(parser.get("links"), ':');
+    ADEPT_CHECK(bounds.size() == 2, "--links expects lo:hi");
+    const auto lo = strings::parse_double(bounds[0]);
+    const auto hi = strings::parse_double(bounds[1]);
+    ADEPT_CHECK(lo && hi, "--links expects numeric lo:hi");
+    platform = gen::with_heterogeneous_links(std::move(platform), *lo, *hi, rng);
+  }
+
+  const std::string text = io::serialize_platform(platform);
+  if (parser.has("out"))
+    write_file(parser.get("out"), text);
+  else
+    std::cout << text;
+  return 0;
+}
+
+int cmd_plan(const std::vector<std::string>& args) {
+  ArgParser parser("adept plan", "Plan a deployment for a platform file.");
+  parser.add_positional("platform", "platform description file");
+  parser.add_option("planner", "heuristic|star|balanced|homogeneous|link-aware",
+                    "heuristic");
+  parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
+  parser.add_option("demand", "client demand in req/s (heuristic only)");
+  parser.add_option("degree", "tree degree (balanced only)", "0");
+  parser.add_option("xml", "write GoDIET XML to this file");
+  parser.add_option("dot", "write Graphviz DOT to this file");
+  parser.parse(args);
+
+  const Platform platform = io::load_platform(parser.get("platform"));
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  const ServiceSpec service = parse_service(parser.get("service"));
+  const std::string planner = parser.get("planner");
+
+  PlanResult plan;
+  if (planner == "heuristic") {
+    const RequestRate demand =
+        parser.has("demand") ? parser.get_double("demand") : kUnlimitedDemand;
+    plan = plan_heterogeneous(platform, params, service, demand);
+  } else if (planner == "link-aware") {
+    const RequestRate demand =
+        parser.has("demand") ? parser.get_double("demand") : kUnlimitedDemand;
+    plan = plan_link_aware(platform, params, service, demand);
+  } else if (planner == "star") {
+    plan = plan_star(platform, params, service);
+  } else if (planner == "balanced") {
+    plan = plan_balanced(platform, params, service,
+                         static_cast<std::size_t>(parser.get_int("degree")));
+  } else if (planner == "homogeneous") {
+    plan = plan_homogeneous_optimal(platform, params, service);
+  } else {
+    throw Error("unknown planner '" + planner + "'\n" + parser.usage());
+  }
+
+  print_plan_summary(plan, platform);
+  if (parser.has("xml"))
+    write_file(parser.get("xml"), write_godiet_xml(plan.hierarchy, platform));
+  if (parser.has("dot"))
+    write_file(parser.get("dot"), write_dot(plan.hierarchy, platform));
+  return 0;
+}
+
+Deployment load_deployment(const std::string& path) {
+  std::ifstream in(path);
+  ADEPT_CHECK(in.good(), "cannot open deployment file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_godiet_xml(buffer.str());
+}
+
+int cmd_predict(const std::vector<std::string>& args) {
+  ArgParser parser("adept predict",
+                   "Evaluate a deployment XML with the throughput model.");
+  parser.add_positional("deployment", "GoDIET-style XML file");
+  parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
+  parser.parse(args);
+
+  const Deployment deployment = load_deployment(parser.get("deployment"));
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  const ServiceSpec service = parse_service(parser.get("service"));
+  const auto report =
+      model::evaluate(deployment.hierarchy, deployment.platform, params, service);
+  std::cout << "rho (overall) : " << report.overall << " req/s\n";
+  std::cout << "rho_sched     : " << report.sched << " req/s\n";
+  std::cout << "rho_service   : " << report.service << " req/s\n";
+  std::cout << "bottleneck    : " << model::bottleneck_name(report.bottleneck)
+            << "\n";
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  ArgParser parser("adept simulate",
+                   "Run the discrete-event simulator on a deployment XML.");
+  parser.add_positional("deployment", "GoDIET-style XML file");
+  parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
+  parser.add_option("clients", "number of concurrent clients", "50");
+  parser.add_option("measure", "measurement window, seconds", "8");
+  parser.parse(args);
+
+  const Deployment deployment = load_deployment(parser.get("deployment"));
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  const ServiceSpec service = parse_service(parser.get("service"));
+  sim::SimConfig config;
+  config.measure = parser.get_double("measure");
+  const auto result =
+      sim::simulate(deployment.hierarchy, deployment.platform, params, service,
+                    static_cast<std::size_t>(parser.get_int("clients")), config);
+  std::cout << "throughput          : " << result.throughput << " req/s\n";
+  std::cout << "completed (window)  : " << result.completed_in_window << "\n";
+  std::cout << "mean response time  : " << result.mean_response_time << " s\n";
+  return 0;
+}
+
+int cmd_calibrate(const std::vector<std::string>& args) {
+  ArgParser parser("adept calibrate",
+                   "Reproduce the Table 3 measurement procedure.");
+  parser.parse(args);
+
+  const auto report =
+      workload::calibrate(MiddlewareParams::diet_grid5000(), true);
+  Table table("Measured middleware parameters (Table 3 procedure)");
+  table.set_header({"quantity", "measured", "paper (Table 3)"});
+  table.add_row({"host power (MFlop/s)", Table::num(report.host_mflops, 0), "-"});
+  table.add_row({"agent S_req (Mb)", Table::num(report.agent_sreq, 6), "5.3e-3"});
+  table.add_row({"agent S_rep (Mb)", Table::num(report.agent_srep, 6), "5.4e-3"});
+  table.add_row({"server S_req (Mb)", Table::num(report.server_sreq, 6), "5.3e-5"});
+  table.add_row({"server S_rep (Mb)", Table::num(report.server_srep, 6), "6.4e-5"});
+  table.add_row({"W_sel (MFlop)", Table::num(report.wrep.wsel_measured, 5), "5.4e-3"});
+  table.add_row({"fit correlation", Table::num(report.wrep.fit.correlation, 4), "0.97"});
+  std::cout << table;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string usage =
+      "usage: adept <generate|plan|predict|simulate|calibrate> [options]\n"
+      "run `adept <command> --help` style options are listed on error\n";
+  if (args.empty()) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string command = args.front();
+  args.erase(args.begin());
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "calibrate") return cmd_calibrate(args);
+    std::cerr << "unknown command '" << command << "'\n" << usage;
+    return 2;
+  } catch (const adept::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,41 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error type and checked-invariant macros used across ADePT.
+///
+/// ADePT reports user-facing failures (bad input files, infeasible plans)
+/// via adept::Error and programming errors via ADEPT_ASSERT, which aborts
+/// with a source location in debug and throws in release so callers can
+/// still surface a diagnostic.
+
+#include <stdexcept>
+#include <string>
+
+namespace adept {
+
+/// Exception thrown for all recoverable ADePT failures (parse errors,
+/// invalid hierarchies, infeasible planning inputs...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the message for a failed check and throws adept::Error.
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace adept
+
+/// Validates a user-facing precondition; throws adept::Error on failure.
+/// `msg` is a std::string (or convertible) appended to the diagnostic.
+#define ADEPT_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::adept::detail::fail_check(#expr, __FILE__, __LINE__, (msg));        \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant; same behaviour as ADEPT_CHECK but documents that a
+/// failure indicates a bug in ADePT rather than bad input.
+#define ADEPT_ASSERT(expr, msg) ADEPT_CHECK(expr, std::string("internal: ") + (msg))

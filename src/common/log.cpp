@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace adept::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level new_level) { g_level.store(new_level); }
+Level level() { return g_level.load(); }
+
+void emit(Level message_level, const std::string& message) {
+  if (message_level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[adept:" << level_name(message_level) << "] " << message << '\n';
+}
+
+}  // namespace adept::log

@@ -1,0 +1,49 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger for the CLI and planners' trace output.
+///
+/// Planning traces (which node became an agent, why growth stopped) are
+/// valuable when validating the heuristic against the paper; they are
+/// emitted at Debug level and silenced by default.
+
+#include <sstream>
+#include <string>
+
+namespace adept::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Emits a message at `level` to stderr when enabled.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::Debug) emit(Level::Debug, detail::concat(args...));
+}
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::Info) emit(Level::Info, detail::concat(args...));
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::Warn) emit(Level::Warn, detail::concat(args...));
+}
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::Error) emit(Level::Error, detail::concat(args...));
+}
+
+}  // namespace adept::log

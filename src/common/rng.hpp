@@ -1,0 +1,86 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic random number generation.
+///
+/// All stochastic inputs in ADePT (heterogeneous platform generation,
+/// client jitter in the simulator) flow through Rng, a xoshiro256**
+/// generator seeded via splitmix64. Unlike std::mt19937 + distributions,
+/// its output is identical across standard libraries, which keeps the
+/// experiment harnesses reproducible bit-for-bit on any host.
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace adept {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded with splitmix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    ADEPT_CHECK(lo <= hi, "uniform(lo,hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ADEPT_CHECK(lo <= hi, "uniform_int(lo,hi) requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Unbiased rejection sampling (Lemire-style threshold).
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Forks an independent stream; used to give each parallel simulation
+  /// its own generator without sharing state across threads.
+  Rng split() { return Rng((*this)() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace adept

@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace adept::stats {
+
+double mean(std::span<const double> xs) {
+  ADEPT_CHECK(!xs.empty(), "mean of empty range");
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  ADEPT_CHECK(!xs.empty(), "percentile of empty range");
+  ADEPT_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  ADEPT_CHECK(xs.size() == ys.size(), "linear_fit: size mismatch");
+  ADEPT_CHECK(xs.size() >= 2, "linear_fit: need at least 2 points");
+  const auto n = static_cast<double>(xs.size());
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  ADEPT_CHECK(sxx > 0.0, "linear_fit: x values are all equal");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.correlation = (syy > 0.0) ? sxy / std::sqrt(sxx * syy) : 1.0;
+  (void)n;
+  return fit;
+}
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace adept::stats

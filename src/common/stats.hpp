@@ -1,0 +1,61 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Descriptive statistics and least-squares fitting.
+///
+/// The paper calibrates the agent reply cost W_rep(d) = W_fix + W_sel·d by a
+/// linear fit over star deployments of varying degree (reported correlation
+/// coefficient 0.97). LinearFit reproduces that procedure; the remaining
+/// helpers support the measurement windows of the simulator and the
+/// experiment harnesses.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace adept::stats {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(std::span<const double> xs);
+
+/// Linear interpolated percentile, p in [0,100]. Requires non-empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Result of an ordinary-least-squares fit y = slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Pearson correlation coefficient of (x, y); the paper reports r = 0.97
+  /// for its W_rep degree fit.
+  double correlation = 0.0;
+  /// Predicted value at x.
+  double operator()(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least squares over paired samples. Requires >= 2 points and a
+/// non-constant x; throws adept::Error otherwise.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Streaming mean/variance accumulator (Welford), used by the simulator's
+/// measurement window so long runs do not retain every sample.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance; 0 for fewer than 2 points.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace adept::stats

@@ -1,0 +1,36 @@
+#pragma once
+/// \file strings.hpp
+/// \brief Small string utilities for the platform-file parser and CLI.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adept::strings {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns nullopt when the whole string is not a number.
+std::optional<double> parse_double(std::string_view s);
+
+/// Parses a non-negative integer; returns nullopt on failure.
+std::optional<long long> parse_int(std::string_view s);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace adept::strings

@@ -1,0 +1,48 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table and CSV rendering for the experiment harnesses.
+///
+/// Every bench binary prints the rows/series its paper table or figure
+/// reports; Table gives them a uniform, aligned rendering plus a CSV form
+/// that downstream plotting scripts can consume.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adept {
+
+/// Column-aligned ASCII table with an optional title. Cells are strings;
+/// numeric helpers format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 2);
+  /// Formats an integer.
+  static std::string num(long long value);
+  static std::string num(int value) { return num(static_cast<long long>(value)); }
+  static std::string num(std::size_t value) { return num(static_cast<long long>(value)); }
+
+  /// Renders the aligned ASCII form.
+  std::string to_string() const;
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Convenience: writes the ASCII form to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adept

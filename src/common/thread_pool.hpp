@@ -1,0 +1,58 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Fixed-size thread pool and a blocking parallel_for.
+///
+/// The experiment harnesses run one independent discrete-event simulation
+/// per load level; those simulations share nothing, so a static block
+/// partition over a fixed pool is the right tool (no work stealing needed:
+/// per-item cost is balanced by interleaving indices across workers).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace adept {
+
+/// Simple FIFO thread pool. Tasks may not throw; exceptions escaping a task
+/// terminate the program (tasks are expected to capture and report errors).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across `threads` workers (0 = all cores)
+/// and blocks until completion. Indices are interleaved (worker k takes
+/// i ≡ k mod T), which balances monotone per-index costs such as
+/// simulations whose duration grows with the load level.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace adept

@@ -1,0 +1,35 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit conventions used throughout ADePT.
+///
+/// The paper (and Table 3) expresses computation in MFlop, computing power
+/// in MFlop/s, message sizes in Mbit and bandwidth in Mbit/s, so a
+/// size/bandwidth ratio is directly seconds. We keep those units everywhere
+/// and use plain doubles with descriptive aliases: the quantities are always
+/// combined in the paper's own formulas, so a full strong-type system would
+/// add friction without catching real bug classes here. The aliases make
+/// signatures self-documenting.
+
+namespace adept {
+
+/// Amount of computation, in millions of floating-point operations.
+using MFlop = double;
+/// Computing speed, MFlop per second (the paper's `w_i`).
+using MFlopRate = double;
+/// Message size in megabits (the paper's `S_req` / `S_rep`).
+using Mbit = double;
+/// Link bandwidth in megabits per second (the paper's `B`).
+using MbitRate = double;
+/// Wall-clock / simulated time in seconds.
+using Seconds = double;
+/// Steady-state throughput in completed requests per second (the paper's ρ).
+using RequestRate = double;
+
+namespace units {
+/// Converts a raw flop count to MFlop.
+constexpr MFlop mflop_from_flops(double flops) { return flops / 1e6; }
+/// Converts bytes to megabits (1 Mbit = 10^6 bits).
+constexpr Mbit mbit_from_bytes(double bytes) { return bytes * 8.0 / 1e6; }
+}  // namespace units
+
+}  // namespace adept

@@ -1,0 +1,166 @@
+#include "deploy/launcher.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "planner/planner.hpp"
+
+namespace adept::deploy {
+
+namespace {
+
+/// Mutable working copy used by prune_failures.
+struct WorkElement {
+  NodeId node = 0;
+  bool agent = false;
+  bool alive = true;
+  Hierarchy::Index parent = Hierarchy::npos;
+  std::vector<Hierarchy::Index> children;
+};
+
+}  // namespace
+
+std::vector<LaunchStep> build_launch_plan(const Hierarchy& hierarchy,
+                                          const Platform& platform) {
+  hierarchy.validate_or_throw(&platform);
+  std::vector<LaunchStep> plan;
+  plan.reserve(hierarchy.size());
+  std::queue<Hierarchy::Index> frontier;
+  frontier.push(hierarchy.root());
+  while (!frontier.empty()) {
+    const Hierarchy::Index element = frontier.front();
+    frontier.pop();
+    const NodeId node = hierarchy.node_of(element);
+    const auto parent = hierarchy.element(element).parent;
+    LaunchStep step;
+    step.element = element;
+    step.node = node;
+    const std::string binary =
+        hierarchy.is_agent(element) ? "dietAgent" : "dietServer";
+    step.command = "ssh " + platform.node(node).name + " " + binary;
+    if (parent == Hierarchy::npos)
+      step.command += " --master";
+    else
+      step.command +=
+          " --parent " + platform.node(hierarchy.node_of(parent)).name;
+    plan.push_back(std::move(step));
+    for (Hierarchy::Index child : hierarchy.element(element).children)
+      frontier.push(child);
+  }
+  return plan;
+}
+
+LaunchReport simulate_launch(const Hierarchy& hierarchy, const Platform& platform,
+                             double failure_rate, Rng& rng) {
+  ADEPT_CHECK(failure_rate >= 0.0 && failure_rate < 1.0,
+              "failure rate must be in [0, 1)");
+  const auto plan = build_launch_plan(hierarchy, platform);
+
+  LaunchReport report;
+  std::set<NodeId> failed_nodes;
+  std::vector<bool> ancestor_failed(hierarchy.size(), false);
+  for (const auto& step : plan) {
+    const auto parent = hierarchy.element(step.element).parent;
+    if (parent != Hierarchy::npos && ancestor_failed[parent]) {
+      ancestor_failed[step.element] = true;
+      report.skipped.push_back(step.element);
+      continue;
+    }
+    if (rng.uniform() < failure_rate) {
+      ancestor_failed[step.element] = true;
+      failed_nodes.insert(step.node);
+      report.failed.push_back(step.element);
+      continue;
+    }
+    report.launched.push_back(step.element);
+  }
+  report.surviving = prune_failures(hierarchy, failed_nodes);
+  return report;
+}
+
+std::optional<Hierarchy> prune_failures(const Hierarchy& hierarchy,
+                                        const std::set<NodeId>& failed_nodes) {
+  ADEPT_CHECK(!hierarchy.empty(), "cannot prune an empty hierarchy");
+  if (failed_nodes.count(hierarchy.node_of(hierarchy.root())))
+    return std::nullopt;
+
+  // Working copy; kill failed subtrees top-down.
+  std::vector<WorkElement> work(hierarchy.size());
+  for (Hierarchy::Index i = 0; i < hierarchy.size(); ++i) {
+    const auto& element = hierarchy.element(i);
+    work[i] = {element.node, element.role == Role::Agent, true, element.parent,
+               element.children};
+  }
+  for (Hierarchy::Index i = 0; i < work.size(); ++i) {
+    const bool parent_dead =
+        work[i].parent != Hierarchy::npos && !work[work[i].parent].alive;
+    if (parent_dead || failed_nodes.count(work[i].node))
+      work[i].alive = false;  // children follow in later iterations (i < child)
+  }
+  auto live_children = [&](Hierarchy::Index e) {
+    std::vector<Hierarchy::Index> kids;
+    for (Hierarchy::Index c : work[e].children)
+      if (work[c].alive) kids.push_back(c);
+    return kids;
+  };
+
+  // Restore the ≥2-children rule bottom-up: childless non-root agents
+  // demote to servers; single-child agents splice their child upward and
+  // demote. Iterate until stable (each pass only demotes, so it ends).
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (Hierarchy::Index i = work.size(); i-- > 0;) {
+      if (!work[i].alive || !work[i].agent || i == 0) continue;
+      auto kids = live_children(i);
+      if (kids.size() >= 2) continue;
+      if (kids.size() == 1) {
+        // Splice the lone child to the grandparent.
+        work[kids[0]].parent = work[i].parent;
+        work[work[i].parent].children.push_back(kids[0]);
+      }
+      work[i].agent = false;  // demoted to server (leaf)
+      work[i].children.clear();
+      changed = true;
+    }
+  }
+
+  // Materialise; reject degenerate outcomes.
+  const auto root_kids = live_children(0);
+  if (root_kids.empty()) return std::nullopt;
+
+  Hierarchy out;
+  std::vector<Hierarchy::Index> map(work.size(), Hierarchy::npos);
+  map[0] = out.add_root(work[0].node);
+  std::queue<Hierarchy::Index> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const Hierarchy::Index current = frontier.front();
+    frontier.pop();
+    for (Hierarchy::Index child : live_children(current)) {
+      if (work[child].agent) {
+        map[child] = out.add_agent(map[current], work[child].node);
+        frontier.push(child);
+      } else {
+        out.add_server(map[current], work[child].node);
+      }
+    }
+  }
+  if (out.server_count() == 0) return std::nullopt;
+  ADEPT_ASSERT(out.validate().empty(), "pruned hierarchy is invalid");
+  return out;
+}
+
+std::optional<Hierarchy> repair(const Hierarchy& hierarchy,
+                                const Platform& platform,
+                                const std::set<NodeId>& failed_nodes,
+                                const MiddlewareParams& params,
+                                const ServiceSpec& service) {
+  auto surviving = prune_failures(hierarchy, failed_nodes);
+  if (!surviving.has_value()) return std::nullopt;
+  PlanResult improved = improve_deployment(std::move(*surviving), platform,
+                                           params, service, &failed_nodes);
+  return std::move(improved.hierarchy);
+}
+
+}  // namespace adept::deploy

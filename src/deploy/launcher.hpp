@@ -1,0 +1,78 @@
+#pragma once
+/// \file launcher.hpp
+/// \brief GoDIET-style staged deployment execution.
+///
+/// The paper's pipeline ends where GoDIET's begins: the planned hierarchy
+/// is written to XML and a launcher starts the elements on their hosts —
+/// parents strictly before children, because a DIET element registers
+/// with its parent at startup. This module reproduces that stage:
+///
+///   - build_launch_plan: topologically ordered launch steps with the
+///     ssh-style command line GoDIET would issue;
+///   - simulate_launch: execute the plan against hosts that may fail to
+///     start (the routine Grid'5000 experience the GoDIET paper [5]
+///     reports), skipping the whole subtree under a failed element;
+///   - prune_failures: the largest valid sub-hierarchy that survives a
+///     set of host failures (agents left without enough children are
+///     recursively demoted or dropped);
+///   - repair: prune + regrow from spare nodes with the bottleneck
+///     improver, giving a deployment that is valid and as fast as the
+///     surviving resources allow.
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+#include "platform/platform.hpp"
+
+namespace adept::deploy {
+
+/// One launch step (one remote process start).
+struct LaunchStep {
+  Hierarchy::Index element = 0;
+  NodeId node = 0;
+  std::string command;  ///< ssh-style command line, for operator logs.
+};
+
+/// Ordered launch steps: every element appears after its parent.
+std::vector<LaunchStep> build_launch_plan(const Hierarchy& hierarchy,
+                                          const Platform& platform);
+
+/// Outcome of a (simulated) launch.
+struct LaunchReport {
+  std::vector<Hierarchy::Index> launched;  ///< Started successfully.
+  std::vector<Hierarchy::Index> failed;    ///< Host refused to start.
+  std::vector<Hierarchy::Index> skipped;   ///< Under a failed ancestor.
+  /// The surviving deployment, pruned to validity; nullopt when nothing
+  /// usable survives (e.g. the root failed).
+  std::optional<Hierarchy> surviving;
+};
+
+/// Executes the plan with per-host failure probability `failure_rate`
+/// (deterministic given `rng`). A failed element's subtree is skipped —
+/// its children would have nobody to register with.
+LaunchReport simulate_launch(const Hierarchy& hierarchy, const Platform& platform,
+                             double failure_rate, Rng& rng);
+
+/// Largest valid sub-hierarchy avoiding `failed_nodes`: failed elements
+/// and their subtrees are dropped, then agents violating the ≥2-children
+/// rule are demoted to servers (when leaf) or dropped bottom-up. Returns
+/// nullopt when the root is failed or no server survives.
+std::optional<Hierarchy> prune_failures(const Hierarchy& hierarchy,
+                                        const std::set<NodeId>& failed_nodes);
+
+/// Prune + regrow: repairs a partially failed deployment using the spare
+/// (unused, non-failed) platform nodes via the bottleneck improver.
+/// Returns nullopt when nothing survives to repair.
+std::optional<Hierarchy> repair(const Hierarchy& hierarchy,
+                                const Platform& platform,
+                                const std::set<NodeId>& failed_nodes,
+                                const MiddlewareParams& params,
+                                const ServiceSpec& service);
+
+}  // namespace adept::deploy

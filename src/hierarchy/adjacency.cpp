@@ -1,0 +1,96 @@
+#include "hierarchy/adjacency.hpp"
+
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace adept {
+
+AdjacencyMatrix::AdjacencyMatrix(std::size_t node_count)
+    : n_(node_count), cells_(node_count * node_count, 0) {
+  ADEPT_CHECK(node_count > 0, "adjacency matrix must cover at least one node");
+}
+
+std::size_t AdjacencyMatrix::index(NodeId parent, NodeId child) const {
+  ADEPT_CHECK(parent < n_ && child < n_, "adjacency index out of range");
+  return parent * n_ + child;
+}
+
+bool AdjacencyMatrix::at(NodeId parent, NodeId child) const {
+  return cells_[index(parent, child)] != 0;
+}
+
+void AdjacencyMatrix::set(NodeId parent, NodeId child, bool value) {
+  ADEPT_CHECK(parent != child, "a node cannot parent itself");
+  cells_[index(parent, child)] = value ? 1 : 0;
+}
+
+std::size_t AdjacencyMatrix::out_degree(NodeId node) const {
+  std::size_t degree = 0;
+  for (NodeId child = 0; child < n_; ++child)
+    if (at(node, child)) ++degree;
+  return degree;
+}
+
+std::size_t AdjacencyMatrix::in_degree(NodeId node) const {
+  std::size_t degree = 0;
+  for (NodeId parent = 0; parent < n_; ++parent)
+    if (at(parent, node)) ++degree;
+  return degree;
+}
+
+bool AdjacencyMatrix::is_used(NodeId node) const {
+  return out_degree(node) > 0 || in_degree(node) > 0;
+}
+
+AdjacencyMatrix to_adjacency(const Hierarchy& hierarchy, std::size_t node_count) {
+  AdjacencyMatrix matrix(node_count);
+  for (Hierarchy::Index i = 0; i < hierarchy.size(); ++i) {
+    const auto& element = hierarchy.element(i);
+    for (Hierarchy::Index child : element.children)
+      matrix.set(element.node, hierarchy.element(child).node);
+  }
+  return matrix;
+}
+
+Hierarchy from_adjacency(const AdjacencyMatrix& matrix) {
+  const std::size_t n = matrix.node_count();
+  // Locate the root: the unique used node with in-degree 0.
+  NodeId root = n;
+  std::size_t used = 0;
+  for (NodeId node = 0; node < n; ++node) {
+    if (!matrix.is_used(node)) continue;
+    ++used;
+    const std::size_t in = matrix.in_degree(node);
+    ADEPT_CHECK(in <= 1, "node " + std::to_string(node) + " has two parents");
+    if (in == 0) {
+      ADEPT_CHECK(root == n, "adjacency matrix has two roots");
+      root = node;
+    }
+  }
+  ADEPT_CHECK(used > 0, "adjacency matrix describes no deployment");
+  ADEPT_CHECK(root != n, "adjacency matrix has no root (cycle?)");
+
+  Hierarchy hierarchy;
+  std::queue<std::pair<NodeId, Hierarchy::Index>> frontier;
+  frontier.emplace(root, hierarchy.add_root(root));
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const auto [node, element] = frontier.front();
+    frontier.pop();
+    for (NodeId child = 0; child < n; ++child) {
+      if (!matrix.at(node, child)) continue;
+      ++visited;
+      ADEPT_CHECK(visited <= used, "adjacency matrix contains a cycle");
+      if (matrix.out_degree(child) > 0)
+        frontier.emplace(child, hierarchy.add_agent(element, child));
+      else
+        hierarchy.add_server(element, child);
+    }
+  }
+  ADEPT_CHECK(visited == used,
+              "adjacency matrix is not a single connected tree");
+  return hierarchy;
+}
+
+}  // namespace adept

@@ -1,0 +1,53 @@
+#pragma once
+/// \file adjacency.hpp
+/// \brief Adjacency-matrix form of a hierarchy (the paper's plot_hierarchy).
+///
+/// Algorithm 1's final steps fill an adjacency matrix from the planned
+/// hierarchy and hand it to the XML writer. The matrix is square over
+/// *platform nodes* (not elements): entry (p, c) is true when the element
+/// on node p is the parent of the element on node c. Because each node
+/// hosts at most one element, the matrix and the role assignment are
+/// recoverable from each other: nodes with outgoing edges are agents,
+/// used nodes without outgoing edges are servers.
+
+#include <cstddef>
+#include <vector>
+
+#include "hierarchy/hierarchy.hpp"
+
+namespace adept {
+
+/// Square boolean parent→child matrix over node ids.
+class AdjacencyMatrix {
+ public:
+  /// Creates an all-false matrix over `node_count` nodes.
+  explicit AdjacencyMatrix(std::size_t node_count);
+
+  std::size_t node_count() const { return n_; }
+  bool at(NodeId parent, NodeId child) const;
+  void set(NodeId parent, NodeId child, bool value = true);
+
+  /// Out-degree of a node (number of children).
+  std::size_t out_degree(NodeId node) const;
+  /// In-degree (0 or 1 for a valid hierarchy).
+  std::size_t in_degree(NodeId node) const;
+
+  /// True if the node appears as a parent or child of any edge.
+  bool is_used(NodeId node) const;
+
+ private:
+  std::size_t index(NodeId parent, NodeId child) const;
+  std::size_t n_;
+  std::vector<char> cells_;
+};
+
+/// Fills the adjacency matrix from a hierarchy (plot_hierarchy).
+AdjacencyMatrix to_adjacency(const Hierarchy& hierarchy, std::size_t node_count);
+
+/// Reconstructs a hierarchy from an adjacency matrix. The root is the used
+/// node with in-degree 0; nodes with out-degree > 0 become agents and used
+/// leaves become servers. Throws adept::Error when the matrix does not
+/// describe a single tree.
+Hierarchy from_adjacency(const AdjacencyMatrix& matrix);
+
+}  // namespace adept

@@ -1,0 +1,28 @@
+#include "hierarchy/dot.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace adept {
+
+std::string write_dot(const Hierarchy& hierarchy, const Platform& platform) {
+  ADEPT_CHECK(!hierarchy.empty(), "cannot render an empty hierarchy");
+  std::ostringstream os;
+  os << "digraph deployment {\n";
+  os << "  rankdir=TB;\n";
+  for (Hierarchy::Index i = 0; i < hierarchy.size(); ++i) {
+    const auto& element = hierarchy.element(i);
+    const auto& node = platform.node(element.node);
+    os << "  e" << i << " [label=\"" << node.name << "\\n" << node.power
+       << " MFlop/s\" shape="
+       << (element.role == Role::Agent ? "box" : "ellipse") << "];\n";
+  }
+  for (Hierarchy::Index i = 0; i < hierarchy.size(); ++i)
+    for (Hierarchy::Index child : hierarchy.element(i).children)
+      os << "  e" << i << " -> e" << child << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace adept

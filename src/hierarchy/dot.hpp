@@ -1,0 +1,16 @@
+#pragma once
+/// \file dot.hpp
+/// \brief Graphviz DOT rendering of a hierarchy, for inspecting plans.
+
+#include <string>
+
+#include "hierarchy/hierarchy.hpp"
+#include "platform/platform.hpp"
+
+namespace adept {
+
+/// Renders the hierarchy as a DOT digraph; agents are boxes, servers are
+/// ellipses, labels carry host name and power.
+std::string write_dot(const Hierarchy& hierarchy, const Platform& platform);
+
+}  // namespace adept

@@ -1,0 +1,226 @@
+#include "hierarchy/xml.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace adept {
+
+namespace {
+
+void write_element(std::ostringstream& os, const Hierarchy& hierarchy,
+                   const Platform& platform, Hierarchy::Index index,
+                   int indent, std::size_t& agent_counter,
+                   std::size_t& server_counter) {
+  const auto& element = hierarchy.element(index);
+  const auto& node = platform.node(element.node);
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (element.role == Role::Agent) {
+    std::string name =
+        (index == hierarchy.root()) ? "MA" : "LA-" + std::to_string(agent_counter++);
+    os << pad << "<agent name=\"" << name << "\" host=\"" << node.name
+       << "\" power=\"" << node.power << "\">\n";
+    for (Hierarchy::Index child : element.children)
+      write_element(os, hierarchy, platform, child, indent + 1, agent_counter,
+                    server_counter);
+    os << pad << "</agent>\n";
+  } else {
+    os << pad << "<server name=\"SeD-" << server_counter++ << "\" host=\""
+       << node.name << "\" power=\"" << node.power << "\"/>\n";
+  }
+}
+
+/// Minimal pull-style scanner over the dialect.
+class XmlScanner {
+ public:
+  explicit XmlScanner(const std::string& text) : text_(text) {}
+
+  struct Tag {
+    std::string name;
+    std::map<std::string, std::string> attributes;
+    bool closing = false;       ///< </name>
+    bool self_closing = false;  ///< <name ... />
+  };
+
+  /// Returns the next tag, or nullopt at end of input.
+  std::optional<Tag> next() {
+    skip_to_tag();
+    if (pos_ >= text_.size()) return std::nullopt;
+    ADEPT_CHECK(text_[pos_] == '<', "xml: expected '<'");
+    ++pos_;
+    Tag tag;
+    if (peek() == '/') {
+      ++pos_;
+      tag.closing = true;
+    }
+    tag.name = read_name();
+    ADEPT_CHECK(!tag.name.empty(), "xml: empty tag name");
+    for (;;) {
+      skip_ws();
+      const char c = peek();
+      if (c == '>') {
+        ++pos_;
+        break;
+      }
+      if (c == '/') {
+        ++pos_;
+        skip_ws();
+        ADEPT_CHECK(peek() == '>', "xml: expected '>' after '/'");
+        ++pos_;
+        tag.self_closing = true;
+        break;
+      }
+      ADEPT_CHECK(c != '\0', "xml: unterminated tag <" + tag.name);
+      const std::string key = read_name();
+      ADEPT_CHECK(!key.empty(), "xml: expected attribute name in <" + tag.name);
+      skip_ws();
+      ADEPT_CHECK(peek() == '=', "xml: expected '=' after attribute " + key);
+      ++pos_;
+      skip_ws();
+      ADEPT_CHECK(peek() == '"', "xml: expected quoted attribute value");
+      ++pos_;
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '"') value += text_[pos_++];
+      ADEPT_CHECK(pos_ < text_.size(), "xml: unterminated attribute value");
+      ++pos_;
+      tag.attributes[key] = value;
+    }
+    return tag;
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  void skip_to_tag() {
+    for (;;) {
+      while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+      if (pos_ >= text_.size()) return;
+      if (text_.compare(pos_, 4, "<!--") == 0) {
+        const auto end = text_.find("-->", pos_ + 4);
+        ADEPT_CHECK(end != std::string::npos, "xml: unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (text_.compare(pos_, 2, "<?") == 0) {
+        const auto end = text_.find("?>", pos_ + 2);
+        ADEPT_CHECK(end != std::string::npos, "xml: unterminated declaration");
+        pos_ = end + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string read_name() {
+    std::string name;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == ':') {
+        name += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return name;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string write_godiet_xml(const Hierarchy& hierarchy, const Platform& platform) {
+  ADEPT_CHECK(!hierarchy.empty(), "cannot serialise an empty hierarchy");
+  for (NodeId node : hierarchy.used_nodes())
+    ADEPT_CHECK(node < platform.size(), "hierarchy references unknown node");
+  std::ostringstream os;
+  os.precision(17);  // powers/bandwidths round-trip exactly
+  os << "<?xml version=\"1.0\"?>\n";
+  os << "<diet_hierarchy bandwidth=\"" << platform.bandwidth() << "\">\n";
+  std::size_t agent_counter = 1;
+  std::size_t server_counter = 1;
+  write_element(os, hierarchy, platform, hierarchy.root(), 1, agent_counter,
+                server_counter);
+  os << "</diet_hierarchy>\n";
+  return os.str();
+}
+
+Deployment parse_godiet_xml(const std::string& xml) {
+  XmlScanner scanner(xml);
+
+  const auto open = scanner.next();
+  ADEPT_CHECK(open && !open->closing && open->name == "diet_hierarchy",
+              "xml: expected <diet_hierarchy> root element");
+  const auto bw_attr = open->attributes.find("bandwidth");
+  ADEPT_CHECK(bw_attr != open->attributes.end(),
+              "xml: <diet_hierarchy> missing bandwidth attribute");
+  const auto bandwidth = strings::parse_double(bw_attr->second);
+  ADEPT_CHECK(bandwidth && *bandwidth > 0.0, "xml: invalid bandwidth");
+
+  std::vector<NodeSpec> nodes;
+  std::map<std::string, NodeId> node_ids;
+  Hierarchy hierarchy;
+  std::vector<Hierarchy::Index> stack;  // open agent elements
+
+  auto node_for = [&](const XmlScanner::Tag& tag) -> NodeId {
+    const auto host = tag.attributes.find("host");
+    ADEPT_CHECK(host != tag.attributes.end(),
+                "xml: <" + tag.name + "> missing host attribute");
+    const auto power_attr = tag.attributes.find("power");
+    ADEPT_CHECK(power_attr != tag.attributes.end(),
+                "xml: <" + tag.name + "> missing power attribute");
+    const auto power = strings::parse_double(power_attr->second);
+    ADEPT_CHECK(power && *power > 0.0, "xml: invalid power on host " + host->second);
+    ADEPT_CHECK(node_ids.find(host->second) == node_ids.end(),
+                "xml: host '" + host->second + "' appears twice");
+    const NodeId id = nodes.size();
+    nodes.push_back({host->second, *power});
+    node_ids[host->second] = id;
+    return id;
+  };
+
+  for (;;) {
+    const auto tag = scanner.next();
+    if (!tag) break;
+    if (tag->closing) {
+      if (tag->name == "diet_hierarchy") {
+        ADEPT_CHECK(stack.empty(), "xml: unclosed <agent> elements");
+        ADEPT_CHECK(!hierarchy.empty(), "xml: deployment has no elements");
+        return Deployment{Platform(std::move(nodes), *bandwidth),
+                          std::move(hierarchy)};
+      }
+      ADEPT_CHECK(tag->name == "agent", "xml: unexpected </" + tag->name + ">");
+      ADEPT_CHECK(!stack.empty(), "xml: </agent> without matching <agent>");
+      stack.pop_back();
+      continue;
+    }
+    if (tag->name == "agent") {
+      ADEPT_CHECK(!tag->self_closing, "xml: <agent/> cannot be self-closing");
+      const NodeId node = node_for(*tag);
+      const Hierarchy::Index index =
+          stack.empty() ? hierarchy.add_root(node)
+                        : hierarchy.add_agent(stack.back(), node);
+      stack.push_back(index);
+    } else if (tag->name == "server") {
+      ADEPT_CHECK(tag->self_closing, "xml: <server> must be self-closing");
+      ADEPT_CHECK(!stack.empty(), "xml: <server> outside any <agent>");
+      hierarchy.add_server(stack.back(), node_for(*tag));
+    } else {
+      throw Error("xml: unexpected element <" + tag->name + ">");
+    }
+  }
+  throw Error("xml: missing </diet_hierarchy>");
+}
+
+}  // namespace adept

@@ -1,0 +1,50 @@
+#pragma once
+/// \file xml.hpp
+/// \brief GoDIET-style XML deployment files (the paper's write_xml step).
+///
+/// Algorithm 1 ends by writing the planned hierarchy to an XML file that
+/// the deployment tool (GoDIET in the paper) consumes. We emit a compact
+/// dialect that carries everything needed to reconstruct both the
+/// hierarchy and the platform subset it uses:
+///
+/// ```xml
+/// <?xml version="1.0"?>
+/// <diet_hierarchy bandwidth="1000">
+///   <agent name="MA" host="orsay-3" power="1000">
+///     <agent name="LA-1" host="orsay-7" power="950">
+///       <server name="SeD-1" host="orsay-12" power="720"/>
+///       <server name="SeD-2" host="orsay-13" power="705"/>
+///     </agent>
+///   </agent>
+/// </diet_hierarchy>
+/// ```
+///
+/// The parser accepts exactly this dialect (plus comments and flexible
+/// whitespace); it is not a general XML parser.
+
+#include <string>
+
+#include "hierarchy/hierarchy.hpp"
+#include "platform/platform.hpp"
+
+namespace adept {
+
+/// A hierarchy together with the platform naming/power context it was
+/// planned against. Returned by the XML parser; the platform contains only
+/// the nodes the hierarchy uses.
+struct Deployment {
+  Platform platform;
+  Hierarchy hierarchy;
+};
+
+/// Renders the hierarchy as GoDIET-style XML. Element names are generated
+/// ("MA" for the root, "LA-k" for non-root agents, "SeD-k" for servers).
+/// Throws adept::Error when the hierarchy references nodes outside the
+/// platform.
+std::string write_godiet_xml(const Hierarchy& hierarchy, const Platform& platform);
+
+/// Parses the dialect produced by write_godiet_xml. Hosts become platform
+/// nodes in document order. Throws adept::Error on malformed input.
+Deployment parse_godiet_xml(const std::string& xml);
+
+}  // namespace adept

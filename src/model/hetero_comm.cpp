@@ -1,0 +1,128 @@
+#include "model/hetero_comm.hpp"
+
+#include "common/error.hpp"
+
+namespace adept::model {
+
+namespace {
+
+/// Bandwidth of the edge between an element and its parent. The root and
+/// the servers' service-phase peer is the client, assumed to sit behind a
+/// link at least as fast as the node's own (the paper's clients live on a
+/// separate well-connected cluster), so the node's link is the narrow end.
+MbitRate parent_edge(const Hierarchy& hierarchy, const Platform& platform,
+                     Hierarchy::Index element) {
+  const auto parent = hierarchy.element(element).parent;
+  const NodeId node = hierarchy.node_of(element);
+  if (parent == Hierarchy::npos) return platform.link_bandwidth(node);
+  return platform.edge_bandwidth(node, hierarchy.node_of(parent));
+}
+
+}  // namespace
+
+RequestRate agent_sched_throughput_hetero(const Hierarchy& hierarchy,
+                                          const Platform& platform,
+                                          const MiddlewareParams& params,
+                                          Hierarchy::Index agent) {
+  ADEPT_CHECK(hierarchy.is_agent(agent), "element is not an agent");
+  const auto& element = hierarchy.element(agent);
+  ADEPT_CHECK(!element.children.empty(), "agent has no children");
+  const NodeId node = hierarchy.node_of(agent);
+  const MFlopRate w = platform.node(node).power;
+  const MbitRate up = parent_edge(hierarchy, platform, agent);
+
+  Seconds per_request =
+      (params.agent.wreq + agent_wrep(params, element.children.size())) / w;
+  per_request += params.agent.sreq / up + params.agent.srep / up;
+  for (Hierarchy::Index child : element.children) {
+    const MbitRate down = platform.edge_bandwidth(node, hierarchy.node_of(child));
+    per_request += params.agent.srep / down;  // child reply in
+    per_request += params.agent.sreq / down;  // request out
+  }
+  return 1.0 / per_request;
+}
+
+RequestRate server_sched_throughput_hetero(const Hierarchy& hierarchy,
+                                           const Platform& platform,
+                                           const MiddlewareParams& params,
+                                           Hierarchy::Index server) {
+  ADEPT_CHECK(!hierarchy.is_agent(server), "element is not a server");
+  const MFlopRate w = platform.node(hierarchy.node_of(server)).power;
+  const MbitRate up = parent_edge(hierarchy, platform, server);
+  return 1.0 / (params.server.wpre / w +
+                (params.server.sreq + params.server.srep) / up);
+}
+
+RequestRate service_throughput_hetero(const Hierarchy& hierarchy,
+                                      const Platform& platform,
+                                      const MiddlewareParams& params,
+                                      const ServiceSpec& service) {
+  std::vector<MFlopRate> powers;
+  std::vector<MbitRate> links;
+  for (Hierarchy::Index i : hierarchy.servers()) {
+    powers.push_back(platform.node(hierarchy.node_of(i)).power);
+    links.push_back(platform.link_bandwidth(hierarchy.node_of(i)));
+  }
+  ADEPT_CHECK(!powers.empty(), "hierarchy has no servers");
+
+  double prediction_load = 0.0;  // Σ W_pre / W_app
+  double capacity = 0.0;         // Σ w_i / W_app
+  for (MFlopRate w : powers) {
+    prediction_load += params.server.wpre / service.wapp;
+    capacity += w / service.wapp;
+  }
+  const Seconds comp_per_request = (1.0 + prediction_load) / capacity;
+
+  // Each request's service messages transit the chosen server's link;
+  // weight by the Eq-8 steady-state shares.
+  const auto shares = service_fractions(params, powers, service);
+  Seconds comm_per_request = 0.0;
+  for (std::size_t i = 0; i < links.size(); ++i)
+    comm_per_request +=
+        shares[i] * (params.server.sreq + params.server.srep) / links[i];
+
+  return 1.0 / (comp_per_request + comm_per_request);
+}
+
+ThroughputReport evaluate_hetero(const Hierarchy& hierarchy,
+                                 const Platform& platform,
+                                 const MiddlewareParams& params,
+                                 const ServiceSpec& service) {
+  hierarchy.validate_or_throw(&platform);
+  params.validate();
+
+  ThroughputReport report;
+  bool first = true;
+  Hierarchy::Index first_server = Hierarchy::npos;
+  std::vector<MFlopRate> server_powers;
+  for (Hierarchy::Index i = 0; i < hierarchy.size(); ++i) {
+    RequestRate rate = 0.0;
+    if (hierarchy.is_agent(i)) {
+      rate = agent_sched_throughput_hetero(hierarchy, platform, params, i);
+    } else {
+      rate = server_sched_throughput_hetero(hierarchy, platform, params, i);
+      if (first_server == Hierarchy::npos) first_server = i;
+      server_powers.push_back(platform.node(hierarchy.node_of(i)).power);
+    }
+    if (first || rate < report.sched) {
+      report.sched = rate;
+      report.limiting_element = i;
+      report.bottleneck = hierarchy.is_agent(i) ? Bottleneck::AgentScheduling
+                                                : Bottleneck::ServerPrediction;
+      first = false;
+    }
+  }
+
+  report.service = service_throughput_hetero(hierarchy, platform, params, service);
+  report.server_shares = service_fractions(params, server_powers, service);
+  if (report.service < report.sched) {
+    report.overall = report.service;
+    report.bottleneck = Bottleneck::Service;
+    report.limiting_element = first_server;
+  } else {
+    report.overall = report.sched;
+  }
+  return report;
+}
+
+}  // namespace adept::model

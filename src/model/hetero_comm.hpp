@@ -1,0 +1,55 @@
+#pragma once
+/// \file hetero_comm.hpp
+/// \brief Heterogeneous-communication extension of the throughput model.
+///
+/// The paper assumes homogeneous links and explicitly defers
+/// heterogeneous communication to future work (§4: "We plan to deal with
+/// heterogeneous communication in future works"). ADePT implements that
+/// extension: every node may carry its own link bandwidth
+/// (NodeSpec::link), a parent–child transfer moves at the narrower of the
+/// two endpoint links, and the Eq 14/15 terms generalise per edge:
+///
+///   agent i:   1 / [ (W_req + W_rep(d))/w_i
+///                    + S_req/B_par + Σ_c S_rep/B_{i,c}      (receive)
+///                    + Σ_c S_req/B_{i,c} + S_rep/B_par ]    (send)
+///   server i:  1 / [ W_pre/w_i + (S_req + S_rep)/B_par ]
+///   service:   1 / [ (1 + Σ W_pre/W_app)/(Σ w_i/W_app)
+///                    + Σ_i f_i · (S_req + S_rep)/B_i ]
+///
+/// where f_i are the Eq-8 steady-state shares and B_par is the edge to
+/// the element's parent (the root's and the servers' client-facing edge
+/// is their own link). With all links equal the formulas reduce exactly
+/// to the paper's — verified by the test suite.
+
+#include "hierarchy/hierarchy.hpp"
+#include "model/evaluate.hpp"
+
+namespace adept::model {
+
+/// Scheduling throughput of one agent element under per-edge bandwidths.
+RequestRate agent_sched_throughput_hetero(const Hierarchy& hierarchy,
+                                          const Platform& platform,
+                                          const MiddlewareParams& params,
+                                          Hierarchy::Index agent);
+
+/// Prediction throughput of one server element under per-edge bandwidths.
+RequestRate server_sched_throughput_hetero(const Hierarchy& hierarchy,
+                                           const Platform& platform,
+                                           const MiddlewareParams& params,
+                                           Hierarchy::Index server);
+
+/// Eq-15 generalisation: collective service throughput with each server's
+/// service-phase messages charged at that server's own link.
+RequestRate service_throughput_hetero(const Hierarchy& hierarchy,
+                                      const Platform& platform,
+                                      const MiddlewareParams& params,
+                                      const ServiceSpec& service);
+
+/// Full Eq-16 prediction under heterogeneous links. Identical to
+/// evaluate() when Platform::has_homogeneous_links().
+ThroughputReport evaluate_hetero(const Hierarchy& hierarchy,
+                                 const Platform& platform,
+                                 const MiddlewareParams& params,
+                                 const ServiceSpec& service);
+
+}  // namespace adept::model

@@ -1,0 +1,36 @@
+#include "model/mix.hpp"
+
+#include "common/error.hpp"
+
+namespace adept {
+
+ServiceMix::ServiceMix(std::vector<std::pair<ServiceSpec, double>> items)
+    : items_(std::move(items)) {
+  ADEPT_CHECK(!items_.empty(), "service mix must contain at least one service");
+  for (const auto& [service, weight] : items_) {
+    ADEPT_CHECK(service.wapp > 0.0,
+                "service '" + service.name + "' must have positive W_app");
+    ADEPT_CHECK(weight > 0.0,
+                "service '" + service.name + "' must have positive weight");
+    total_weight_ += weight;
+  }
+}
+
+double ServiceMix::fraction(std::size_t index) const {
+  ADEPT_CHECK(index < items_.size(), "mix index out of range");
+  return items_[index].second / total_weight_;
+}
+
+MFlop ServiceMix::expected_wapp() const {
+  ADEPT_CHECK(!items_.empty(), "empty service mix");
+  MFlop expected = 0.0;
+  for (std::size_t i = 0; i < items_.size(); ++i)
+    expected += fraction(i) * items_[i].first.wapp;
+  return expected;
+}
+
+ServiceSpec ServiceMix::expected_service() const {
+  return ServiceSpec{"mix", expected_wapp()};
+}
+
+}  // namespace adept

@@ -1,0 +1,48 @@
+#pragma once
+/// \file mix.hpp
+/// \brief Multi-service workloads (the paper's "deploy several
+/// middlewares and/or applications" future work).
+///
+/// A ServiceMix is a weighted set of services offered by the same
+/// deployment: clients request service t with probability weight_t. In
+/// steady state every server processes the same request mixture (the
+/// scheduler balances load, not service types), so the Eq 13/15 service
+/// term holds with W_app replaced by the mixture expectation — that
+/// substitution is exact, not an approximation, because the term is
+/// linear in the per-request computation. The scheduling phase is
+/// unchanged (its costs do not depend on W_app).
+
+#include <vector>
+
+#include "model/service.hpp"
+
+namespace adept {
+
+/// A weighted set of services. Weights need not be normalised.
+class ServiceMix {
+ public:
+  ServiceMix() = default;
+  /// Builds a mix; throws adept::Error when empty or any weight <= 0.
+  explicit ServiceMix(std::vector<std::pair<ServiceSpec, double>> items);
+
+  const std::vector<std::pair<ServiceSpec, double>>& items() const {
+    return items_;
+  }
+  std::size_t size() const { return items_.size(); }
+
+  /// Normalised weight of item `index`.
+  double fraction(std::size_t index) const;
+
+  /// Expected per-request computation E[W_app] (MFlop).
+  MFlop expected_wapp() const;
+
+  /// The single-service equivalent used by the planners and the analytic
+  /// model ("mix" with W_app = E[W_app]).
+  ServiceSpec expected_service() const;
+
+ private:
+  std::vector<std::pair<ServiceSpec, double>> items_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace adept

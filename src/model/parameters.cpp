@@ -1,0 +1,36 @@
+#include "model/parameters.hpp"
+
+#include "common/error.hpp"
+
+namespace adept {
+
+MiddlewareParams MiddlewareParams::diet_grid5000() {
+  MiddlewareParams params;
+  params.agent.wreq = 1.7e-1;
+  params.agent.wfix = 4.0e-3;
+  params.agent.wsel = 5.4e-3;
+  params.agent.sreq = 5.3e-3;
+  params.agent.srep = 5.4e-3;
+  params.server.wpre = 6.4e-3;
+  params.server.sreq = 5.3e-5;
+  params.server.srep = 6.4e-5;
+  return params;
+}
+
+void MiddlewareParams::validate() const {
+  auto check_row = [](const ElementCosts& row, const char* name) {
+    ADEPT_CHECK(row.wreq >= 0.0 && row.wfix >= 0.0 && row.wsel >= 0.0 &&
+                    row.wpre >= 0.0,
+                std::string(name) + " costs must be non-negative");
+    ADEPT_CHECK(row.sreq >= 0.0 && row.srep >= 0.0,
+                std::string(name) + " message sizes must be non-negative");
+  };
+  check_row(agent, "agent");
+  check_row(server, "server");
+  ADEPT_CHECK(agent.wreq + agent.wfix + agent.wsel + agent.sreq + agent.srep +
+                      server.wpre + server.sreq + server.srep >
+                  0.0,
+              "all middleware costs are zero");
+}
+
+}  // namespace adept

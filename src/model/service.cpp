@@ -1,0 +1,17 @@
+#include "model/service.hpp"
+
+#include "common/error.hpp"
+
+namespace adept {
+
+MFlop dgemm_mflop(std::size_t n) {
+  ADEPT_CHECK(n > 0, "dgemm order must be positive");
+  const double order = static_cast<double>(n);
+  return units::mflop_from_flops(2.0 * order * order * order);
+}
+
+ServiceSpec dgemm_service(std::size_t n) {
+  return ServiceSpec{"dgemm-" + std::to_string(n), dgemm_mflop(n)};
+}
+
+}  // namespace adept

@@ -1,0 +1,28 @@
+#pragma once
+/// \file service.hpp
+/// \brief Application services offered by servers (the paper's `app`).
+///
+/// A service is characterised solely by W_app, the computation a server
+/// spends completing one request. The paper's workload is DGEMM (level-3
+/// BLAS matrix multiply): W_app(n) = 2·n³ flop for an n×n multiply.
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace adept {
+
+/// One application service.
+struct ServiceSpec {
+  std::string name;   ///< e.g. "dgemm-310".
+  MFlop wapp = 0.0;   ///< Computation per service request.
+};
+
+/// DGEMM flop count for an n×n × n×n multiply: 2·n³ flop (multiply+add).
+MFlop dgemm_mflop(std::size_t n);
+
+/// DGEMM service of matrix order n (the paper's workloads use
+/// n ∈ {10, 100, 200, 310, 1000}).
+ServiceSpec dgemm_service(std::size_t n);
+
+}  // namespace adept

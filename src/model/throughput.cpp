@@ -1,0 +1,109 @@
+#include "model/throughput.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace adept::model {
+
+namespace {
+void check_positive(MFlopRate w, MbitRate B) {
+  ADEPT_CHECK(w > 0.0, "node power must be positive");
+  ADEPT_CHECK(B > 0.0, "bandwidth must be positive");
+}
+}  // namespace
+
+Seconds agent_receive_time(const MiddlewareParams& p, std::size_t d, MbitRate B) {
+  ADEPT_CHECK(B > 0.0, "bandwidth must be positive");
+  return (p.agent.sreq + static_cast<double>(d) * p.agent.srep) / B;
+}
+
+Seconds agent_send_time(const MiddlewareParams& p, std::size_t d, MbitRate B) {
+  ADEPT_CHECK(B > 0.0, "bandwidth must be positive");
+  return (static_cast<double>(d) * p.agent.sreq + p.agent.srep) / B;
+}
+
+Seconds server_receive_time(const MiddlewareParams& p, MbitRate B) {
+  ADEPT_CHECK(B > 0.0, "bandwidth must be positive");
+  return p.server.sreq / B;
+}
+
+Seconds server_send_time(const MiddlewareParams& p, MbitRate B) {
+  ADEPT_CHECK(B > 0.0, "bandwidth must be positive");
+  return p.server.srep / B;
+}
+
+MFlop agent_wrep(const MiddlewareParams& p, std::size_t d) {
+  return p.agent.wfix + p.agent.wsel * static_cast<double>(d);
+}
+
+Seconds agent_comp_time(const MiddlewareParams& p, MFlopRate w, std::size_t d) {
+  ADEPT_CHECK(w > 0.0, "node power must be positive");
+  return (p.agent.wreq + agent_wrep(p, d)) / w;
+}
+
+RequestRate agent_sched_throughput(const MiddlewareParams& p, MFlopRate w,
+                                   std::size_t d, MbitRate B) {
+  check_positive(w, B);
+  ADEPT_CHECK(d >= 1, "an agent schedules for at least one child");
+  const Seconds per_request = agent_comp_time(p, w, d) +
+                              agent_receive_time(p, d, B) +
+                              agent_send_time(p, d, B);
+  return 1.0 / per_request;
+}
+
+RequestRate server_sched_throughput(const MiddlewareParams& p, MFlopRate w,
+                                    MbitRate B) {
+  check_positive(w, B);
+  const Seconds per_request = p.server.wpre / w + server_receive_time(p, B) +
+                              server_send_time(p, B);
+  return 1.0 / per_request;
+}
+
+RequestRate service_throughput(const MiddlewareParams& p,
+                               std::span<const MFlopRate> server_powers,
+                               const ServiceSpec& service, MbitRate B) {
+  ADEPT_CHECK(!server_powers.empty(), "service throughput needs servers");
+  ADEPT_CHECK(service.wapp > 0.0, "service computation must be positive");
+  ADEPT_CHECK(B > 0.0, "bandwidth must be positive");
+  double prediction_load = 0.0;  // Σ W_pre / W_app
+  double capacity = 0.0;         // Σ w_i / W_app
+  for (MFlopRate w : server_powers) {
+    ADEPT_CHECK(w > 0.0, "node power must be positive");
+    prediction_load += p.server.wpre / service.wapp;
+    capacity += w / service.wapp;
+  }
+  const Seconds comp_per_request = (1.0 + prediction_load) / capacity;
+  const Seconds comm_per_request = (p.server.sreq + p.server.srep) / B;
+  return 1.0 / (comp_per_request + comm_per_request);
+}
+
+std::vector<double> service_fractions(const MiddlewareParams& p,
+                                      std::span<const MFlopRate> server_powers,
+                                      const ServiceSpec& service) {
+  ADEPT_CHECK(!server_powers.empty(), "service fractions need servers");
+  ADEPT_CHECK(service.wapp > 0.0, "service computation must be positive");
+  double prediction_load = 0.0;
+  double capacity = 0.0;
+  for (MFlopRate w : server_powers) {
+    ADEPT_CHECK(w > 0.0, "node power must be positive");
+    prediction_load += p.server.wpre / service.wapp;
+    capacity += w / service.wapp;
+  }
+  // Eq 8 with T/N = (1 + Σ W_pre/W_app) / (Σ w_i/W_app):
+  // N_i/N = ((T/N)·w_i − W_pre) / W_app.
+  const double time_per_request = (1.0 + prediction_load) / capacity;
+  std::vector<double> fractions(server_powers.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < server_powers.size(); ++i) {
+    const double share =
+        (time_per_request * server_powers[i] - p.server.wpre) / service.wapp;
+    fractions[i] = std::max(0.0, share);
+    total += fractions[i];
+  }
+  ADEPT_ASSERT(total > 0.0, "no server has positive service share");
+  for (double& f : fractions) f /= total;
+  return fractions;
+}
+
+}  // namespace adept::model

@@ -1,0 +1,76 @@
+#pragma once
+/// \file throughput.hpp
+/// \brief The paper's steady-state throughput formulas (Eqs 1–15).
+///
+/// All formulas assume the serial single-port model M(r,s,w) (§3): a node
+/// can send one message, receive one message, or compute — never two at
+/// once — so per-request send, receive and compute times simply add.
+
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+
+namespace adept::model {
+
+// ---------------------------------------------------------------------------
+// Per-phase times (Eqs 1–5, 10).
+// ---------------------------------------------------------------------------
+
+/// Eq 1: time for an agent with d children to receive one request from its
+/// parent and the d replies from its children.
+Seconds agent_receive_time(const MiddlewareParams& p, std::size_t d, MbitRate B);
+
+/// Eq 2: time for an agent with d children to forward the request to each
+/// child and send one reply to its parent.
+Seconds agent_send_time(const MiddlewareParams& p, std::size_t d, MbitRate B);
+
+/// Eq 3: time for a server to receive one scheduling request.
+Seconds server_receive_time(const MiddlewareParams& p, MbitRate B);
+
+/// Eq 4: time for a server to send one reply to its parent.
+Seconds server_send_time(const MiddlewareParams& p, MbitRate B);
+
+/// W_rep(d) = W_fix + W_sel·d: reply-treatment computation of an agent
+/// with d children (MFlop).
+MFlop agent_wrep(const MiddlewareParams& p, std::size_t d);
+
+/// Eq 5: computation time of an agent of power w with d children
+/// (request processing + reply treatment).
+Seconds agent_comp_time(const MiddlewareParams& p, MFlopRate w, std::size_t d);
+
+// ---------------------------------------------------------------------------
+// Element throughputs (Eqs 13–15).
+// ---------------------------------------------------------------------------
+
+/// Scheduling throughput of one agent (second operand of Eq 14): requests
+/// per second an agent of power w with d children can schedule, paying its
+/// computation plus all four message flows.
+RequestRate agent_sched_throughput(const MiddlewareParams& p, MFlopRate w,
+                                   std::size_t d, MbitRate B);
+
+/// Prediction throughput of one server (first operand of Eq 14): requests
+/// per second a server of power w can *predict* during the scheduling
+/// phase.
+RequestRate server_sched_throughput(const MiddlewareParams& p, MFlopRate w,
+                                    MbitRate B);
+
+/// Eq 13/15: service throughput of a server set whose steady-state load is
+/// split so all servers finish together; each server pays W_pre for every
+/// platform request plus W_app for its own share, and the service-phase
+/// messages transit at server-level sizes.
+RequestRate service_throughput(const MiddlewareParams& p,
+                               std::span<const MFlopRate> server_powers,
+                               const ServiceSpec& service, MbitRate B);
+
+/// Eq 8 rearranged: fraction of platform requests each server completes in
+/// steady state (N_i / N, summing to 1). A server whose prediction load
+/// already saturates it gets a zero share (the formula's negative share
+/// clamped; remaining shares are renormalised).
+std::vector<double> service_fractions(const MiddlewareParams& p,
+                                      std::span<const MFlopRate> server_powers,
+                                      const ServiceSpec& service);
+
+}  // namespace adept::model

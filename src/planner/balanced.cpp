@@ -1,0 +1,74 @@
+#include <cmath>
+
+#include "common/error.hpp"
+#include "planner/dary.hpp"
+#include "planner/planner.hpp"
+
+namespace adept {
+
+namespace detail {
+
+Hierarchy complete_dary(const std::vector<NodeId>& order, std::size_t degree) {
+  const std::size_t m = order.size();
+  ADEPT_CHECK(m >= 2, "a deployment needs at least two nodes");
+  ADEPT_CHECK(degree >= 1, "tree degree must be at least 1");
+
+  // A chain (degree 1 beyond the root) is never useful: with degree 1 the
+  // only valid complete tree is one agent + one server.
+  if (degree == 1) {
+    Hierarchy pair;
+    const auto root = pair.add_root(order[0]);
+    pair.add_server(root, order[1]);
+    return pair;
+  }
+
+  // Heap layout: position p has children degree*p+1 … degree*p+degree.
+  auto child_count = [&](std::size_t p) -> std::size_t {
+    const std::size_t lo = degree * p + 1;
+    if (lo >= m) return 0;
+    return std::min(degree, m - lo);
+  };
+
+  Hierarchy hierarchy;
+  std::vector<Hierarchy::Index> element_of(m, Hierarchy::npos);
+  element_of[0] = hierarchy.add_root(order[0]);
+  for (std::size_t p = 1; p < m; ++p) {
+    const std::size_t parent_pos = (p - 1) / degree;
+    Hierarchy::Index parent = element_of[parent_pos];
+    // If the parent position was demoted to a server (single-child fixup
+    // below), attach to the grandparent instead. At most one level: only
+    // the last internal heap position can be short of children.
+    if (!hierarchy.is_agent(parent))
+      parent = hierarchy.element(parent).parent;
+    // A non-root position with exactly one child would violate the paper's
+    // ≥2-children rule; demote it to a server and let its child climb.
+    if (child_count(p) >= 2)
+      element_of[p] = hierarchy.add_agent(parent, order[p]);
+    else
+      element_of[p] = hierarchy.add_server(parent, order[p]);
+  }
+  return hierarchy;
+}
+
+}  // namespace detail
+
+PlanResult plan_balanced(const Platform& platform, const MiddlewareParams& params,
+                         const ServiceSpec& service, std::size_t degree) {
+  const std::size_t n = platform.size();
+  ADEPT_CHECK(n >= 2, "a deployment needs at least two nodes");
+  if (degree == 0)
+    degree = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+  degree = std::max<std::size_t>(1, std::min(degree, n - 1));
+
+  std::vector<NodeId> order(n);
+  for (NodeId id = 0; id < n; ++id) order[id] = id;
+
+  Hierarchy hierarchy = detail::complete_dary(order, degree);
+  PlanResult result = make_plan(std::move(hierarchy), platform, params, service);
+  result.trace.push_back("balanced: complete " + std::to_string(degree) +
+                         "-ary tree over all " + std::to_string(n) + " nodes");
+  return result;
+}
+
+}  // namespace adept

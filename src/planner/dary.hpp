@@ -1,0 +1,21 @@
+#pragma once
+/// \file dary.hpp
+/// \brief Complete d-ary tree construction shared by the balanced and
+/// homogeneous-optimal planners.
+
+#include <vector>
+
+#include "hierarchy/hierarchy.hpp"
+#include "platform/platform.hpp"
+
+namespace adept::detail {
+
+/// Builds a complete d-ary hierarchy over exactly `order` (heap layout:
+/// position i's children are positions d·i+1 … d·i+d). Positions with
+/// children become agents; leaves become servers. A trailing non-root
+/// agent left with a single child is demoted (its child re-attaches to the
+/// grandparent) so the result satisfies the paper's ≥2-children rule.
+/// Requires order.size() >= 2 and degree >= 1.
+Hierarchy complete_dary(const std::vector<NodeId>& order, std::size_t degree);
+
+}  // namespace adept::detail

@@ -1,0 +1,66 @@
+#include "common/error.hpp"
+#include "planner/dary.hpp"
+#include "planner/planner.hpp"
+
+namespace adept {
+
+/// Ref [10] proved that on a homogeneous cluster the optimal deployment is
+/// a complete spanning d-ary tree. This planner searches that family
+/// exhaustively — every degree d and every deployment size m ≤ n — and on
+/// heterogeneous platforms places nodes power-sorted (strongest node at
+/// the root, where every message of every request is handled).
+PlanResult plan_homogeneous_optimal(const Platform& platform,
+                                    const MiddlewareParams& params,
+                                    const ServiceSpec& service,
+                                    std::vector<DegreeSweepEntry>* sweep) {
+  const std::size_t n = platform.size();
+  ADEPT_CHECK(n >= 2, "a deployment needs at least two nodes");
+  const std::vector<NodeId> order = platform.ids_by_power_desc();
+
+  Hierarchy best;
+  model::ThroughputReport best_report;
+  bool have_best = false;
+  std::size_t best_degree = 0;
+
+  for (std::size_t degree = 1; degree + 1 <= n; ++degree) {
+    DegreeSweepEntry entry{degree, 0, 0.0};
+    // Degree 1 admits only the 2-node tree; larger trees shrink as m does,
+    // so sweep every prefix size m.
+    const std::size_t max_m = (degree == 1) ? 2 : n;
+    for (std::size_t m = 2; m <= max_m; ++m) {
+      std::vector<NodeId> prefix(order.begin(),
+                                 order.begin() + static_cast<long>(m));
+      Hierarchy candidate = detail::complete_dary(prefix, degree);
+      if (!candidate.validate(&platform).empty()) continue;
+      const auto report =
+          model::evaluate_unchecked(candidate, platform, params, service);
+      if (report.overall > entry.predicted) {
+        entry.predicted = report.overall;
+        entry.nodes_used = candidate.size();
+      }
+      const bool better =
+          !have_best || report.overall > best_report.overall ||
+          (report.overall == best_report.overall && candidate.size() < best.size());
+      if (better) {
+        best = std::move(candidate);
+        best_report = report;
+        best_degree = degree;
+        have_best = true;
+      }
+    }
+    if (sweep != nullptr && entry.nodes_used > 0) sweep->push_back(entry);
+  }
+  ADEPT_ASSERT(have_best, "no valid complete d-ary tree found");
+
+  PlanResult result;
+  result.report = best_report;
+  result.hierarchy = std::move(best);
+  result.trace.push_back(
+      "homogeneous-optimal: best complete d-ary tree has degree " +
+      std::to_string(best_degree) + " using " +
+      std::to_string(result.hierarchy.size()) + "/" + std::to_string(n) +
+      " nodes");
+  return result;
+}
+
+}  // namespace adept

@@ -1,0 +1,130 @@
+/// \file improver.cpp
+/// \brief Iterative bottleneck removal (the approach of the authors'
+/// earlier HCW'04 work, ref [7]), kept in ADePT as a refinement stage for
+/// deployments that were defined by other means.
+///
+/// Each round evaluates Eq 16, identifies the binding term, and applies
+/// the matching local fix:
+///   - service-limited → deploy the strongest unused node as a server
+///     under the agent with the most scheduling headroom;
+///   - agent-limited at a non-root agent with more than the minimum
+///     children → move one of its server children to the agent that stays
+///     fastest after adoption;
+/// stopping as soon as a fix fails to improve throughput (the fix is then
+/// rolled back) or no fix applies (e.g. the root itself binds).
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "planner/planner.hpp"
+
+namespace adept {
+
+namespace {
+
+/// Agent with the highest Eq-14 value after gaining one child; `exclude`
+/// is skipped.
+Hierarchy::Index best_adopter(const Hierarchy& hierarchy, const Platform& platform,
+                              const MiddlewareParams& params,
+                              Hierarchy::Index exclude = Hierarchy::npos) {
+  Hierarchy::Index best = Hierarchy::npos;
+  RequestRate best_rate = -1.0;
+  for (Hierarchy::Index a : hierarchy.agents()) {
+    if (a == exclude) continue;
+    const RequestRate rate = model::agent_sched_throughput(
+        params, platform.node(hierarchy.node_of(a)).power,
+        hierarchy.degree(a) + 1, platform.bandwidth());
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PlanResult improve_deployment(Hierarchy start, const Platform& platform,
+                              const MiddlewareParams& params,
+                              const ServiceSpec& service,
+                              const std::set<NodeId>* excluded) {
+  start.validate_or_throw(&platform);
+
+  PlanResult result;
+  const std::vector<NodeId> used_nodes = start.used_nodes();
+  const std::set<NodeId> used(used_nodes.begin(), used_nodes.end());
+  std::vector<NodeId> unused;
+  for (NodeId id : platform.ids_by_power_desc())
+    if (!used.count(id) && (excluded == nullptr || !excluded->count(id)))
+      unused.push_back(id);
+
+  Hierarchy current = std::move(start);
+  auto report = model::evaluate_unchecked(current, platform, params, service);
+
+  for (std::size_t round = 0; round < platform.size(); ++round) {
+    if (report.bottleneck == model::Bottleneck::Service && !unused.empty()) {
+      const Hierarchy::Index adopter = best_adopter(current, platform, params);
+      ADEPT_ASSERT(adopter != Hierarchy::npos, "no agent to adopt a server");
+      current.add_server(adopter, unused.front());
+      const auto next = model::evaluate_unchecked(current, platform, params, service);
+      if (next.overall <= report.overall) {
+        current.remove_last_child(adopter);
+        result.trace.push_back("stop: adding a server no longer helps");
+        break;
+      }
+      result.trace.push_back("service-limited: added server on node " +
+                             platform.node(unused.front()).name);
+      unused.erase(unused.begin());
+      report = next;
+      continue;
+    }
+
+    if (report.bottleneck == model::Bottleneck::AgentScheduling &&
+        report.limiting_element != current.root() &&
+        current.degree(report.limiting_element) > 2) {
+      const Hierarchy::Index saturated = report.limiting_element;
+      // Move the saturated agent's last *server* child to the best adopter.
+      const auto& children = current.element(saturated).children;
+      Hierarchy::Index moved = Hierarchy::npos;
+      for (auto it = children.rbegin(); it != children.rend(); ++it)
+        if (!current.is_agent(*it)) {
+          moved = *it;
+          break;
+        }
+      if (moved == Hierarchy::npos) {
+        result.trace.push_back("stop: saturated agent has only agent children");
+        break;
+      }
+      const Hierarchy::Index adopter =
+          best_adopter(current, platform, params, saturated);
+      if (adopter == Hierarchy::npos) {
+        result.trace.push_back("stop: no alternative agent to adopt a child");
+        break;
+      }
+      const Hierarchy::Index old_parent = saturated;
+      current.reparent(moved, adopter);
+      const auto next = model::evaluate_unchecked(current, platform, params, service);
+      if (next.overall <= report.overall) {
+        current.reparent(moved, old_parent);
+        result.trace.push_back("stop: rebalancing children no longer helps");
+        break;
+      }
+      result.trace.push_back("agent-limited: moved a server child off a "
+                             "saturated agent");
+      report = next;
+      continue;
+    }
+
+    result.trace.push_back(
+        std::string("stop: bottleneck '") + model::bottleneck_name(report.bottleneck) +
+        "' has no applicable local fix");
+    break;
+  }
+
+  result.report = model::evaluate(current, platform, params, service);
+  result.hierarchy = std::move(current);
+  return result;
+}
+
+}  // namespace adept

@@ -1,0 +1,154 @@
+/// \file link_aware.cpp
+/// \brief Link-aware refinement for heterogeneous communication.
+///
+/// Algorithm 1 assumes homogeneous links, so on a platform where some
+/// nodes sit behind slow links it can (a) host an agent — whose
+/// per-request traffic is proportional to its degree — on a poorly
+/// connected node, or (b) keep a server whose slow edge taxes every
+/// scheduling broadcast more than its computation contributes.
+/// plan_link_aware keeps Algorithm 1's tree shape (which balances
+/// computation correctly) and hill-climbs under the per-edge evaluator
+/// with two move types:
+///   - swap an agent's node with any other node (used or unused);
+///   - drop a leaf server entirely.
+/// Each round applies the single best strictly-improving move.
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "model/hetero_comm.hpp"
+#include "planner/planner.hpp"
+
+namespace adept {
+
+namespace {
+
+/// Applies "put node `m` on element `e`" — swapping with whatever element
+/// currently holds `m`, if any.
+void assign_node(Hierarchy& hierarchy, Hierarchy::Index element, NodeId m,
+                 std::vector<Hierarchy::Index>& element_of_node) {
+  const NodeId old_node = hierarchy.node_of(element);
+  const Hierarchy::Index other = element_of_node[m];
+  hierarchy.replace_node(element, m);
+  element_of_node[m] = element;
+  if (other != Hierarchy::npos) {
+    hierarchy.replace_node(other, old_node);
+    element_of_node[old_node] = other;
+  } else {
+    element_of_node[old_node] = Hierarchy::npos;
+  }
+}
+
+/// Rebuilds the hierarchy without one leaf server (BFS copy).
+Hierarchy without_leaf(const Hierarchy& hierarchy, Hierarchy::Index victim) {
+  ADEPT_ASSERT(!hierarchy.is_agent(victim) &&
+                   hierarchy.element(victim).children.empty(),
+               "can only drop leaf servers");
+  Hierarchy out;
+  std::vector<Hierarchy::Index> map(hierarchy.size(), Hierarchy::npos);
+  std::queue<Hierarchy::Index> frontier;
+  map[hierarchy.root()] = out.add_root(hierarchy.node_of(hierarchy.root()));
+  frontier.push(hierarchy.root());
+  while (!frontier.empty()) {
+    const Hierarchy::Index current = frontier.front();
+    frontier.pop();
+    for (Hierarchy::Index child : hierarchy.element(current).children) {
+      if (child == victim) continue;
+      if (hierarchy.is_agent(child)) {
+        map[child] = out.add_agent(map[current], hierarchy.node_of(child));
+        frontier.push(child);
+      } else {
+        out.add_server(map[current], hierarchy.node_of(child));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PlanResult plan_link_aware(const Platform& platform,
+                           const MiddlewareParams& params,
+                           const ServiceSpec& service, RequestRate demand) {
+  PlanResult plan = plan_heterogeneous(platform, params, service, demand);
+  if (platform.has_homogeneous_links()) {
+    plan.trace.push_back("link-aware: links are homogeneous, nothing to refine");
+    return plan;
+  }
+
+  Hierarchy current = std::move(plan.hierarchy);
+  auto score = [&](const Hierarchy& hierarchy) {
+    return model::evaluate_hetero(hierarchy, platform, params, service).overall;
+  };
+  const RequestRate initial = score(current);
+  RequestRate best = initial;
+  std::size_t swaps = 0;
+  std::size_t drops = 0;
+
+  // Every accepted move strictly raises ρ; the round cap keeps the worst
+  // case predictable.
+  const std::size_t max_rounds = 4 * current.size();
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::vector<Hierarchy::Index> element_of_node(platform.size(),
+                                                  Hierarchy::npos);
+    for (Hierarchy::Index e = 0; e < current.size(); ++e)
+      element_of_node[current.node_of(e)] = e;
+
+    RequestRate round_best = best;
+    // Best agent-node swap (agents carry degree-proportional traffic, so
+    // their links dominate the hetero terms).
+    Hierarchy::Index swap_element = Hierarchy::npos;
+    NodeId swap_node = 0;
+    for (Hierarchy::Index e : current.agents()) {
+      const NodeId original = current.node_of(e);
+      for (NodeId m = 0; m < platform.size(); ++m) {
+        if (m == original) continue;
+        assign_node(current, e, m, element_of_node);
+        const RequestRate candidate = score(current);
+        assign_node(current, e, original, element_of_node);
+        if (candidate > round_best * (1.0 + 1e-12)) {
+          round_best = candidate;
+          swap_element = e;
+          swap_node = m;
+        }
+      }
+    }
+    // Best server drop: a slow-edged leaf taxes every broadcast.
+    Hierarchy::Index drop_element = Hierarchy::npos;
+    if (current.server_count() > 1) {
+      for (Hierarchy::Index s : current.servers()) {
+        const auto parent = current.element(s).parent;
+        const std::size_t minimum = (parent == current.root()) ? 1 : 2;
+        if (current.degree(parent) <= minimum) continue;  // would invalidate
+        const RequestRate candidate = score(without_leaf(current, s));
+        if (candidate > round_best * (1.0 + 1e-12)) {
+          round_best = candidate;
+          drop_element = s;
+          swap_element = Hierarchy::npos;
+        }
+      }
+    }
+
+    if (drop_element != Hierarchy::npos) {
+      current = without_leaf(current, drop_element);
+      ++drops;
+    } else if (swap_element != Hierarchy::npos) {
+      assign_node(current, swap_element, swap_node, element_of_node);
+      ++swaps;
+    } else {
+      break;
+    }
+    best = round_best;
+  }
+
+  plan.trace.push_back("link-aware: " + std::to_string(swaps) +
+                       " node swap(s), " + std::to_string(drops) +
+                       " server drop(s), rho " + std::to_string(initial) +
+                       " -> " + std::to_string(best) + " (hetero evaluator)");
+  plan.report = model::evaluate_hetero(current, platform, params, service);
+  plan.hierarchy = std::move(current);
+  return plan;
+}
+
+}  // namespace adept

@@ -1,0 +1,13 @@
+#include "planner/planner.hpp"
+
+namespace adept {
+
+PlanResult make_plan(Hierarchy hierarchy, const Platform& platform,
+                     const MiddlewareParams& params, const ServiceSpec& service) {
+  PlanResult result;
+  result.report = model::evaluate(hierarchy, platform, params, service);
+  result.hierarchy = std::move(hierarchy);
+  return result;
+}
+
+}  // namespace adept

@@ -1,0 +1,109 @@
+#pragma once
+/// \file planner.hpp
+/// \brief Common result type and registry for deployment planners.
+///
+/// Every planner maps a Platform (+ middleware parameters + target service)
+/// to a Hierarchy and reports the model's throughput prediction for it.
+/// Planners never mutate the platform; the returned hierarchy may use a
+/// subset of its nodes (the paper prefers the deployment with the fewest
+/// resources among equal-throughput ones).
+
+#include <functional>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchy.hpp"
+#include "model/evaluate.hpp"
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+#include "platform/platform.hpp"
+
+namespace adept {
+
+/// Outcome of a planning run.
+struct PlanResult {
+  Hierarchy hierarchy;
+  model::ThroughputReport report;  ///< Model prediction for `hierarchy`.
+  std::vector<std::string> trace;  ///< Human-readable decision log.
+
+  std::size_t nodes_used() const { return hierarchy.size(); }
+};
+
+/// Unlimited client demand: the planner maximises raw throughput.
+inline constexpr RequestRate kUnlimitedDemand =
+    std::numeric_limits<RequestRate>::infinity();
+
+/// Signature shared by all planners (demand-aware ones bind the demand).
+using Planner = std::function<PlanResult(
+    const Platform&, const MiddlewareParams&, const ServiceSpec&)>;
+
+/// Star deployment: the node with the best (n-1)-child scheduling power
+/// becomes the lone agent; every other node is a server (§5.3's first
+/// intuitive deployment).
+PlanResult plan_star(const Platform& platform, const MiddlewareParams& params,
+                     const ServiceSpec& service);
+
+/// Balanced complete d-ary deployment over all nodes in *platform order*
+/// (the paper's second intuitive deployment: a human-drawn balanced tree,
+/// not power-aware). `degree` 0 picks ⌈sqrt(n)⌉, which reproduces the
+/// paper's 1 + 14 + 14×14 arrangement for 200 nodes.
+PlanResult plan_balanced(const Platform& platform, const MiddlewareParams& params,
+                         const ServiceSpec& service, std::size_t degree = 0);
+
+/// One entry of a degree sweep (used by Table 4 and the ablations).
+struct DegreeSweepEntry {
+  std::size_t degree = 0;       ///< d of the complete d-ary tree.
+  std::size_t nodes_used = 0;   ///< m ≤ n nodes actually deployed.
+  RequestRate predicted = 0.0;  ///< Eq 16 for that tree.
+};
+
+/// Optimal-homogeneous planner (ref [10]): the best complete spanning
+/// d-ary tree, searching every degree d and every node-count m ≤ n
+/// (power-sorted placement on heterogeneous platforms). If `sweep` is
+/// non-null it receives the best entry per degree.
+PlanResult plan_homogeneous_optimal(const Platform& platform,
+                                    const MiddlewareParams& params,
+                                    const ServiceSpec& service,
+                                    std::vector<DegreeSweepEntry>* sweep = nullptr);
+
+/// The paper's contribution: Algorithm 1, the heterogeneous deployment
+/// heuristic. Sorts nodes by potential scheduling power, grows the
+/// hierarchy greedily (servers attach where scheduling headroom is
+/// largest; servers convert to agents when the scheduling side must grow),
+/// and stops when nodes run out, `demand` is met, or throughput starts
+/// decreasing; among equal-throughput deployments the smallest one wins.
+PlanResult plan_heterogeneous(const Platform& platform,
+                              const MiddlewareParams& params,
+                              const ServiceSpec& service,
+                              RequestRate demand = kUnlimitedDemand);
+
+/// Heterogeneous-communication planner (the paper's future-work
+/// scenario): plans with Algorithm 1 under the homogeneous-communication
+/// model, then refines the node↦element assignment for the actual
+/// per-node links by greedy swap hill-climbing on the extended Eq-16
+/// evaluator (model::evaluate_hetero) — keeping the tree shape but moving
+/// well-connected nodes into the positions that carry the most traffic.
+/// On platforms with homogeneous links this is exactly plan_heterogeneous.
+PlanResult plan_link_aware(const Platform& platform,
+                           const MiddlewareParams& params,
+                           const ServiceSpec& service,
+                           RequestRate demand = kUnlimitedDemand);
+
+/// Iterative bottleneck-removal improvement pass (the approach of the
+/// authors' earlier work, ref [7], kept as a refinement stage): repeatedly
+/// identifies the Eq-16 bottleneck of `start` and applies the local fix
+/// (add an unused node as server when service-limited; rebalance children
+/// away from a saturated non-root agent) until no step improves. Nodes in
+/// `excluded` (e.g. hosts that failed to launch) are never recruited.
+PlanResult improve_deployment(Hierarchy start, const Platform& platform,
+                              const MiddlewareParams& params,
+                              const ServiceSpec& service,
+                              const std::set<NodeId>* excluded = nullptr);
+
+/// Convenience: evaluates and packages an externally built hierarchy.
+PlanResult make_plan(Hierarchy hierarchy, const Platform& platform,
+                     const MiddlewareParams& params, const ServiceSpec& service);
+
+}  // namespace adept

@@ -1,0 +1,36 @@
+#include "common/error.hpp"
+#include "planner/planner.hpp"
+
+namespace adept {
+
+PlanResult plan_star(const Platform& platform, const MiddlewareParams& params,
+                     const ServiceSpec& service) {
+  const std::size_t n = platform.size();
+  ADEPT_CHECK(n >= 2, "a deployment needs at least two nodes");
+  const std::size_t degree = n - 1;
+
+  // The agent handles every message of every request, so give the role to
+  // the node whose (n-1)-child scheduling power is highest.
+  NodeId agent = 0;
+  RequestRate best_rate = 0.0;
+  for (NodeId id = 0; id < n; ++id) {
+    const RequestRate rate = model::agent_sched_throughput(
+        params, platform.node(id).power, degree, platform.bandwidth());
+    if (rate > best_rate) {
+      best_rate = rate;
+      agent = id;
+    }
+  }
+
+  Hierarchy hierarchy;
+  const auto root = hierarchy.add_root(agent);
+  for (NodeId id = 0; id < n; ++id)
+    if (id != agent) hierarchy.add_server(root, id);
+
+  PlanResult result = make_plan(std::move(hierarchy), platform, params, service);
+  result.trace.push_back("star: agent on node " + platform.node(agent).name +
+                         " with " + std::to_string(degree) + " servers");
+  return result;
+}
+
+}  // namespace adept

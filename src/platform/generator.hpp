@@ -1,0 +1,61 @@
+#pragma once
+/// \file generator.hpp
+/// \brief Deterministic platform generators.
+///
+/// The paper heterogenised a homogeneous Grid'5000 cluster by running
+/// background matrix-multiplications on a subset of nodes and re-measuring
+/// each node's Linpack MFlops (§5.3). These generators produce the same
+/// *kind* of power distributions synthetically and reproducibly:
+///   - homogeneous        — the Lyon/Orsay clusters before loading;
+///   - uniform            — powers spread uniformly over [lo, hi];
+///   - bimodal            — a fraction of nodes slowed by background load
+///                          (the closest match to the paper's procedure);
+///   - clustered          — a few groups of identical machines (multi-site);
+///   - power-law-ish      — a long tail of weak nodes.
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+
+namespace adept::gen {
+
+/// `count` identical nodes of power `power`, bandwidth `bandwidth`.
+Platform homogeneous(std::size_t count, MFlopRate power, MbitRate bandwidth);
+
+/// Node powers drawn uniformly from [lo, hi].
+Platform uniform(std::size_t count, MFlopRate lo, MFlopRate hi,
+                 MbitRate bandwidth, Rng& rng);
+
+/// `loaded_fraction` of nodes run background load and drop to
+/// `loaded_scale` × power (the paper's heterogenisation procedure); a small
+/// multiplicative jitter models measurement noise.
+Platform bimodal(std::size_t count, MFlopRate power, double loaded_fraction,
+                 double loaded_scale, MbitRate bandwidth, Rng& rng,
+                 double jitter = 0.05);
+
+/// `groups` clusters of equal size; group g has power
+/// base · ratio^g (ratio > 0). Total node count is `count` (remainder goes
+/// to the first groups).
+Platform clustered(std::size_t count, std::size_t groups, MFlopRate base,
+                   double ratio, MbitRate bandwidth);
+
+/// Pareto-like tail: power = lo · (1-u)^(-1/alpha) clamped to hi.
+Platform power_law(std::size_t count, MFlopRate lo, MFlopRate hi, double alpha,
+                   MbitRate bandwidth, Rng& rng);
+
+/// Returns a copy of `platform` whose node links are drawn uniformly from
+/// [lo, hi] Mbit/s — the heterogeneous-communication scenario the paper
+/// defers to future work (e.g. a mix of fast-Ethernet and gigabit nodes).
+Platform with_heterogeneous_links(Platform platform, MbitRate lo, MbitRate hi,
+                                  Rng& rng);
+
+/// Grid'5000-like presets used by the experiment harnesses. Powers are in
+/// MFlop/s of *effective DIET-visible* compute (the paper's Table 3
+/// converts measured message-handling times to MFlop through the same
+/// Linpack scale, so only ratios matter).
+Platform grid5000_lyon(std::size_t count);
+/// Orsay nodes after background loading: the heterogeneous pool of §5.3.
+Platform grid5000_orsay_loaded(std::size_t count, Rng& rng);
+
+}  // namespace adept::gen

@@ -1,0 +1,107 @@
+#include "platform/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace adept::io {
+
+namespace {
+[[noreturn]] void parse_error(std::size_t line_number, const std::string& message) {
+  throw Error("platform parse error at line " + std::to_string(line_number) +
+              ": " + message);
+}
+}  // namespace
+
+Platform parse_platform(const std::string& text) {
+  std::vector<NodeSpec> nodes;
+  double bandwidth = -1.0;
+
+  std::istringstream in(text);
+  std::string raw_line;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_number;
+    std::string line{strings::trim(raw_line)};
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = std::string(strings::trim(line.substr(0, hash)));
+    if (line.empty()) continue;
+
+    const auto fields = strings::split_ws(line);
+    const std::string keyword = strings::to_lower(fields[0]);
+    if (keyword == "bandwidth") {
+      if (fields.size() != 2) parse_error(line_number, "expected: bandwidth <Mbit/s>");
+      const auto value = strings::parse_double(fields[1]);
+      if (!value || *value <= 0.0)
+        parse_error(line_number, "bandwidth must be a positive number");
+      if (bandwidth > 0.0) parse_error(line_number, "bandwidth declared twice");
+      bandwidth = *value;
+    } else if (keyword == "node") {
+      if (fields.size() != 3 && fields.size() != 4)
+        parse_error(line_number, "expected: node <name> <power> [link]");
+      const auto power = strings::parse_double(fields[2]);
+      if (!power || *power <= 0.0)
+        parse_error(line_number, "node power must be a positive number");
+      MbitRate link = 0.0;
+      if (fields.size() == 4) {
+        const auto parsed = strings::parse_double(fields[3]);
+        if (!parsed || *parsed <= 0.0)
+          parse_error(line_number, "node link bandwidth must be positive");
+        link = *parsed;
+      }
+      nodes.push_back({fields[1], *power, link});
+    } else if (keyword == "nodes") {
+      if (fields.size() != 4)
+        parse_error(line_number, "expected: nodes <prefix> <count> <power>");
+      const auto count = strings::parse_int(fields[2]);
+      const auto power = strings::parse_double(fields[3]);
+      if (!count || *count <= 0) parse_error(line_number, "count must be positive");
+      if (!power || *power <= 0.0)
+        parse_error(line_number, "node power must be a positive number");
+      for (long long i = 0; i < *count; ++i)
+        nodes.push_back({fields[1] + "-" + std::to_string(i), *power});
+    } else {
+      parse_error(line_number, "unknown keyword '" + fields[0] + "'");
+    }
+  }
+
+  if (bandwidth <= 0.0) throw Error("platform file does not declare a bandwidth");
+  if (nodes.empty()) throw Error("platform file declares no nodes");
+  try {
+    return Platform(std::move(nodes), bandwidth);
+  } catch (const Error& e) {
+    throw Error(std::string("platform file invalid: ") + e.what());
+  }
+}
+
+Platform load_platform(const std::string& path) {
+  std::ifstream in(path);
+  ADEPT_CHECK(in.good(), "cannot open platform file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_platform(buffer.str());
+}
+
+std::string serialize_platform(const Platform& platform) {
+  std::ostringstream os;
+  os.precision(17);  // max_digits10: powers round-trip exactly
+  os << "# ADePT platform description\n";
+  os << "bandwidth " << platform.bandwidth() << "\n";
+  for (const auto& node : platform.nodes()) {
+    os << "node " << node.name << ' ' << node.power;
+    if (node.link > 0.0) os << ' ' << node.link;
+    os << "\n";
+  }
+  return os.str();
+}
+
+void save_platform(const Platform& platform, const std::string& path) {
+  std::ofstream out(path);
+  ADEPT_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << serialize_platform(platform);
+  ADEPT_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace adept::io

@@ -1,0 +1,37 @@
+#pragma once
+/// \file io.hpp
+/// \brief Platform description file format (read/write).
+///
+/// ADePT's platform files play the role of ADAGE/GoDIET resource
+/// descriptions: a plain-text list the CLI consumes. Format:
+///
+/// ```
+/// # comment
+/// bandwidth 1000            # Mbit/s, required, once
+/// node lyon-0 1000          # name power(MFlop/s)
+/// node lyon-1 980.5
+/// nodes worker 16 750       # shorthand: 16 nodes worker-0..15 at 750
+/// ```
+///
+/// Parse errors carry 1-based line numbers.
+
+#include <string>
+
+#include "platform/platform.hpp"
+
+namespace adept::io {
+
+/// Parses the text form above; throws adept::Error with a line number on
+/// malformed input.
+Platform parse_platform(const std::string& text);
+
+/// Reads and parses a platform file from disk.
+Platform load_platform(const std::string& path);
+
+/// Serialises to the text form (one `node` line per node).
+std::string serialize_platform(const Platform& platform);
+
+/// Writes the text form to disk; throws on I/O failure.
+void save_platform(const Platform& platform, const std::string& path);
+
+}  // namespace adept::io

@@ -1,0 +1,111 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace adept {
+
+Platform::Platform(std::vector<NodeSpec> nodes, MbitRate bandwidth)
+    : nodes_(std::move(nodes)), bandwidth_(bandwidth) {
+  ADEPT_CHECK(bandwidth_ > 0.0, "platform bandwidth must be positive");
+  std::set<std::string> names;
+  for (const auto& node : nodes_) {
+    validate_node(node);
+    ADEPT_CHECK(names.insert(node.name).second,
+                "duplicate node name '" + node.name + "'");
+  }
+}
+
+void Platform::validate_node(const NodeSpec& node) const {
+  ADEPT_CHECK(!node.name.empty(), "node name must be non-empty");
+  ADEPT_CHECK(node.power > 0.0,
+              "node '" + node.name + "' must have positive power");
+  ADEPT_CHECK(node.link >= 0.0,
+              "node '" + node.name + "' link bandwidth must be non-negative");
+}
+
+MbitRate Platform::link_bandwidth(NodeId id) const {
+  const NodeSpec& spec = node(id);
+  return spec.link > 0.0 ? spec.link : bandwidth_;
+}
+
+MbitRate Platform::edge_bandwidth(NodeId a, NodeId b) const {
+  return std::min(link_bandwidth(a), link_bandwidth(b));
+}
+
+bool Platform::has_homogeneous_links() const {
+  for (const auto& spec : nodes_)
+    if (spec.link > 0.0 && spec.link != bandwidth_) return false;
+  return true;
+}
+
+void Platform::set_link(NodeId id, MbitRate link) {
+  ADEPT_CHECK(id < nodes_.size(), "node id out of range");
+  ADEPT_CHECK(link > 0.0, "link bandwidth must be positive");
+  nodes_[id].link = link;
+}
+
+const NodeSpec& Platform::node(NodeId id) const {
+  ADEPT_CHECK(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+NodeId Platform::add_node(NodeSpec node) {
+  validate_node(node);
+  for (const auto& existing : nodes_)
+    ADEPT_CHECK(existing.name != node.name,
+                "duplicate node name '" + node.name + "'");
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+MFlopRate Platform::total_power() const {
+  MFlopRate total = 0.0;
+  for (const auto& node : nodes_) total += node.power;
+  return total;
+}
+
+MFlopRate Platform::min_power() const {
+  ADEPT_CHECK(!nodes_.empty(), "min_power of empty platform");
+  MFlopRate lo = nodes_.front().power;
+  for (const auto& node : nodes_) lo = std::min(lo, node.power);
+  return lo;
+}
+
+MFlopRate Platform::max_power() const {
+  ADEPT_CHECK(!nodes_.empty(), "max_power of empty platform");
+  MFlopRate hi = nodes_.front().power;
+  for (const auto& node : nodes_) hi = std::max(hi, node.power);
+  return hi;
+}
+
+double Platform::heterogeneity_ratio() const { return max_power() / min_power(); }
+
+bool Platform::is_homogeneous() const {
+  if (nodes_.size() < 2) return true;
+  const double lo = min_power();
+  const double hi = max_power();
+  return (hi - lo) <= 1e-12 * hi;
+}
+
+std::vector<NodeId> Platform::ids_by_power_desc() const {
+  std::vector<NodeId> ids(nodes_.size());
+  for (NodeId i = 0; i < ids.size(); ++i) ids[i] = i;
+  std::stable_sort(ids.begin(), ids.end(), [this](NodeId a, NodeId b) {
+    if (nodes_[a].power != nodes_[b].power) return nodes_[a].power > nodes_[b].power;
+    return a < b;
+  });
+  return ids;
+}
+
+Platform Platform::subset(const std::vector<NodeId>& ids) const {
+  std::vector<NodeSpec> chosen;
+  chosen.reserve(ids.size());
+  for (NodeId id : ids) chosen.push_back(node(id));
+  return Platform(std::move(chosen), bandwidth_);
+}
+
+}  // namespace adept

@@ -1,0 +1,87 @@
+#pragma once
+/// \file platform.hpp
+/// \brief Resource description: heterogeneous nodes, homogeneous links.
+///
+/// The paper's target is "heterogeneous resources that have homogeneous
+/// connectivity" (§4): each node i has a computing power w_i in MFlop/s
+/// (measured with a Linpack mini-benchmark on Grid'5000), and every link
+/// has the same bandwidth B in Mbit/s. Platform captures exactly that.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace adept {
+
+/// Index of a node within a Platform. Stable for the lifetime of the
+/// platform; hierarchies and plans refer to nodes by this id.
+using NodeId = std::size_t;
+
+/// One computational resource.
+struct NodeSpec {
+  std::string name;      ///< Human-readable name (e.g. "orsay-042").
+  MFlopRate power = 0.0; ///< w_i, MFlop/s, as measured by the calibration bench.
+  /// Per-node link bandwidth in Mbit/s for the *heterogeneous
+  /// communication* extension (the paper's stated future work). 0 means
+  /// "use the platform's homogeneous bandwidth", which reproduces the
+  /// paper's model exactly.
+  MbitRate link = 0.0;
+};
+
+/// A pool of candidate nodes plus the (homogeneous) link bandwidth.
+class Platform {
+ public:
+  Platform() = default;
+  /// Builds a platform; throws adept::Error if any power or the bandwidth
+  /// is non-positive, or if names collide.
+  Platform(std::vector<NodeSpec> nodes, MbitRate bandwidth);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  const NodeSpec& node(NodeId id) const;
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  MbitRate bandwidth() const { return bandwidth_; }
+
+  /// Effective link bandwidth of a node: its own `link` when set,
+  /// otherwise the platform-wide homogeneous bandwidth.
+  MbitRate link_bandwidth(NodeId id) const;
+  /// Bandwidth of the (store-and-forward) path between two nodes: the
+  /// narrower of the two endpoint links.
+  MbitRate edge_bandwidth(NodeId a, NodeId b) const;
+  /// True when every node uses the platform-wide bandwidth (the paper's
+  /// homogeneous-communication assumption holds).
+  bool has_homogeneous_links() const;
+  /// Overrides one node's link bandwidth (> 0).
+  void set_link(NodeId id, MbitRate link);
+
+  /// Appends a node; returns its id. Validates like the constructor.
+  NodeId add_node(NodeSpec node);
+
+  /// Sum of all node powers (MFlop/s).
+  MFlopRate total_power() const;
+  /// Smallest / largest node power; throws on empty platform.
+  MFlopRate min_power() const;
+  MFlopRate max_power() const;
+  /// max_power / min_power; 1.0 for homogeneous platforms.
+  double heterogeneity_ratio() const;
+  /// True when all node powers are equal (within 1 part in 1e12).
+  bool is_homogeneous() const;
+
+  /// Node ids sorted by power, descending; ties broken by id for
+  /// determinism.
+  std::vector<NodeId> ids_by_power_desc() const;
+
+  /// Returns a copy restricted to the given ids (in the given order).
+  Platform subset(const std::vector<NodeId>& ids) const;
+
+ private:
+  void validate_node(const NodeSpec& node) const;
+
+  std::vector<NodeSpec> nodes_;
+  MbitRate bandwidth_ = 0.0;
+};
+
+}  // namespace adept

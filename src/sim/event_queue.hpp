@@ -1,0 +1,57 @@
+#pragma once
+/// \file event_queue.hpp
+/// \brief Deterministic discrete-event queue.
+///
+/// Events at equal timestamps fire in insertion order (monotonic sequence
+/// numbers break ties), so simulations are bit-for-bit reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace adept::sim {
+
+/// Min-heap of timed callbacks with FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when`.
+  void schedule(Seconds when, Callback fn) {
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  Seconds next_time() const { return heap_.top().time; }
+
+  /// Pops and runs the earliest event; returns its time.
+  Seconds run_next() {
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    event.fn();
+    return event.time;
+  }
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace adept::sim

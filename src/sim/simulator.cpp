@@ -1,0 +1,483 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "model/throughput.hpp"
+#include "sim/event_queue.hpp"
+
+namespace adept::sim {
+
+namespace {
+
+/// Kind of work an operation performs on its resource (for busy-time
+/// accounting; the calibration bench separates compute from traffic).
+enum class OpKind { Compute, Communicate };
+
+/// Dispatch class. Control ops (scheduling phase: request forwarding,
+/// predictions, reply merging) are preferred over Service ops (the
+/// service-phase execution) whenever both are ready — a real server
+/// answers tiny prediction probes between slices of a long computation
+/// instead of queueing them behind it. ServiceCont carries the remaining
+/// slices of the job currently executing, ranked above new Service jobs
+/// so jobs complete FIFO instead of processor-sharing. Within a lane, ops
+/// run in ready-time order. The node remains strictly serial (M(r,s,w)):
+/// lanes affect *order*, never concurrency.
+enum class Lane { Control, ServiceCont, Service };
+
+/// One in-flight client request, pooled and reused across the run.
+struct Request {
+  std::size_t client = 0;
+  Seconds issued_at = 0.0;
+  /// Which mix item this request asks for, and its computation.
+  std::size_t service_index = 0;
+  MFlop wapp = 0.0;
+  /// Wall time at which the service execution started (first slice ready).
+  Seconds service_start = 0.0;
+  /// Outstanding child replies per agent element during the scheduling
+  /// broadcast (indexed by element).
+  std::vector<std::uint32_t> pending_replies;
+  /// Server element chosen for the service phase.
+  Hierarchy::Index chosen_server = Hierarchy::npos;
+};
+
+/// The whole simulation: resources, request state machine, measurement.
+class Engine {
+ public:
+  Engine(const Hierarchy& hierarchy, const Platform& platform,
+         const MiddlewareParams& params, const ServiceMix& mix,
+         std::size_t clients, const SimConfig& config)
+      : hierarchy_(hierarchy), platform_(platform), params_(params),
+        mix_(mix), clients_(clients), config_(config), rng_(config.seed),
+        trace_(std::getenv("ADEPT_SIM_TRACE") != nullptr) {
+    completions_per_service_.assign(mix_.size(), 0);
+    hierarchy_.validate_or_throw(&platform_);
+    ADEPT_CHECK(clients_ > 0, "simulation needs at least one client");
+    ADEPT_CHECK(config_.measure > 0.0, "measurement window must be positive");
+    ADEPT_CHECK(config_.service_slice > 0.0, "service slice must be positive");
+    resources_.resize(hierarchy_.size());
+    for (Hierarchy::Index i = 0; i < hierarchy_.size(); ++i) {
+      resources_[i].power = platform_.node(hierarchy_.node_of(i)).power;
+      if (!hierarchy_.is_agent(i)) servers_.push_back(i);
+    }
+    backlog_.assign(hierarchy_.size(), 0.0);
+    completions_per_server_.assign(hierarchy_.size(), 0);
+
+    const Seconds ramp =
+        config_.client_stagger * static_cast<double>(clients_) + 0.5;
+    window_start_ = std::max(config_.warmup, ramp);
+    window_end_ = window_start_ + config_.measure;
+  }
+
+  SimResult run() {
+    for (std::size_t c = 0; c < clients_; ++c) {
+      const Seconds start = config_.client_stagger * static_cast<double>(c);
+      queue_.schedule(start, [this, c] { issue_request(c, now_); });
+    }
+    while (!queue_.empty() && queue_.next_time() <= window_end_) {
+      now_ = queue_.next_time();
+      queue_.run_next();
+    }
+    if (trace_)
+      std::fprintf(stderr,
+                   "[trace] stop now=%.4f window_end=%.4f queue=%zu\n", now_,
+                   window_end_, queue_.size());
+
+    SimResult result;
+    result.throughput =
+        static_cast<double>(completed_in_window_) / config_.measure;
+    result.issued = issued_;
+    result.completed = completed_;
+    result.completed_in_window = completed_in_window_;
+    result.mean_response_time = response_times_.mean();
+    result.max_response_time = response_times_.max();
+    result.end_time = now_;
+    result.scheduled = scheduled_;
+    result.server_completions = completions_per_server_;
+    result.completions_per_service = completions_per_service_;
+    result.service_samples = std::move(service_samples_);
+    result.compute_busy.resize(resources_.size());
+    result.comm_busy.resize(resources_.size());
+    for (std::size_t i = 0; i < resources_.size(); ++i) {
+      result.compute_busy[i] = resources_[i].compute_busy;
+      result.comm_busy[i] = resources_[i].comm_busy;
+    }
+    return result;
+  }
+
+ private:
+  // -- resources: strictly serial M(r,s,w) nodes ---------------------------
+
+  struct Op {
+    Seconds ready = 0.0;
+    Seconds duration = 0.0;
+    OpKind kind = OpKind::Compute;
+    std::uint64_t seq = 0;
+    std::function<void(Seconds)> done;
+  };
+  struct OpLater {
+    bool operator()(const Op& a, const Op& b) const {
+      if (a.ready != b.ready) return a.ready > b.ready;
+      return a.seq > b.seq;
+    }
+  };
+  using OpQueue = std::priority_queue<Op, std::vector<Op>, OpLater>;
+  struct Resource {
+    MFlopRate power = 0.0;
+    bool busy = false;
+    Seconds compute_busy = 0.0;
+    Seconds comm_busy = 0.0;
+    OpQueue lanes[3];  ///< Indexed by Lane; lower index = higher priority.
+  };
+
+  /// Queues an operation on an element's resource.
+  void submit(Hierarchy::Index element, Lane lane, Seconds ready,
+              Seconds duration, OpKind kind, std::function<void(Seconds)> done) {
+    Resource& resource = resources_[element];
+    resource.lanes[static_cast<int>(lane)].push(
+        Op{ready, std::max(0.0, duration), kind, op_seq_++, std::move(done)});
+    pump(element, now_);
+  }
+
+  void pump(Hierarchy::Index element, Seconds now) {
+    Resource& resource = resources_[element];
+    if (resource.busy) return;
+    // Run the highest-priority lane with a ready op; otherwise sleep until
+    // the earliest op becomes ready (spurious wakes re-check).
+    OpQueue* lane = nullptr;
+    for (auto& candidate : resource.lanes) {
+      if (!candidate.empty() && candidate.top().ready <= now) {
+        lane = &candidate;
+        break;
+      }
+    }
+    if (lane == nullptr) {
+      Seconds wake = std::numeric_limits<Seconds>::infinity();
+      for (const auto& candidate : resource.lanes)
+        if (!candidate.empty()) wake = std::min(wake, candidate.top().ready);
+      if (wake < std::numeric_limits<Seconds>::infinity())
+        queue_.schedule(wake, [this, element] { pump(element, now_); });
+      return;
+    }
+    Op op = std::move(const_cast<Op&>(lane->top()));
+    lane->pop();
+    resource.busy = true;
+    const Seconds end = now + op.duration;
+    (op.kind == OpKind::Compute ? resource.compute_busy : resource.comm_busy) +=
+        op.duration;
+    // std::function requires copyable callables, so the continuation is
+    // carried as a (copyable) std::function member rather than a move-only
+    // capture.
+    queue_.schedule(end, [this, element, done = std::move(op.done), end]() {
+      resources_[element].busy = false;
+      if (done) done(end);
+      pump(element, end);
+    });
+  }
+
+  // -- request lifecycle (Figure 1) ----------------------------------------
+
+  Request* acquire_request(std::size_t client, Seconds t) {
+    Request* request = nullptr;
+    if (!free_requests_.empty()) {
+      request = free_requests_.back();
+      free_requests_.pop_back();
+    } else {
+      pool_.push_back(std::make_unique<Request>());
+      request = pool_.back().get();
+    }
+    request->client = client;
+    request->issued_at = t;
+    request->chosen_server = Hierarchy::npos;
+    request->pending_replies.assign(hierarchy_.size(), 0);
+    return request;
+  }
+
+  void release_request(Request* request) { free_requests_.push_back(request); }
+
+  void issue_request(std::size_t client, Seconds t) {
+    if (t > window_end_) return;  // the run is over; stop generating load
+    ++issued_;
+    Request* request = acquire_request(client, t);
+    // Draw the requested service from the mix (deterministic stream).
+    request->service_index = 0;
+    if (mix_.size() > 1) {
+      double u = rng_.uniform();
+      for (std::size_t i = 0; i < mix_.size(); ++i) {
+        u -= mix_.fraction(i);
+        if (u <= 0.0) {
+          request->service_index = i;
+          break;
+        }
+        if (i + 1 == mix_.size()) request->service_index = i;
+      }
+    }
+    request->wapp = mix_.items()[request->service_index].first.wapp;
+    deliver_request(hierarchy_.root(), request, t + config_.message_latency);
+  }
+
+  /// A request message arrives at an element: pay the receive time at this
+  /// element's level and over its upstream edge, then process.
+  void deliver_request(Hierarchy::Index element, Request* request,
+                       Seconds arrival) {
+    const auto& costs = element_costs(element);
+    submit(element, Lane::Control, arrival, costs.sreq / up_bandwidth(element),
+           OpKind::Communicate, [this, element, request](Seconds t) {
+             on_request_received(element, request, t);
+           });
+  }
+
+  void on_request_received(Hierarchy::Index element, Request* request,
+                           Seconds t) {
+    const MFlopRate w = resources_[element].power;
+    if (hierarchy_.is_agent(element)) {
+      // Process the incoming request (W_req), then forward to every child;
+      // the sends serialise on this node's single port.
+      const std::size_t degree = hierarchy_.degree(element);
+      request->pending_replies[element] = static_cast<std::uint32_t>(degree);
+      submit(element, Lane::Control, t,
+             params_.agent.wreq / w + config_.agent_compute_overhead,
+             OpKind::Compute, [this, element, request](Seconds t2) {
+               for (Hierarchy::Index child : hierarchy_.element(element).children) {
+                 submit(element, Lane::Control, t2,
+                        params_.agent.sreq / edge_bandwidth(element, child),
+                        OpKind::Communicate, [this, child, request](Seconds t3) {
+                          deliver_request(child, request,
+                                          t3 + config_.message_latency);
+                        });
+               }
+             });
+    } else {
+      // Server: performance prediction (W_pre), then reply upward.
+      submit(element, Lane::Control, t,
+             params_.server.wpre / w + config_.server_compute_overhead,
+             OpKind::Compute, [this, element, request](Seconds t2) {
+               submit(element, Lane::Control, t2,
+                      params_.server.srep / up_bandwidth(element),
+                      OpKind::Communicate, [this, element, request](Seconds t3) {
+                        deliver_reply(hierarchy_.element(element).parent, element,
+                                      request, t3 + config_.message_latency);
+                      });
+             });
+    }
+  }
+
+  /// A child reply arrives at an agent (from `child`): pay the receive
+  /// over that edge, and once all children answered, merge (W_rep) and
+  /// reply upward.
+  void deliver_reply(Hierarchy::Index agent, Hierarchy::Index child,
+                     Request* request, Seconds arrival) {
+    submit(agent, Lane::Control, arrival,
+           params_.agent.srep / edge_bandwidth(agent, child),
+           OpKind::Communicate, [this, agent, request](Seconds t) {
+             ADEPT_ASSERT(request->pending_replies[agent] > 0,
+                          "unexpected reply");
+             if (--request->pending_replies[agent] > 0) return;
+             const MFlopRate w = resources_[agent].power;
+             const MFlop wrep =
+                 model::agent_wrep(params_, hierarchy_.degree(agent));
+             submit(agent, Lane::Control, t,
+                    wrep / w + config_.agent_compute_overhead, OpKind::Compute,
+                    [this, agent, request](Seconds t2) {
+                      submit(agent, Lane::Control, t2,
+                             params_.agent.srep / up_bandwidth(agent),
+                             OpKind::Communicate,
+                             [this, agent, request](Seconds t3) {
+                               const auto parent = hierarchy_.element(agent).parent;
+                               if (parent == Hierarchy::npos)
+                                 on_scheduling_done(request,
+                                                    t3 + config_.message_latency);
+                               else
+                                 deliver_reply(parent, agent, request,
+                                               t3 + config_.message_latency);
+                             });
+                    });
+           });
+  }
+
+  /// Scheduling response reached the client: pick the best server (the
+  /// root selected it from the merged predictions; we reproduce the
+  /// outcome with a queue-aware earliest-finish rule) and start the
+  /// service phase.
+  void on_scheduling_done(Request* request, Seconds t) {
+    ++scheduled_;
+    Hierarchy::Index best = Hierarchy::npos;
+    Seconds best_finish = std::numeric_limits<Seconds>::infinity();
+    for (Hierarchy::Index server : servers_) {
+      const Seconds finish =
+          (backlog_[server] + request->wapp) / resources_[server].power;
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = server;
+      }
+    }
+    ADEPT_ASSERT(best != Hierarchy::npos, "no server available");
+    if (trace_)
+      std::fprintf(stderr, "[trace] select t=%.4f client=%zu -> server=%zu\n", t,
+                   request->client, best);
+    request->chosen_server = best;
+    backlog_[best] += request->wapp;
+    // Client sends the service request straight to the chosen server
+    // over the server's own (client-facing) link.
+    const MbitRate client_link =
+        platform_.link_bandwidth(hierarchy_.node_of(best));
+    submit(best, Lane::Service, t + config_.message_latency,
+           params_.server.sreq / client_link, OpKind::Communicate,
+           [this, best, request](Seconds t2) {
+             const MFlopRate w = resources_[best].power;
+             const Seconds total =
+                 request->wapp / w + config_.server_compute_overhead;
+             service_compute(best, request, total, t2, /*first=*/true);
+           });
+  }
+
+  /// Runs the service computation in slices so control ops can interleave
+  /// (see SimConfig::service_slice); sends the response after the last
+  /// slice.
+  void service_compute(Hierarchy::Index server, Request* request,
+                       Seconds remaining, Seconds ready, bool first) {
+    const Seconds chunk = std::min(remaining, config_.service_slice);
+    // The first slice queues behind earlier jobs; later slices go to the
+    // continuation lane so the job runs FIFO to completion.
+    submit(server, first ? Lane::Service : Lane::ServiceCont, ready, chunk,
+           OpKind::Compute,
+           [this, server, request, remaining, chunk, first](Seconds t) {
+             // Execution (not queueing) starts when the first slice is
+             // actually dispatched — that is what an observer would time.
+             if (first) request->service_start = t - chunk;
+             const Seconds left = remaining - chunk;
+             if (left > 1e-12) {
+               service_compute(server, request, left, t, /*first=*/false);
+               return;
+             }
+             backlog_[server] -= request->wapp;
+             if (service_samples_.size() < config_.max_service_samples)
+               service_samples_.push_back(
+                   ServiceSample{request->service_index,
+                                 resources_[server].power,
+                                 t - request->service_start});
+             submit(server, Lane::ServiceCont, t,
+                    params_.server.srep /
+                        platform_.link_bandwidth(hierarchy_.node_of(server)),
+                    OpKind::Communicate, [this, server, request](Seconds t2) {
+                      on_request_complete(server, request,
+                                          t2 + config_.message_latency);
+                    });
+           });
+  }
+
+  void on_request_complete(Hierarchy::Index server, Request* request, Seconds t) {
+    if (trace_)
+      std::fprintf(stderr, "[trace] complete t=%.4f server=%zu client=%zu\n", t,
+                   server, request->client);
+    ++completed_;
+    ++completions_per_service_[request->service_index];
+    if (t >= window_start_ && t < window_end_) {
+      ++completed_in_window_;
+      ++completions_per_server_[server];
+      response_times_.add(t - request->issued_at);
+    }
+    const std::size_t client = request->client;
+    release_request(request);
+    issue_request(client, t);  // the client script loops immediately
+  }
+
+  // -- helpers --------------------------------------------------------------
+
+  const ElementCosts& element_costs(Hierarchy::Index element) const {
+    return hierarchy_.is_agent(element) ? params_.agent : params_.server;
+  }
+
+  /// Bandwidth of the edge to an element's parent; for the root (and any
+  /// client-facing traffic) the element's own link is the narrow end.
+  MbitRate up_bandwidth(Hierarchy::Index element) const {
+    const auto parent = hierarchy_.element(element).parent;
+    const NodeId node = hierarchy_.node_of(element);
+    if (parent == Hierarchy::npos) return platform_.link_bandwidth(node);
+    return platform_.edge_bandwidth(node, hierarchy_.node_of(parent));
+  }
+  MbitRate edge_bandwidth(Hierarchy::Index a, Hierarchy::Index b) const {
+    return platform_.edge_bandwidth(hierarchy_.node_of(a), hierarchy_.node_of(b));
+  }
+
+  const Hierarchy& hierarchy_;
+  const Platform& platform_;
+  const MiddlewareParams& params_;
+  const ServiceMix& mix_;
+  std::size_t clients_;
+  SimConfig config_;
+  Rng rng_;
+  bool trace_ = false;
+
+  EventQueue queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t op_seq_ = 0;
+  std::vector<Resource> resources_;
+  std::vector<Hierarchy::Index> servers_;
+  std::vector<MFlop> backlog_;  ///< Outstanding selected service work.
+
+  std::vector<std::unique_ptr<Request>> pool_;
+  std::vector<Request*> free_requests_;
+
+  Seconds window_start_ = 0.0;
+  Seconds window_end_ = 0.0;
+  std::size_t issued_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t completed_in_window_ = 0;
+  std::size_t scheduled_ = 0;
+  std::vector<std::size_t> completions_per_server_;
+  std::vector<std::size_t> completions_per_service_;
+  std::vector<ServiceSample> service_samples_;
+  stats::OnlineStats response_times_;
+};
+
+}  // namespace
+
+SimResult simulate(const Hierarchy& hierarchy, const Platform& platform,
+                   const MiddlewareParams& params, const ServiceSpec& service,
+                   std::size_t clients, const SimConfig& config) {
+  const ServiceMix mix({{service, 1.0}});
+  Engine engine(hierarchy, platform, params, mix, clients, config);
+  return engine.run();
+}
+
+SimResult simulate_mix(const Hierarchy& hierarchy, const Platform& platform,
+                       const MiddlewareParams& params, const ServiceMix& mix,
+                       std::size_t clients, const SimConfig& config) {
+  Engine engine(hierarchy, platform, params, mix, clients, config);
+  return engine.run();
+}
+
+std::vector<LoadPoint> load_sweep(const Hierarchy& hierarchy,
+                                  const Platform& platform,
+                                  const MiddlewareParams& params,
+                                  const ServiceSpec& service,
+                                  const std::vector<std::size_t>& client_counts,
+                                  const SimConfig& config, std::size_t threads) {
+  std::vector<LoadPoint> curve(client_counts.size());
+  parallel_for(
+      client_counts.size(),
+      [&](std::size_t i) {
+        const SimResult result = simulate(hierarchy, platform, params, service,
+                                          client_counts[i], config);
+        curve[i] = LoadPoint{client_counts[i], result.throughput,
+                             result.mean_response_time};
+      },
+      threads);
+  return curve;
+}
+
+RequestRate peak_throughput(const std::vector<LoadPoint>& curve) {
+  RequestRate peak = 0.0;
+  for (const auto& point : curve) peak = std::max(peak, point.throughput);
+  return peak;
+}
+
+}  // namespace adept::sim

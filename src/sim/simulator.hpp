@@ -1,0 +1,137 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Discrete-event simulation of a deployed DIET-style hierarchy.
+///
+/// This is ADePT's substitute for the paper's Grid'5000 testbed. It
+/// executes the request lifecycle of Figure 1 — client → root agent,
+/// broadcast down the tree, per-server prediction, replies merged upward,
+/// best-server selection, then the direct client → server service phase —
+/// on resources that obey the paper's M(r,s,w) model: every node is
+/// strictly serial (it sends one message, receives one message, or
+/// computes — never two at once) and links are homogeneous with
+/// store-and-forward accounting (each endpoint is busy for size/B, which
+/// is exactly what Eqs 1–4 charge).
+///
+/// On top of the analytic model's costs, the simulator charges two kinds
+/// of real-world overhead the model ignores: a per-message network latency
+/// and a fixed per-operation middleware overhead (CORBA marshalling,
+/// thread wake-ups). These reproduce the paper's measured-below-predicted
+/// gap at small request grain (Fig 3) while leaving large-grain runs
+/// model-dominated (Fig 5).
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/hierarchy.hpp"
+#include "model/mix.hpp"
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+#include "platform/platform.hpp"
+
+namespace adept::sim {
+
+/// Simulation knobs. Defaults are calibrated against the Lyon cluster
+/// behaviour described in §5.1 (see bench_table3_calibration).
+struct SimConfig {
+  /// One-way network latency added to every message delivery (seconds).
+  Seconds message_latency = 1e-4;
+  /// Fixed overhead added to each of the two agent computations per
+  /// request (request processing, reply merge). Models middleware costs
+  /// outside the analytic model.
+  Seconds agent_compute_overhead = 2.5e-4;
+  /// Fixed overhead added to each server computation (prediction and
+  /// service execution).
+  Seconds server_compute_overhead = 1.25e-4;
+  /// Delay between successive client launches (the paper launches one
+  /// client script per second; we compress time).
+  Seconds client_stagger = 5e-3;
+  /// Service computations are sliced into chunks of this length so that
+  /// scheduling-phase work (tiny prediction requests) can interleave, the
+  /// way a real server thread-switches. The node's *total* busy time is
+  /// unchanged — M(r,s,w) still serialises everything — only the blocking
+  /// granularity is bounded. Without this, one multi-second DGEMM would
+  /// stall every scheduling broadcast that crosses its server.
+  Seconds service_slice = 5e-2;
+  /// Ramp-up excluded from measurement. Effective warmup is extended to
+  /// cover the client ramp automatically.
+  Seconds warmup = 3.0;
+  /// Length of the steady-state measurement window.
+  Seconds measure = 8.0;
+  /// Seed for the (deterministic) per-request service draw when the
+  /// workload is a ServiceMix.
+  std::uint64_t seed = 0x5EEDULL;
+  /// Cap on collected per-request service-time samples (forecaster input).
+  std::size_t max_service_samples = 20000;
+};
+
+/// One measured service execution, as a client-side observer would record
+/// it: which mix item ran, on how strong a node, and the wall time from
+/// service start to completion (including any interleaved scheduling work
+/// on that node — the same contamination a real measurement carries).
+struct ServiceSample {
+  std::size_t service = 0;  ///< Index into the ServiceMix.
+  MFlopRate power = 0.0;    ///< Power of the executing node.
+  Seconds seconds = 0.0;    ///< Observed execution wall time.
+};
+
+/// Measurements from one simulation run.
+struct SimResult {
+  RequestRate throughput = 0.0;  ///< Completions in window / window length.
+  std::size_t issued = 0;        ///< Requests entering the system (whole run).
+  std::size_t completed = 0;     ///< Service responses delivered (whole run).
+  std::size_t completed_in_window = 0;
+  Seconds mean_response_time = 0.0;  ///< Mean client round-trip in window.
+  Seconds max_response_time = 0.0;
+  Seconds end_time = 0.0;  ///< Simulated time when the run stopped.
+  /// Per-element busy seconds split by kind, aligned with hierarchy
+  /// element indices. Used by the calibration substrate.
+  std::vector<Seconds> compute_busy;
+  std::vector<Seconds> comm_busy;
+  /// Service-phase completions per element index (non-zero for servers
+  /// only); compares against the model's Eq-8 shares.
+  std::vector<std::size_t> server_completions;
+  /// Scheduling-phase completions observed at the root.
+  std::size_t scheduled = 0;
+  /// Completions per mix item (whole run); size = mix size.
+  std::vector<std::size_t> completions_per_service;
+  /// Observed service executions (capped by SimConfig::max_service_samples).
+  std::vector<ServiceSample> service_samples;
+};
+
+/// Simulates `clients` concurrent clients (each running one request at a
+/// time in a loop, like the paper's client scripts) against the
+/// deployment. Deterministic: same inputs give identical results.
+/// Honours per-node link bandwidths when the platform sets them.
+SimResult simulate(const Hierarchy& hierarchy, const Platform& platform,
+                   const MiddlewareParams& params, const ServiceSpec& service,
+                   std::size_t clients, const SimConfig& config = {});
+
+/// As simulate(), but clients draw each request's service from a weighted
+/// mix (the multi-application scenario of the paper's future work).
+SimResult simulate_mix(const Hierarchy& hierarchy, const Platform& platform,
+                       const MiddlewareParams& params, const ServiceMix& mix,
+                       std::size_t clients, const SimConfig& config = {});
+
+/// One point of a throughput-vs-load curve.
+struct LoadPoint {
+  std::size_t clients = 0;
+  RequestRate throughput = 0.0;
+  Seconds mean_response_time = 0.0;
+};
+
+/// Runs simulate() for each client count (independently, in parallel on
+/// `threads` workers; 0 = all cores) and returns the curve — the
+/// measurement procedure behind Figures 2, 4, 6 and 7.
+std::vector<LoadPoint> load_sweep(const Hierarchy& hierarchy,
+                                  const Platform& platform,
+                                  const MiddlewareParams& params,
+                                  const ServiceSpec& service,
+                                  const std::vector<std::size_t>& client_counts,
+                                  const SimConfig& config = {},
+                                  std::size_t threads = 0);
+
+/// Largest throughput over a curve (the paper's "maximum sustained
+/// throughput" of a deployment).
+RequestRate peak_throughput(const std::vector<LoadPoint>& curve);
+
+}  // namespace adept::sim

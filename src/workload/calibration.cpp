@@ -1,0 +1,58 @@
+#include "workload/calibration.hpp"
+
+#include "common/error.hpp"
+#include "model/service.hpp"
+#include "platform/generator.hpp"
+#include "workload/dgemm.hpp"
+#include "workload/wire.hpp"
+
+namespace adept::workload {
+
+WrepFit fit_wrep(const MiddlewareParams& params, MFlopRate agent_power,
+                 MbitRate bandwidth, const std::vector<std::size_t>& degrees,
+                 const sim::SimConfig& config) {
+  ADEPT_CHECK(degrees.size() >= 2, "wrep fit needs at least two degrees");
+
+  WrepFit result;
+  for (std::size_t degree : degrees) {
+    ADEPT_CHECK(degree >= 1, "star degree must be at least 1");
+    const Platform platform =
+        gen::homogeneous(degree + 1, agent_power, bandwidth);
+    Hierarchy star;
+    const auto root = star.add_root(0);
+    for (NodeId id = 1; id <= degree; ++id) star.add_server(root, id);
+
+    // One serial client, exactly like the paper's 100-repetition probe:
+    // the agent is never saturated, so its busy time divides cleanly.
+    const ServiceSpec probe = dgemm_service(10);
+    const auto run = sim::simulate(star, platform, params, probe, 1, config);
+    ADEPT_CHECK(run.scheduled > 0, "calibration run scheduled no requests");
+    const Seconds per_request =
+        run.compute_busy[root] / static_cast<double>(run.scheduled);
+    result.degrees.push_back(static_cast<double>(degree));
+    result.agent_compute_time.push_back(per_request);
+  }
+
+  result.fit = stats::linear_fit(result.degrees, result.agent_compute_time);
+  result.wsel_measured = result.fit.slope * agent_power;
+  result.fixed_measured = result.fit.intercept * agent_power;
+  return result;
+}
+
+CalibrationReport calibrate(const MiddlewareParams& params, bool measure_host) {
+  CalibrationReport report;
+  report.host_mflops = measure_host ? measure_host_mflops() : 0.0;
+  report.agent_sreq = representative_size(MessageKind::AgentRequest);
+  report.agent_srep = representative_size(MessageKind::AgentReply);
+  report.server_sreq = representative_size(MessageKind::ServerRequest);
+  report.server_srep = representative_size(MessageKind::ServerReply);
+
+  sim::SimConfig config;
+  config.warmup = 0.5;
+  config.measure = 2.0;
+  report.wrep = fit_wrep(params, 1000.0, 1000.0, {1, 2, 4, 6, 8, 10, 12, 14},
+                         config);
+  return report;
+}
+
+}  // namespace adept::workload

@@ -1,0 +1,58 @@
+#pragma once
+/// \file calibration.hpp
+/// \brief Reproduction of the paper's parameter-measurement procedure
+/// (§5.1 → Table 3).
+///
+/// The paper obtains W_rep(d) = W_fix + W_sel·d by deploying stars of
+/// varying degree, timing the agent's reply processing over 100 client
+/// repetitions, and fitting a line over the degree (correlation 0.97).
+/// ADePT reruns exactly that procedure against its simulator: deploy a
+/// star of degree d, drive it with a serial client, read the agent's
+/// measured per-request compute time, and least-squares fit over d. The
+/// slope recovers W_sel; the intercept absorbs W_req + W_fix plus the
+/// middleware overhead the simulator charges — the same bias a real
+/// testbed measurement carries.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "model/parameters.hpp"
+#include "sim/simulator.hpp"
+
+namespace adept::workload {
+
+/// Outcome of the star-sweep W_rep fit.
+struct WrepFit {
+  std::vector<double> degrees;              ///< Degrees measured.
+  std::vector<Seconds> agent_compute_time;  ///< Seconds per request at each degree.
+  stats::LinearFit fit;                     ///< time(d) = slope·d + intercept.
+  MFlop wsel_measured = 0.0;   ///< slope × agent power.
+  MFlop fixed_measured = 0.0;  ///< intercept × agent power (W_req + W_fix + bias).
+};
+
+/// Runs the star-degree sweep on a homogeneous cluster of `agent_power`
+/// nodes and fits the agent reply cost. `degrees` must contain at least
+/// two distinct values.
+WrepFit fit_wrep(const MiddlewareParams& params, MFlopRate agent_power,
+                 MbitRate bandwidth, const std::vector<std::size_t>& degrees,
+                 const sim::SimConfig& config = {});
+
+/// Full Table 3 reproduction: the measured message sizes (wire module),
+/// the fitted reply costs, and the host's Linpack-style MFlop rate.
+struct CalibrationReport {
+  MFlopRate host_mflops = 0.0;
+  Mbit agent_sreq = 0.0;
+  Mbit agent_srep = 0.0;
+  Mbit server_sreq = 0.0;
+  Mbit server_srep = 0.0;
+  WrepFit wrep;
+};
+
+/// Measures everything Table 3 reports, using the simulator and the wire
+/// encoder as the testbed substitute. `measure_host` disables the
+/// wall-clock DGEMM timing (useful in unit tests).
+CalibrationReport calibrate(const MiddlewareParams& params,
+                            bool measure_host = true);
+
+}  // namespace adept::workload

@@ -1,0 +1,60 @@
+#include "workload/dgemm.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "model/service.hpp"
+
+namespace adept::workload {
+
+void dgemm(const double* a, const double* b, double* c, std::size_t n) {
+  ADEPT_CHECK(n > 0, "dgemm order must be positive");
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t ii = 0; ii < n; ii += kBlock) {
+    const std::size_t i_end = std::min(n, ii + kBlock);
+    for (std::size_t kk = 0; kk < n; kk += kBlock) {
+      const std::size_t k_end = std::min(n, kk + kBlock);
+      for (std::size_t i = ii; i < i_end; ++i) {
+        for (std::size_t k = kk; k < k_end; ++k) {
+          const double aik = a[i * n + k];
+          const double* b_row = b + k * n;
+          double* c_row = c + i * n;
+          for (std::size_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+MFlopRate measure_host_mflops(std::size_t n, int reps) {
+  ADEPT_CHECK(n >= 16, "measurement order too small to time reliably");
+  ADEPT_CHECK(reps >= 1, "need at least one repetition");
+  const auto a = make_matrix(n, 1);
+  const auto b = make_matrix(n, 2);
+  std::vector<double> c(n * n, 0.0);
+
+  Seconds best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::fill(c.begin(), c.end(), 0.0);
+    const auto start = std::chrono::steady_clock::now();
+    dgemm(a.data(), b.data(), c.data(), n);
+    const auto stop = std::chrono::steady_clock::now();
+    const Seconds elapsed =
+        std::chrono::duration<double>(stop - start).count();
+    best = std::min(best, elapsed);
+  }
+  // Guard against a timer tick of zero on very fast hosts.
+  best = std::max(best, 1e-9);
+  return dgemm_mflop(n) / best;
+}
+
+std::vector<double> make_matrix(std::size_t n, unsigned seed) {
+  std::vector<double> m(n * n);
+  Rng rng(seed);
+  for (double& x : m) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+}  // namespace adept::workload

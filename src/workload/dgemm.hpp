@@ -1,0 +1,31 @@
+#pragma once
+/// \file dgemm.hpp
+/// \brief A real DGEMM micro-kernel and host-speed measurement.
+///
+/// The paper measures node capacity "in MFlops using a mini-benchmark
+/// extracted from Linpack" and uses that scale to convert measured times
+/// into the MFlop costs of Table 3. ADePT reproduces the procedure with a
+/// small blocked matrix-multiply kernel executed on the actual host.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace adept::workload {
+
+/// C += A·B for row-major n×n matrices (blocked ikj loop). The kernel is
+/// deliberately plain C++ — it stands in for the paper's Linpack kernel,
+/// not for a tuned BLAS.
+void dgemm(const double* a, const double* b, double* c, std::size_t n);
+
+/// Measures the host's DGEMM rate in MFlop/s: runs `reps` multiplies of
+/// order `n` and divides flops by the best wall-clock time (best-of to
+/// suppress scheduler noise).
+MFlopRate measure_host_mflops(std::size_t n = 192, int reps = 3);
+
+/// Deterministically fills a matrix with values in [-1, 1] (for kernel
+/// self-checks).
+std::vector<double> make_matrix(std::size_t n, unsigned seed);
+
+}  // namespace adept::workload

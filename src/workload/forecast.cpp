@@ -1,0 +1,63 @@
+#include "workload/forecast.hpp"
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace adept::workload {
+
+WappEstimate estimate_wapp(std::span<const sim::ServiceSample> samples,
+                           std::size_t service_index) {
+  std::vector<double> inverse_power;
+  std::vector<double> seconds;
+  std::set<double> distinct_powers;
+  for (const auto& sample : samples) {
+    if (sample.service != service_index) continue;
+    ADEPT_CHECK(sample.power > 0.0, "sample with non-positive power");
+    inverse_power.push_back(1.0 / sample.power);
+    seconds.push_back(sample.seconds);
+    distinct_powers.insert(sample.power);
+  }
+  ADEPT_CHECK(inverse_power.size() >= 2,
+              "need at least two samples of the service");
+  ADEPT_CHECK(distinct_powers.size() >= 2,
+              "need samples from at least two distinct node powers");
+
+  const auto fit = stats::linear_fit(inverse_power, seconds);
+  WappEstimate estimate;
+  estimate.wapp = fit.slope;
+  estimate.overhead = fit.intercept;
+  estimate.correlation = fit.correlation;
+  estimate.samples = inverse_power.size();
+  return estimate;
+}
+
+ServiceSpec DgemmLaw::predict(std::size_t n) const {
+  ADEPT_CHECK(n > 0, "dgemm order must be positive");
+  const double cubed = static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  return ServiceSpec{"dgemm-" + std::to_string(n) + "-forecast",
+                     coefficient * cubed};
+}
+
+DgemmLaw fit_dgemm_law(std::span<const double> orders,
+                       std::span<const MFlop> wapps) {
+  ADEPT_CHECK(orders.size() == wapps.size(), "fit_dgemm_law: size mismatch");
+  ADEPT_CHECK(!orders.empty(), "fit_dgemm_law: no points");
+  // Least squares through the origin on x = n³: k = Σ x·y / Σ x².
+  double xy = 0.0;
+  double xx = 0.0;
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    ADEPT_CHECK(orders[i] > 0.0 && wapps[i] > 0.0,
+                "fit_dgemm_law: non-positive point");
+    const double x = orders[i] * orders[i] * orders[i];
+    xy += x * wapps[i];
+    xx += x * x;
+  }
+  DgemmLaw law;
+  law.coefficient = xy / xx;
+  return law;
+}
+
+}  // namespace adept::workload

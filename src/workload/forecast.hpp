@@ -1,0 +1,56 @@
+#pragma once
+/// \file forecast.hpp
+/// \brief Statistical execution-time forecasting (the paper's future-work
+/// item: "we should study another approach with statistical mathematical
+/// function to forecast the execution time").
+///
+/// The planner needs W_app, the per-request computation of a service. In
+/// production nobody hands it over — it must be estimated from observed
+/// executions. Two estimators are provided:
+///
+/// 1. estimate_wapp — given observed (node power, execution seconds)
+///    samples of ONE service, regress seconds against 1/power:
+///    seconds_i ≈ W_app·(1/w_i) + overhead. The slope recovers W_app
+///    *independently of any fixed per-request overhead*, which lands in
+///    the intercept — the same trick the Table 3 calibration uses for
+///    W_sel.
+/// 2. fit_dgemm_law — given (matrix order, W_app estimate) pairs, fit the
+///    cubic law W_app = coefficient·n³ through the origin, so W_app can
+///    be *extrapolated* to problem sizes never observed.
+
+#include <span>
+
+#include "common/stats.hpp"
+#include "model/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace adept::workload {
+
+/// Result of the per-service W_app regression.
+struct WappEstimate {
+  MFlop wapp = 0.0;           ///< Regression slope (the estimate).
+  Seconds overhead = 0.0;     ///< Intercept: fixed per-request time.
+  double correlation = 0.0;   ///< Fit quality; ~1 for clean data.
+  std::size_t samples = 0;    ///< Points used.
+};
+
+/// Estimates W_app for mix item `service_index` from simulator samples.
+/// Requires at least two samples on nodes of at least two distinct
+/// powers; throws adept::Error otherwise.
+WappEstimate estimate_wapp(std::span<const sim::ServiceSample> samples,
+                           std::size_t service_index = 0);
+
+/// Cubic DGEMM cost law fitted through the origin.
+struct DgemmLaw {
+  /// MFlop per n³ (the true value for 2·n³ flop is 2e-6).
+  double coefficient = 0.0;
+  /// Predicted service spec for an arbitrary order.
+  ServiceSpec predict(std::size_t n) const;
+};
+
+/// Least-squares fit of W_app = coefficient·n³ over observed orders.
+/// Requires at least one pair with n > 0 and wapp > 0.
+DgemmLaw fit_dgemm_law(std::span<const double> orders,
+                       std::span<const MFlop> wapps);
+
+}  // namespace adept::workload

@@ -1,0 +1,197 @@
+#include "workload/wire.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace adept::workload {
+
+namespace {
+
+/// Little-endian byte writer with GIOP-style framing.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> finish(std::uint8_t message_type) {
+    // GIOP-like header: magic "ADEP", version 1.0, flags, type, body size.
+    std::vector<std::uint8_t> framed = {'A', 'D', 'E', 'P', 1, 0, 0, message_type};
+    const std::uint32_t size = static_cast<std::uint32_t>(bytes_.size());
+    for (int i = 0; i < 4; ++i)
+      framed.push_back(static_cast<std::uint8_t>(size >> (8 * i)));
+    framed.insert(framed.end(), bytes_.begin(), bytes_.end());
+    return framed;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Matching reader; validates framing.
+class Reader {
+ public:
+  Reader(const std::vector<std::uint8_t>& bytes, std::uint8_t expected_type)
+      : bytes_(bytes) {
+    ADEPT_CHECK(bytes_.size() >= 12, "wire: message shorter than header");
+    ADEPT_CHECK(bytes_[0] == 'A' && bytes_[1] == 'D' && bytes_[2] == 'E' &&
+                    bytes_[3] == 'P',
+                "wire: bad magic");
+    ADEPT_CHECK(bytes_[7] == expected_type, "wire: unexpected message type");
+    std::uint32_t body = 0;
+    for (int i = 0; i < 4; ++i)
+      body |= static_cast<std::uint32_t>(bytes_[8 + i]) << (8 * i);
+    ADEPT_CHECK(bytes_.size() == 12 + body, "wire: length mismatch");
+    pos_ = 12;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t size = u32();
+    need(size);
+    std::string s(bytes_.begin() + static_cast<long>(pos_),
+                  bytes_.begin() + static_cast<long>(pos_ + size));
+    pos_ += size;
+    return s;
+  }
+  void done() const {
+    ADEPT_CHECK(pos_ == bytes_.size(), "wire: trailing bytes");
+  }
+
+ private:
+  void need(std::size_t count) const {
+    ADEPT_CHECK(pos_ + count <= bytes_.size(), "wire: truncated message");
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kAgentRequestType = 1;
+constexpr std::uint8_t kAgentReplyType = 2;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const AgentRequestMessage& message) {
+  Writer w;
+  w.u64(message.request_id);
+  w.str(message.client_host);
+  w.str(message.service_name);
+  w.u32(static_cast<std::uint32_t>(message.routing_path.size()));
+  for (const auto& hop : message.routing_path) w.str(hop);
+  w.u32(static_cast<std::uint32_t>(message.argument_descriptor.size()));
+  for (double v : message.argument_descriptor) w.f64(v);
+  return w.finish(kAgentRequestType);
+}
+
+std::vector<std::uint8_t> encode(const AgentReplyMessage& message) {
+  Writer w;
+  w.u64(message.request_id);
+  w.u32(static_cast<std::uint32_t>(message.candidates.size()));
+  for (const auto& candidate : message.candidates) {
+    w.str(candidate.server_host);
+    w.f64(candidate.predicted_seconds);
+    w.f64(candidate.load);
+  }
+  return w.finish(kAgentReplyType);
+}
+
+AgentRequestMessage decode_agent_request(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes, kAgentRequestType);
+  AgentRequestMessage message;
+  message.request_id = r.u64();
+  message.client_host = r.str();
+  message.service_name = r.str();
+  const std::uint32_t hops = r.u32();
+  for (std::uint32_t i = 0; i < hops; ++i)
+    message.routing_path.push_back(r.str());
+  const std::uint32_t args = r.u32();
+  for (std::uint32_t i = 0; i < args; ++i)
+    message.argument_descriptor.push_back(r.f64());
+  r.done();
+  return message;
+}
+
+AgentReplyMessage decode_agent_reply(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes, kAgentReplyType);
+  AgentReplyMessage message;
+  message.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CandidateEntry entry;
+    entry.server_host = r.str();
+    entry.predicted_seconds = r.f64();
+    entry.load = r.f64();
+    message.candidates.push_back(std::move(entry));
+  }
+  r.done();
+  return message;
+}
+
+Mbit representative_size(MessageKind kind, std::size_t fanout) {
+  switch (kind) {
+    case MessageKind::AgentRequest: {
+      AgentRequestMessage message;
+      message.request_id = 1;
+      message.client_host = "lyon-17.lyon.grid5000.fr";
+      message.service_name = "dgemm-310";
+      message.routing_path = {"MA.orsay-0.orsay.grid5000.fr",
+                              "LA-1.orsay-7.orsay.grid5000.fr"};
+      // IOR-like context: object key, profile, QoS hints — the bulk of a
+      // CORBA request envelope (64 doubles ≈ the captured payloads).
+      message.argument_descriptor.assign(64, 3.14);
+      return units::mbit_from_bytes(static_cast<double>(encode(message).size()));
+    }
+    case MessageKind::AgentReply: {
+      AgentReplyMessage message;
+      message.request_id = 1;
+      for (std::size_t i = 0; i < std::max<std::size_t>(1, fanout) * 16; ++i)
+        message.candidates.push_back(
+            {"sed-" + std::to_string(i) + ".orsay.grid5000.fr",
+             0.25 + static_cast<double>(i), 0.5});
+      return units::mbit_from_bytes(static_cast<double>(encode(message).size()));
+    }
+    case MessageKind::ServerRequest:
+      // Compact binary: 4-byte request id + 2-byte service id + flag.
+      return units::mbit_from_bytes(7.0);
+    case MessageKind::ServerReply:
+      // Request id + one predicted-time float.
+      return units::mbit_from_bytes(8.0);
+  }
+  throw Error("unknown message kind");
+}
+
+}  // namespace adept::workload

@@ -1,0 +1,70 @@
+#pragma once
+/// \file wire.hpp
+/// \brief Synthetic wire format for middleware messages.
+///
+/// The paper obtained S_req and S_rep by capturing real agent/server
+/// traffic with tcpdump and measuring complete message sizes (headers
+/// included) in Ethereal. ADePT cannot capture Grid'5000 traffic, so it
+/// encodes the *actual content* of each message kind in a CORBA-GIOP-like
+/// binary format and measures the encoding — the same quantity obtained
+/// by a different (deterministic) route. Agent-level messages carry the
+/// full request context and the aggregated child responses, hence are two
+/// orders of magnitude larger than the compact server-level exchanges,
+/// which is exactly the asymmetry Table 3 reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace adept::workload {
+
+/// Message kinds whose sizes the model consumes.
+enum class MessageKind {
+  AgentRequest,   ///< Client→agent / agent→agent scheduling request.
+  AgentReply,     ///< Agent→parent aggregated scheduling reply.
+  ServerRequest,  ///< Agent→server prediction request (compact).
+  ServerReply,    ///< Server→agent prediction reply (compact).
+};
+
+/// Scheduling request as carried at agent level.
+struct AgentRequestMessage {
+  std::uint64_t request_id = 0;
+  std::string client_host;                ///< e.g. "lyon-17.grid5000.fr".
+  std::string service_name;               ///< e.g. "dgemm-310".
+  std::vector<std::string> routing_path;  ///< Agents traversed so far.
+  std::vector<double> argument_descriptor;///< Problem-shape metadata.
+};
+
+/// One candidate row of an aggregated agent reply.
+struct CandidateEntry {
+  std::string server_host;
+  double predicted_seconds = 0.0;
+  double load = 0.0;
+};
+
+/// Aggregated scheduling reply as carried at agent level.
+struct AgentReplyMessage {
+  std::uint64_t request_id = 0;
+  std::vector<CandidateEntry> candidates;
+};
+
+/// Serialises a message into GIOP-framed bytes (12-byte header, length-
+/// prefixed strings, little-endian scalars).
+std::vector<std::uint8_t> encode(const AgentRequestMessage& message);
+std::vector<std::uint8_t> encode(const AgentReplyMessage& message);
+
+/// Decodes bytes produced by the matching encode(); throws adept::Error
+/// on malformed input. Used by the round-trip tests.
+AgentRequestMessage decode_agent_request(const std::vector<std::uint8_t>& bytes);
+AgentReplyMessage decode_agent_reply(const std::vector<std::uint8_t>& bytes);
+
+/// "Measures" the wire size of a representative message of each kind
+/// (Mbit), the way the paper measured S_req / S_rep. Representative
+/// content: a DGEMM request from one client through a 2-level hierarchy,
+/// and a reply aggregating `fanout` candidate servers (default matches
+/// the degree used in §5.1's measurement deployment).
+Mbit representative_size(MessageKind kind, std::size_t fanout = 1);
+
+}  // namespace adept::workload

@@ -1,0 +1,342 @@
+/// \file test_extensions.cpp
+/// \brief Tests for the paper's future-work extensions implemented in
+/// ADePT: heterogeneous communication (per-node links), multi-service
+/// workload mixes, the link-aware planner refinement, and statistical
+/// execution-time forecasting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "model/hetero_comm.hpp"
+#include "model/mix.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+#include "platform/io.hpp"
+#include "sim/simulator.hpp"
+#include "workload/forecast.hpp"
+
+namespace adept {
+namespace {
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+constexpr MbitRate kB = 1000.0;
+
+Hierarchy star(std::size_t servers) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  for (NodeId id = 1; id <= servers; ++id) h.add_server(root, id);
+  return h;
+}
+
+sim::SimConfig quick() {
+  sim::SimConfig config;
+  config.warmup = 0.5;
+  config.measure = 2.0;
+  return config;
+}
+
+// --------------------------------------------------- per-node links (platform)
+
+TEST(Links, DefaultIsHomogeneous) {
+  const Platform platform = gen::homogeneous(4, 1000.0, kB);
+  EXPECT_TRUE(platform.has_homogeneous_links());
+  EXPECT_DOUBLE_EQ(platform.link_bandwidth(0), kB);
+  EXPECT_DOUBLE_EQ(platform.edge_bandwidth(0, 1), kB);
+}
+
+TEST(Links, SetLinkOverridesAndEdgeIsMin) {
+  Platform platform = gen::homogeneous(4, 1000.0, kB);
+  platform.set_link(1, 100.0);
+  EXPECT_FALSE(platform.has_homogeneous_links());
+  EXPECT_DOUBLE_EQ(platform.link_bandwidth(1), 100.0);
+  EXPECT_DOUBLE_EQ(platform.link_bandwidth(2), kB);
+  EXPECT_DOUBLE_EQ(platform.edge_bandwidth(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(platform.edge_bandwidth(1, 2), 100.0);
+  EXPECT_DOUBLE_EQ(platform.edge_bandwidth(0, 2), kB);
+  EXPECT_THROW(platform.set_link(0, -1.0), Error);
+  EXPECT_THROW(platform.set_link(99, 10.0), Error);
+}
+
+TEST(Links, GeneratorDrawsWithinRange) {
+  Rng rng(4);
+  const Platform platform = gen::with_heterogeneous_links(
+      gen::homogeneous(30, 1000.0, kB), 10.0, 100.0, rng);
+  EXPECT_FALSE(platform.has_homogeneous_links());
+  for (NodeId id = 0; id < platform.size(); ++id) {
+    EXPECT_GE(platform.link_bandwidth(id), 10.0);
+    EXPECT_LT(platform.link_bandwidth(id), 100.0);
+  }
+}
+
+TEST(Links, PlatformFileRoundTripsLinkColumn) {
+  Platform platform = gen::homogeneous(3, 500.0, kB);
+  platform.set_link(1, 128.0);
+  const Platform parsed = io::parse_platform(io::serialize_platform(platform));
+  EXPECT_DOUBLE_EQ(parsed.link_bandwidth(1), 128.0);
+  EXPECT_DOUBLE_EQ(parsed.link_bandwidth(0), kB);
+  // Explicit parse of the 4-column form.
+  const Platform manual =
+      io::parse_platform("bandwidth 1000\nnode a 500 64\nnode b 500\n");
+  EXPECT_DOUBLE_EQ(manual.link_bandwidth(0), 64.0);
+  EXPECT_THROW(io::parse_platform("bandwidth 10\nnode a 500 -2\n"), Error);
+}
+
+// ------------------------------------------------- hetero-comm model (Eq 14/15)
+
+TEST(HeteroModel, ReducesToPaperModelOnHomogeneousLinks) {
+  const Platform platform = gen::homogeneous(6, 800.0, kB);
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  const auto la = h.add_agent(root, 1);
+  h.add_server(la, 2);
+  h.add_server(la, 3);
+  h.add_server(root, 4);
+  const ServiceSpec service = dgemm_service(310);
+  const auto base = model::evaluate(h, platform, kParams, service);
+  const auto hetero = model::evaluate_hetero(h, platform, kParams, service);
+  EXPECT_NEAR(hetero.sched, base.sched, 1e-9 * base.sched);
+  EXPECT_NEAR(hetero.service, base.service, 1e-9 * base.service);
+  EXPECT_NEAR(hetero.overall, base.overall, 1e-9 * base.overall);
+  EXPECT_EQ(hetero.bottleneck, base.bottleneck);
+}
+
+TEST(HeteroModel, SlowAgentLinkLowersSchedOnly) {
+  Platform platform = gen::homogeneous(4, 1000.0, kB);
+  const Hierarchy h = star(3);
+  const ServiceSpec service = dgemm_service(10);
+  const auto before = model::evaluate_hetero(h, platform, kParams, service);
+  platform.set_link(0, 10.0);  // throttle the agent's link
+  const auto after = model::evaluate_hetero(h, platform, kParams, service);
+  EXPECT_LT(after.sched, before.sched);
+}
+
+TEST(HeteroModel, SlowServerLinkLowersServiceTerm) {
+  Platform platform = gen::homogeneous(3, 1000.0, kB);
+  const Hierarchy h = star(2);
+  const ServiceSpec service = dgemm_service(310);
+  const auto before = model::evaluate_hetero(h, platform, kParams, service);
+  platform.set_link(1, 0.01);  // server behind a dial-up link
+  const auto after = model::evaluate_hetero(h, platform, kParams, service);
+  EXPECT_LT(after.service, before.service);
+}
+
+TEST(HeteroModel, AgentTermUsesNarrowestChildEdge) {
+  // Two identical stars, one with a throttled *child*: the agent pays the
+  // child's slow edge on both directions of the broadcast.
+  Platform fast = gen::homogeneous(3, 1000.0, kB);
+  Platform slow = fast;
+  slow.set_link(2, 1.0);
+  const Hierarchy h = star(2);
+  const auto rate_fast =
+      model::agent_sched_throughput_hetero(h, fast, kParams, 0);
+  const auto rate_slow =
+      model::agent_sched_throughput_hetero(h, slow, kParams, 0);
+  EXPECT_LT(rate_slow, rate_fast);
+}
+
+// --------------------------------------------------------- simulator + links
+
+TEST(HeteroSim, ThrottledAgentLinkLowersMeasuredThroughput) {
+  Platform fast = gen::homogeneous(3, 1000.0, kB);
+  Platform slow = fast;
+  slow.set_link(0, 5.0);  // the agent's messages crawl
+  const Hierarchy h = star(2);
+  const ServiceSpec service = dgemm_service(10);
+  const auto run_fast = sim::simulate(h, fast, kParams, service, 30, quick());
+  const auto run_slow = sim::simulate(h, slow, kParams, service, 30, quick());
+  EXPECT_LT(run_slow.throughput, 0.6 * run_fast.throughput);
+}
+
+TEST(HeteroSim, SimFollowsHeteroModelOrdering) {
+  // Plan A keeps the well-connected node as agent, plan B the throttled
+  // one; the hetero model and the simulator must agree on the winner.
+  Platform platform = gen::homogeneous(4, 1000.0, kB);
+  platform.set_link(0, 20.0);
+  Hierarchy bad = star(3);  // agent on throttled node 0
+  Hierarchy good;           // agent on healthy node 1
+  const auto root = good.add_root(1);
+  good.add_server(root, 0);
+  good.add_server(root, 2);
+  good.add_server(root, 3);
+  const ServiceSpec service = dgemm_service(100);
+  const auto model_bad = model::evaluate_hetero(bad, platform, kParams, service);
+  const auto model_good =
+      model::evaluate_hetero(good, platform, kParams, service);
+  ASSERT_GT(model_good.overall, model_bad.overall);
+  const auto sim_bad = sim::simulate(bad, platform, kParams, service, 30, quick());
+  const auto sim_good =
+      sim::simulate(good, platform, kParams, service, 30, quick());
+  EXPECT_GT(sim_good.throughput, sim_bad.throughput);
+}
+
+// -------------------------------------------------------- link-aware planner
+
+TEST(LinkAwarePlanner, MatchesHeuristicOnHomogeneousLinks) {
+  const Platform platform = gen::homogeneous(12, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(310);
+  const auto base = plan_heterogeneous(platform, kParams, service);
+  const auto aware = plan_link_aware(platform, kParams, service);
+  EXPECT_EQ(aware.hierarchy, base.hierarchy);
+}
+
+TEST(LinkAwarePlanner, MovesAgentOffThrottledNode) {
+  // Strongest node (the heuristic's root pick for a small grain) is
+  // behind a slow link; the refinement must move the root elsewhere.
+  Platform platform({{"big-slow", 2000.0},
+                     {"mid-1", 1000.0},
+                     {"mid-2", 1000.0},
+                     {"mid-3", 1000.0},
+                     {"mid-4", 1000.0}},
+                    kB);
+  platform.set_link(0, 5.0);
+  const ServiceSpec service = dgemm_service(100);
+  const auto base = plan_heterogeneous(platform, kParams, service);
+  const auto aware = plan_link_aware(platform, kParams, service);
+  const auto base_hetero =
+      model::evaluate_hetero(base.hierarchy, platform, kParams, service);
+  EXPECT_GT(aware.report.overall, base_hetero.overall);
+  // Node 0 can serve neither as the root (its messages crawl) nor as a
+  // server (every broadcast would pay its edge): the refinement must have
+  // moved the root off it, or dropped it from the deployment entirely.
+  EXPECT_NE(aware.hierarchy.node_of(aware.hierarchy.root()), 0u);
+  const auto used = aware.hierarchy.used_nodes();
+  EXPECT_EQ(std::count(used.begin(), used.end(), 0u), 0);
+}
+
+TEST(LinkAwarePlanner, NeverWorseThanUnrefinedUnderHeteroModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Platform platform = gen::with_heterogeneous_links(
+        gen::uniform(16, 200.0, 1200.0, kB, rng), 50.0, 1000.0, rng);
+    const ServiceSpec service = dgemm_service(310);
+    const auto base = plan_heterogeneous(platform, kParams, service);
+    const auto aware = plan_link_aware(platform, kParams, service);
+    const auto base_hetero =
+        model::evaluate_hetero(base.hierarchy, platform, kParams, service);
+    EXPECT_GE(aware.report.overall, base_hetero.overall * (1.0 - 1e-12))
+        << "seed " << seed;
+    EXPECT_TRUE(aware.hierarchy.validate(&platform).empty());
+  }
+}
+
+// ------------------------------------------------------------- service mixes
+
+TEST(ServiceMix, FractionsAndExpectation) {
+  const ServiceMix mix({{dgemm_service(100), 3.0}, {dgemm_service(310), 1.0}});
+  EXPECT_EQ(mix.size(), 2u);
+  EXPECT_NEAR(mix.fraction(0), 0.75, 1e-12);
+  EXPECT_NEAR(mix.fraction(1), 0.25, 1e-12);
+  EXPECT_NEAR(mix.expected_wapp(),
+              0.75 * dgemm_mflop(100) + 0.25 * dgemm_mflop(310), 1e-12);
+  EXPECT_EQ(mix.expected_service().name, "mix");
+}
+
+TEST(ServiceMix, RejectsBadInput) {
+  EXPECT_THROW(ServiceMix(std::vector<std::pair<ServiceSpec, double>>{}), Error);
+  EXPECT_THROW(ServiceMix({{dgemm_service(10), 0.0}}), Error);
+  EXPECT_THROW(ServiceMix({{ServiceSpec{"zero", 0.0}, 1.0}}), Error);
+}
+
+TEST(ServiceMix, SimulatorDrawsTheRequestedProportions) {
+  const Platform platform = gen::homogeneous(5, 1000.0, kB);
+  const ServiceMix mix({{dgemm_service(100), 4.0}, {dgemm_service(310), 1.0}});
+  const auto run =
+      sim::simulate_mix(star(4), platform, kParams, mix, 20, quick());
+  ASSERT_EQ(run.completions_per_service.size(), 2u);
+  const double total = static_cast<double>(run.completions_per_service[0] +
+                                           run.completions_per_service[1]);
+  ASSERT_GT(total, 100.0);
+  EXPECT_NEAR(static_cast<double>(run.completions_per_service[0]) / total, 0.8,
+              0.08);
+}
+
+TEST(ServiceMix, MixThroughputMatchesExpectedServiceModel) {
+  // Service-limited star: the measured mix throughput must approach the
+  // analytic prediction computed with E[W_app].
+  const Platform platform = gen::homogeneous(4, 1000.0, kB);
+  const ServiceMix mix({{dgemm_service(200), 1.0}, {dgemm_service(310), 1.0}});
+  const Hierarchy h = star(3);
+  const auto predicted =
+      model::evaluate(h, platform, kParams, mix.expected_service());
+  sim::SimConfig config = quick();
+  config.warmup = 2.0;
+  config.measure = 6.0;
+  const auto run = sim::simulate_mix(h, platform, kParams, mix, 40, config);
+  EXPECT_NEAR(run.throughput, predicted.overall, 0.12 * predicted.overall);
+}
+
+TEST(ServiceMix, PlannerSizesForTheExpectedGrain) {
+  const Platform platform = gen::homogeneous(30, 1000.0, kB);
+  const ServiceMix mix({{dgemm_service(100), 1.0}, {dgemm_service(1000), 1.0}});
+  const auto plan =
+      plan_heterogeneous(platform, kParams, mix.expected_service());
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  // E[W_app] ≈ 1001 MFlop: decidedly service-limited, so the plan commits
+  // many servers.
+  EXPECT_GT(plan.hierarchy.server_count(), 20u);
+}
+
+// ---------------------------------------------------------------- forecaster
+
+TEST(Forecast, RecoversWappFromCleanSamples) {
+  std::vector<sim::ServiceSample> samples;
+  const MFlop wapp = 59.582;  // dgemm-310
+  for (double power : {400.0, 700.0, 1000.0, 1300.0})
+    for (int rep = 0; rep < 3; ++rep)
+      samples.push_back({0, power, wapp / power + 2.5e-4});
+  const auto estimate = workload::estimate_wapp(samples);
+  EXPECT_NEAR(estimate.wapp, wapp, 1e-6);
+  EXPECT_NEAR(estimate.overhead, 2.5e-4, 1e-9);
+  EXPECT_GT(estimate.correlation, 0.999);
+  EXPECT_EQ(estimate.samples, 12u);
+}
+
+TEST(Forecast, FiltersByServiceIndex) {
+  std::vector<sim::ServiceSample> samples;
+  for (double power : {500.0, 1000.0}) {
+    samples.push_back({0, power, 2.0 / power});
+    samples.push_back({1, power, 2000.0 / power});
+  }
+  EXPECT_NEAR(workload::estimate_wapp(samples, 0).wapp, 2.0, 1e-9);
+  EXPECT_NEAR(workload::estimate_wapp(samples, 1).wapp, 2000.0, 1e-6);
+}
+
+TEST(Forecast, RejectsDegenerateSamples) {
+  std::vector<sim::ServiceSample> one{{0, 1000.0, 0.1}};
+  EXPECT_THROW(workload::estimate_wapp(one), Error);
+  std::vector<sim::ServiceSample> same_power{{0, 1000.0, 0.1},
+                                             {0, 1000.0, 0.11}};
+  EXPECT_THROW(workload::estimate_wapp(same_power), Error);
+}
+
+TEST(Forecast, EstimatesFromRealSimulatorSamples) {
+  // End to end: run the simulator on heterogeneous servers and recover
+  // W_app of DGEMM 310 from the observed executions.
+  Platform platform({{"agent", 1500.0},
+                     {"s1", 400.0},
+                     {"s2", 800.0},
+                     {"s3", 1200.0}},
+                    kB);
+  const ServiceSpec service = dgemm_service(310);
+  const auto run = sim::simulate(star(3), platform, kParams, service, 12, quick());
+  ASSERT_GE(run.service_samples.size(), 10u);
+  const auto estimate = workload::estimate_wapp(run.service_samples);
+  EXPECT_NEAR(estimate.wapp, service.wapp, 0.10 * service.wapp);
+}
+
+TEST(Forecast, DgemmLawExtrapolates) {
+  const std::vector<double> orders{100.0, 200.0, 310.0};
+  std::vector<MFlop> wapps;
+  for (double n : orders) wapps.push_back(2e-6 * n * n * n * 1.01);  // 1% noise
+  const auto law = workload::fit_dgemm_law(orders, wapps);
+  EXPECT_NEAR(law.coefficient, 2e-6, 0.05e-6);
+  const auto predicted = law.predict(1000);
+  EXPECT_NEAR(predicted.wapp, dgemm_mflop(1000), 0.05 * dgemm_mflop(1000));
+  EXPECT_THROW(workload::fit_dgemm_law({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace adept

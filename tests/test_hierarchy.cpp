@@ -1,0 +1,289 @@
+/// \file test_hierarchy.cpp
+/// \brief Unit tests for the hierarchy structure, validation rules,
+/// adjacency matrix, GoDIET XML and DOT rendering.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hierarchy/adjacency.hpp"
+#include "hierarchy/dot.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/xml.hpp"
+#include "platform/generator.hpp"
+
+namespace adept {
+namespace {
+
+/// root → {LA(2 servers), server}: the smallest multi-level hierarchy.
+Hierarchy sample() {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  const auto la = h.add_agent(root, 1);
+  h.add_server(la, 2);
+  h.add_server(la, 3);
+  h.add_server(root, 4);
+  return h;
+}
+
+// ------------------------------------------------------------ structure --
+
+TEST(Hierarchy, BuildAndQuery) {
+  const Hierarchy h = sample();
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_EQ(h.agent_count(), 2u);
+  EXPECT_EQ(h.server_count(), 3u);
+  EXPECT_EQ(h.degree(h.root()), 2u);
+  EXPECT_EQ(h.max_depth(), 2u);
+  EXPECT_EQ(h.max_degree(), 2u);
+  EXPECT_TRUE(h.is_agent(0));
+  EXPECT_FALSE(h.is_agent(2));
+  EXPECT_EQ(h.node_of(4), 4u);
+  EXPECT_EQ(h.agents(), (std::vector<Hierarchy::Index>{0, 1}));
+  EXPECT_EQ(h.servers(), (std::vector<Hierarchy::Index>{2, 3, 4}));
+}
+
+TEST(Hierarchy, DepthWalksParentChain) {
+  const Hierarchy h = sample();
+  EXPECT_EQ(h.depth(0), 0u);
+  EXPECT_EQ(h.depth(1), 1u);
+  EXPECT_EQ(h.depth(2), 2u);
+  EXPECT_EQ(h.depth(4), 1u);
+}
+
+TEST(Hierarchy, RejectsMisuse) {
+  Hierarchy h;
+  EXPECT_THROW(h.root(), Error);
+  const auto root = h.add_root(0);
+  EXPECT_THROW(h.add_root(1), Error);                 // second root
+  const auto server = h.add_server(root, 1);
+  EXPECT_THROW(h.add_server(server, 2), Error);       // child of a server
+  EXPECT_THROW(h.element(99), Error);
+  EXPECT_THROW(h.convert_to_agent(root), Error);      // already an agent
+}
+
+TEST(Hierarchy, ConvertToAgentIsShiftNodes) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  const auto leaf = h.add_server(root, 1);
+  h.convert_to_agent(leaf);
+  EXPECT_TRUE(h.is_agent(leaf));
+  h.add_server(leaf, 2);  // now children can attach
+  h.add_server(leaf, 3);
+  EXPECT_TRUE(h.validate().empty());
+}
+
+TEST(Hierarchy, RemoveLastChildBacktracks) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  h.add_server(root, 1);
+  h.add_server(root, 2);
+  h.remove_last_child(root);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.degree(root), 1u);
+  // Only the most recently added element can be removed.
+  h.add_server(root, 3);
+  EXPECT_THROW(h.remove_last_child(99), Error);
+}
+
+TEST(Hierarchy, ReparentMovesSubtree) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  const auto la = h.add_agent(root, 1);
+  const auto s1 = h.add_server(la, 2);
+  h.add_server(la, 3);
+  h.add_server(root, 4);
+  h.reparent(s1, root);
+  EXPECT_EQ(h.element(s1).parent, root);
+  EXPECT_EQ(h.degree(root), 3u);
+  EXPECT_EQ(h.degree(la), 1u);
+}
+
+TEST(Hierarchy, ReparentRejectsCyclesAndRoot) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  const auto la = h.add_agent(root, 1);
+  h.add_server(la, 2);
+  EXPECT_THROW(h.reparent(root, la), Error);  // cannot move the root
+  EXPECT_THROW(h.reparent(la, la), Error);    // cycle to itself
+  EXPECT_THROW(h.reparent(la, 2), Error);     // server cannot adopt
+}
+
+// ----------------------------------------------------------- validation --
+
+TEST(HierarchyValidate, AcceptsPaperRules) {
+  EXPECT_TRUE(sample().validate().empty());
+}
+
+TEST(HierarchyValidate, RootMustHaveChildren) {
+  Hierarchy h;
+  h.add_root(0);
+  const auto problems = h.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("no children"), std::string::npos);
+}
+
+TEST(HierarchyValidate, NonRootAgentNeedsTwoChildren) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  const auto la = h.add_agent(root, 1);
+  h.add_server(la, 2);
+  h.add_server(root, 3);
+  const auto problems = h.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("two or more children"), std::string::npos);
+}
+
+TEST(HierarchyValidate, DetectsNodeSharing) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  h.add_server(root, 0);  // same platform node as the root
+  const auto problems = h.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("more than one element"), std::string::npos);
+}
+
+TEST(HierarchyValidate, ChecksNodeRangeAgainstPlatform) {
+  const Platform platform = gen::homogeneous(2, 100.0, 100.0);
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  h.add_server(root, 7);  // node 7 does not exist
+  const auto problems = h.validate(&platform);
+  ASSERT_FALSE(problems.empty());
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("outside platform") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+  EXPECT_THROW(h.validate_or_throw(&platform), Error);
+}
+
+TEST(HierarchyValidate, EmptyHierarchyIsInvalid) {
+  Hierarchy h;
+  EXPECT_FALSE(h.validate().empty());
+}
+
+// ------------------------------------------------------------ adjacency --
+
+TEST(Adjacency, RoundTripsSample) {
+  const Hierarchy h = sample();
+  const AdjacencyMatrix matrix = to_adjacency(h, 5);
+  EXPECT_TRUE(matrix.at(0, 1));
+  EXPECT_TRUE(matrix.at(1, 2));
+  EXPECT_FALSE(matrix.at(2, 1));
+  EXPECT_EQ(matrix.out_degree(0), 2u);
+  EXPECT_EQ(matrix.in_degree(0), 0u);
+  EXPECT_TRUE(matrix.is_used(4));
+
+  const Hierarchy rebuilt = from_adjacency(matrix);
+  EXPECT_TRUE(rebuilt.validate().empty());
+  EXPECT_EQ(rebuilt.size(), h.size());
+  EXPECT_EQ(rebuilt.agent_count(), h.agent_count());
+  // Same edges, independent of construction order.
+  const AdjacencyMatrix matrix2 = to_adjacency(rebuilt, 5);
+  for (NodeId p = 0; p < 5; ++p)
+    for (NodeId c = 0; c < 5; ++c) EXPECT_EQ(matrix.at(p, c), matrix2.at(p, c));
+}
+
+TEST(Adjacency, UnusedNodesStayUnused) {
+  const Hierarchy h = sample();
+  const AdjacencyMatrix matrix = to_adjacency(h, 10);
+  for (NodeId n = 5; n < 10; ++n) EXPECT_FALSE(matrix.is_used(n));
+}
+
+TEST(Adjacency, RejectsForests) {
+  AdjacencyMatrix matrix(6);
+  matrix.set(0, 1);
+  matrix.set(2, 3);  // second root
+  EXPECT_THROW(from_adjacency(matrix), Error);
+}
+
+TEST(Adjacency, RejectsTwoParents) {
+  AdjacencyMatrix matrix(4);
+  matrix.set(0, 2);
+  matrix.set(1, 2);
+  matrix.set(0, 1);
+  EXPECT_THROW(from_adjacency(matrix), Error);
+}
+
+TEST(Adjacency, RejectsSelfEdgeAndEmpty) {
+  AdjacencyMatrix matrix(3);
+  EXPECT_THROW(matrix.set(1, 1), Error);
+  EXPECT_THROW(from_adjacency(matrix), Error);  // no deployment at all
+}
+
+// ------------------------------------------------------------------ xml --
+
+TEST(GodietXml, WriteContainsStructure) {
+  const Platform platform = gen::homogeneous(5, 1000.0, 1000.0);
+  const std::string xml = write_godiet_xml(sample(), platform);
+  EXPECT_NE(xml.find("<diet_hierarchy bandwidth=\"1000\">"), std::string::npos);
+  EXPECT_NE(xml.find("name=\"MA\""), std::string::npos);
+  EXPECT_NE(xml.find("name=\"LA-1\""), std::string::npos);
+  EXPECT_NE(xml.find("name=\"SeD-1\""), std::string::npos);
+  EXPECT_NE(xml.find("host=\"node-4\""), std::string::npos);
+}
+
+TEST(GodietXml, RoundTripPreservesShapeAndPowers) {
+  Platform platform({{"a", 900.0}, {"b", 800.0}, {"c", 700.0}, {"d", 600.0},
+                     {"e", 500.0}},
+                    512.0);
+  const Hierarchy h = sample();
+  const Deployment deployment = parse_godiet_xml(write_godiet_xml(h, platform));
+  EXPECT_TRUE(deployment.hierarchy.validate(&deployment.platform).empty());
+  EXPECT_EQ(deployment.hierarchy.size(), h.size());
+  EXPECT_EQ(deployment.hierarchy.agent_count(), h.agent_count());
+  EXPECT_EQ(deployment.hierarchy.max_depth(), h.max_depth());
+  EXPECT_DOUBLE_EQ(deployment.platform.bandwidth(), 512.0);
+  // Document order in the XML is pre-order over the original hierarchy.
+  EXPECT_EQ(deployment.platform.node(0).name, "a");
+  EXPECT_DOUBLE_EQ(deployment.platform.node(0).power, 900.0);
+}
+
+TEST(GodietXml, ParserAcceptsCommentsAndDeclaration) {
+  const std::string xml = R"(<?xml version="1.0"?>
+<!-- generated by a human -->
+<diet_hierarchy bandwidth="100">
+  <agent name="MA" host="h1" power="10">
+    <!-- one server -->
+    <server name="S" host="h2" power="20"/>
+  </agent>
+</diet_hierarchy>)";
+  const Deployment deployment = parse_godiet_xml(xml);
+  EXPECT_EQ(deployment.hierarchy.size(), 2u);
+  EXPECT_DOUBLE_EQ(deployment.platform.node(1).power, 20.0);
+}
+
+TEST(GodietXml, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_godiet_xml(""), Error);
+  EXPECT_THROW(parse_godiet_xml("<diet_hierarchy>"), Error);  // no bandwidth
+  EXPECT_THROW(parse_godiet_xml(
+                   "<diet_hierarchy bandwidth=\"10\"><server name=\"s\" "
+                   "host=\"h\" power=\"1\"/></diet_hierarchy>"),
+               Error);  // server outside agent
+  EXPECT_THROW(parse_godiet_xml("<diet_hierarchy bandwidth=\"10\">"
+                                "<agent name=\"a\" host=\"h\" power=\"1\">"
+                                "</diet_hierarchy>"),
+               Error);  // unclosed agent
+  EXPECT_THROW(parse_godiet_xml("<diet_hierarchy bandwidth=\"10\">"
+                                "<agent name=\"a\" host=\"h\" power=\"1\">"
+                                "<server name=\"s\" host=\"h\" power=\"1\"/>"
+                                "</agent></diet_hierarchy>"),
+               Error);  // duplicate host
+  EXPECT_THROW(parse_godiet_xml("<diet_hierarchy bandwidth=\"-1\">"
+                                "</diet_hierarchy>"),
+               Error);  // bad bandwidth
+}
+
+// ------------------------------------------------------------------ dot --
+
+TEST(Dot, RendersNodesAndEdges) {
+  const Platform platform = gen::homogeneous(5, 1000.0, 1000.0);
+  const std::string dot = write_dot(sample(), platform);
+  EXPECT_NE(dot.find("digraph deployment"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // agents
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // servers
+  EXPECT_NE(dot.find("e0 -> e1"), std::string::npos);
+  EXPECT_THROW(write_dot(Hierarchy{}, platform), Error);
+}
+
+}  // namespace
+}  // namespace adept

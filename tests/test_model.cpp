@@ -1,0 +1,297 @@
+/// \file test_model.cpp
+/// \brief Unit and property tests for the steady-state throughput model
+/// (the paper's Eqs 1–16 and Table 3 parameters).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "model/evaluate.hpp"
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+#include "model/throughput.hpp"
+#include "platform/generator.hpp"
+
+namespace adept {
+namespace {
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+constexpr MbitRate kB = 1000.0;  // Mbit/s, gigabit as in the paper
+constexpr MFlopRate kW = 1000.0; // MFlop/s
+
+// ------------------------------------------------------------ parameters --
+
+TEST(Parameters, Table3Values) {
+  EXPECT_DOUBLE_EQ(kParams.agent.wreq, 1.7e-1);
+  EXPECT_DOUBLE_EQ(kParams.agent.wfix, 4.0e-3);
+  EXPECT_DOUBLE_EQ(kParams.agent.wsel, 5.4e-3);
+  EXPECT_DOUBLE_EQ(kParams.agent.sreq, 5.3e-3);
+  EXPECT_DOUBLE_EQ(kParams.agent.srep, 5.4e-3);
+  EXPECT_DOUBLE_EQ(kParams.server.wpre, 6.4e-3);
+  EXPECT_DOUBLE_EQ(kParams.server.sreq, 5.3e-5);
+  EXPECT_DOUBLE_EQ(kParams.server.srep, 6.4e-5);
+}
+
+TEST(Parameters, ValidateRejectsNegativeAndAllZero) {
+  MiddlewareParams bad = kParams;
+  bad.agent.wreq = -1.0;
+  EXPECT_THROW(bad.validate(), Error);
+  MiddlewareParams zero;
+  EXPECT_THROW(zero.validate(), Error);
+  EXPECT_NO_THROW(kParams.validate());
+}
+
+// --------------------------------------------------------------- service --
+
+TEST(Service, DgemmFlopCount) {
+  // 2·n³ flop: the standard multiply-add count for square DGEMM.
+  EXPECT_DOUBLE_EQ(dgemm_mflop(10), 2e-3);
+  EXPECT_DOUBLE_EQ(dgemm_mflop(100), 2.0);
+  EXPECT_DOUBLE_EQ(dgemm_mflop(1000), 2000.0);
+  EXPECT_EQ(dgemm_service(310).name, "dgemm-310");
+  EXPECT_THROW(dgemm_mflop(0), Error);
+}
+
+// --------------------------------------------------- per-phase times (1-5) --
+
+TEST(PhaseTimes, Equation1AgentReceive) {
+  // (S_req + d·S_rep) / B with agent-level sizes.
+  EXPECT_NEAR(model::agent_receive_time(kParams, 2, kB),
+              (5.3e-3 + 2 * 5.4e-3) / 1000.0, 1e-15);
+}
+
+TEST(PhaseTimes, Equation2AgentSend) {
+  // (d·S_req + S_rep) / B.
+  EXPECT_NEAR(model::agent_send_time(kParams, 2, kB),
+              (2 * 5.3e-3 + 5.4e-3) / 1000.0, 1e-15);
+}
+
+TEST(PhaseTimes, Equations3And4Server) {
+  EXPECT_NEAR(model::server_receive_time(kParams, kB), 5.3e-5 / 1000.0, 1e-18);
+  EXPECT_NEAR(model::server_send_time(kParams, kB), 6.4e-5 / 1000.0, 1e-18);
+}
+
+TEST(PhaseTimes, WrepIsLinearInDegree) {
+  // Table 3: W_rep = 4.0e-3 + 5.4e-3·d.
+  EXPECT_NEAR(model::agent_wrep(kParams, 1), 9.4e-3, 1e-15);
+  EXPECT_NEAR(model::agent_wrep(kParams, 10), 4.0e-3 + 5.4e-2, 1e-15);
+}
+
+TEST(PhaseTimes, Equation5AgentComputation) {
+  EXPECT_NEAR(model::agent_comp_time(kParams, kW, 2),
+              (1.7e-1 + 4.0e-3 + 2 * 5.4e-3) / 1000.0, 1e-15);
+}
+
+// ------------------------------------------- element throughputs (13-15) --
+
+TEST(Throughput, AgentSchedMatchesHandComputation) {
+  const double comp = (1.7e-1 + 4.0e-3 + 2 * 5.4e-3) / 1000.0;
+  const double recv = (5.3e-3 + 2 * 5.4e-3) / 1000.0;
+  const double send = (2 * 5.3e-3 + 5.4e-3) / 1000.0;
+  EXPECT_NEAR(model::agent_sched_throughput(kParams, kW, 2, kB),
+              1.0 / (comp + recv + send), 1e-9);
+}
+
+TEST(Throughput, ServerSchedMatchesHandComputation) {
+  const double t = 6.4e-3 / 1000.0 + (5.3e-5 + 6.4e-5) / 1000.0;
+  EXPECT_NEAR(model::server_sched_throughput(kParams, kW, kB), 1.0 / t, 1e-6);
+}
+
+TEST(Throughput, ServiceSingleServerMatchesHandComputation) {
+  // Eq 15 with one server: 1 / ((W_app + W_pre)/w + (S_req+S_rep)/B).
+  const ServiceSpec service = dgemm_service(200);  // W_app = 16 MFlop
+  const std::vector<MFlopRate> powers{kW};
+  const double expected =
+      1.0 / ((16.0 + 6.4e-3) / 1000.0 + (5.3e-5 + 6.4e-5) / 1000.0);
+  EXPECT_NEAR(model::service_throughput(kParams, powers, service, kB), expected,
+              1e-9);
+}
+
+TEST(Throughput, ServiceTwoEqualServersRoughlyDoubles) {
+  const ServiceSpec service = dgemm_service(200);
+  const std::vector<MFlopRate> one{kW};
+  const std::vector<MFlopRate> two{kW, kW};
+  const double r1 = model::service_throughput(kParams, one, service, kB);
+  const double r2 = model::service_throughput(kParams, two, service, kB);
+  EXPECT_GT(r2, 1.95 * r1);
+  EXPECT_LT(r2, 2.0 * r1 + 1e-9);
+}
+
+/// Property sweep: an agent's scheduling throughput strictly decreases
+/// with its degree (every extra child adds computation and traffic).
+class AgentDegreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AgentDegreeSweep, SchedulingPowerDecreasesWithDegree) {
+  const std::size_t d = GetParam();
+  EXPECT_GT(model::agent_sched_throughput(kParams, kW, d, kB),
+            model::agent_sched_throughput(kParams, kW, d + 1, kB));
+}
+
+TEST_P(AgentDegreeSweep, SchedulingPowerIncreasesWithNodePower) {
+  const std::size_t d = GetParam();
+  EXPECT_GT(model::agent_sched_throughput(kParams, 2.0 * kW, d, kB),
+            model::agent_sched_throughput(kParams, kW, d, kB));
+}
+
+TEST_P(AgentDegreeSweep, BandwidthOnlyHelps) {
+  const std::size_t d = GetParam();
+  EXPECT_GE(model::agent_sched_throughput(kParams, kW, d, 10.0 * kB),
+            model::agent_sched_throughput(kParams, kW, d, kB));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, AgentDegreeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 14, 50, 199));
+
+/// Property sweep: adding servers never hurts the collective service rate.
+class ServerCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ServerCountSweep, ServiceThroughputMonotoneInServers) {
+  const ServiceSpec service = dgemm_service(310);
+  std::vector<MFlopRate> powers(GetParam(), kW);
+  const double before = model::service_throughput(kParams, powers, service, kB);
+  powers.push_back(kW);
+  const double after = model::service_throughput(kParams, powers, service, kB);
+  EXPECT_GT(after, before);
+}
+
+TEST_P(ServerCountSweep, FractionsSumToOneAndFollowPower) {
+  // Heterogeneous set: power grows with index, so shares must not decrease.
+  std::vector<MFlopRate> powers;
+  for (std::size_t i = 0; i < GetParam() + 1; ++i)
+    powers.push_back(500.0 + 250.0 * static_cast<double>(i));
+  const ServiceSpec service = dgemm_service(310);
+  const auto shares = model::service_fractions(kParams, powers, service);
+  double total = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    total += shares[i];
+    if (i > 0) {
+      EXPECT_GE(shares[i], shares[i - 1] - 1e-12);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ServerCountSweep,
+                         ::testing::Values(1, 2, 4, 9, 25, 80));
+
+TEST(Throughput, FractionsEqualForEqualServers) {
+  const std::vector<MFlopRate> powers(4, kW);
+  const auto shares =
+      model::service_fractions(kParams, powers, dgemm_service(100));
+  for (double share : shares) EXPECT_NEAR(share, 0.25, 1e-12);
+}
+
+TEST(Throughput, InvalidInputsThrow) {
+  EXPECT_THROW(model::agent_sched_throughput(kParams, 0.0, 1, kB), Error);
+  EXPECT_THROW(model::agent_sched_throughput(kParams, kW, 0, kB), Error);
+  EXPECT_THROW(model::server_sched_throughput(kParams, kW, 0.0), Error);
+  const std::vector<MFlopRate> none;
+  EXPECT_THROW(
+      model::service_throughput(kParams, none, dgemm_service(10), kB), Error);
+}
+
+// ------------------------------------------------------- evaluate (Eq 16) --
+
+Hierarchy star(std::size_t servers) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  for (NodeId id = 1; id <= servers; ++id) h.add_server(root, id);
+  return h;
+}
+
+TEST(Evaluate, StarOverallIsMinOfTerms) {
+  const Platform platform = gen::homogeneous(3, kW, kB);
+  const ServiceSpec service = dgemm_service(200);
+  const auto report = model::evaluate(star(2), platform, kParams, service);
+
+  const double agent = model::agent_sched_throughput(kParams, kW, 2, kB);
+  const double server_pred = model::server_sched_throughput(kParams, kW, kB);
+  const std::vector<MFlopRate> powers{kW, kW};
+  const double svc = model::service_throughput(kParams, powers, service, kB);
+
+  EXPECT_NEAR(report.sched, std::min(agent, server_pred), 1e-9);
+  EXPECT_NEAR(report.service, svc, 1e-9);
+  EXPECT_NEAR(report.overall, std::min(report.sched, report.service), 1e-12);
+}
+
+TEST(Evaluate, SmallGrainIsAgentLimited) {
+  // DGEMM 10×10: the paper's Fig 2 regime — the agent binds.
+  const Platform platform = gen::homogeneous(3, kW, kB);
+  const auto report =
+      model::evaluate(star(2), platform, kParams, dgemm_service(10));
+  EXPECT_EQ(report.bottleneck, model::Bottleneck::AgentScheduling);
+  EXPECT_EQ(report.limiting_element, 0u);
+}
+
+TEST(Evaluate, LargeGrainIsServiceLimited) {
+  // DGEMM 1000×1000: the paper's Fig 7 regime — servers bind.
+  const Platform platform = gen::homogeneous(3, kW, kB);
+  const auto report =
+      model::evaluate(star(2), platform, kParams, dgemm_service(1000));
+  EXPECT_EQ(report.bottleneck, model::Bottleneck::Service);
+  EXPECT_LT(report.service, report.sched);
+}
+
+TEST(Evaluate, AddingServerToAgentLimitedStarHurts) {
+  // The Fig 2/3 claim: with DGEMM 10×10 a second server lowers throughput.
+  const Platform platform = gen::homogeneous(3, kW, kB);
+  const auto one = model::evaluate(star(1), platform, kParams, dgemm_service(10));
+  const auto two = model::evaluate(star(2), platform, kParams, dgemm_service(10));
+  EXPECT_LT(two.overall, one.overall);
+}
+
+TEST(Evaluate, AddingServerToServiceLimitedStarDoubles) {
+  // The Fig 4/5 claim: with DGEMM 200×200 a second server ≈ doubles.
+  const Platform platform = gen::homogeneous(3, kW, kB);
+  const auto one = model::evaluate(star(1), platform, kParams, dgemm_service(200));
+  const auto two = model::evaluate(star(2), platform, kParams, dgemm_service(200));
+  EXPECT_GT(two.overall, 1.9 * one.overall);
+}
+
+TEST(Evaluate, WeakestAgentBindsInChainOfAgents) {
+  // Root (fast) → sub-agent (slow) with two servers: the slow agent binds.
+  Platform platform({{"fast", 4000.0},
+                     {"slow", 60.0},
+                     {"s1", 1000.0},
+                     {"s2", 1000.0},
+                     {"s3", 1000.0}},
+                    kB);
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  const auto mid = h.add_agent(root, 1);
+  h.add_server(mid, 2);
+  h.add_server(mid, 3);
+  h.add_server(root, 4);
+  const auto report = model::evaluate(h, platform, kParams, dgemm_service(10));
+  EXPECT_EQ(report.bottleneck, model::Bottleneck::AgentScheduling);
+  EXPECT_EQ(report.limiting_element, mid);
+}
+
+TEST(Evaluate, ServerSharesAlignWithServerList) {
+  Platform platform({{"a", 1000.0}, {"s1", 500.0}, {"s2", 1500.0}}, kB);
+  const auto report =
+      model::evaluate(star(2), platform, kParams, dgemm_service(310));
+  ASSERT_EQ(report.server_shares.size(), 2u);
+  EXPECT_LT(report.server_shares[0], report.server_shares[1]);
+  EXPECT_NEAR(report.server_shares[0] + report.server_shares[1], 1.0, 1e-12);
+}
+
+TEST(Evaluate, RejectsInvalidHierarchy) {
+  const Platform platform = gen::homogeneous(3, kW, kB);
+  Hierarchy h;
+  h.add_root(0);  // no children
+  EXPECT_THROW(model::evaluate(h, platform, kParams, dgemm_service(10)), Error);
+}
+
+TEST(Evaluate, BottleneckNamesAreStable) {
+  EXPECT_STREQ(model::bottleneck_name(model::Bottleneck::AgentScheduling),
+               "agent-scheduling");
+  EXPECT_STREQ(model::bottleneck_name(model::Bottleneck::ServerPrediction),
+               "server-prediction");
+  EXPECT_STREQ(model::bottleneck_name(model::Bottleneck::Service), "service");
+}
+
+}  // namespace
+}  // namespace adept

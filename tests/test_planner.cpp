@@ -1,0 +1,332 @@
+/// \file test_planner.cpp
+/// \brief Unit and property tests for every planner: star, balanced,
+/// homogeneous-optimal (ref [10]), the paper's Algorithm 1 heuristic, and
+/// the bottleneck improver (ref [7]).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+
+namespace adept {
+namespace {
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+constexpr MbitRate kB = 1000.0;
+
+// ----------------------------------------------------------------- star --
+
+TEST(StarPlanner, UsesAllNodesAndOneAgent) {
+  const Platform platform = gen::homogeneous(10, 1000.0, kB);
+  const auto plan = plan_star(platform, kParams, dgemm_service(100));
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  EXPECT_EQ(plan.hierarchy.agent_count(), 1u);
+  EXPECT_EQ(plan.hierarchy.server_count(), 9u);
+  EXPECT_EQ(plan.hierarchy.max_depth(), 1u);
+}
+
+TEST(StarPlanner, PicksStrongestNodeAsAgent) {
+  Platform platform({{"weak", 100.0}, {"strong", 2000.0}, {"mid", 500.0}}, kB);
+  const auto plan = plan_star(platform, kParams, dgemm_service(100));
+  EXPECT_EQ(plan.hierarchy.node_of(plan.hierarchy.root()), 1u);
+}
+
+TEST(StarPlanner, RejectsSingleNode) {
+  const Platform platform = gen::homogeneous(1, 1000.0, kB);
+  EXPECT_THROW(plan_star(platform, kParams, dgemm_service(100)), Error);
+}
+
+// ------------------------------------------------------------- balanced --
+
+TEST(BalancedPlanner, DefaultDegreeMatchesPaperShape) {
+  // 200 nodes, default degree ⌈sqrt(200)⌉ = 15: a 2-level tree like the
+  // paper's hand-built 1 + 14 + 14×14 comparison deployment.
+  const Platform platform = gen::homogeneous(200, 1000.0, kB);
+  const auto plan = plan_balanced(platform, kParams, dgemm_service(310));
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  EXPECT_EQ(plan.hierarchy.size(), 200u);
+  EXPECT_EQ(plan.hierarchy.max_depth(), 2u);
+}
+
+TEST(BalancedPlanner, ExplicitDegreeIsHonoured) {
+  const Platform platform = gen::homogeneous(13, 1000.0, kB);
+  const auto plan = plan_balanced(platform, kParams, dgemm_service(310), 3);
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  EXPECT_EQ(plan.hierarchy.degree(plan.hierarchy.root()), 3u);
+  EXPECT_EQ(plan.hierarchy.size(), 13u);
+}
+
+TEST(BalancedPlanner, DegreeOneDegeneratesToPair) {
+  const Platform platform = gen::homogeneous(6, 1000.0, kB);
+  const auto plan = plan_balanced(platform, kParams, dgemm_service(310), 1);
+  EXPECT_EQ(plan.hierarchy.size(), 2u);
+}
+
+/// Property sweep over sizes and degrees: every complete d-ary layout must
+/// satisfy the paper's structural rules (including the single-child
+/// demotion fixup at awkward sizes).
+class BalancedShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BalancedShapeSweep, AlwaysStructurallyValid) {
+  const auto [n, degree] = GetParam();
+  const Platform platform = gen::homogeneous(n, 1000.0, kB);
+  const auto plan = plan_balanced(platform, kParams, dgemm_service(310), degree);
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty())
+      << "n=" << n << " degree=" << degree;
+  EXPECT_LE(plan.hierarchy.size(), n);
+  EXPECT_GT(plan.report.overall, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDegrees, BalancedShapeSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 40,
+                                         57, 200),
+                       ::testing::Values(1, 2, 3, 4, 7, 14)));
+
+// ----------------------------------------------- homogeneous optimal [10] --
+
+TEST(HomogeneousPlanner, SmallGrainPrefersPair) {
+  // DGEMM 10×10 is agent-limited: Table 4 row 1 reports optimal degree 1
+  // (one agent, one server) out of 21 nodes.
+  const Platform platform = gen::homogeneous(21, 1000.0, kB);
+  const auto plan = plan_homogeneous_optimal(platform, kParams, dgemm_service(10));
+  EXPECT_EQ(plan.hierarchy.size(), 2u);
+  EXPECT_EQ(plan.hierarchy.degree(plan.hierarchy.root()), 1u);
+}
+
+TEST(HomogeneousPlanner, LargeGrainPrefersStar) {
+  // DGEMM 1000×1000 is service-limited: Table 4 row 4 reports degree 20 on
+  // 21 nodes — a full star.
+  const Platform platform = gen::homogeneous(21, 1000.0, kB);
+  const auto plan =
+      plan_homogeneous_optimal(platform, kParams, dgemm_service(1000));
+  EXPECT_EQ(plan.hierarchy.size(), 21u);
+  EXPECT_EQ(plan.hierarchy.degree(plan.hierarchy.root()), 20u);
+}
+
+TEST(HomogeneousPlanner, SweepCoversAllDegrees) {
+  const Platform platform = gen::homogeneous(10, 1000.0, kB);
+  std::vector<DegreeSweepEntry> sweep;
+  plan_homogeneous_optimal(platform, kParams, dgemm_service(310), &sweep);
+  EXPECT_EQ(sweep.size(), 9u);  // degrees 1..9
+  for (const auto& entry : sweep) {
+    EXPECT_GE(entry.degree, 1u);
+    EXPECT_GT(entry.predicted, 0.0);
+    EXPECT_GE(entry.nodes_used, 2u);
+  }
+}
+
+TEST(HomogeneousPlanner, BeatsOrMatchesStarAndBalanced) {
+  const Platform platform = gen::homogeneous(30, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(310);
+  const auto optimal = plan_homogeneous_optimal(platform, kParams, service);
+  const auto star = plan_star(platform, kParams, service);
+  const auto balanced = plan_balanced(platform, kParams, service);
+  EXPECT_GE(optimal.report.overall, star.report.overall - 1e-9);
+  EXPECT_GE(optimal.report.overall, balanced.report.overall - 1e-9);
+}
+
+// --------------------------------------------------- Algorithm 1 heuristic --
+
+TEST(Heuristic, EarlyExitWhenAgentLimited) {
+  // DGEMM 10×10: even one server outruns a single-child agent, so
+  // Algorithm 1's steps 3–7 deploy exactly one agent and one server.
+  const Platform platform = gen::homogeneous(21, 1000.0, kB);
+  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(10));
+  EXPECT_EQ(plan.hierarchy.size(), 2u);
+  EXPECT_EQ(plan.hierarchy.agent_count(), 1u);
+  ASSERT_FALSE(plan.trace.empty());
+  EXPECT_NE(plan.trace.front().find("early exit"), std::string::npos);
+}
+
+TEST(Heuristic, LargeGrainBuildsFullStar) {
+  const Platform platform = gen::homogeneous(21, 1000.0, kB);
+  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(1000));
+  EXPECT_EQ(plan.hierarchy.agent_count(), 1u);
+  EXPECT_EQ(plan.hierarchy.size(), 21u);
+  EXPECT_EQ(plan.report.bottleneck, model::Bottleneck::Service);
+}
+
+TEST(Heuristic, MediumGrainBalancesSchedAndService) {
+  // DGEMM 310 on a large pool: the plan should stop adding servers near
+  // the sched/service balance point rather than using every node.
+  const Platform platform = gen::homogeneous(200, 1000.0, kB);
+  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(310));
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  EXPECT_GT(plan.hierarchy.size(), 10u);
+  const double ratio = plan.report.sched / plan.report.service;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Heuristic, PutsStrongNodesInAgentPositionsWhenSchedulingBinds) {
+  // Small grain ⇒ the agent is the bottleneck, so the root agent must be
+  // the strongest node.
+  Rng rng(9);
+  const Platform platform = gen::uniform(40, 200.0, 1200.0, kB, rng);
+  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(100));
+  const NodeId root_node = plan.hierarchy.node_of(plan.hierarchy.root());
+  EXPECT_DOUBLE_EQ(platform.node(root_node).power, platform.max_power());
+}
+
+TEST(Heuristic, SparesStrongNodesWhenServiceBinds) {
+  // Large grain on a skewed pool: every MFlop spent on the agent is lost
+  // from Eq 15, so the planner must NOT burn a strong node on the root —
+  // and must beat the strongest-root star.
+  Platform platform({{"big-1", 1000.0},
+                     {"big-2", 950.0},
+                     {"big-3", 900.0},
+                     {"big-4", 850.0},
+                     {"big-5", 800.0},
+                     {"small", 150.0}},
+                    kB);
+  const ServiceSpec service = dgemm_service(1000);
+  const auto plan = plan_heterogeneous(platform, kParams, service);
+  const auto star = plan_star(platform, kParams, service);
+  EXPECT_GT(plan.report.overall, star.report.overall);
+  const NodeId root_node = plan.hierarchy.node_of(plan.hierarchy.root());
+  EXPECT_LT(platform.node(root_node).power, 800.0);
+}
+
+TEST(Heuristic, DemandCapsDeploymentSize) {
+  const Platform platform = gen::homogeneous(50, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(310);
+  const auto unlimited = plan_heterogeneous(platform, kParams, service);
+  // Ask for a fraction of the unlimited throughput: the plan must satisfy
+  // it with fewer nodes.
+  const RequestRate demand = 0.25 * unlimited.report.overall;
+  const auto capped = plan_heterogeneous(platform, kParams, service, demand);
+  EXPECT_GE(capped.report.overall, demand - 1e-6);
+  EXPECT_LT(capped.hierarchy.size(), unlimited.hierarchy.size());
+}
+
+TEST(Heuristic, UnsatisfiableDemandStillMaximisesThroughput) {
+  const Platform platform = gen::homogeneous(10, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(1000);
+  const auto plan =
+      plan_heterogeneous(platform, kParams, service, /*demand=*/1e9);
+  const auto unlimited = plan_heterogeneous(platform, kParams, service);
+  EXPECT_NEAR(plan.report.overall, unlimited.report.overall,
+              1e-9 * unlimited.report.overall);
+}
+
+TEST(Heuristic, RejectsBadInputs) {
+  const Platform platform = gen::homogeneous(5, 1000.0, kB);
+  EXPECT_THROW(plan_heterogeneous(gen::homogeneous(1, 1000.0, kB), kParams,
+                                  dgemm_service(100)),
+               Error);
+  EXPECT_THROW(
+      plan_heterogeneous(platform, kParams, dgemm_service(100), -1.0), Error);
+}
+
+/// The central property the paper's experiments demonstrate (Fig 6/7):
+/// the automatic deployment is at least as good as both intuitive ones —
+/// on the model, for any platform. Star is provably in the heuristic's
+/// search space; balanced is checked empirically over seeded platforms.
+class HeuristicDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeuristicDominance, BeatsStarAndBalancedOnRandomPlatforms) {
+  Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(4, 60));
+  const Platform platform =
+      gen::uniform(n, 100.0, 1500.0, 100.0 + rng.uniform(0.0, 1900.0), rng);
+  const auto size = static_cast<std::size_t>(rng.uniform_int(50, 600));
+  const ServiceSpec service = dgemm_service(size);
+
+  const auto heuristic = plan_heterogeneous(platform, kParams, service);
+  EXPECT_TRUE(heuristic.hierarchy.validate(&platform).empty());
+
+  const auto star = plan_star(platform, kParams, service);
+  EXPECT_GE(heuristic.report.overall, star.report.overall * (1.0 - 1e-9))
+      << "n=" << n << " dgemm=" << size;
+
+  const auto balanced = plan_balanced(platform, kParams, service);
+  EXPECT_GE(heuristic.report.overall, balanced.report.overall * (1.0 - 1e-9))
+      << "n=" << n << " dgemm=" << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicDominance,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+/// On homogeneous platforms the heuristic must reach ≥89% of the
+/// d-ary-optimal throughput — the paper's Table 4 bound.
+class HeuristicVsOptimal
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(HeuristicVsOptimal, AchievesTable4Bound) {
+  const auto [dgemm, nodes] = GetParam();
+  const Platform platform = gen::homogeneous(nodes, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(dgemm);
+  const auto optimal = plan_homogeneous_optimal(platform, kParams, service);
+  const auto heuristic = plan_heterogeneous(platform, kParams, service);
+  EXPECT_GE(heuristic.report.overall, 0.89 * optimal.report.overall)
+      << "dgemm=" << dgemm << " nodes=" << nodes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table4Workloads, HeuristicVsOptimal,
+                         ::testing::Values(std::make_tuple(10, 21),
+                                           std::make_tuple(100, 25),
+                                           std::make_tuple(310, 45),
+                                           std::make_tuple(1000, 21)));
+
+// -------------------------------------------------------------- improver --
+
+TEST(Improver, GrowsServiceLimitedDeployment) {
+  // Start from a pair on a large-grain workload: service-limited, so the
+  // improver must add servers and raise throughput.
+  const Platform platform = gen::homogeneous(10, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(1000);
+  Hierarchy pair;
+  const auto root = pair.add_root(0);
+  pair.add_server(root, 1);
+  const auto before = model::evaluate(pair, platform, kParams, service);
+  const auto improved =
+      improve_deployment(std::move(pair), platform, kParams, service);
+  EXPECT_GT(improved.report.overall, before.overall);
+  EXPECT_GT(improved.hierarchy.size(), 2u);
+  EXPECT_TRUE(improved.hierarchy.validate(&platform).empty());
+}
+
+TEST(Improver, LeavesAgentLimitedPairAlone) {
+  // Small grain: the agent binds; no local fix applies at the root.
+  const Platform platform = gen::homogeneous(10, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(10);
+  Hierarchy pair;
+  const auto root = pair.add_root(0);
+  pair.add_server(root, 1);
+  const auto improved =
+      improve_deployment(std::move(pair), platform, kParams, service);
+  EXPECT_EQ(improved.hierarchy.size(), 2u);
+}
+
+TEST(Improver, NeverDecreasesThroughput) {
+  Rng rng(77);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Platform platform = gen::uniform(20, 200.0, 1200.0, kB, rng);
+    const ServiceSpec service = dgemm_service(400);
+    auto start = plan_balanced(platform, kParams, service, 4);
+    const auto improved = improve_deployment(start.hierarchy, platform,
+                                             kParams, service);
+    EXPECT_GE(improved.report.overall,
+              start.report.overall * (1.0 - 1e-12));
+  }
+}
+
+// ------------------------------------------------------------- make_plan --
+
+TEST(MakePlan, PackagesExternalHierarchy) {
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  h.add_server(root, 1);
+  h.add_server(root, 2);
+  const auto plan = make_plan(std::move(h), platform, kParams, dgemm_service(100));
+  EXPECT_EQ(plan.nodes_used(), 3u);
+  EXPECT_GT(plan.report.overall, 0.0);
+}
+
+}  // namespace
+}  // namespace adept

@@ -1,0 +1,315 @@
+/// \file test_properties.cpp
+/// \brief Cross-cutting property sweeps (TEST_P) over randomised inputs:
+/// model self-consistency, structural round-trips, simulator conservation
+/// laws, planner demand monotonicity, and wire-format fuzzing. These
+/// complement the per-module unit tests with invariants that must hold
+/// for *every* input, not just crafted cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "hierarchy/adjacency.hpp"
+#include "hierarchy/xml.hpp"
+#include "model/evaluate.hpp"
+#include "model/hetero_comm.hpp"
+#include "planner/planner.hpp"
+#include "platform/generator.hpp"
+#include "sim/simulator.hpp"
+#include "workload/calibration.hpp"
+#include "workload/wire.hpp"
+
+namespace adept {
+namespace {
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+
+/// Deterministic random hierarchy over a platform: pick agent count,
+/// attach agents breadth-ish, spread servers randomly; always valid.
+Hierarchy random_hierarchy(const Platform& platform, Rng& rng) {
+  const std::size_t n = platform.size();
+  const std::size_t agents =
+      static_cast<std::size_t>(rng.uniform_int(1, std::max<std::int64_t>(
+                                                      1, static_cast<std::int64_t>(n / 4))));
+  Hierarchy h;
+  std::vector<Hierarchy::Index> agent_elements;
+  agent_elements.push_back(h.add_root(0));
+  for (std::size_t a = 1; a < agents; ++a) {
+    const auto parent = agent_elements[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(agent_elements.size()) - 1))];
+    agent_elements.push_back(h.add_agent(parent, a));
+  }
+  for (NodeId id = agents; id < n; ++id) {
+    const auto parent = agent_elements[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(agent_elements.size()) - 1))];
+    h.add_server(parent, id);
+  }
+  // Ensure the ≥2-children rule by topping up deficient agents from the
+  // last servers: easiest is to regenerate until valid (bounded tries).
+  return h;
+}
+
+/// Keeps drawing until the random hierarchy is structurally valid.
+Hierarchy valid_random_hierarchy(const Platform& platform, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Hierarchy h = random_hierarchy(platform, rng);
+    if (h.validate(&platform).empty()) return h;
+  }
+  // Fallback that is always valid: a star.
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  for (NodeId id = 1; id < platform.size(); ++id) h.add_server(root, id);
+  return h;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------------------------------------- model invariants --
+
+TEST_P(SeededProperty, OverallEqualsMinOfTermsAndAttributionIsConsistent) {
+  Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(6, 40));
+  const Platform platform = gen::uniform(n, 100.0, 1500.0, 500.0, rng);
+  const Hierarchy h = valid_random_hierarchy(platform, rng);
+  const ServiceSpec service =
+      dgemm_service(static_cast<std::size_t>(rng.uniform_int(20, 800)));
+
+  const auto report = model::evaluate(h, platform, kParams, service);
+  EXPECT_NEAR(report.overall, std::min(report.sched, report.service), 1e-12);
+
+  // The limiting element's own term must equal the reported minimum.
+  const auto& limiting = h.element(report.limiting_element);
+  if (report.bottleneck == model::Bottleneck::AgentScheduling) {
+    const double term = model::agent_sched_throughput(
+        kParams, platform.node(limiting.node).power, limiting.children.size(),
+        platform.bandwidth());
+    EXPECT_NEAR(term, report.sched, 1e-9 * term);
+  } else if (report.bottleneck == model::Bottleneck::ServerPrediction) {
+    const double term = model::server_sched_throughput(
+        kParams, platform.node(limiting.node).power, platform.bandwidth());
+    EXPECT_NEAR(term, report.sched, 1e-9 * term);
+  } else {
+    EXPECT_FALSE(h.is_agent(report.limiting_element));
+    EXPECT_LT(report.service, report.sched);
+  }
+  // Shares form a distribution.
+  double total = 0.0;
+  for (double share : report.server_shares) {
+    EXPECT_GE(share, 0.0);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(SeededProperty, HeteroEvaluatorReducesToPaperModelOnEqualLinks) {
+  Rng rng(GetParam() * 31);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(6, 30));
+  const Platform platform = gen::uniform(n, 150.0, 900.0, 777.0, rng);
+  const Hierarchy h = valid_random_hierarchy(platform, rng);
+  const ServiceSpec service = dgemm_service(310);
+  const auto base = model::evaluate(h, platform, kParams, service);
+  const auto hetero = model::evaluate_hetero(h, platform, kParams, service);
+  EXPECT_NEAR(hetero.overall, base.overall, 1e-9 * base.overall);
+}
+
+TEST_P(SeededProperty, ThrottlingAnyLinkNeverHelps) {
+  Rng rng(GetParam() * 57);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(5, 20));
+  Platform platform = gen::uniform(n, 200.0, 1000.0, 1000.0, rng);
+  const Hierarchy h = valid_random_hierarchy(platform, rng);
+  const ServiceSpec service = dgemm_service(200);
+  const auto before = model::evaluate_hetero(h, platform, kParams, service);
+  const NodeId victim =
+      static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  platform.set_link(victim, 2.0);
+  const auto after = model::evaluate_hetero(h, platform, kParams, service);
+  EXPECT_LE(after.overall, before.overall * (1.0 + 1e-12));
+}
+
+// -------------------------------------------------- structural round-trips --
+
+TEST_P(SeededProperty, AdjacencyRoundTripPreservesParentMap) {
+  Rng rng(GetParam() * 101);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(5, 50));
+  const Platform platform = gen::homogeneous(n, 500.0, 100.0);
+  const Hierarchy original = valid_random_hierarchy(platform, rng);
+
+  const Hierarchy rebuilt = from_adjacency(to_adjacency(original, n));
+  ASSERT_TRUE(rebuilt.validate(&platform).empty());
+  // Parent-of relation over *nodes* is identical, independent of element
+  // numbering.
+  std::vector<NodeId> parent_of(n, n);
+  for (Hierarchy::Index i = 0; i < original.size(); ++i)
+    if (original.element(i).parent != Hierarchy::npos)
+      parent_of[original.node_of(i)] =
+          original.node_of(original.element(i).parent);
+  for (Hierarchy::Index i = 0; i < rebuilt.size(); ++i) {
+    const auto parent = rebuilt.element(i).parent;
+    const NodeId expected = parent_of[rebuilt.node_of(i)];
+    if (parent == Hierarchy::npos)
+      EXPECT_EQ(expected, n);
+    else
+      EXPECT_EQ(rebuilt.node_of(parent), expected);
+  }
+}
+
+TEST_P(SeededProperty, GodietXmlRoundTripPreservesEverything) {
+  Rng rng(GetParam() * 131);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(4, 30));
+  const Platform platform = gen::uniform(n, 100.0, 2000.0, 250.0, rng);
+  const Hierarchy original = valid_random_hierarchy(platform, rng);
+
+  const Deployment deployment =
+      parse_godiet_xml(write_godiet_xml(original, platform));
+  ASSERT_EQ(deployment.hierarchy.size(), original.size());
+  EXPECT_EQ(deployment.hierarchy.agent_count(), original.agent_count());
+  EXPECT_EQ(deployment.hierarchy.max_depth(), original.max_depth());
+  EXPECT_EQ(deployment.hierarchy.max_degree(), original.max_degree());
+  // Throughput prediction survives the round trip (powers intact).
+  const ServiceSpec service = dgemm_service(310);
+  const auto before = model::evaluate(original, platform, kParams, service);
+  const auto after = model::evaluate(deployment.hierarchy, deployment.platform,
+                                     kParams, service);
+  EXPECT_NEAR(after.overall, before.overall, 1e-6 * before.overall);
+}
+
+// ------------------------------------------------------ simulator invariants --
+
+TEST_P(SeededProperty, SimulatorConservationAndSanity) {
+  Rng rng(GetParam() * 7);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(4, 16));
+  const Platform platform = gen::uniform(n, 200.0, 1000.0, 1000.0, rng);
+  const Hierarchy h = valid_random_hierarchy(platform, rng);
+  const ServiceSpec service =
+      dgemm_service(static_cast<std::size_t>(rng.uniform_int(50, 400)));
+  const auto clients = static_cast<std::size_t>(rng.uniform_int(1, 30));
+
+  sim::SimConfig config;
+  config.warmup = 0.5;
+  config.measure = 2.0;
+  const auto run = sim::simulate(h, platform, kParams, service, clients, config);
+
+  // Conservation: completions never exceed issues; window counts never
+  // exceed totals; schedulings bound completions.
+  EXPECT_LE(run.completed, run.issued);
+  EXPECT_LE(run.completed_in_window, run.completed);
+  EXPECT_LE(run.completed, run.scheduled);
+  // No element can be busy longer than the simulated horizon plus the one
+  // op that may still be in flight when the run stops (busy time is
+  // accounted at dispatch; the largest single op is a service slice).
+  for (std::size_t i = 0; i < h.size(); ++i)
+    EXPECT_LE(run.compute_busy[i] + run.comm_busy[i],
+              run.end_time + config.service_slice + 1e-9);
+  // In-flight bound: at most one request per client is outstanding.
+  EXPECT_LE(run.issued, run.completed + clients);
+  // Sampled service times are positive and plausible.
+  for (const auto& sample : run.service_samples) {
+    EXPECT_GT(sample.seconds, 0.0);
+    EXPECT_GE(sample.seconds, service.wapp / sample.power * 0.99);
+  }
+}
+
+TEST_P(SeededProperty, MeasuredThroughputNeverBeatsTheModelBound) {
+  // The simulator only adds costs on top of the analytic model, so its
+  // saturated throughput must stay at or below the Eq-16 prediction.
+  Rng rng(GetParam() * 13);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(4, 12));
+  const Platform platform = gen::uniform(n, 200.0, 1000.0, 1000.0, rng);
+  const Hierarchy h = valid_random_hierarchy(platform, rng);
+  const ServiceSpec service = dgemm_service(200);
+
+  const auto bound = model::evaluate(h, platform, kParams, service);
+  sim::SimConfig config;
+  config.warmup = 1.0;
+  config.measure = 4.0;
+  const auto run =
+      sim::simulate(h, platform, kParams, service, 4 * n, config);
+  EXPECT_LE(run.throughput, bound.overall * 1.02);  // 2% window tolerance
+}
+
+// ---------------------------------------------------- planner demand sweeps --
+
+class DemandSweep : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Fractions, DemandSweep,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6, 0.8, 1.0));
+
+TEST_P(DemandSweep, DemandIsMetWithNoMoreNodesThanUnlimited) {
+  const Platform platform = gen::homogeneous(60, 200.0, 1000.0);
+  const ServiceSpec service = dgemm_service(310);
+  const auto unlimited = plan_heterogeneous(platform, kParams, service);
+  const RequestRate demand = GetParam() * unlimited.report.overall;
+  const auto plan = plan_heterogeneous(platform, kParams, service, demand);
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  EXPECT_GE(plan.report.overall, demand * (1.0 - 1e-9));
+  EXPECT_LE(plan.nodes_used(), unlimited.nodes_used());
+}
+
+// ------------------------------------------------------------- wire fuzzing --
+
+TEST_P(SeededProperty, WireRoundTripSurvivesRandomContent) {
+  Rng rng(GetParam() * 997);
+  workload::AgentRequestMessage message;
+  message.request_id = rng();
+  const auto random_string = [&rng]() {
+    std::string s;
+    const auto len = rng.uniform_int(0, 40);
+    for (std::int64_t i = 0; i < len; ++i)
+      s += static_cast<char>(rng.uniform_int(32, 126));
+    return s;
+  };
+  message.client_host = random_string();
+  message.service_name = random_string();
+  const auto hops = rng.uniform_int(0, 6);
+  for (std::int64_t i = 0; i < hops; ++i)
+    message.routing_path.push_back(random_string());
+  const auto args = rng.uniform_int(0, 100);
+  for (std::int64_t i = 0; i < args; ++i)
+    message.argument_descriptor.push_back(rng.uniform(-1e6, 1e6));
+
+  const auto decoded = workload::decode_agent_request(workload::encode(message));
+  EXPECT_EQ(decoded.request_id, message.request_id);
+  EXPECT_EQ(decoded.client_host, message.client_host);
+  EXPECT_EQ(decoded.routing_path, message.routing_path);
+  EXPECT_EQ(decoded.argument_descriptor, message.argument_descriptor);
+}
+
+TEST_P(SeededProperty, TruncatedWireBytesAlwaysThrow) {
+  Rng rng(GetParam() * 1009);
+  workload::AgentReplyMessage message;
+  message.request_id = rng();
+  const auto count = rng.uniform_int(1, 10);
+  for (std::int64_t i = 0; i < count; ++i)
+    message.candidates.push_back(
+        {"sed-" + std::to_string(i), rng.uniform(), rng.uniform()});
+  auto bytes = workload::encode(message);
+  // Any strict prefix must be rejected, never crash or mis-decode.
+  const auto cut = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+  bytes.resize(cut);
+  EXPECT_THROW(workload::decode_agent_reply(bytes), Error);
+}
+
+// ------------------------------------------------------ calibration sweeps --
+
+class PowerSweep : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Powers, PowerSweep,
+                         ::testing::Values(100.0, 200.0, 500.0, 1500.0));
+
+TEST_P(PowerSweep, WrepFitRecoversWselAtAnyNodeSpeed) {
+  // The calibration slope divides out the node power, so the recovered
+  // W_sel must be speed-independent.
+  sim::SimConfig config;
+  config.warmup = 0.5;
+  config.measure = 2.0;
+  const auto fit =
+      workload::fit_wrep(kParams, GetParam(), 1000.0, {1, 3, 6, 10}, config);
+  EXPECT_NEAR(fit.wsel_measured, kParams.agent.wsel, 0.2 * kParams.agent.wsel);
+  EXPECT_GT(fit.fit.correlation, 0.95);
+}
+
+}  // namespace
+}  // namespace adept

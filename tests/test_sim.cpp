@@ -1,0 +1,255 @@
+/// \file test_sim.cpp
+/// \brief Tests for the discrete-event simulator: event queue ordering,
+/// conservation laws, saturation behaviour, and agreement with the
+/// analytic model in the regimes where they must coincide.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "model/evaluate.hpp"
+#include "platform/generator.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace adept {
+namespace {
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+constexpr MbitRate kB = 1000.0;
+
+Hierarchy star(std::size_t servers) {
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  for (NodeId id = 1; id <= servers; ++id) h.add_server(root, id);
+  return h;
+}
+
+/// Ideal conditions: no latency, no middleware overhead — the simulator
+/// should then reproduce the analytic model closely.
+sim::SimConfig ideal() {
+  sim::SimConfig config;
+  config.message_latency = 0.0;
+  config.agent_compute_overhead = 0.0;
+  config.server_compute_overhead = 0.0;
+  config.warmup = 1.0;
+  config.measure = 4.0;
+  return config;
+}
+
+/// Short realistic-config runs for functional tests.
+sim::SimConfig quick() {
+  sim::SimConfig config;
+  config.warmup = 0.5;
+  config.measure = 2.0;
+  return config;
+}
+
+// ------------------------------------------------------------ event queue --
+
+TEST(EventQueue, FiresInTimeOrder) {
+  sim::EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireFifo) {
+  sim::EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) queue.schedule(1.0, [&, i] { order.push_back(i); });
+  while (!queue.empty()) queue.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  sim::EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] {
+    ++fired;
+    queue.schedule(2.0, [&] { ++fired; });
+  });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(fired, 2);
+}
+
+// ----------------------------------------------------------- basic runs --
+
+TEST(Simulator, CompletesRequestsAndConserves) {
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  const auto result =
+      sim::simulate(star(2), platform, kParams, dgemm_service(100), 4, quick());
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_LE(result.completed, result.issued);
+  EXPECT_GE(result.completed_in_window, 1u);
+  EXPECT_GT(result.throughput, 0.0);
+  EXPECT_GT(result.mean_response_time, 0.0);
+  EXPECT_LE(result.mean_response_time, result.max_response_time);
+}
+
+TEST(Simulator, IsDeterministic) {
+  const Platform platform = gen::homogeneous(4, 1000.0, kB);
+  const auto a =
+      sim::simulate(star(3), platform, kParams, dgemm_service(200), 7, quick());
+  const auto b =
+      sim::simulate(star(3), platform, kParams, dgemm_service(200), 7, quick());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.mean_response_time, b.mean_response_time);
+}
+
+TEST(Simulator, RejectsBadInputs) {
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  EXPECT_THROW(
+      sim::simulate(star(2), platform, kParams, dgemm_service(100), 0, quick()),
+      Error);
+  Hierarchy invalid;
+  invalid.add_root(0);
+  EXPECT_THROW(sim::simulate(invalid, platform, kParams, dgemm_service(100), 1,
+                             quick()),
+               Error);
+}
+
+TEST(Simulator, BusyAccountingIsPlausible) {
+  const Platform platform = gen::homogeneous(2, 1000.0, kB);
+  const auto result =
+      sim::simulate(star(1), platform, kParams, dgemm_service(100), 2, quick());
+  ASSERT_EQ(result.compute_busy.size(), 2u);
+  // Both elements worked, and nobody can be busy longer than the run.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GT(result.compute_busy[i], 0.0);
+    EXPECT_GT(result.comm_busy[i], 0.0);
+    EXPECT_LE(result.compute_busy[i] + result.comm_busy[i],
+              result.end_time + 1e-9);
+  }
+}
+
+// -------------------------------------------- agreement with the model --
+
+TEST(Simulator, MatchesModelWhenServiceLimited) {
+  // DGEMM 200×200 star: service-limited; under ideal conditions the
+  // saturated simulator throughput must approach Eq 15.
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(200);
+  const auto hierarchy = star(2);
+  const auto predicted = model::evaluate(hierarchy, platform, kParams, service);
+  const auto measured =
+      sim::simulate(hierarchy, platform, kParams, service, 20, ideal());
+  EXPECT_NEAR(measured.throughput, predicted.overall, 0.08 * predicted.overall);
+}
+
+TEST(Simulator, ThroughputScalesWithSecondServerAtLargeGrain) {
+  // Fig 4's claim, measured: two servers ≈ double one server.
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(200);
+  const auto one =
+      sim::simulate(star(1), platform, kParams, service, 20, quick());
+  const auto two =
+      sim::simulate(star(2), platform, kParams, service, 20, quick());
+  EXPECT_GT(two.throughput, 1.7 * one.throughput);
+}
+
+TEST(Simulator, SecondServerDoesNotHelpAtSmallGrain) {
+  // Fig 2's claim, measured: with DGEMM 10×10 the agent binds, so a second
+  // server gives no improvement (and slightly hurts).
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(10);
+  const auto one =
+      sim::simulate(star(1), platform, kParams, service, 40, quick());
+  const auto two =
+      sim::simulate(star(2), platform, kParams, service, 40, quick());
+  EXPECT_LT(two.throughput, 1.05 * one.throughput);
+}
+
+TEST(Simulator, MeasuredStaysBelowPredictionWithOverheads) {
+  // The Fig 3 gap: with middleware overheads on, measured < predicted.
+  const Platform platform = gen::homogeneous(2, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(10);
+  const auto predicted = model::evaluate(star(1), platform, kParams, service);
+  const auto measured =
+      sim::simulate(star(1), platform, kParams, service, 40, quick());
+  EXPECT_LT(measured.throughput, predicted.overall);
+}
+
+TEST(Simulator, ServerSharesFollowEq8WhenSaturated) {
+  // Heterogeneous servers, service-limited: completion shares must track
+  // the model's Eq-8 split (stronger server completes more).
+  Platform platform({{"agent", 2000.0}, {"slow", 500.0}, {"fast", 1500.0}}, kB);
+  const ServiceSpec service = dgemm_service(310);
+  Hierarchy h = star(2);
+  const auto report = model::evaluate(h, platform, kParams, service);
+  ASSERT_EQ(report.bottleneck, model::Bottleneck::Service);
+  const auto run = sim::simulate(h, platform, kParams, service, 20, ideal());
+  const double total = static_cast<double>(run.server_completions[1] +
+                                           run.server_completions[2]);
+  ASSERT_GT(total, 0.0);
+  const double slow_share = static_cast<double>(run.server_completions[1]) / total;
+  EXPECT_NEAR(slow_share, report.server_shares[0], 0.06);
+}
+
+// ------------------------------------------------------------ saturation --
+
+TEST(Simulator, ThroughputSaturatesWithLoad) {
+  // The paper's measurement methodology: throughput rises with clients,
+  // then plateaus at the bottleneck rate.
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(200);
+  const auto curve = sim::load_sweep(star(2), platform, kParams, service,
+                                     {1, 2, 5, 10, 20, 40}, quick(), 2);
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_LT(curve.front().throughput, curve.back().throughput);
+  // Plateau: the last two points are within 10% of each other.
+  EXPECT_NEAR(curve[5].throughput, curve[4].throughput,
+              0.10 * curve[4].throughput);
+  EXPECT_GT(sim::peak_throughput(curve), 0.0);
+}
+
+TEST(Simulator, ResponseTimeGrowsWithOverload) {
+  const Platform platform = gen::homogeneous(2, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(310);
+  const auto light =
+      sim::simulate(star(1), platform, kParams, service, 1, quick());
+  const auto heavy =
+      sim::simulate(star(1), platform, kParams, service, 30, quick());
+  EXPECT_GT(heavy.mean_response_time, 2.0 * light.mean_response_time);
+}
+
+TEST(Simulator, DeepHierarchyRuns) {
+  // 3-level tree: root → 3 agents → 4 servers each.
+  const Platform platform = gen::homogeneous(16, 1000.0, kB);
+  Hierarchy h;
+  const auto root = h.add_root(0);
+  NodeId next = 1;
+  for (int a = 0; a < 3; ++a) {
+    const auto agent = h.add_agent(root, next++);
+    for (int s = 0; s < 4; ++s) h.add_server(agent, next++);
+  }
+  ASSERT_TRUE(h.validate(&platform).empty());
+  const auto result =
+      sim::simulate(h, platform, kParams, dgemm_service(310), 30, quick());
+  EXPECT_GT(result.throughput, 0.0);
+  // Every server participated in predictions (compute busy > 0).
+  for (Hierarchy::Index i = 0; i < h.size(); ++i)
+    EXPECT_GT(result.compute_busy[i], 0.0) << "element " << i;
+}
+
+TEST(Simulator, LoadSweepParallelMatchesSequential) {
+  const Platform platform = gen::homogeneous(3, 1000.0, kB);
+  const ServiceSpec service = dgemm_service(200);
+  const std::vector<std::size_t> counts{1, 4, 8};
+  const auto seq = sim::load_sweep(star(2), platform, kParams, service, counts,
+                                   quick(), 1);
+  const auto par = sim::load_sweep(star(2), platform, kParams, service, counts,
+                                   quick(), 3);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].clients, par[i].clients);
+    EXPECT_DOUBLE_EQ(seq[i].throughput, par[i].throughput);
+  }
+}
+
+}  // namespace
+}  // namespace adept

@@ -1,0 +1,164 @@
+/// \file test_workload.cpp
+/// \brief Tests for the workload substrate: the DGEMM kernel, host
+/// calibration, wire-format encoding, and the W_rep fitting procedure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "model/parameters.hpp"
+#include "workload/calibration.hpp"
+#include "workload/dgemm.hpp"
+#include "workload/wire.hpp"
+
+namespace adept {
+namespace {
+
+// ---------------------------------------------------------------- dgemm --
+
+TEST(Dgemm, MatchesNaiveReferenceOnSmallMatrix) {
+  constexpr std::size_t n = 17;  // not a multiple of the block size
+  const auto a = workload::make_matrix(n, 1);
+  const auto b = workload::make_matrix(n, 2);
+  std::vector<double> c(n * n, 0.0);
+  workload::dgemm(a.data(), b.data(), c.data(), n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < n; ++k) expected += a[i * n + k] * b[k * n + j];
+      EXPECT_NEAR(c[i * n + j], expected, 1e-10) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Dgemm, AccumulatesIntoC) {
+  constexpr std::size_t n = 8;
+  const auto a = workload::make_matrix(n, 3);
+  const auto b = workload::make_matrix(n, 4);
+  std::vector<double> once(n * n, 0.0), twice(n * n, 0.0);
+  workload::dgemm(a.data(), b.data(), once.data(), n);
+  workload::dgemm(a.data(), b.data(), twice.data(), n);
+  workload::dgemm(a.data(), b.data(), twice.data(), n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    EXPECT_NEAR(twice[i], 2.0 * once[i], 1e-10);
+}
+
+TEST(Dgemm, HostMeasurementIsPositiveAndSane) {
+  const MFlopRate rate = workload::measure_host_mflops(64, 2);
+  EXPECT_GT(rate, 10.0);      // any machine manages 10 MFlop/s
+  EXPECT_LT(rate, 1e7);       // and no laptop does 10 TFlop/s scalar
+}
+
+TEST(Dgemm, MeasurementRejectsBadArguments) {
+  EXPECT_THROW(workload::measure_host_mflops(4, 1), Error);
+  EXPECT_THROW(workload::measure_host_mflops(64, 0), Error);
+}
+
+TEST(Dgemm, MakeMatrixDeterministic) {
+  const auto a = workload::make_matrix(6, 9);
+  const auto b = workload::make_matrix(6, 9);
+  EXPECT_EQ(a, b);
+  for (double x : a) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+// ----------------------------------------------------------------- wire --
+
+TEST(Wire, AgentRequestRoundTrips) {
+  workload::AgentRequestMessage message;
+  message.request_id = 0xDEADBEEF;
+  message.client_host = "lyon-3";
+  message.service_name = "dgemm-310";
+  message.routing_path = {"MA", "LA-2"};
+  message.argument_descriptor = {1.0, -2.5, 3.25};
+  const auto decoded =
+      workload::decode_agent_request(workload::encode(message));
+  EXPECT_EQ(decoded.request_id, message.request_id);
+  EXPECT_EQ(decoded.client_host, message.client_host);
+  EXPECT_EQ(decoded.service_name, message.service_name);
+  EXPECT_EQ(decoded.routing_path, message.routing_path);
+  EXPECT_EQ(decoded.argument_descriptor, message.argument_descriptor);
+}
+
+TEST(Wire, AgentReplyRoundTrips) {
+  workload::AgentReplyMessage message;
+  message.request_id = 7;
+  message.candidates = {{"sed-1", 0.5, 0.25}, {"sed-2", 1.5, 0.75}};
+  const auto decoded = workload::decode_agent_reply(workload::encode(message));
+  EXPECT_EQ(decoded.request_id, 7u);
+  ASSERT_EQ(decoded.candidates.size(), 2u);
+  EXPECT_EQ(decoded.candidates[1].server_host, "sed-2");
+  EXPECT_DOUBLE_EQ(decoded.candidates[1].predicted_seconds, 1.5);
+}
+
+TEST(Wire, DecodeRejectsCorruptedBytes) {
+  workload::AgentRequestMessage message;
+  message.client_host = "x";
+  auto bytes = workload::encode(message);
+  EXPECT_THROW(workload::decode_agent_reply(bytes), Error);  // wrong type
+  bytes[0] = 'X';
+  EXPECT_THROW(workload::decode_agent_request(bytes), Error);  // bad magic
+  EXPECT_THROW(workload::decode_agent_request({1, 2, 3}), Error);  // short
+  auto truncated = workload::encode(message);
+  truncated.pop_back();
+  EXPECT_THROW(workload::decode_agent_request(truncated), Error);
+}
+
+TEST(Wire, RepresentativeSizesMatchTable3Asymmetry) {
+  using workload::MessageKind;
+  const Mbit agent_req = workload::representative_size(MessageKind::AgentRequest);
+  const Mbit agent_rep = workload::representative_size(MessageKind::AgentReply);
+  const Mbit server_req = workload::representative_size(MessageKind::ServerRequest);
+  const Mbit server_rep = workload::representative_size(MessageKind::ServerReply);
+  // Table 3's structural facts: agent-level traffic is ~2 orders of
+  // magnitude heavier than server-level, and replies ≥ requests.
+  EXPECT_GT(agent_req / server_req, 20.0);
+  EXPECT_GT(agent_rep / server_rep, 20.0);
+  EXPECT_GE(agent_rep, agent_req * 0.5);
+  EXPECT_GT(server_rep, server_req);
+  // Same order of magnitude as the measured values (5.3e-3 / 5.3e-5 Mb).
+  EXPECT_GT(agent_req, 1e-3);
+  EXPECT_LT(agent_req, 1e-1);
+  EXPECT_GT(server_req, 1e-5);
+  EXPECT_LT(server_req, 1e-3);
+}
+
+// ----------------------------------------------------------- calibration --
+
+TEST(Calibration, WrepFitRecoversWsel) {
+  // The star-degree sweep measures the agent's per-request compute time;
+  // the slope over degree is W_sel / w, independent of fixed overheads.
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  sim::SimConfig config;
+  config.warmup = 0.5;
+  config.measure = 2.0;
+  const auto fit =
+      workload::fit_wrep(params, 1000.0, 1000.0, {1, 2, 4, 8, 12}, config);
+  EXPECT_NEAR(fit.wsel_measured, params.agent.wsel, 0.15 * params.agent.wsel);
+  EXPECT_GT(fit.fit.correlation, 0.97);  // the paper reports r = 0.97
+  // The intercept absorbs W_req + W_fix plus simulator overhead: it must
+  // be at least the true fixed computation.
+  EXPECT_GT(fit.fixed_measured, params.agent.wreq + params.agent.wfix - 1e-9);
+}
+
+TEST(Calibration, WrepFitValidatesInput) {
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  EXPECT_THROW(workload::fit_wrep(params, 1000.0, 1000.0, {3}), Error);
+}
+
+TEST(Calibration, FullReportIsConsistent) {
+  const auto report =
+      workload::calibrate(MiddlewareParams::diet_grid5000(), false);
+  EXPECT_DOUBLE_EQ(report.host_mflops, 0.0);  // host timing disabled
+  EXPECT_GT(report.agent_sreq, report.server_sreq);
+  EXPECT_GT(report.agent_srep, report.server_srep);
+  EXPECT_EQ(report.wrep.degrees.size(), 8u);
+  EXPECT_GT(report.wrep.fit.correlation, 0.95);
+}
+
+}  // namespace
+}  // namespace adept
