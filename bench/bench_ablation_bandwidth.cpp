@@ -20,7 +20,7 @@ int main() {
   std::vector<std::pair<MbitRate, RequestRate>> points;
   for (const MbitRate bandwidth : {10.0, 50.0, 100.0, 500.0, 1000.0, 10000.0}) {
     const Platform platform = gen::homogeneous(50, 1000.0, bandwidth);
-    const auto plan = plan_heterogeneous(platform, params, service);
+    const auto plan = bench::run_planner("heuristic", platform, params, service);
     if (bandwidth == 1000.0) reference = plan.report.overall;
     points.emplace_back(bandwidth, plan.report.overall);
     table.add_row(

@@ -6,6 +6,8 @@
 
 #include "bench_util.hpp"
 
+#include "planner/planning_service.hpp"
+
 int main() {
   using namespace adept;
   bench::banner("Ablation — resources committed vs client demand");
@@ -14,22 +16,43 @@ int main() {
   const Platform platform = gen::homogeneous(100, 1000.0, 1000.0);
   const ServiceSpec service = dgemm_service(500);
 
-  const auto unlimited = plan_heterogeneous(platform, params, service);
-  const RequestRate max_rho = unlimited.report.overall;
-  std::cout << "unlimited-demand plan: " << unlimited.nodes_used()
+  PlanningService planning;
+  const auto unlimited =
+      planning.run(PlanRequest(platform, params, service), "heuristic");
+  if (!unlimited.ok) {
+    std::cerr << "planning failed: " << unlimited.error << '\n';
+    return 1;
+  }
+  const RequestRate max_rho = unlimited.result.report.overall;
+  std::cout << "unlimited-demand plan: " << unlimited.result.nodes_used()
             << " nodes, rho " << Table::num(max_rho, 1) << " req/s\n\n";
+
+  // The sweep is a batch of independent demand-capped requests — the
+  // PlanningService plans them across all cores.
+  const std::vector<double> fractions{0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+  std::vector<PlanningService::Job> jobs;
+  for (const double fraction : fractions) {
+    PlanRequest request(platform, params, service);
+    request.options.demand = fraction * max_rho;
+    jobs.push_back({request, "heuristic"});
+  }
+  const auto runs = planning.run_batch(jobs);
 
   Table table("Demand sweep (fraction of the maximum achievable rho)");
   table.set_header({"demand (req/s)", "fraction", "nodes used", "agents",
                     "rho delivered", "demand met"});
   std::size_t previous_nodes = 0;
   bool monotone = true;
-  for (const double fraction : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    const RequestRate demand = fraction * max_rho;
-    const auto plan = plan_heterogeneous(platform, params, service, demand);
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    if (!runs[i].ok) {
+      std::cerr << "planning failed: " << runs[i].error << '\n';
+      return 1;
+    }
+    const RequestRate demand = fractions[i] * max_rho;
+    const auto& plan = runs[i].result;
     monotone = monotone && plan.nodes_used() >= previous_nodes;
     previous_nodes = plan.nodes_used();
-    table.add_row({Table::num(demand, 1), Table::num(fraction, 2),
+    table.add_row({Table::num(demand, 1), Table::num(fractions[i], 2),
                    Table::num(static_cast<long long>(plan.nodes_used())),
                    Table::num(static_cast<long long>(plan.hierarchy.agent_count())),
                    Table::num(plan.report.overall, 1),
@@ -37,9 +60,15 @@ int main() {
   }
   std::cout << table << '\n';
 
+  const auto stats = planning.stats();
+  std::cout << "planning service: " << stats.jobs << " jobs, "
+            << stats.evaluations << " model evaluations, "
+            << Table::num(stats.wall_ms, 1) << " ms planner wall time on "
+            << planning.thread_count() << " threads\n\n";
+
   bench::verdict("higher demand commits at least as many nodes", monotone);
-  const auto small = plan_heterogeneous(platform, params, service, 0.1 * max_rho);
   bench::verdict("a 10% demand is met with a small fraction of the pool",
-                 small.nodes_used() < unlimited.nodes_used() / 2);
+                 runs.front().result.nodes_used() <
+                     unlimited.result.nodes_used() / 2);
   return 0;
 }

@@ -9,7 +9,7 @@
 
 #include "common/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adept;
   bench::banner("Ablation — heuristic advantage vs heterogeneity spread");
 
@@ -17,6 +17,7 @@ int main() {
   const ServiceSpec service = dgemm_service(310);
   constexpr std::size_t kNodes = 200;
   constexpr MbitRate kB = 1000.0;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 99);
 
   // Mean power 200 MFlop/s — the Grid'5000 effective scale where the
   // sched/service balance is tight and agent placement actually matters.
@@ -28,14 +29,14 @@ int main() {
     // Uniform spread [lo, hi] with hi/lo = ratio and mean 200.
     const double lo = 400.0 / (1.0 + ratio);
     const double hi = lo * ratio;
-    Rng rng(99);
+    Rng rng(seed);
     const Platform platform =
         ratio == 1.0 ? gen::homogeneous(kNodes, 200.0, kB)
                      : gen::uniform(kNodes, lo, hi, kB, rng);
 
-    const auto heuristic = plan_heterogeneous(platform, params, service);
-    const auto star = plan_star(platform, params, service);
-    const auto balanced = plan_balanced(platform, params, service);
+    const auto heuristic = bench::run_planner("heuristic", platform, params, service);
+    const auto star = bench::run_planner("star", platform, params, service);
+    const auto balanced = bench::run_planner("balanced", platform, params, service);
     const double vs_star = heuristic.report.overall / star.report.overall;
     const double vs_balanced =
         heuristic.report.overall / balanced.report.overall;

@@ -16,31 +16,32 @@
 #include "common/rng.hpp"
 #include "model/hetero_comm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adept;
   bench::banner("Ablation — heterogeneous links: blind vs link-aware planning");
 
   const MiddlewareParams params = bench::params();
   const ServiceSpec service = dgemm_service(100);  // sched-limited: links matter
   constexpr std::size_t kNodes = 48;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv, 7);
 
   Table table("48 nodes at 200 MFlop/s, links uniform in [lo, 1000] Mbit/s");
   table.set_header({"slowest link", "blind rho (hetero)", "aware rho (hetero)",
                     "aware gain", "blind belief", "belief error"});
   double gain_at_mild = 0.0, gain_at_severe = 0.0;
   for (const MbitRate lo : {1000.0, 500.0, 100.0, 20.0, 4.0}) {
-    Rng rng(7);
+    Rng rng(seed);
     Platform platform = gen::homogeneous(kNodes, 200.0, 1000.0);
     if (lo < 1000.0)
       platform = gen::with_heterogeneous_links(std::move(platform), lo, 1000.0,
                                                rng);
 
-    const auto blind = plan_heterogeneous(platform, params, service);
+    const auto blind = bench::run_planner("heuristic", platform, params, service);
     const double blind_belief = blind.report.overall;  // homogeneous model
     const double blind_truth =
         model::evaluate_hetero(blind.hierarchy, platform, params, service)
             .overall;
-    const auto aware = plan_link_aware(platform, params, service);
+    const auto aware = bench::run_planner("link-aware", platform, params, service);
     const double gain = aware.report.overall / blind_truth;
     if (lo == 500.0) gain_at_mild = gain;
     if (lo == 4.0) gain_at_severe = gain;

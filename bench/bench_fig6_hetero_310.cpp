@@ -12,14 +12,15 @@
 
 #include "common/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adept;
   bench::banner(
       "Figure 6 — automatic vs star vs balanced, 200 heterogeneous nodes, "
       "DGEMM 310x310");
 
   const MiddlewareParams params = bench::params();
-  Rng rng(20080615);  // fixed seed: the same "background-loaded" cluster
+  Rng rng(adept::bench::seed_from_args(argc, argv, 20080615));
+  // Default seed: the same "background-loaded" cluster
   const Platform platform = gen::grid5000_orsay_loaded(200, rng);
   const ServiceSpec service = dgemm_service(310);
 

@@ -7,14 +7,14 @@
 
 #include "common/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adept;
   bench::banner(
       "Figure 7 — automatic (star) vs balanced, heterogeneous nodes, "
       "DGEMM 1000x1000");
 
   const MiddlewareParams params = bench::params();
-  Rng rng(20080615);  // same cluster as the Figure 6 harness
+  Rng rng(adept::bench::seed_from_args(argc, argv, 20080615));  // as Figure 6
   const Platform platform = gen::grid5000_orsay_loaded(200, rng);
   const ServiceSpec service = dgemm_service(1000);
 

@@ -76,11 +76,11 @@ Row run_row(std::size_t dgemm, std::size_t nodes) {
   }
 
   // "Homo. Deg.": the degree the homogeneous model of ref [10] chooses.
-  const auto homo = plan_homogeneous_optimal(platform, params, service);
+  const auto homo = bench::run_planner("homogeneous", platform, params, service);
   row.homo_degree = homo.hierarchy.degree(homo.hierarchy.root());
 
   // "Heur. Deg." / "Heur. Perf.": Algorithm 1's deployment, measured.
-  const auto heuristic = plan_heterogeneous(platform, params, service);
+  const auto heuristic = bench::run_planner("heuristic", platform, params, service);
   row.heur_degree = heuristic.hierarchy.degree(heuristic.hierarchy.root());
   row.heur_measured = measure(heuristic.hierarchy, platform, params, service);
   return row;

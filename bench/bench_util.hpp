@@ -9,15 +9,20 @@
 /// expected to match (our substrate is a simulator, not Grid'5000); the
 /// orderings and ratios are.
 
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/argparse.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "model/evaluate.hpp"
 #include "model/parameters.hpp"
 #include "model/service.hpp"
 #include "planner/planner.hpp"
+#include "planner/registry.hpp"
 #include "platform/generator.hpp"
 #include "sim/simulator.hpp"
 
@@ -25,6 +30,38 @@ namespace adept::bench {
 
 /// Table 3 parameters — all harnesses use the paper's measured values.
 inline MiddlewareParams params() { return MiddlewareParams::diet_grid5000(); }
+
+/// RNG seed for a harness's synthetic platforms: `--seed N` (or
+/// `--seed=N`) overrides the harness default, so campaign reruns are
+/// reproducible — and variable — across bench invocations, matching
+/// `adept generate --seed`. A bad or unknown argument is a hard error
+/// (exit 2): silently falling back would mislabel the campaign's
+/// results.
+inline std::uint64_t seed_from_args(int argc, char** argv,
+                                    std::uint64_t fallback) {
+  ArgParser parser(argv[0] ? argv[0] : "bench", "Experiment harness.");
+  parser.add_option("seed", "RNG seed for synthetic platforms",
+                    std::to_string(fallback));
+  try {
+    parser.parse(std::vector<std::string>(argv + 1, argv + argc));
+    const long long seed = parser.get_int("seed");
+    ADEPT_CHECK(seed >= 0, "--seed must be non-negative");
+    return static_cast<std::uint64_t>(seed);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    std::exit(2);
+  }
+}
+
+/// Plans through the registry — the harnesses exercise the same dispatch
+/// path as the CLI and the PlanningService.
+inline PlanResult run_planner(const std::string& name, const Platform& platform,
+                              const MiddlewareParams& parameters,
+                              const ServiceSpec& service,
+                              PlanOptions options = {}) {
+  return PlannerRegistry::instance().at(name).plan(
+      {platform, parameters, service, options});
+}
 
 /// Simulation config for figure sweeps: long enough for a stable plateau,
 /// short enough that a full figure regenerates in seconds.

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "planner/planner.hpp"
+#include "planner/registry.hpp"
 #include "platform/generator.hpp"
 #include "sim/simulator.hpp"
 #include "workload/forecast.hpp"
@@ -28,7 +28,8 @@ int main() {
   // …but the actual workload is DGEMM 420 — 74x the computation.
   const ServiceSpec actual = dgemm_service(420);
 
-  const auto naive = plan_heterogeneous(platform, params, guessed);
+  const IPlanner& planner = PlannerRegistry::instance().at("heuristic");
+  const auto naive = planner.plan({platform, params, guessed});
   std::cout << "planned for " << guessed.name << " (" << guessed.wapp
             << " MFlop): " << naive.nodes_used() << " nodes, predicted "
             << Table::num(naive.report.overall, 1) << " req/s\n";
@@ -54,7 +55,7 @@ int main() {
 
   // Replan with the estimate and redeploy.
   const ServiceSpec forecast{"forecast", estimate.wapp};
-  const auto replanned = plan_heterogeneous(platform, params, forecast);
+  const auto replanned = planner.plan({platform, params, forecast});
   const auto after = sim::simulate(replanned.hierarchy, platform, params,
                                    actual, 80, config);
   std::cout << "replanned: " << replanned.nodes_used()

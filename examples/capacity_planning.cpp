@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "planner/planner.hpp"
+#include "planner/planning_service.hpp"
 #include "platform/generator.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,10 +20,29 @@ int main() {
   const MiddlewareParams params = MiddlewareParams::diet_grid5000();
   const ServiceSpec service = dgemm_service(400);  // 128 MFlop per request
 
+  // One PlanningService answers every provisioning question; the demand
+  // sweep is a batch of independent requests planned in parallel.
+  PlanningService planning;
+
   // What is the ceiling of this pool?
-  const auto ceiling = plan_heterogeneous(platform, params, service);
-  std::cout << "pool ceiling: " << Table::num(ceiling.report.overall, 1)
-            << " req/s using " << ceiling.nodes_used() << " nodes\n\n";
+  const auto ceiling =
+      planning.run(PlanRequest(platform, params, service), "heuristic");
+  if (!ceiling.ok) {
+    std::cerr << "planning failed: " << ceiling.error << '\n';
+    return 1;
+  }
+  std::cout << "pool ceiling: " << Table::num(ceiling.result.report.overall, 1)
+            << " req/s using " << ceiling.result.nodes_used() << " nodes ("
+            << Table::num(ceiling.wall_ms, 1) << " ms to plan)\n\n";
+
+  const std::vector<double> demands{5.0, 15.0, 30.0, 60.0, 120.0};
+  std::vector<PlanningService::Job> jobs;
+  for (const double demand : demands) {
+    PlanRequest request(platform, params, service);
+    request.options.demand = demand;
+    jobs.push_back({request, "heuristic"});
+  }
+  const auto runs = planning.run_batch(jobs);
 
   Table table("Provisioning plans per target demand");
   table.set_header({"demand (req/s)", "nodes", "agents", "servers",
@@ -31,11 +50,15 @@ int main() {
   sim::SimConfig config;
   config.warmup = 1.0;
   config.measure = 3.0;
-  for (const double demand : {5.0, 15.0, 30.0, 60.0, 120.0}) {
-    const auto plan = plan_heterogeneous(platform, params, service, demand);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (!runs[i].ok) {
+      std::cerr << "planning failed: " << runs[i].error << '\n';
+      return 1;
+    }
+    const auto& plan = runs[i].result;
     const auto run = sim::simulate(plan.hierarchy, platform, params, service,
                                    /*clients=*/120, config);
-    table.add_row({Table::num(demand, 0),
+    table.add_row({Table::num(demands[i], 0),
                    Table::num(static_cast<long long>(plan.nodes_used())),
                    Table::num(static_cast<long long>(plan.hierarchy.agent_count())),
                    Table::num(static_cast<long long>(plan.hierarchy.server_count())),

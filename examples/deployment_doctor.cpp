@@ -39,18 +39,23 @@ int main() {
 
   // The pool actually has more machines available; tell the doctor about
   // them and let the bottleneck-removal pass spend them where it helps.
+  // One spare is known-bad — PlanOptions::excluded keeps it off the table.
   Platform pool = deployment.platform;
   for (int i = 3; i <= 12; ++i)
     pool.add_node({"spare-" + std::to_string(i), 900.0});
+  const NodeId quarantined = pool.size() - 1;  // ops flagged spare-12
 
+  PlanOptions options;
+  options.excluded.insert(quarantined);
   const auto repaired =
-      improve_deployment(deployment.hierarchy, pool, params, service);
+      improve_deployment(deployment.hierarchy, pool, params, service, options);
   std::cout << "doctor's decisions:\n";
   for (const auto& step : repaired.trace) std::cout << "  - " << step << '\n';
   std::cout << "\nrepaired deployment: " << repaired.report.overall
             << " req/s using " << repaired.hierarchy.size() << " nodes ("
             << (repaired.report.overall / before.overall)
-            << "x the original)\n\n";
+            << "x the original; quarantined "
+            << pool.node(quarantined).name << " untouched)\n\n";
 
   std::cout << write_godiet_xml(repaired.hierarchy, pool);
   return 0;

@@ -7,7 +7,7 @@
 
 #include "hierarchy/xml.hpp"
 #include "model/evaluate.hpp"
-#include "planner/planner.hpp"
+#include "planner/registry.hpp"
 #include "platform/platform.hpp"
 
 int main() {
@@ -25,14 +25,18 @@ int main() {
                      {"node-g", 400.0}},
                     1000.0);
 
-  // 2. Pick the middleware cost model (Table 3 of the paper) and the
-  //    application service the servers will run.
-  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
-  const ServiceSpec service = dgemm_service(310);  // 310x310 matrix multiply
+  // 2. Describe the planning problem: the middleware cost model (Table 3
+  //    of the paper), the application service the servers will run, and
+  //    any options (demand, excluded hosts, ...) — all in one PlanRequest.
+  const PlanRequest request(platform, MiddlewareParams::diet_grid5000(),
+                            dgemm_service(310));  // 310x310 matrix multiply
 
-  // 3. Plan: Algorithm 1 decides which nodes become agents, which become
+  // 3. Plan: look the paper's heuristic up in the registry (every planner
+  //    is addressable by name — see PlannerRegistry::instance().names())
+  //    and let Algorithm 1 decide which nodes become agents, which become
   //    servers, and the tree shape that maximises completed requests/s.
-  const PlanResult plan = plan_heterogeneous(platform, params, service);
+  const PlanResult plan =
+      PlannerRegistry::instance().at("heuristic").plan(request);
 
   std::cout << "planned deployment uses " << plan.nodes_used() << " of "
             << platform.size() << " nodes ("

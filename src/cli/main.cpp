@@ -9,8 +9,11 @@
 ///   simulate   run the discrete-event simulator against a deployment XML
 ///   calibrate  reproduce the Table 3 measurement procedure on this host
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "common/argparse.hpp"
@@ -18,10 +21,13 @@
 #include "common/strings.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "deploy/launcher.hpp"
 #include "hierarchy/dot.hpp"
 #include "hierarchy/xml.hpp"
 #include "model/evaluate.hpp"
 #include "planner/planner.hpp"
+#include "planner/planning_service.hpp"
+#include "planner/registry.hpp"
 #include "platform/generator.hpp"
 #include "platform/io.hpp"
 #include "sim/simulator.hpp"
@@ -121,41 +127,107 @@ int cmd_generate(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Maps a comma-separated host-name list onto node ids of `platform`.
+std::set<NodeId> parse_host_set(const Platform& platform, const std::string& csv) {
+  std::set<NodeId> out;
+  for (const std::string& name : strings::split(csv, ',')) {
+    bool found = false;
+    for (NodeId id = 0; id < platform.size(); ++id) {
+      if (platform.node(id).name == name) {
+        out.insert(id);
+        found = true;
+        break;
+      }
+    }
+    ADEPT_CHECK(found, "no node named '" + name + "' in the platform");
+  }
+  return out;
+}
+
+int list_planners() {
+  Table table("Registered planners (adept plan --planner <name|portfolio>)");
+  table.set_header({"name", "demand", "links", "degree", "summary"});
+  for (const IPlanner* planner : PlannerRegistry::instance().all()) {
+    const PlannerInfo& info = planner->info();
+    table.add_row({info.name, info.caps.demand_aware ? "yes" : "-",
+                   info.caps.link_aware ? "yes" : "-",
+                   info.caps.degree_parameterised ? "yes" : "-", info.summary});
+  }
+  std::cout << table;
+  std::cout << "'portfolio' runs every applicable planner concurrently and "
+               "keeps the best plan.\n";
+  return 0;
+}
+
 int cmd_plan(const std::vector<std::string>& args) {
+  if (std::find(args.begin(), args.end(), "--list-planners") != args.end())
+    return list_planners();
+
   ArgParser parser("adept plan", "Plan a deployment for a platform file.");
   parser.add_positional("platform", "platform description file");
-  parser.add_option("planner", "heuristic|star|balanced|homogeneous|link-aware",
+  parser.add_option("planner", "planner name or 'portfolio' (see --list-planners)",
                     "heuristic");
   parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
-  parser.add_option("demand", "client demand in req/s (heuristic only)");
-  parser.add_option("degree", "tree degree (balanced only)", "0");
+  parser.add_option("demand", "client demand in req/s (demand-aware planners)");
+  parser.add_option("degree", "tree degree (degree-parameterised planners)", "0");
+  parser.add_option("exclude", "comma-separated host names never to deploy");
+  parser.add_option("jobs", "worker threads for portfolio runs (0 = all cores)",
+                    "0");
+  parser.add_flag("list-planners", "print the planner registry and exit");
   parser.add_option("xml", "write GoDIET XML to this file");
   parser.add_option("dot", "write Graphviz DOT to this file");
   parser.parse(args);
 
   const Platform platform = io::load_platform(parser.get("platform"));
-  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
-  const ServiceSpec service = parse_service(parser.get("service"));
+  PlanRequest request(platform, MiddlewareParams::diet_grid5000(),
+                      parse_service(parser.get("service")));
+  if (parser.has("demand")) request.options.demand = parser.get_double("demand");
+  request.options.degree = static_cast<std::size_t>(parser.get_int("degree"));
+  if (parser.has("exclude"))
+    request.options.excluded = parse_host_set(platform, parser.get("exclude"));
+
   const std::string planner = parser.get("planner");
+  const long long jobs = parser.get_int("jobs");
+  ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
+  PlanningService service(static_cast<std::size_t>(jobs));
 
   PlanResult plan;
-  if (planner == "heuristic") {
-    const RequestRate demand =
-        parser.has("demand") ? parser.get_double("demand") : kUnlimitedDemand;
-    plan = plan_heterogeneous(platform, params, service, demand);
-  } else if (planner == "link-aware") {
-    const RequestRate demand =
-        parser.has("demand") ? parser.get_double("demand") : kUnlimitedDemand;
-    plan = plan_link_aware(platform, params, service, demand);
-  } else if (planner == "star") {
-    plan = plan_star(platform, params, service);
-  } else if (planner == "balanced") {
-    plan = plan_balanced(platform, params, service,
-                         static_cast<std::size_t>(parser.get_int("degree")));
-  } else if (planner == "homogeneous") {
-    plan = plan_homogeneous_optimal(platform, params, service);
+  if (planner == "portfolio") {
+    const PortfolioResult portfolio = service.run_portfolio(request);
+    Table table("Portfolio (" + std::to_string(service.thread_count()) +
+                " worker threads)");
+    // The rho column is the exact scale the winner is chosen on:
+    // `scores` (per-link evaluator on heterogeneous links, where raw
+    // planner reports are beliefs under different evaluators), clipped to
+    // the demand when one is set (beyond it, only deployment size counts).
+    const bool capped = std::isfinite(request.options.demand);
+    table.set_header({"planner", capped ? "rho (req/s, capped)" : "rho (req/s)",
+                      "nodes", "evals", "wall (ms)", "status"});
+    for (std::size_t i = 0; i < portfolio.runs.size(); ++i) {
+      const auto& run = portfolio.runs[i];
+      const RequestRate rho =
+          std::min(portfolio.scores[i], request.options.demand);
+      table.add_row(
+          {run.planner, run.ok ? Table::num(rho, 1) : "-",
+           run.ok ? Table::num(static_cast<long long>(run.result.nodes_used()))
+                  : "-",
+           Table::num(static_cast<long long>(run.evaluations)),
+           Table::num(run.wall_ms, 2), run.ok ? "ok" : run.error});
+    }
+    std::cout << table;
+    if (capped)
+      std::cout << "demand: " << request.options.demand
+                << " req/s — rho is capped there; on ties the smallest "
+                   "deployment wins\n";
+    std::cout << "winner: " << portfolio.best().planner << "\n\n";
+    plan = portfolio.best().result;
   } else {
-    throw Error("unknown planner '" + planner + "'\n" + parser.usage());
+    PlannerRun run = service.run(request, planner);
+    if (!run.ok) throw Error("planner '" + planner + "' failed: " + run.error);
+    std::cout << "planner         : " << planner << " ("
+              << Table::num(run.wall_ms, 2) << " ms, "
+              << run.evaluations << " model evaluations)\n";
+    plan = std::move(run.result);
   }
 
   print_plan_summary(plan, platform);
@@ -217,6 +289,45 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_repair(const std::vector<std::string>& args) {
+  ArgParser parser("adept repair",
+                   "Replan a deployment around hosts that failed to launch: "
+                   "prune their subtrees, then regrow from the surviving "
+                   "spare nodes (failed hosts are excluded via PlanOptions).");
+  parser.add_positional("deployment", "GoDIET-style XML file");
+  parser.add_option("failed", "comma-separated host names that failed");
+  parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
+  parser.add_option("xml", "write the repaired GoDIET XML to this file");
+  parser.parse(args);
+
+  const Deployment deployment = load_deployment(parser.get("deployment"));
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  const ServiceSpec service = parse_service(parser.get("service"));
+  const std::set<NodeId> failed =
+      parser.has("failed")
+          ? parse_host_set(deployment.platform, parser.get("failed"))
+          : std::set<NodeId>{};
+
+  const auto before = model::evaluate(deployment.hierarchy, deployment.platform,
+                                      params, service);
+  std::cout << "before          : " << before.overall << " req/s on "
+            << deployment.hierarchy.size() << " nodes, "
+            << failed.size() << " host(s) failed\n";
+
+  const auto repaired =
+      deploy::repair(deployment.hierarchy, deployment.platform, failed, params,
+                     service);
+  ADEPT_CHECK(repaired.has_value(),
+              "nothing survives the failures (root lost or no server left)");
+  const PlanResult plan =
+      make_plan(*repaired, deployment.platform, params, service);
+  print_plan_summary(plan, deployment.platform);
+  if (parser.has("xml"))
+    write_file(parser.get("xml"),
+               write_godiet_xml(plan.hierarchy, deployment.platform));
+  return 0;
+}
+
 int cmd_calibrate(const std::vector<std::string>& args) {
   ArgParser parser("adept calibrate",
                    "Reproduce the Table 3 measurement procedure.");
@@ -242,7 +353,7 @@ int cmd_calibrate(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   const std::string usage =
-      "usage: adept <generate|plan|predict|simulate|calibrate> [options]\n"
+      "usage: adept <generate|plan|predict|simulate|repair|calibrate> [options]\n"
       "run `adept <command> --help` style options are listed on error\n";
   if (args.empty()) {
     std::cerr << usage;
@@ -255,6 +366,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "repair") return cmd_repair(args);
     if (command == "calibrate") return cmd_calibrate(args);
     std::cerr << "unknown command '" << command << "'\n" << usage;
     return 2;

@@ -158,8 +158,10 @@ std::optional<Hierarchy> repair(const Hierarchy& hierarchy,
                                 const ServiceSpec& service) {
   auto surviving = prune_failures(hierarchy, failed_nodes);
   if (!surviving.has_value()) return std::nullopt;
+  PlanOptions options;
+  options.excluded = failed_nodes;  // failed hosts are never recruited
   PlanResult improved = improve_deployment(std::move(*surviving), platform,
-                                           params, service, &failed_nodes);
+                                           params, service, options);
   return std::move(improved.hierarchy);
 }
 

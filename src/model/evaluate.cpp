@@ -4,6 +4,16 @@
 
 namespace adept::model {
 
+namespace {
+thread_local std::uint64_t evaluation_count = 0;
+}  // namespace
+
+std::uint64_t evaluations_on_this_thread() { return evaluation_count; }
+
+namespace detail {
+void count_evaluation() { ++evaluation_count; }
+}  // namespace detail
+
 const char* bottleneck_name(Bottleneck bottleneck) {
   switch (bottleneck) {
     case Bottleneck::AgentScheduling: return "agent-scheduling";
@@ -18,6 +28,7 @@ ThroughputReport evaluate_unchecked(const Hierarchy& hierarchy,
                                     const MiddlewareParams& params,
                                     const ServiceSpec& service) {
   ADEPT_CHECK(!hierarchy.empty(), "cannot evaluate an empty hierarchy");
+  detail::count_evaluation();
   const MbitRate B = platform.bandwidth();
 
   ThroughputReport report;

@@ -9,6 +9,7 @@
 /// collective service throughput of the server set (Eq 15). evaluate()
 /// computes all three and reports which element binds.
 
+#include <cstdint>
 #include <vector>
 
 #include "hierarchy/hierarchy.hpp"
@@ -56,5 +57,16 @@ ThroughputReport evaluate_unchecked(const Hierarchy& hierarchy,
                                     const Platform& platform,
                                     const MiddlewareParams& params,
                                     const ServiceSpec& service);
+
+/// Number of whole-hierarchy evaluations (evaluate, evaluate_unchecked,
+/// evaluate_hetero) performed by the calling thread since it started.
+/// The PlanningService differences this around each planner run to report
+/// per-run model-evaluation counts; thread-locality makes the attribution
+/// exact because one run executes on one worker thread.
+std::uint64_t evaluations_on_this_thread();
+
+namespace detail {
+void count_evaluation();
+}  // namespace detail
 
 }  // namespace adept::model

@@ -90,6 +90,7 @@ ThroughputReport evaluate_hetero(const Hierarchy& hierarchy,
                                  const ServiceSpec& service) {
   hierarchy.validate_or_throw(&platform);
   params.validate();
+  detail::count_evaluation();
 
   ThroughputReport report;
   bool first = true;

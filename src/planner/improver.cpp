@@ -48,21 +48,25 @@ Hierarchy::Index best_adopter(const Hierarchy& hierarchy, const Platform& platfo
 PlanResult improve_deployment(Hierarchy start, const Platform& platform,
                               const MiddlewareParams& params,
                               const ServiceSpec& service,
-                              const std::set<NodeId>* excluded) {
+                              const PlanOptions& options) {
   start.validate_or_throw(&platform);
+  ADEPT_CHECK(options.demand > 0.0, "client demand must be positive");
 
   PlanResult result;
   const std::vector<NodeId> used_nodes = start.used_nodes();
   const std::set<NodeId> used(used_nodes.begin(), used_nodes.end());
   std::vector<NodeId> unused;
   for (NodeId id : platform.ids_by_power_desc())
-    if (!used.count(id) && (excluded == nullptr || !excluded->count(id)))
-      unused.push_back(id);
+    if (!used.count(id) && !options.excluded.count(id)) unused.push_back(id);
 
   Hierarchy current = std::move(start);
   auto report = model::evaluate_unchecked(current, platform, params, service);
 
   for (std::size_t round = 0; round < platform.size(); ++round) {
+    if (report.overall >= options.demand) {
+      result.trace.push_back("stop: client demand is met");
+      break;
+    }
     if (report.bottleneck == model::Bottleneck::Service && !unused.empty()) {
       const Hierarchy::Index adopter = best_adopter(current, platform, params);
       ADEPT_ASSERT(adopter != Hierarchy::npos, "no agent to adopt a server");
@@ -124,7 +128,18 @@ PlanResult improve_deployment(Hierarchy start, const Platform& platform,
 
   result.report = model::evaluate(current, platform, params, service);
   result.hierarchy = std::move(current);
+  if (!options.verbose_trace) result.trace.clear();
   return result;
+}
+
+PlanResult improve_deployment(Hierarchy start, const Platform& platform,
+                              const MiddlewareParams& params,
+                              const ServiceSpec& service,
+                              const std::set<NodeId>* excluded) {
+  PlanOptions options;
+  if (excluded != nullptr) options.excluded = *excluded;
+  return improve_deployment(std::move(start), platform, params, service,
+                            options);
 }
 
 }  // namespace adept

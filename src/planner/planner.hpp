@@ -18,6 +18,7 @@
 #include "model/evaluate.hpp"
 #include "model/parameters.hpp"
 #include "model/service.hpp"
+#include "planner/request.hpp"
 #include "platform/platform.hpp"
 
 namespace adept {
@@ -31,11 +32,12 @@ struct PlanResult {
   std::size_t nodes_used() const { return hierarchy.size(); }
 };
 
-/// Unlimited client demand: the planner maximises raw throughput.
-inline constexpr RequestRate kUnlimitedDemand =
-    std::numeric_limits<RequestRate>::infinity();
-
 /// Signature shared by all planners (demand-aware ones bind the demand).
+///
+/// \deprecated New code addresses planners by name through PlannerRegistry
+/// (registry.hpp) and calls them with a PlanRequest; this alias and the
+/// free functions below are kept as thin compatibility wrappers for one
+/// release.
 using Planner = std::function<PlanResult(
     const Platform&, const MiddlewareParams&, const ServiceSpec&)>;
 
@@ -96,7 +98,15 @@ PlanResult plan_link_aware(const Platform& platform,
 /// identifies the Eq-16 bottleneck of `start` and applies the local fix
 /// (add an unused node as server when service-limited; rebalance children
 /// away from a saturated non-root agent) until no step improves. Nodes in
-/// `excluded` (e.g. hosts that failed to launch) are never recruited.
+/// `options.excluded` (e.g. hosts that failed to launch) are never
+/// recruited; `options.demand` stops growth once the demand is met.
+PlanResult improve_deployment(Hierarchy start, const Platform& platform,
+                              const MiddlewareParams& params,
+                              const ServiceSpec& service,
+                              const PlanOptions& options);
+
+/// \deprecated Raw-pointer compatibility form; forwards the excluded set
+/// into PlanOptions. Kept for one release.
 PlanResult improve_deployment(Hierarchy start, const Platform& platform,
                               const MiddlewareParams& params,
                               const ServiceSpec& service,

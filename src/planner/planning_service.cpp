@@ -1,0 +1,175 @@
+#include "planner/planning_service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+
+#include "common/error.hpp"
+#include "model/evaluate.hpp"
+#include "model/hetero_comm.hpp"
+
+namespace adept {
+
+namespace {
+
+/// Score used to rank portfolio candidates. Planner reports are not
+/// directly comparable on heterogeneous-link platforms: link-blind
+/// planners report their homogeneous-model belief, which overstates what
+/// a slow link delivers. Re-scoring every candidate under the per-link
+/// evaluator (which reduces to the paper's model on homogeneous links)
+/// puts them on one scale.
+RequestRate portfolio_score(const PlannerRun& run, const PlanRequest& request) {
+  if (request.platform->has_homogeneous_links())
+    return run.result.report.overall;
+  return model::evaluate_hetero(run.result.hierarchy, *request.platform,
+                                request.params, request.service)
+      .overall;
+}
+
+/// Portfolio ranking: demand-clipped score first, then fewest nodes,
+/// then name (total order → deterministic winner under any completion
+/// interleaving).
+bool beats(RequestRate score_a, const PlannerRun& a, RequestRate score_b,
+           const PlannerRun& b, RequestRate demand) {
+  const RequestRate rho_a = std::min(score_a, demand);
+  const RequestRate rho_b = std::min(score_b, demand);
+  const double tolerance = 1e-9 * std::max(rho_a, rho_b);
+  if (rho_a > rho_b + tolerance) return true;
+  if (rho_b > rho_a + tolerance) return false;
+  if (a.result.nodes_used() != b.result.nodes_used())
+    return a.result.nodes_used() < b.result.nodes_used();
+  return a.planner < b.planner;
+}
+
+}  // namespace
+
+const PlannerRun& PortfolioResult::best() const {
+  ADEPT_CHECK(has_winner(), "portfolio produced no successful plan");
+  return runs[winner];
+}
+
+PlanningService::PlanningService(std::size_t threads,
+                                 const PlannerRegistry& registry)
+    : registry_(registry), threads_(threads) {}
+
+ThreadPool& PlanningService::pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  });
+  return *pool_;
+}
+
+std::size_t PlanningService::thread_count() const {
+  // Computed from the configuration, not the lazily-created pool (whose
+  // pointer would race with pool()'s call_once); ThreadPool resolves a
+  // zero thread count the same way.
+  if (threads_ != 0) return threads_;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+PlannerRun PlanningService::execute(const PlanRequest& request,
+                                    const std::string& planner) {
+  PlannerRun run;
+  run.planner = planner;
+  if (request.options.should_stop()) {
+    run.skipped = true;
+    run.error = request.options.cancelled() ? "cancelled"
+                                            : "deadline exceeded";
+    return run;
+  }
+  const std::uint64_t evals_before = model::evaluations_on_this_thread();
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const IPlanner& impl = registry_.at(planner);
+    run.result = impl.plan(request);
+    run.ok = true;
+  } catch (const std::exception& e) {
+    run.error = e.what();
+  } catch (...) {
+    run.error = "unknown planner failure";
+  }
+  // A cancel/deadline that lands after the pre-check above surfaces as a
+  // planner exception; classify it as skipped, not failed.
+  if (!run.ok && request.options.should_stop()) run.skipped = true;
+  const auto end = std::chrono::steady_clock::now();
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  run.evaluations = model::evaluations_on_this_thread() - evals_before;
+  return run;
+}
+
+void PlanningService::record(const PlannerRun& run) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.jobs;
+  if (!run.ok) ++(run.skipped ? stats_.cancelled : stats_.failures);
+  stats_.evaluations += run.evaluations;
+  stats_.wall_ms += run.wall_ms;
+}
+
+PlannerRun PlanningService::run(const PlanRequest& request,
+                                const std::string& planner) {
+  PlannerRun out = execute(request, planner);
+  record(out);
+  return out;
+}
+
+std::vector<PlannerRun> PlanningService::run_batch(
+    const std::vector<Job>& jobs) {
+  std::vector<PlannerRun> out(jobs.size());
+  if (jobs.empty()) return out;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = jobs.size();
+  ThreadPool& workers = pool();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    workers.submit([this, &jobs, &out, &mutex, &done, &remaining, i] {
+      // execute() never throws (the pool terminates on escaping
+      // exceptions); failures land in the PlannerRun.
+      PlannerRun run = execute(jobs[i].request, jobs[i].planner);
+      record(run);
+      std::lock_guard<std::mutex> lock(mutex);
+      out[i] = std::move(run);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+  return out;
+}
+
+PortfolioResult PlanningService::run_portfolio(
+    const PlanRequest& request, const std::vector<std::string>& planners) {
+  std::vector<std::string> names = planners;
+  if (names.empty())
+    for (const IPlanner* planner : registry_.applicable(request))
+      names.push_back(planner->info().name);
+  ADEPT_CHECK(!names.empty(), "portfolio has no planners to run");
+
+  std::vector<Job> jobs;
+  jobs.reserve(names.size());
+  for (const auto& name : names) jobs.push_back(Job{request, name});
+
+  PortfolioResult portfolio;
+  portfolio.runs = run_batch(jobs);
+  portfolio.scores.assign(portfolio.runs.size(), 0.0);
+  RequestRate winner_score = 0.0;
+  for (std::size_t i = 0; i < portfolio.runs.size(); ++i) {
+    if (!portfolio.runs[i].ok) continue;
+    portfolio.scores[i] = portfolio_score(portfolio.runs[i], request);
+    if (portfolio.winner == PortfolioResult::npos ||
+        beats(portfolio.scores[i], portfolio.runs[i], winner_score,
+              portfolio.runs[portfolio.winner], request.options.demand)) {
+      portfolio.winner = i;
+      winner_score = portfolio.scores[i];
+    }
+  }
+  return portfolio;
+}
+
+PlanningStats PlanningService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace adept

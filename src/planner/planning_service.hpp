@@ -1,0 +1,121 @@
+#pragma once
+/// \file planning_service.hpp
+/// \brief Concurrent execution of planning requests.
+///
+/// The PlanningService turns the registry's planners into a throughput
+/// machine: it owns a ThreadPool and executes
+///   - single runs        (one request, one named planner),
+///   - batches            (independent request×planner jobs in parallel),
+///   - portfolio runs     (every applicable planner on one request in
+///                         parallel; the best-throughput, smallest-
+///                         deployment result wins, per-planner wall time
+///                         and model-evaluation counts reported).
+/// A stats sink accumulates job counts, failures, wall time and model
+/// evaluations across the service's lifetime.
+///
+/// Planner exceptions never escape a job: they are captured into the
+/// PlannerRun so one bad request cannot take down a batch (the pool
+/// terminates on escaping exceptions). Cancellation and deadlines are
+/// honoured at job granularity — a job observed cancelled or late is not
+/// started and reports ok == false.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "planner/registry.hpp"
+#include "planner/request.hpp"
+
+namespace adept {
+
+/// Outcome of one planner execution (or non-execution).
+struct PlannerRun {
+  std::string planner;
+  bool ok = false;
+  bool skipped = false;       ///< Not run: cancelled or past the deadline.
+  std::string error;          ///< Why the run failed / was skipped.
+  PlanResult result;          ///< Meaningful only when ok.
+  double wall_ms = 0.0;       ///< Planner wall time.
+  std::uint64_t evaluations = 0;  ///< Eq-16 evaluations during the run.
+};
+
+/// Result of a portfolio run over one request.
+struct PortfolioResult {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  /// Index of the winning run in `runs`; npos when every planner failed.
+  std::size_t winner = npos;
+  std::vector<PlannerRun> runs;
+  /// Comparable score per run (aligned with `runs`; 0 for failed ones).
+  /// Equals the run's reported overall throughput except on
+  /// heterogeneous-link platforms, where every candidate is re-scored
+  /// under the per-link evaluator — link-blind planners report their
+  /// homogeneous-model belief, which is not comparable across planners.
+  /// The winner is chosen on this scale; display these, not the raw
+  /// reports, when ranking runs side by side.
+  std::vector<RequestRate> scores;
+
+  bool has_winner() const { return winner != npos; }
+  const PlannerRun& best() const;  ///< Throws adept::Error when no winner.
+};
+
+/// Lifetime counters of a PlanningService (monotone; snapshot via stats()).
+struct PlanningStats {
+  std::uint64_t jobs = 0;         ///< Planner runs attempted.
+  std::uint64_t failures = 0;     ///< Runs that threw.
+  std::uint64_t cancelled = 0;    ///< Runs skipped (cancelled / deadline).
+  std::uint64_t evaluations = 0;  ///< Model evaluations across all runs.
+  double wall_ms = 0.0;           ///< Summed per-run wall time.
+};
+
+class PlanningService {
+ public:
+  /// One request × one planner, ready for run_batch.
+  struct Job {
+    PlanRequest request;
+    std::string planner;
+  };
+
+  /// `threads` = 0 means hardware_concurrency. The registry defaults to
+  /// the process-wide instance; tests may inject their own.
+  explicit PlanningService(std::size_t threads = 0,
+                           const PlannerRegistry& registry =
+                               PlannerRegistry::instance());
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  /// Runs one planner synchronously on the calling thread (the pool is
+  /// for fan-out; a single run has nothing to overlap).
+  PlannerRun run(const PlanRequest& request, const std::string& planner);
+
+  /// Runs independent jobs across the pool; results align with `jobs`.
+  std::vector<PlannerRun> run_batch(const std::vector<Job>& jobs);
+
+  /// Runs the named planners (default: every applicable one) on `request`
+  /// in parallel and picks the winner: highest demand-clipped throughput,
+  /// ties (1 part in 1e9) broken by fewest nodes, then by name for
+  /// determinism.
+  PortfolioResult run_portfolio(const PlanRequest& request,
+                                const std::vector<std::string>& planners = {});
+
+  PlanningStats stats() const;
+  /// Workers a batch/portfolio fans out over (the pool itself is created
+  /// lazily on the first batch — single runs never spawn threads).
+  std::size_t thread_count() const;
+
+ private:
+  PlannerRun execute(const PlanRequest& request, const std::string& planner);
+  void record(const PlannerRun& run);
+  ThreadPool& pool();
+
+  const PlannerRegistry& registry_;
+  std::size_t threads_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex stats_mutex_;
+  PlanningStats stats_;
+};
+
+}  // namespace adept

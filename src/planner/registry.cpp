@@ -1,0 +1,257 @@
+/// \file registry.cpp
+/// \brief PlannerRegistry implementation and the built-in planner
+/// adapters.
+///
+/// Each built-in adapter forwards to the legacy free function, which keeps
+/// the registry path bit-identical to the historical API (the golden
+/// parity tests in tests/test_planning_service.cpp pin this). The
+/// excluded-node option is implemented once, here, for every planner:
+/// plan on Platform::subset() of the surviving nodes, then rewrite the
+/// hierarchy's node ids back to the original platform.
+
+#include "planner/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace adept {
+
+namespace detail {
+
+PlanResult plan_excluding(
+    const PlanRequest& request,
+    const std::function<PlanResult(const Platform&, const PlanRequest&)>& plan) {
+  ADEPT_CHECK(request.platform != nullptr, "PlanRequest has no platform");
+  const PlanOptions& options = request.options;
+  ADEPT_CHECK(!options.should_stop(),
+              options.cancelled() ? "planning request was cancelled"
+                                  : "planning request is past its deadline");
+
+  PlanResult result;
+  if (options.excluded.empty()) {
+    result = plan(*request.platform, request);
+  } else {
+    const Platform& full = *request.platform;
+    std::vector<NodeId> kept;
+    kept.reserve(full.size());
+    for (NodeId id = 0; id < full.size(); ++id)
+      if (!options.excluded.count(id)) kept.push_back(id);
+    ADEPT_CHECK(kept.size() >= 2,
+                "excluding " + std::to_string(options.excluded.size()) +
+                    " node(s) leaves fewer than the two a deployment needs");
+    const Platform survivors = full.subset(kept);
+    result = plan(survivors, request);
+    // Sub-platform ids are positions in `kept`; rewrite to original ids.
+    for (Hierarchy::Index e = 0; e < result.hierarchy.size(); ++e)
+      result.hierarchy.replace_node(e, kept[result.hierarchy.node_of(e)]);
+    result.hierarchy.validate_or_throw(request.platform);
+  }
+  if (!options.verbose_trace) result.trace.clear();
+  return result;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Base adapter: handles request validation, cancellation, exclusion and
+/// trace verbosity; subclasses provide the planner body.
+class BuiltinPlanner : public IPlanner {
+ public:
+  BuiltinPlanner(std::string name, std::string summary, PlannerCaps caps)
+      : info_{std::move(name), std::move(summary), caps} {}
+
+  const PlannerInfo& info() const final { return info_; }
+
+  PlanResult plan(const PlanRequest& request) const final {
+    return detail::plan_excluding(
+        request, [this](const Platform& platform, const PlanRequest& r) {
+          return run(platform, r);
+        });
+  }
+
+ protected:
+  virtual PlanResult run(const Platform& platform,
+                         const PlanRequest& request) const = 0;
+
+ private:
+  PlannerInfo info_;
+};
+
+class StarPlanner final : public BuiltinPlanner {
+ public:
+  StarPlanner()
+      : BuiltinPlanner("star",
+                       "one agent on the best scheduling node, every other "
+                       "node a server (the paper's first intuitive shape)",
+                       {}) {}
+
+ private:
+  PlanResult run(const Platform& platform, const PlanRequest& r) const final {
+    return plan_star(platform, r.params, r.service);
+  }
+};
+
+class BalancedPlanner final : public BuiltinPlanner {
+ public:
+  BalancedPlanner()
+      : BuiltinPlanner("balanced",
+                       "complete d-ary tree in platform order (the paper's "
+                       "hand-drawn comparison shape); honours --degree",
+                       {.degree_parameterised = true}) {}
+
+ private:
+  PlanResult run(const Platform& platform, const PlanRequest& r) const final {
+    return plan_balanced(platform, r.params, r.service, r.options.degree);
+  }
+};
+
+class HomogeneousPlanner final : public BuiltinPlanner {
+ public:
+  HomogeneousPlanner()
+      : BuiltinPlanner("homogeneous",
+                       "exhaustive optimal complete d-ary search of ref [10] "
+                       "(power-sorted placement when heterogeneous)",
+                       {}) {}
+
+ private:
+  PlanResult run(const Platform& platform, const PlanRequest& r) const final {
+    return plan_homogeneous_optimal(platform, r.params, r.service);
+  }
+};
+
+class HeuristicPlanner final : public BuiltinPlanner {
+ public:
+  HeuristicPlanner()
+      : BuiltinPlanner("heuristic",
+                       "Algorithm 1, the paper's heterogeneous deployment "
+                       "heuristic; honours --demand",
+                       {.demand_aware = true}) {}
+
+ private:
+  PlanResult run(const Platform& platform, const PlanRequest& r) const final {
+    return plan_heterogeneous(platform, r.params, r.service, r.options.demand);
+  }
+};
+
+class LinkAwarePlanner final : public BuiltinPlanner {
+ public:
+  LinkAwarePlanner()
+      : BuiltinPlanner("link-aware",
+                       "Algorithm 1 followed by swap/drop refinement under "
+                       "the per-link evaluator; honours --demand",
+                       {.demand_aware = true, .link_aware = true}) {}
+
+ private:
+  PlanResult run(const Platform& platform, const PlanRequest& r) const final {
+    return plan_link_aware(platform, r.params, r.service, r.options.demand);
+  }
+};
+
+class ImproverPlanner final : public BuiltinPlanner {
+ public:
+  ImproverPlanner()
+      : BuiltinPlanner("improver",
+                       "ref [7]'s iterative bottleneck removal, grown from a "
+                       "minimal agent+server pair; honours --demand",
+                       {.demand_aware = true}) {}
+
+ private:
+  PlanResult run(const Platform& platform, const PlanRequest& r) const final {
+    ADEPT_CHECK(platform.size() >= 2, "a deployment needs at least two nodes");
+    // Seed exactly like the heuristic's early-exit pair: the strongest
+    // potential scheduler as agent, the strongest remaining node as server.
+    const std::vector<NodeId> order = platform.ids_by_power_desc();
+    Hierarchy pair;
+    const auto root = pair.add_root(order[0]);
+    pair.add_server(root, order[1]);
+    PlanOptions options = r.options;
+    options.excluded.clear();  // already applied by the registry wrapper
+    return improve_deployment(std::move(pair), platform, r.params, r.service,
+                              options);
+  }
+};
+
+}  // namespace
+
+PlannerRegistry& PlannerRegistry::instance() {
+  static PlannerRegistry registry;
+  static const bool builtins_registered = [] {
+    registry.add(std::make_unique<StarPlanner>());
+    registry.add(std::make_unique<BalancedPlanner>());
+    registry.add(std::make_unique<HomogeneousPlanner>());
+    registry.add(std::make_unique<HeuristicPlanner>());
+    registry.add(std::make_unique<LinkAwarePlanner>());
+    registry.add(std::make_unique<ImproverPlanner>());
+    return true;
+  }();
+  (void)builtins_registered;
+  return registry;
+}
+
+void PlannerRegistry::add(std::unique_ptr<IPlanner> planner) {
+  ADEPT_CHECK(planner != nullptr, "cannot register a null planner");
+  const std::string& name = planner->info().name;
+  ADEPT_CHECK(!name.empty(), "planner name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& existing : planners_)
+    ADEPT_CHECK(existing->info().name != name,
+                "planner '" + name + "' is already registered");
+  planners_.push_back(std::move(planner));
+  std::sort(planners_.begin(), planners_.end(),
+            [](const auto& a, const auto& b) {
+              return a->info().name < b->info().name;
+            });
+}
+
+const IPlanner* PlannerRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& planner : planners_)
+    if (planner->info().name == name) return planner.get();
+  return nullptr;
+}
+
+const IPlanner& PlannerRegistry::at(const std::string& name) const {
+  const IPlanner* planner = find(name);
+  if (planner != nullptr) return *planner;
+  std::string known;
+  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+  throw Error("unknown planner '" + name + "' (known: " + known + ")");
+}
+
+std::vector<std::string> PlannerRegistry::names() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(planners_.size());
+  for (const auto& planner : planners_) out.push_back(planner->info().name);
+  return out;
+}
+
+std::vector<const IPlanner*> PlannerRegistry::all() const {
+  std::vector<const IPlanner*> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(planners_.size());
+  for (const auto& planner : planners_) out.push_back(planner.get());
+  return out;
+}
+
+std::vector<const IPlanner*> PlannerRegistry::applicable(
+    const PlanRequest& request) const {
+  ADEPT_CHECK(request.platform != nullptr, "PlanRequest has no platform");
+  std::vector<const IPlanner*> out;
+  for (const IPlanner* planner : all()) {
+    if (planner->info().caps.link_aware &&
+        request.platform->has_homogeneous_links())
+      continue;  // provably identical to its link-blind base planner
+    out.push_back(planner);
+  }
+  return out;
+}
+
+PlannerRegistration::PlannerRegistration(std::unique_ptr<IPlanner> planner) {
+  PlannerRegistry::instance().add(std::move(planner));
+}
+
+}  // namespace adept

@@ -1,0 +1,104 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Named planner registry: the single dispatch point of the
+/// planning API.
+///
+/// Every planner is an IPlanner registered by name with capability flags.
+/// The CLI, the examples, the benches, and the PlanningService all resolve
+/// planners here instead of hard-coding free-function calls, so adding a
+/// planner is one registration — no caller changes. The built-in planners
+/// (star, balanced, homogeneous, heuristic, link-aware, improver) are
+/// adapters over the legacy free functions in planner.hpp and are
+/// guaranteed to return bit-identical results to them (golden-parity
+/// tests enforce this).
+///
+/// All planners honour PlanOptions::excluded uniformly: the registry plans
+/// on the surviving sub-platform and remaps the resulting hierarchy back
+/// to the original node ids.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "planner/planner.hpp"
+#include "planner/request.hpp"
+
+namespace adept {
+
+/// What a planner can consume from PlanOptions (beyond the universally
+/// supported excluded set and trace switch).
+struct PlannerCaps {
+  bool demand_aware = false;         ///< Uses PlanOptions::demand.
+  bool link_aware = false;           ///< Models per-node link bandwidths.
+  bool degree_parameterised = false; ///< Uses PlanOptions::degree.
+};
+
+/// Registration record of one planner.
+struct PlannerInfo {
+  std::string name;     ///< Registry key, e.g. "heuristic".
+  std::string summary;  ///< One-line description for --list-planners.
+  PlannerCaps caps;
+};
+
+/// Polymorphic planner interface: one planning problem in, one plan out.
+/// Implementations must be stateless or internally synchronised — the
+/// PlanningService calls plan() from many threads concurrently.
+class IPlanner {
+ public:
+  virtual ~IPlanner() = default;
+  virtual const PlannerInfo& info() const = 0;
+  /// Plans the request. Throws adept::Error on invalid input or when the
+  /// request was cancelled / past its deadline before planning started.
+  virtual PlanResult plan(const PlanRequest& request) const = 0;
+};
+
+/// Process-wide name → planner table. The built-ins self-register on
+/// first access; extensions call add() (typically through a
+/// PlannerRegistration static) before using them.
+class PlannerRegistry {
+ public:
+  static PlannerRegistry& instance();
+
+  /// Registers a planner; throws adept::Error on a duplicate name.
+  void add(std::unique_ptr<IPlanner> planner);
+
+  /// Looks a planner up; nullptr when unknown.
+  const IPlanner* find(const std::string& name) const;
+  /// Looks a planner up; throws adept::Error naming the known planners.
+  const IPlanner& at(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  /// All registered planners, sorted by name.
+  std::vector<const IPlanner*> all() const;
+
+  /// Planners worth running on this request — all of them, minus
+  /// redundant ones (link-aware refinement is a provable no-op on
+  /// homogeneous links, so it is dropped there to spare portfolio work).
+  std::vector<const IPlanner*> applicable(const PlanRequest& request) const;
+
+ private:
+  PlannerRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<IPlanner>> planners_;
+};
+
+/// Static-initialiser helper for self-registration:
+///   static PlannerRegistration reg(std::make_unique<MyPlanner>());
+struct PlannerRegistration {
+  explicit PlannerRegistration(std::unique_ptr<IPlanner> planner);
+};
+
+namespace detail {
+/// Runs `plan` for `request` with PlanOptions::excluded applied: plans on
+/// the sub-platform of surviving nodes and remaps the result back to the
+/// original ids. Exposed for planners implemented outside the registry.
+PlanResult plan_excluding(
+    const PlanRequest& request,
+    const std::function<PlanResult(const Platform&, const PlanRequest&)>& plan);
+}  // namespace detail
+
+}  // namespace adept

@@ -1,0 +1,88 @@
+#pragma once
+/// \file request.hpp
+/// \brief The value types of the unified planning API.
+///
+/// A PlanRequest is a complete, self-contained planning problem: which
+/// platform to deploy on, under which middleware cost model, for which
+/// service, and with which options (demand, degree hint, excluded hosts,
+/// trace verbosity, deadline, cancellation). Every registered planner
+/// (see registry.hpp) consumes a PlanRequest; the PlanningService ships
+/// batches of them across a thread pool. Requests are cheap to copy —
+/// the platform is referenced, not owned.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <set>
+
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+#include "platform/platform.hpp"
+
+namespace adept {
+
+/// Unlimited client demand: the planner maximises raw throughput.
+inline constexpr RequestRate kUnlimitedDemand =
+    std::numeric_limits<RequestRate>::infinity();
+
+/// Cooperative cancellation flag shared between a caller and in-flight
+/// planning jobs. The caller keeps the token alive for as long as any
+/// request referencing it may still run.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Options understood by every registered planner. Each planner consumes
+/// the subset its capabilities cover (see PlannerCaps) and ignores the
+/// rest: a degree hint does not change the star planner, and demand does
+/// not change the balanced one.
+struct PlanOptions {
+  /// Client demand in req/s; demand-aware planners stop growing the
+  /// deployment once it is met (preferring fewer resources).
+  RequestRate demand = kUnlimitedDemand;
+  /// Tree degree for degree-parameterised planners; 0 means "planner's
+  /// default" (the balanced planner picks ceil(sqrt(n))).
+  std::size_t degree = 0;
+  /// Nodes that must not appear in the deployment (failed or reserved
+  /// hosts). Honoured by every planner: the registry plans on the
+  /// surviving sub-platform and maps the result back to original ids.
+  std::set<NodeId> excluded;
+  /// When false the decision log (PlanResult::trace) is dropped, which
+  /// keeps batch runs lean.
+  bool verbose_trace = true;
+  /// Jobs observed past this instant are not started.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Optional cancellation token; not owned, may be null.
+  const CancelToken* cancel = nullptr;
+
+  bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
+  bool past_deadline() const {
+    return deadline.has_value() && std::chrono::steady_clock::now() > *deadline;
+  }
+  /// True when the job should not start (or continue): cancelled or late.
+  bool should_stop() const { return cancelled() || past_deadline(); }
+};
+
+/// A complete planning problem. The platform is referenced: the caller
+/// keeps it alive until every job built from this request has finished.
+struct PlanRequest {
+  const Platform* platform = nullptr;
+  MiddlewareParams params;
+  ServiceSpec service;
+  PlanOptions options;
+
+  PlanRequest() = default;
+  PlanRequest(const Platform& platform_ref, MiddlewareParams params_in,
+              ServiceSpec service_in, PlanOptions options_in = {})
+      : platform(&platform_ref), params(std::move(params_in)),
+        service(std::move(service_in)), options(std::move(options_in)) {}
+};
+
+}  // namespace adept

@@ -1,0 +1,25 @@
+#pragma once
+/// \file planning_test_util.hpp
+/// \brief Shared test helper: plan through the registry — the same
+/// dispatch path the CLI and the PlanningService use — binding the
+/// Table-3 middleware parameters every suite plans with. Golden-parity
+/// tests (test_planning_service.cpp) pin these results to the legacy
+/// free functions, so suites using this helper cover both APIs.
+
+#include <string>
+#include <utility>
+
+#include "model/parameters.hpp"
+#include "planner/registry.hpp"
+
+namespace adept::test_util {
+
+inline PlanResult run_planner(const std::string& name, const Platform& platform,
+                              const ServiceSpec& service,
+                              PlanOptions options = {}) {
+  static const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  return PlannerRegistry::instance().at(name).plan(
+      {platform, params, service, std::move(options)});
+}
+
+}  // namespace adept::test_util

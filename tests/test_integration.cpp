@@ -9,13 +9,16 @@
 #include "common/rng.hpp"
 #include "hierarchy/xml.hpp"
 #include "model/evaluate.hpp"
-#include "planner/planner.hpp"
+#include "planner/planning_service.hpp"
+#include "planning_test_util.hpp"
 #include "platform/generator.hpp"
 #include "platform/io.hpp"
 #include "sim/simulator.hpp"
 
 namespace adept {
 namespace {
+
+using test_util::run_planner;
 
 const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
 
@@ -32,7 +35,7 @@ TEST(Integration, PlanExportReimportSimulate) {
   Rng rng(2024);
   const Platform platform = gen::uniform(30, 300.0, 1200.0, 1000.0, rng);
   const ServiceSpec service = dgemm_service(310);
-  const auto plan = plan_heterogeneous(platform, kParams, service);
+  const auto plan = run_planner("heuristic", platform, service);
 
   const std::string xml = write_godiet_xml(plan.hierarchy, platform);
   const Deployment deployment = parse_godiet_xml(xml);
@@ -55,7 +58,7 @@ TEST(Integration, PlatformFileToPlanPipeline) {
   const Platform original = gen::bimodal(24, 1000.0, 0.5, 0.4, 1000.0, rng);
   const Platform parsed =
       io::parse_platform(io::serialize_platform(original));
-  const auto plan = plan_heterogeneous(parsed, kParams, dgemm_service(310));
+  const auto plan = run_planner("heuristic", parsed, dgemm_service(310));
   EXPECT_TRUE(plan.hierarchy.validate(&parsed).empty());
   EXPECT_GT(plan.report.overall, 0.0);
 }
@@ -72,9 +75,17 @@ TEST(Integration, HeuristicBeatsBaselinesUnderSimulation) {
   const Platform platform = gen::grid5000_orsay_loaded(120, rng);
   const ServiceSpec service = dgemm_service(310);
 
-  const auto automatic = plan_heterogeneous(platform, kParams, service);
-  const auto star = plan_star(platform, kParams, service);
-  const auto balanced = plan_balanced(platform, kParams, service);
+  // The three contenders are planned concurrently through the service —
+  // the exact workflow `adept plan --planner portfolio` runs.
+  const PlanRequest request(platform, kParams, service);
+  PlanningService planning(3);
+  const auto runs = planning.run_batch({{request, "heuristic"},
+                                        {request, "star"},
+                                        {request, "balanced"}});
+  ASSERT_TRUE(runs[0].ok && runs[1].ok && runs[2].ok);
+  const PlanResult& automatic = runs[0].result;
+  const PlanResult& star = runs[1].result;
+  const PlanResult& balanced = runs[2].result;
 
   const std::size_t load = 400;  // past saturation for all three shapes
   sim::SimConfig config;         // jobs take ~0.3–1.5 s on these nodes
@@ -97,8 +108,8 @@ TEST(Integration, ModelPredictsSimulatorOrderingAcrossGrains) {
   const Platform platform = gen::homogeneous(12, 1000.0, 1000.0);
   for (const std::size_t grain : {10, 200, 1000}) {
     const ServiceSpec service = dgemm_service(grain);
-    const auto star = plan_star(platform, kParams, service);
-    const auto pair = plan_heterogeneous(platform, kParams, service);
+    const auto star = run_planner("star", platform, service);
+    const auto pair = run_planner("heuristic", platform, service);
     const double model_ratio = pair.report.overall / star.report.overall;
     const auto star_run = sim::simulate(star.hierarchy, platform, kParams,
                                         service, 30, quick());
@@ -118,7 +129,7 @@ TEST(Integration, DemandAwarePlanSatisfiesDemandInSimulator) {
   const Platform platform = gen::homogeneous(40, 1000.0, 1000.0);
   const ServiceSpec service = dgemm_service(500);
   const RequestRate demand = 20.0;  // req/s, modest
-  const auto plan = plan_heterogeneous(platform, kParams, service, demand);
+  const auto plan = run_planner("heuristic", platform, service, {.demand = demand});
   ASSERT_GE(plan.report.overall, demand);
   const auto run =
       sim::simulate(plan.hierarchy, platform, kParams, service, 40, quick());

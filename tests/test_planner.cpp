@@ -8,10 +8,13 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "planner/planner.hpp"
+#include "planning_test_util.hpp"
 #include "platform/generator.hpp"
 
 namespace adept {
 namespace {
+
+using test_util::run_planner;
 
 const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
 constexpr MbitRate kB = 1000.0;
@@ -20,7 +23,7 @@ constexpr MbitRate kB = 1000.0;
 
 TEST(StarPlanner, UsesAllNodesAndOneAgent) {
   const Platform platform = gen::homogeneous(10, 1000.0, kB);
-  const auto plan = plan_star(platform, kParams, dgemm_service(100));
+  const auto plan = run_planner("star", platform, dgemm_service(100));
   EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
   EXPECT_EQ(plan.hierarchy.agent_count(), 1u);
   EXPECT_EQ(plan.hierarchy.server_count(), 9u);
@@ -29,13 +32,13 @@ TEST(StarPlanner, UsesAllNodesAndOneAgent) {
 
 TEST(StarPlanner, PicksStrongestNodeAsAgent) {
   Platform platform({{"weak", 100.0}, {"strong", 2000.0}, {"mid", 500.0}}, kB);
-  const auto plan = plan_star(platform, kParams, dgemm_service(100));
+  const auto plan = run_planner("star", platform, dgemm_service(100));
   EXPECT_EQ(plan.hierarchy.node_of(plan.hierarchy.root()), 1u);
 }
 
 TEST(StarPlanner, RejectsSingleNode) {
   const Platform platform = gen::homogeneous(1, 1000.0, kB);
-  EXPECT_THROW(plan_star(platform, kParams, dgemm_service(100)), Error);
+  EXPECT_THROW(run_planner("star", platform, dgemm_service(100)), Error);
 }
 
 // ------------------------------------------------------------- balanced --
@@ -44,7 +47,7 @@ TEST(BalancedPlanner, DefaultDegreeMatchesPaperShape) {
   // 200 nodes, default degree ⌈sqrt(200)⌉ = 15: a 2-level tree like the
   // paper's hand-built 1 + 14 + 14×14 comparison deployment.
   const Platform platform = gen::homogeneous(200, 1000.0, kB);
-  const auto plan = plan_balanced(platform, kParams, dgemm_service(310));
+  const auto plan = run_planner("balanced", platform, dgemm_service(310));
   EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
   EXPECT_EQ(plan.hierarchy.size(), 200u);
   EXPECT_EQ(plan.hierarchy.max_depth(), 2u);
@@ -52,7 +55,7 @@ TEST(BalancedPlanner, DefaultDegreeMatchesPaperShape) {
 
 TEST(BalancedPlanner, ExplicitDegreeIsHonoured) {
   const Platform platform = gen::homogeneous(13, 1000.0, kB);
-  const auto plan = plan_balanced(platform, kParams, dgemm_service(310), 3);
+  const auto plan = run_planner("balanced", platform, dgemm_service(310), {.degree = 3});
   EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
   EXPECT_EQ(plan.hierarchy.degree(plan.hierarchy.root()), 3u);
   EXPECT_EQ(plan.hierarchy.size(), 13u);
@@ -60,7 +63,7 @@ TEST(BalancedPlanner, ExplicitDegreeIsHonoured) {
 
 TEST(BalancedPlanner, DegreeOneDegeneratesToPair) {
   const Platform platform = gen::homogeneous(6, 1000.0, kB);
-  const auto plan = plan_balanced(platform, kParams, dgemm_service(310), 1);
+  const auto plan = run_planner("balanced", platform, dgemm_service(310), {.degree = 1});
   EXPECT_EQ(plan.hierarchy.size(), 2u);
 }
 
@@ -73,7 +76,7 @@ class BalancedShapeSweep
 TEST_P(BalancedShapeSweep, AlwaysStructurallyValid) {
   const auto [n, degree] = GetParam();
   const Platform platform = gen::homogeneous(n, 1000.0, kB);
-  const auto plan = plan_balanced(platform, kParams, dgemm_service(310), degree);
+  const auto plan = run_planner("balanced", platform, dgemm_service(310), {.degree = degree});
   EXPECT_TRUE(plan.hierarchy.validate(&platform).empty())
       << "n=" << n << " degree=" << degree;
   EXPECT_LE(plan.hierarchy.size(), n);
@@ -92,7 +95,7 @@ TEST(HomogeneousPlanner, SmallGrainPrefersPair) {
   // DGEMM 10×10 is agent-limited: Table 4 row 1 reports optimal degree 1
   // (one agent, one server) out of 21 nodes.
   const Platform platform = gen::homogeneous(21, 1000.0, kB);
-  const auto plan = plan_homogeneous_optimal(platform, kParams, dgemm_service(10));
+  const auto plan = run_planner("homogeneous", platform, dgemm_service(10));
   EXPECT_EQ(plan.hierarchy.size(), 2u);
   EXPECT_EQ(plan.hierarchy.degree(plan.hierarchy.root()), 1u);
 }
@@ -102,7 +105,7 @@ TEST(HomogeneousPlanner, LargeGrainPrefersStar) {
   // 21 nodes — a full star.
   const Platform platform = gen::homogeneous(21, 1000.0, kB);
   const auto plan =
-      plan_homogeneous_optimal(platform, kParams, dgemm_service(1000));
+      run_planner("homogeneous", platform, dgemm_service(1000));
   EXPECT_EQ(plan.hierarchy.size(), 21u);
   EXPECT_EQ(plan.hierarchy.degree(plan.hierarchy.root()), 20u);
 }
@@ -122,9 +125,9 @@ TEST(HomogeneousPlanner, SweepCoversAllDegrees) {
 TEST(HomogeneousPlanner, BeatsOrMatchesStarAndBalanced) {
   const Platform platform = gen::homogeneous(30, 1000.0, kB);
   const ServiceSpec service = dgemm_service(310);
-  const auto optimal = plan_homogeneous_optimal(platform, kParams, service);
-  const auto star = plan_star(platform, kParams, service);
-  const auto balanced = plan_balanced(platform, kParams, service);
+  const auto optimal = run_planner("homogeneous", platform, service);
+  const auto star = run_planner("star", platform, service);
+  const auto balanced = run_planner("balanced", platform, service);
   EXPECT_GE(optimal.report.overall, star.report.overall - 1e-9);
   EXPECT_GE(optimal.report.overall, balanced.report.overall - 1e-9);
 }
@@ -135,7 +138,7 @@ TEST(Heuristic, EarlyExitWhenAgentLimited) {
   // DGEMM 10×10: even one server outruns a single-child agent, so
   // Algorithm 1's steps 3–7 deploy exactly one agent and one server.
   const Platform platform = gen::homogeneous(21, 1000.0, kB);
-  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(10));
+  const auto plan = run_planner("heuristic", platform, dgemm_service(10));
   EXPECT_EQ(plan.hierarchy.size(), 2u);
   EXPECT_EQ(plan.hierarchy.agent_count(), 1u);
   ASSERT_FALSE(plan.trace.empty());
@@ -144,7 +147,7 @@ TEST(Heuristic, EarlyExitWhenAgentLimited) {
 
 TEST(Heuristic, LargeGrainBuildsFullStar) {
   const Platform platform = gen::homogeneous(21, 1000.0, kB);
-  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(1000));
+  const auto plan = run_planner("heuristic", platform, dgemm_service(1000));
   EXPECT_EQ(plan.hierarchy.agent_count(), 1u);
   EXPECT_EQ(plan.hierarchy.size(), 21u);
   EXPECT_EQ(plan.report.bottleneck, model::Bottleneck::Service);
@@ -154,7 +157,7 @@ TEST(Heuristic, MediumGrainBalancesSchedAndService) {
   // DGEMM 310 on a large pool: the plan should stop adding servers near
   // the sched/service balance point rather than using every node.
   const Platform platform = gen::homogeneous(200, 1000.0, kB);
-  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(310));
+  const auto plan = run_planner("heuristic", platform, dgemm_service(310));
   EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
   EXPECT_GT(plan.hierarchy.size(), 10u);
   const double ratio = plan.report.sched / plan.report.service;
@@ -167,7 +170,7 @@ TEST(Heuristic, PutsStrongNodesInAgentPositionsWhenSchedulingBinds) {
   // the strongest node.
   Rng rng(9);
   const Platform platform = gen::uniform(40, 200.0, 1200.0, kB, rng);
-  const auto plan = plan_heterogeneous(platform, kParams, dgemm_service(100));
+  const auto plan = run_planner("heuristic", platform, dgemm_service(100));
   const NodeId root_node = plan.hierarchy.node_of(plan.hierarchy.root());
   EXPECT_DOUBLE_EQ(platform.node(root_node).power, platform.max_power());
 }
@@ -184,8 +187,8 @@ TEST(Heuristic, SparesStrongNodesWhenServiceBinds) {
                      {"small", 150.0}},
                     kB);
   const ServiceSpec service = dgemm_service(1000);
-  const auto plan = plan_heterogeneous(platform, kParams, service);
-  const auto star = plan_star(platform, kParams, service);
+  const auto plan = run_planner("heuristic", platform, service);
+  const auto star = run_planner("star", platform, service);
   EXPECT_GT(plan.report.overall, star.report.overall);
   const NodeId root_node = plan.hierarchy.node_of(plan.hierarchy.root());
   EXPECT_LT(platform.node(root_node).power, 800.0);
@@ -194,11 +197,11 @@ TEST(Heuristic, SparesStrongNodesWhenServiceBinds) {
 TEST(Heuristic, DemandCapsDeploymentSize) {
   const Platform platform = gen::homogeneous(50, 1000.0, kB);
   const ServiceSpec service = dgemm_service(310);
-  const auto unlimited = plan_heterogeneous(platform, kParams, service);
+  const auto unlimited = run_planner("heuristic", platform, service);
   // Ask for a fraction of the unlimited throughput: the plan must satisfy
   // it with fewer nodes.
   const RequestRate demand = 0.25 * unlimited.report.overall;
-  const auto capped = plan_heterogeneous(platform, kParams, service, demand);
+  const auto capped = run_planner("heuristic", platform, service, {.demand = demand});
   EXPECT_GE(capped.report.overall, demand - 1e-6);
   EXPECT_LT(capped.hierarchy.size(), unlimited.hierarchy.size());
 }
@@ -207,19 +210,22 @@ TEST(Heuristic, UnsatisfiableDemandStillMaximisesThroughput) {
   const Platform platform = gen::homogeneous(10, 1000.0, kB);
   const ServiceSpec service = dgemm_service(1000);
   const auto plan =
-      plan_heterogeneous(platform, kParams, service, /*demand=*/1e9);
-  const auto unlimited = plan_heterogeneous(platform, kParams, service);
+      run_planner("heuristic", platform, service, {.demand = 1e9});
+  const auto unlimited = run_planner("heuristic", platform, service);
   EXPECT_NEAR(plan.report.overall, unlimited.report.overall,
               1e-9 * unlimited.report.overall);
 }
 
 TEST(Heuristic, RejectsBadInputs) {
   const Platform platform = gen::homogeneous(5, 1000.0, kB);
-  EXPECT_THROW(plan_heterogeneous(gen::homogeneous(1, 1000.0, kB), kParams,
-                                  dgemm_service(100)),
+  EXPECT_THROW(run_planner("heuristic", gen::homogeneous(1, 1000.0, kB),
+                           dgemm_service(100)),
                Error);
   EXPECT_THROW(
-      plan_heterogeneous(platform, kParams, dgemm_service(100), -1.0), Error);
+      run_planner("heuristic", platform, dgemm_service(100), {.demand = -1.0}),
+      Error);
+  EXPECT_THROW(run_planner("no-such-planner", platform, dgemm_service(100)),
+               Error);
 }
 
 /// The central property the paper's experiments demonstrate (Fig 6/7):
@@ -236,14 +242,14 @@ TEST_P(HeuristicDominance, BeatsStarAndBalancedOnRandomPlatforms) {
   const auto size = static_cast<std::size_t>(rng.uniform_int(50, 600));
   const ServiceSpec service = dgemm_service(size);
 
-  const auto heuristic = plan_heterogeneous(platform, kParams, service);
+  const auto heuristic = run_planner("heuristic", platform, service);
   EXPECT_TRUE(heuristic.hierarchy.validate(&platform).empty());
 
-  const auto star = plan_star(platform, kParams, service);
+  const auto star = run_planner("star", platform, service);
   EXPECT_GE(heuristic.report.overall, star.report.overall * (1.0 - 1e-9))
       << "n=" << n << " dgemm=" << size;
 
-  const auto balanced = plan_balanced(platform, kParams, service);
+  const auto balanced = run_planner("balanced", platform, service);
   EXPECT_GE(heuristic.report.overall, balanced.report.overall * (1.0 - 1e-9))
       << "n=" << n << " dgemm=" << size;
 }
@@ -260,8 +266,8 @@ TEST_P(HeuristicVsOptimal, AchievesTable4Bound) {
   const auto [dgemm, nodes] = GetParam();
   const Platform platform = gen::homogeneous(nodes, 1000.0, kB);
   const ServiceSpec service = dgemm_service(dgemm);
-  const auto optimal = plan_homogeneous_optimal(platform, kParams, service);
-  const auto heuristic = plan_heterogeneous(platform, kParams, service);
+  const auto optimal = run_planner("homogeneous", platform, service);
+  const auto heuristic = run_planner("heuristic", platform, service);
   EXPECT_GE(heuristic.report.overall, 0.89 * optimal.report.overall)
       << "dgemm=" << dgemm << " nodes=" << nodes;
 }
@@ -307,7 +313,7 @@ TEST(Improver, NeverDecreasesThroughput) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     const Platform platform = gen::uniform(20, 200.0, 1200.0, kB, rng);
     const ServiceSpec service = dgemm_service(400);
-    auto start = plan_balanced(platform, kParams, service, 4);
+    auto start = run_planner("balanced", platform, service, {.degree = 4});
     const auto improved = improve_deployment(start.hierarchy, platform,
                                              kParams, service);
     EXPECT_GE(improved.report.overall,
