@@ -10,7 +10,9 @@
 /// orderings and ratios are.
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -71,6 +73,67 @@ inline sim::SimConfig sweep_config() {
   config.measure = 4.0;
   return config;
 }
+
+/// Machine-readable perf-trajectory emitter: one `--json <path>` file per
+/// harness run, one record per measured series×size. Future PRs regress
+/// against the committed BENCH_*.json files, so the schema is flat and
+/// stable: bench name at the top, then records carrying series name,
+/// platform size, wall ms, model-evaluation count and predicted
+/// throughput, plus free-form numeric extras (speedup ratios, ...).
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  struct Record {
+    std::string series;
+    std::size_t platform_size = 0;
+    double wall_ms = 0.0;
+    std::uint64_t evaluations = 0;
+    double throughput = 0.0;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+
+  void add(Record record) { records_.push_back(std::move(record)); }
+
+  /// Writes the file; hard error (exit 2) on I/O failure so a missing
+  /// trajectory point never passes silently.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write JSON to '" << path << "'\n";
+      std::exit(2);
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "    {\"series\": \"" << r.series
+          << "\", \"platform_size\": " << r.platform_size
+          << ", \"wall_ms\": " << num(r.wall_ms)
+          << ", \"evaluations\": " << r.evaluations
+          << ", \"throughput\": " << num(r.throughput);
+      for (const auto& [key, value] : r.extra)
+        out << ", \"" << key << "\": " << num(value);
+      out << '}' << (i + 1 < records_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    if (!out.good()) {
+      std::cerr << "error: short write to '" << path << "'\n";
+      std::exit(2);
+    }
+    std::cout << "[json] wrote " << records_.size() << " record(s) to "
+              << path << '\n';
+  }
+
+ private:
+  static std::string num(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+  }
+
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 /// Prints a section banner.
 inline void banner(const std::string& title) {

@@ -128,8 +128,8 @@ int cmd_generate(const std::vector<std::string>& args) {
 }
 
 /// Maps a comma-separated host-name list onto node ids of `platform`.
-std::set<NodeId> parse_host_set(const Platform& platform, const std::string& csv) {
-  std::set<NodeId> out;
+NodeSet parse_host_set(const Platform& platform, const std::string& csv) {
+  NodeSet out;
   for (const std::string& name : strings::split(csv, ',')) {
     bool found = false;
     for (NodeId id = 0; id < platform.size(); ++id) {
@@ -303,10 +303,10 @@ int cmd_repair(const std::vector<std::string>& args) {
   const Deployment deployment = load_deployment(parser.get("deployment"));
   const MiddlewareParams params = MiddlewareParams::diet_grid5000();
   const ServiceSpec service = parse_service(parser.get("service"));
-  const std::set<NodeId> failed =
+  const NodeSet failed =
       parser.has("failed")
           ? parse_host_set(deployment.platform, parser.get("failed"))
-          : std::set<NodeId>{};
+          : NodeSet{};
 
   const auto before = model::evaluate(deployment.hierarchy, deployment.platform,
                                       params, service);

@@ -1,0 +1,129 @@
+#pragma once
+/// \file indexed_heap.hpp
+/// \brief Binary heap over dense element ids with a position map.
+///
+/// The incremental evaluation engine tracks "which Eq-14 term binds" and
+/// "which agent adopts the next server best" as heaps over element
+/// indices whose keys (throughput terms) change as the deployment is
+/// edited. A position map makes update-key and erase O(log n), turning
+/// those queries from full scans into heap peeks.
+///
+/// The comparator receives two element ids and must implement a strict
+/// weak order; include the id itself as the final tie-break so the top is
+/// unique and scans-with-first-winner semantics are reproduced exactly.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace adept {
+
+template <typename Less>
+class IndexedHeap {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit IndexedHeap(Less less = {}) : less_(std::move(less)) {}
+
+  void reserve(std::size_t ids) {
+    heap_.reserve(ids);
+    pos_.reserve(ids);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(std::size_t id) const {
+    return id < pos_.size() && pos_[id] != npos;
+  }
+
+  /// Best id under the comparator (the one every scan would pick first).
+  std::size_t top() const {
+    ADEPT_ASSERT(!heap_.empty(), "top() of empty IndexedHeap");
+    return heap_.front();
+  }
+
+  /// Best id that is not `exclude`; npos when none qualifies.
+  std::size_t top_excluding(std::size_t exclude) const {
+    if (heap_.empty()) return npos;
+    if (heap_.front() != exclude) return heap_.front();
+    // The runner-up is one of the root's children.
+    std::size_t best = npos;
+    for (std::size_t slot = 1; slot <= 2 && slot < heap_.size(); ++slot)
+      if (best == npos || less_(heap_[slot], best)) best = heap_[slot];
+    return best;
+  }
+
+  void push(std::size_t id) {
+    ADEPT_ASSERT(!contains(id), "id already in IndexedHeap");
+    if (id >= pos_.size()) pos_.resize(id + 1, npos);
+    heap_.push_back(id);
+    pos_[id] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Re-establishes the heap order after `id`'s key changed.
+  void update(std::size_t id) {
+    ADEPT_ASSERT(contains(id), "update of id not in IndexedHeap");
+    const std::size_t slot = pos_[id];
+    sift_up(slot);
+    sift_down(pos_[id]);
+  }
+
+  void erase(std::size_t id) {
+    ADEPT_ASSERT(contains(id), "erase of id not in IndexedHeap");
+    const std::size_t slot = pos_[id];
+    const std::size_t last = heap_.size() - 1;
+    pos_[id] = npos;
+    if (slot != last) {
+      heap_[slot] = heap_[last];
+      pos_[heap_[slot]] = slot;
+      heap_.pop_back();
+      sift_up(slot);
+      sift_down(pos_[heap_[slot]]);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void clear() {
+    heap_.clear();
+    pos_.clear();
+  }
+
+ private:
+  void sift_up(std::size_t slot) {
+    const std::size_t id = heap_[slot];
+    while (slot > 0) {
+      const std::size_t parent = (slot - 1) / 2;
+      if (!less_(id, heap_[parent])) break;
+      heap_[slot] = heap_[parent];
+      pos_[heap_[slot]] = slot;
+      slot = parent;
+    }
+    heap_[slot] = id;
+    pos_[id] = slot;
+  }
+
+  void sift_down(std::size_t slot) {
+    const std::size_t id = heap_[slot];
+    for (;;) {
+      std::size_t child = 2 * slot + 1;
+      if (child >= heap_.size()) break;
+      if (child + 1 < heap_.size() && less_(heap_[child + 1], heap_[child]))
+        ++child;
+      if (!less_(heap_[child], id)) break;
+      heap_[slot] = heap_[child];
+      pos_[heap_[slot]] = slot;
+      slot = child;
+    }
+    heap_[slot] = id;
+    pos_[id] = slot;
+  }
+
+  Less less_;
+  std::vector<std::size_t> heap_;
+  std::vector<std::size_t> pos_;  ///< id -> slot in heap_, npos if absent.
+};
+
+}  // namespace adept

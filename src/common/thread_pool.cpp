@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace adept {
 
@@ -26,6 +28,68 @@ void ThreadPool::submit(std::function<void()> task) {
     queue_.push(std::move(task));
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Shared by the caller and the helper tasks. Helpers that the queue
+  // releases only after the caller has drained every index find `next`
+  // exhausted and return without touching `body`, so the state (which
+  // owns a copy of the body) is the only thing that must outlive this
+  // call — hence the shared_ptr.
+  struct State {
+    explicit State(std::function<void(std::size_t)> fn, std::size_t n)
+        : body(std::move(fn)), count(n) {}
+    std::function<void(std::size_t)> body;
+    std::size_t count;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  ///< First exception; guarded by mutex.
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<State>(body, count);
+  auto drain = [](const std::shared_ptr<State>& s) {
+    std::size_t completed = 0;
+    for (std::size_t i; (i = s->next.fetch_add(1)) < s->count;) {
+      // A body exception must not escape into worker_loop (which would
+      // terminate) nor unwind the caller while helpers still run: record
+      // the first one, skip the remaining indices, and let the caller
+      // rethrow after every claimed index has finished.
+      if (!s->failed.load(std::memory_order_acquire)) {
+        try {
+          s->body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(s->mutex);
+          if (s->error == nullptr) s->error = std::current_exception();
+          s->failed.store(true, std::memory_order_release);
+        }
+      }
+      ++completed;
+    }
+    if (completed == 0) return;
+    if (s->done.fetch_add(completed) + completed == s->count) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->finished.notify_all();
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  for (std::size_t i = 0; i < helpers; ++i)
+    submit([state, drain] { drain(state); });
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock,
+                       [&] { return state->done.load() == state->count; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::wait_idle() {

@@ -31,6 +31,18 @@ class ThreadPool {
   /// Enqueues a task.
   void submit(std::function<void()> task);
 
+  /// Runs body(i) for i in [0, count) across the pool and returns when
+  /// every index has finished. The *calling* thread participates in the
+  /// work, so the call makes progress even when every worker is busy —
+  /// which makes it safe to use from inside a task already running on
+  /// this pool (the planners fan their per-k sweeps out this way while
+  /// themselves executing as PlanningService jobs). Indices are claimed
+  /// dynamically from a shared counter. If `body` throws, remaining
+  /// indices are skipped and the first exception is rethrown on the
+  /// caller — only after every in-flight index has finished, so the
+  /// body's captures never outlive the call.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& body);
+
   /// Blocks until all submitted tasks have finished.
   void wait_idle();
 

@@ -58,7 +58,7 @@ LaunchReport simulate_launch(const Hierarchy& hierarchy, const Platform& platfor
   const auto plan = build_launch_plan(hierarchy, platform);
 
   LaunchReport report;
-  std::set<NodeId> failed_nodes;
+  NodeSet failed_nodes;
   std::vector<bool> ancestor_failed(hierarchy.size(), false);
   for (const auto& step : plan) {
     const auto parent = hierarchy.element(step.element).parent;
@@ -80,7 +80,7 @@ LaunchReport simulate_launch(const Hierarchy& hierarchy, const Platform& platfor
 }
 
 std::optional<Hierarchy> prune_failures(const Hierarchy& hierarchy,
-                                        const std::set<NodeId>& failed_nodes) {
+                                        const NodeSet& failed_nodes) {
   ADEPT_CHECK(!hierarchy.empty(), "cannot prune an empty hierarchy");
   if (failed_nodes.count(hierarchy.node_of(hierarchy.root())))
     return std::nullopt;
@@ -153,7 +153,7 @@ std::optional<Hierarchy> prune_failures(const Hierarchy& hierarchy,
 
 std::optional<Hierarchy> repair(const Hierarchy& hierarchy,
                                 const Platform& platform,
-                                const std::set<NodeId>& failed_nodes,
+                                const NodeSet& failed_nodes,
                                 const MiddlewareParams& params,
                                 const ServiceSpec& service) {
   auto surviving = prune_failures(hierarchy, failed_nodes);

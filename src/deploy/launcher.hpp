@@ -20,10 +20,10 @@
 ///     surviving resources allow.
 
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "common/flat_set.hpp"
 #include "common/rng.hpp"
 #include "hierarchy/hierarchy.hpp"
 #include "model/parameters.hpp"
@@ -64,14 +64,14 @@ LaunchReport simulate_launch(const Hierarchy& hierarchy, const Platform& platfor
 /// rule are demoted to servers (when leaf) or dropped bottom-up. Returns
 /// nullopt when the root is failed or no server survives.
 std::optional<Hierarchy> prune_failures(const Hierarchy& hierarchy,
-                                        const std::set<NodeId>& failed_nodes);
+                                        const NodeSet& failed_nodes);
 
 /// Prune + regrow: repairs a partially failed deployment using the spare
 /// (unused, non-failed) platform nodes via the bottleneck improver.
 /// Returns nullopt when nothing survives to repair.
 std::optional<Hierarchy> repair(const Hierarchy& hierarchy,
                                 const Platform& platform,
-                                const std::set<NodeId>& failed_nodes,
+                                const NodeSet& failed_nodes,
                                 const MiddlewareParams& params,
                                 const ServiceSpec& service);
 

@@ -45,6 +45,9 @@ class Hierarchy {
 
   Hierarchy() = default;
 
+  /// Reserves element capacity (planners building known-size trees).
+  void reserve(std::size_t elements) { elements_.reserve(elements); }
+
   /// Creates the root agent on `node`. Must be the first element added.
   Index add_root(NodeId node);
   /// Adds an agent under `parent` (which must be an agent).

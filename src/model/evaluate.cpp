@@ -39,7 +39,7 @@ ThroughputReport evaluate_unchecked(const Hierarchy& hierarchy,
   std::vector<MFlopRate> server_powers;
   for (Hierarchy::Index i = 0; i < hierarchy.size(); ++i) {
     const auto& element = hierarchy.element(i);
-    const MFlopRate w = platform.node(element.node).power;
+    const MFlopRate w = platform.power(element.node);
     RequestRate element_rate = 0.0;
     if (element.role == Role::Agent) {
       ADEPT_CHECK(!element.children.empty(),

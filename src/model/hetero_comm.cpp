@@ -28,7 +28,7 @@ RequestRate agent_sched_throughput_hetero(const Hierarchy& hierarchy,
   const auto& element = hierarchy.element(agent);
   ADEPT_CHECK(!element.children.empty(), "agent has no children");
   const NodeId node = hierarchy.node_of(agent);
-  const MFlopRate w = platform.node(node).power;
+  const MFlopRate w = platform.power(node);
   const MbitRate up = parent_edge(hierarchy, platform, agent);
 
   Seconds per_request =
@@ -47,7 +47,7 @@ RequestRate server_sched_throughput_hetero(const Hierarchy& hierarchy,
                                            const MiddlewareParams& params,
                                            Hierarchy::Index server) {
   ADEPT_CHECK(!hierarchy.is_agent(server), "element is not a server");
-  const MFlopRate w = platform.node(hierarchy.node_of(server)).power;
+  const MFlopRate w = platform.power(hierarchy.node_of(server));
   const MbitRate up = parent_edge(hierarchy, platform, server);
   return 1.0 / (params.server.wpre / w +
                 (params.server.sreq + params.server.srep) / up);
@@ -60,7 +60,7 @@ RequestRate service_throughput_hetero(const Hierarchy& hierarchy,
   std::vector<MFlopRate> powers;
   std::vector<MbitRate> links;
   for (Hierarchy::Index i : hierarchy.servers()) {
-    powers.push_back(platform.node(hierarchy.node_of(i)).power);
+    powers.push_back(platform.power(hierarchy.node_of(i)));
     links.push_back(platform.link_bandwidth(hierarchy.node_of(i)));
   }
   ADEPT_CHECK(!powers.empty(), "hierarchy has no servers");
@@ -90,6 +90,13 @@ ThroughputReport evaluate_hetero(const Hierarchy& hierarchy,
                                  const ServiceSpec& service) {
   hierarchy.validate_or_throw(&platform);
   params.validate();
+  return evaluate_hetero_unchecked(hierarchy, platform, params, service);
+}
+
+ThroughputReport evaluate_hetero_unchecked(const Hierarchy& hierarchy,
+                                           const Platform& platform,
+                                           const MiddlewareParams& params,
+                                           const ServiceSpec& service) {
   detail::count_evaluation();
 
   ThroughputReport report;
@@ -103,7 +110,7 @@ ThroughputReport evaluate_hetero(const Hierarchy& hierarchy,
     } else {
       rate = server_sched_throughput_hetero(hierarchy, platform, params, i);
       if (first_server == Hierarchy::npos) first_server = i;
-      server_powers.push_back(platform.node(hierarchy.node_of(i)).power);
+      server_powers.push_back(platform.power(hierarchy.node_of(i)));
     }
     if (first || rate < report.sched) {
       report.sched = rate;

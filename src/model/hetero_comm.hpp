@@ -52,4 +52,12 @@ ThroughputReport evaluate_hetero(const Hierarchy& hierarchy,
                                  const MiddlewareParams& params,
                                  const ServiceSpec& service);
 
+/// As evaluate_hetero(), but skips structural validation — for planners
+/// scoring many candidates they construct themselves (the link-aware
+/// hill-climb walks thousands per round).
+ThroughputReport evaluate_hetero_unchecked(const Hierarchy& hierarchy,
+                                           const Platform& platform,
+                                           const MiddlewareParams& params,
+                                           const ServiceSpec& service);
+
 }  // namespace adept::model

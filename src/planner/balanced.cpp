@@ -30,6 +30,7 @@ Hierarchy complete_dary(const std::vector<NodeId>& order, std::size_t degree) {
   };
 
   Hierarchy hierarchy;
+  hierarchy.reserve(m);
   std::vector<Hierarchy::Index> element_of(m, Hierarchy::npos);
   element_of[0] = hierarchy.add_root(order[0]);
   for (std::size_t p = 1; p < m; ++p) {

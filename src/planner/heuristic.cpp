@@ -1,6 +1,6 @@
 /// \file heuristic.cpp
 /// \brief Algorithm 1: the paper's deployment heuristic for heterogeneous
-/// platforms.
+/// platforms, on the incremental evaluation engine.
 ///
 /// Published control flow, restated:
 ///   1. compute each node's potential scheduling power (as an agent with
@@ -16,42 +16,65 @@
 ///      or throughput starts decreasing; keep the best deployment seen,
 ///      preferring fewer resources on ties.
 ///
-/// The pseudo-code's `supported_children` bookkeeping is realised here as
-/// an explicit search: for every agent-set size k (a prefix of the sorted
-/// list — incrementing k is exactly one `shift_nodes` conversion), agents
-/// are arranged by scheduling-power water-filling and servers are added
-/// one by one to the agent that remains fastest, until the scheduling side
-/// becomes the bottleneck (the point Algorithm 1's inner while-loops
-/// detect via vir_max_sch_pow / vir_max_ser_pow). Every intermediate valid
-/// deployment is a snapshot candidate; the best is returned. This visits
-/// the same frontier as the published loop while being robust to its
-/// informal diff/throughput_diff termination bookkeeping (see DESIGN.md).
+/// The pseudo-code's `supported_children` bookkeeping is realised as an
+/// explicit search over agent-set sizes k (a prefix of the sorted list —
+/// incrementing k is exactly one `shift_nodes` conversion), in two
+/// polarities on heterogeneous platforms (agents from the strong or the
+/// weak end of the list). Every intermediate valid deployment is a
+/// candidate; the best is returned. See DESIGN.md.
+///
+/// Execution model (this file's performance architecture):
+///   - each (polarity, k) block grows its deployment on a
+///     model::IncrementalEvaluator, so a growth step costs O(log n)
+///     instead of the former O(k) aggregate rescan, and *no* candidate is
+///     ever materialized or re-evaluated from scratch;
+///   - blocks are independent, so they fan out across an optional
+///     ThreadPool (ThreadPool::for_each; the caller participates, making
+///     nested use from PlanningService jobs deadlock-free);
+///   - each block records only (objective, nodes-used) per candidate; the
+///     winner is chosen by replaying those records **sequentially in
+///     (polarity, k, step) order with the exact historical comparison**,
+///     so the result is bit-identical to the former single-threaded sweep
+///     for any thread count, lowest k winning ties;
+///   - only the winning candidate is rebuilt and materialized
+///     (engine.snapshot()), then priced once for the final report.
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/indexed_heap.hpp"
+#include "common/thread_pool.hpp"
+#include "model/incremental.hpp"
 #include "planner/planner.hpp"
 
 namespace adept {
 
 namespace {
 
-/// Mutable deployment under construction: a tree over agent slots plus a
-/// list of server nodes per agent. Maintains the Eq-14/15 aggregates
-/// incrementally so each growth step is O(#agents).
+/// Below this platform size the per-block work is too small to be worth
+/// shipping to other threads; the sweep runs inline on the caller.
+constexpr std::size_t kParallelMinNodes = 96;
+
+/// Algorithm-1 construction policy on top of the incremental engine: a
+/// tree over agents plus water-filled servers. The engine owns the
+/// Eq-14/15/16 state; the builder owns only the *selection* heaps
+/// (breadth-first agent attachment, structural-minimum filling).
 class Builder {
  public:
   Builder(const Platform& platform, const MiddlewareParams& params,
-          const ServiceSpec& service)
-      : platform_(platform), params_(params), service_(service),
-        bandwidth_(platform.bandwidth()) {}
+          const ServiceSpec& service, std::size_t capacity)
+      : engine_(platform, params, service),
+        bfs_parent_(BfsLess{this}), deficient_(DeficientLess{this}) {
+    engine_.reserve(capacity);
+  }
 
   /// Installs the root agent.
   void set_root(NodeId node) {
-    ADEPT_ASSERT(agents_.empty(), "root already set");
-    agents_.push_back(AgentSlot{node, npos, 0, 0, {}});
+    const auto root = engine_.add_root(node);
+    bfs_parent_.push(root);
+    deficient_.push(root);  // the root needs >= 1 child
   }
 
   /// Attaches a new agent breadth-first: to the *shallowest* agent, tie
@@ -62,174 +85,180 @@ class Builder {
   /// depth minimal without hurting the Eq-14 minimum (the k-sweep
   /// snapshots protect against any per-k construction being a bad fit).
   void add_agent(NodeId node) {
-    ADEPT_ASSERT(!agents_.empty(), "no agents to attach to");
-    std::size_t best = 0;
-    RequestRate best_rate = -1.0;
-    std::size_t best_depth = static_cast<std::size_t>(-1);
-    for (std::size_t a = 0; a < agents_.size(); ++a) {
-      const RequestRate rate = sched_with_degree(a, agents_[a].degree + 1);
-      const std::size_t depth = agents_[a].depth;
-      if (depth < best_depth || (depth == best_depth && rate > best_rate)) {
-        best_depth = depth;
-        best_rate = rate;
-        best = a;
-      }
+    const auto parent = bfs_parent_.top();
+    const auto agent = engine_.add_agent(parent, node);
+    bfs_parent_.update(parent);  // its post-attach rate dropped
+    bfs_parent_.push(agent);
+    on_degree_change(parent);
+    deficient_.push(agent);  // a non-root agent needs >= 2 children
+  }
+
+  /// Gives every agent its structural minimum of children (servers drawn
+  /// from pool[next...]), always filling the agent that stays fastest.
+  /// Returns false when the pool runs dry first.
+  bool fill_structural_minimum(const std::vector<NodeId>& pool,
+                               std::size_t& next) {
+    while (!deficient_.empty()) {
+      if (next >= pool.size()) return false;
+      add_server_under(deficient_.top(), pool[next++]);
     }
-    agents_.push_back(AgentSlot{node, best, agents_[best].depth + 1, 0, {}});
-    bump_degree(best);
+    return true;
   }
 
-  /// Attaches a server under the agent that stays fastest; updates the
-  /// Eq-15 aggregates.
-  void add_server(NodeId node) { add_server_under(best_parent(), node); }
-
-  /// Attaches a server under a specific agent slot.
-  void add_server_under(std::size_t agent, NodeId node) {
-    ADEPT_ASSERT(agent < agents_.size(), "agent slot out of range");
-    agents_[agent].servers.push_back(node);
-    bump_degree(agent);
-    const MFlopRate w = platform_.node(node).power;
-    prediction_load_ += params_.server.wpre / service_.wapp;
-    capacity_ += w / service_.wapp;
-    min_server_power_ = std::min(min_server_power_, w);
-    ++server_count_;
+  /// Attaches a server under the agent that stays fastest.
+  void add_server_best(NodeId node) {
+    add_server_under(engine_.best_adopter(), node);
   }
 
-  std::size_t agent_count() const { return agents_.size(); }
-  std::size_t server_count() const { return server_count_; }
-  std::size_t nodes_used() const { return agents_.size() + server_count_; }
-
-  /// Agent slot whose Eq-14 value after one more child is largest.
-  std::size_t best_parent() const {
-    ADEPT_ASSERT(!agents_.empty(), "no agents to attach to");
-    std::size_t best = 0;
-    RequestRate best_rate = -1.0;
-    for (std::size_t a = 0; a < agents_.size(); ++a) {
-      const RequestRate rate = sched_with_degree(a, agents_[a].degree + 1);
-      if (rate > best_rate) {
-        best_rate = rate;
-        best = a;
-      }
-    }
-    return best;
-  }
-
-  /// Agents still below the structural minimum (root: 1 child; others: 2),
-  /// ordered so the fastest-after-fill agent is first.
-  std::vector<std::size_t> deficient_agents() const {
-    std::vector<std::size_t> out;
-    for (std::size_t a = 0; a < agents_.size(); ++a)
-      if (agents_[a].degree < minimum_degree(a)) out.push_back(a);
-    std::stable_sort(out.begin(), out.end(), [this](std::size_t x, std::size_t y) {
-      return sched_with_degree(x, agents_[x].degree + 1) >
-             sched_with_degree(y, agents_[y].degree + 1);
-    });
-    return out;
-  }
-
-  bool structurally_valid() const {
-    for (std::size_t a = 0; a < agents_.size(); ++a)
-      if (agents_[a].degree < minimum_degree(a)) return false;
-    return server_count_ > 0;
-  }
-
-  /// Eq 14: minimum over agents' scheduling terms and the weakest server's
-  /// prediction term.
-  RequestRate sched_throughput() const {
-    RequestRate rate = std::numeric_limits<RequestRate>::infinity();
-    for (std::size_t a = 0; a < agents_.size(); ++a)
-      rate = std::min(rate, sched_with_degree(a, agents_[a].degree));
-    if (server_count_ > 0)
-      rate = std::min(rate, model::server_sched_throughput(
-                                params_, min_server_power_, bandwidth_));
-    return rate;
-  }
-
-  /// Eq 15 over the current server set.
+  RequestRate sched_throughput() const { return engine_.sched_throughput(); }
   RequestRate service_throughput() const {
-    if (server_count_ == 0) return 0.0;
-    const Seconds comp = (1.0 + prediction_load_) / capacity_;
-    const Seconds comm = (params_.server.sreq + params_.server.srep) / bandwidth_;
-    return 1.0 / (comp + comm);
+    return engine_.service_throughput();
   }
-
-  /// Eq 16.
-  RequestRate overall_throughput() const {
-    return std::min(sched_throughput(), service_throughput());
-  }
-
-  /// Materialises the current state as a Hierarchy (BFS over agent slots).
-  Hierarchy materialize() const {
-    ADEPT_ASSERT(!agents_.empty(), "cannot materialise without a root");
-    Hierarchy hierarchy;
-    std::vector<Hierarchy::Index> element_of(agents_.size(), Hierarchy::npos);
-    element_of[0] = hierarchy.add_root(agents_[0].node);
-    // Agent slots are created parent-before-child, so one pass suffices.
-    for (std::size_t a = 1; a < agents_.size(); ++a) {
-      ADEPT_ASSERT(element_of[agents_[a].parent] != Hierarchy::npos,
-                   "agent slots out of order");
-      element_of[a] = hierarchy.add_agent(element_of[agents_[a].parent],
-                                          agents_[a].node);
-    }
-    for (std::size_t a = 0; a < agents_.size(); ++a)
-      for (NodeId server : agents_[a].servers)
-        hierarchy.add_server(element_of[a], server);
-    return hierarchy;
-  }
+  RequestRate overall_throughput() const { return engine_.throughput(); }
+  std::size_t nodes_used() const { return engine_.size(); }
+  Hierarchy materialize() const { return engine_.snapshot(); }
 
  private:
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  using Engine = model::IncrementalEvaluator;
 
-  struct AgentSlot {
-    NodeId node;
-    std::size_t parent;  ///< Index into agents_; npos for the root.
-    std::size_t depth;   ///< Root = 0.
-    std::size_t degree;  ///< Total children (agents + servers).
-    std::vector<NodeId> servers;
+  /// Shallowest first, then fastest after one more child, then first
+  /// created — the order the historical scan selected in.
+  struct BfsLess {
+    const Builder* owner;
+    bool operator()(std::size_t a, std::size_t b) const {
+      const auto& engine = owner->engine_;
+      if (engine.depth(a) != engine.depth(b))
+        return engine.depth(a) < engine.depth(b);
+      if (engine.adopt_rate(a) != engine.adopt_rate(b))
+        return engine.adopt_rate(a) > engine.adopt_rate(b);
+      return a < b;
+    }
+  };
+  /// Fastest-after-fill first (the historical stable_sort's order).
+  struct DeficientLess {
+    const Builder* owner;
+    bool operator()(std::size_t a, std::size_t b) const {
+      const auto& engine = owner->engine_;
+      if (engine.adopt_rate(a) != engine.adopt_rate(b))
+        return engine.adopt_rate(a) > engine.adopt_rate(b);
+      return a < b;
+    }
   };
 
-  std::size_t minimum_degree(std::size_t a) const { return a == 0 ? 1 : 2; }
-
-  RequestRate sched_with_degree(std::size_t a, std::size_t degree) const {
-    return model::agent_sched_throughput(
-        params_, platform_.node(agents_[a].node).power, std::max<std::size_t>(1, degree),
-        bandwidth_);
+  std::size_t minimum_degree(Engine::Index agent) const {
+    return agent == 0 ? 1 : 2;
   }
 
-  void bump_degree(std::size_t agent) { ++agents_[agent].degree; }
+  void add_server_under(Engine::Index agent, NodeId node) {
+    engine_.add_server(agent, node);
+    on_degree_change(agent);
+  }
 
-  const Platform& platform_;
-  const MiddlewareParams& params_;
-  const ServiceSpec& service_;
-  MbitRate bandwidth_;
-  std::vector<AgentSlot> agents_;
-  std::size_t server_count_ = 0;
-  double prediction_load_ = 0.0;  ///< Σ W_pre / W_app over servers.
-  double capacity_ = 0.0;         ///< Σ w_i / W_app over servers.
-  MFlopRate min_server_power_ = std::numeric_limits<MFlopRate>::infinity();
+  void on_degree_change(Engine::Index agent) {
+    if (deficient_.contains(agent)) {
+      if (engine_.degree(agent) >= minimum_degree(agent))
+        deficient_.erase(agent);
+      else
+        deficient_.update(agent);
+    }
+    if (bfs_parent_.contains(agent)) bfs_parent_.update(agent);
+  }
+
+  Engine engine_;
+  IndexedHeap<BfsLess> bfs_parent_;
+  IndexedHeap<DeficientLess> deficient_;
 };
 
-/// Snapshot comparison: higher demand-clipped throughput wins; near-ties
-/// (1 part in 1e9) go to the smaller deployment.
+/// One scored intermediate deployment of a (polarity, k) block.
+struct Candidate {
+  RequestRate objective = 0.0;  ///< Demand-clipped throughput.
+  std::size_t nodes = 0;        ///< Elements deployed.
+};
+
+/// Runs one (polarity, k) block: grows the deployment and returns every
+/// candidate's score in growth order (empty when k agents are infeasible
+/// for the pool). When `rebuild_step` is given, construction instead
+/// stops at that candidate and materializes it into `*rebuilt`.
+std::vector<Candidate> run_block(const Platform& platform,
+                                 const MiddlewareParams& params,
+                                 const ServiceSpec& service,
+                                 RequestRate demand,
+                                 const std::vector<NodeId>& order,
+                                 int polarity, std::size_t k,
+                                 std::size_t rebuild_step = Hierarchy::npos,
+                                 Hierarchy* rebuilt = nullptr) {
+  const std::size_t n = order.size();
+  // Agents and the server pool for this block, both listed
+  // strongest-scheduler first (polarity 1 spends the *weak* end of the
+  // list on agents — when the service side binds, every MFlop parked on
+  // an agent is a MFlop lost from Eq 15).
+  std::vector<NodeId> agents, pool;
+  agents.reserve(k);
+  pool.reserve(n - k);
+  if (polarity == 0) {
+    agents.assign(order.begin(), order.begin() + static_cast<long>(k));
+    pool.assign(order.begin() + static_cast<long>(k), order.end());
+  } else {
+    agents.assign(order.end() - static_cast<long>(k), order.end());
+    std::reverse(agents.begin(), agents.end());
+    pool.assign(order.begin(), order.end() - static_cast<long>(k));
+  }
+
+  Builder builder(platform, params, service, n);
+  builder.set_root(agents[0]);
+  for (std::size_t j = 1; j < k; ++j) builder.add_agent(agents[j]);
+
+  std::size_t next = 0;  // next unused node in the pool
+  if (!builder.fill_structural_minimum(pool, next))
+    return {};  // too many agents for the remaining pool
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(pool.size() - next + 1);
+  auto offer = [&]() -> bool {
+    candidates.push_back(
+        {std::min(builder.overall_throughput(), demand), builder.nodes_used()});
+    if (candidates.size() - 1 == rebuild_step) {
+      *rebuilt = builder.materialize();
+      return true;
+    }
+    return false;
+  };
+  if (offer()) return candidates;
+
+  // Water-fill the remaining nodes as servers while the servicing side is
+  // the bottleneck (vir_max_ser_pow < vir_max_sch_pow) and the demand is
+  // not yet met.
+  while (next < pool.size()) {
+    if (std::min(builder.overall_throughput(), demand) >= demand) break;
+    if (builder.sched_throughput() <= builder.service_throughput()) break;
+    builder.add_server_best(pool[next++]);
+    if (offer()) return candidates;
+  }
+  return candidates;
+}
+
+/// Streaming-best over candidates, replayed in the historical visit
+/// order: higher demand-clipped throughput wins; near-ties (1 part in
+/// 1e9) go to the smaller deployment.
 struct BestTracker {
   bool have = false;
   RequestRate objective = 0.0;
   std::size_t nodes = 0;
-  Hierarchy hierarchy;
+  std::size_t block = 0;  ///< Winning block index.
+  std::size_t step = 0;   ///< Winning candidate index within the block.
 
-  bool offer(const Builder& builder, RequestRate demand) {
-    const RequestRate rho = builder.overall_throughput();
-    const RequestRate obj = std::min(rho, demand);
+  void offer(const Candidate& candidate, std::size_t at_block,
+             std::size_t at_step) {
+    const RequestRate obj = candidate.objective;
     const double tolerance = 1e-9 * std::max(obj, objective);
     if (!have || obj > objective + tolerance ||
-        (obj >= objective - tolerance && builder.nodes_used() < nodes)) {
+        (obj >= objective - tolerance && candidate.nodes < nodes)) {
       have = true;
       objective = obj;
-      nodes = builder.nodes_used();
-      hierarchy = builder.materialize();
-      return true;
+      nodes = candidate.nodes;
+      block = at_block;
+      step = at_step;
     }
-    return false;
   }
 };
 
@@ -237,7 +266,8 @@ struct BestTracker {
 
 PlanResult plan_heterogeneous(const Platform& platform,
                               const MiddlewareParams& params,
-                              const ServiceSpec& service, RequestRate demand) {
+                              const ServiceSpec& service, RequestRate demand,
+                              ThreadPool* pool) {
   const std::size_t n = platform.size();
   ADEPT_CHECK(n >= 2, "a deployment needs at least two nodes");
   ADEPT_CHECK(demand > 0.0, "client demand must be positive");
@@ -246,15 +276,16 @@ PlanResult plan_heterogeneous(const Platform& platform,
 
   PlanResult result;
 
-  // Steps 1–2: sort by potential scheduling power with n-1 children.
+  // Steps 1–2: sort by potential scheduling power with n-1 children
+  // (rates precomputed once per node, not per comparison).
+  std::vector<RequestRate> potential(n);
+  for (NodeId id = 0; id < n; ++id)
+    potential[id] = model::agent_sched_throughput(
+        params, platform.power(id), std::max<std::size_t>(1, n - 1), B);
   std::vector<NodeId> order(n);
   for (NodeId id = 0; id < n; ++id) order[id] = id;
   std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    const auto pa = model::agent_sched_throughput(
-        params, platform.node(a).power, std::max<std::size_t>(1, n - 1), B);
-    const auto pb = model::agent_sched_throughput(
-        params, platform.node(b).power, std::max<std::size_t>(1, n - 1), B);
-    if (pa != pb) return pa > pb;
+    if (potential[a] != potential[b]) return potential[a] > potential[b];
     return a < b;
   });
 
@@ -262,8 +293,8 @@ PlanResult plan_heterogeneous(const Platform& platform,
   // one server (or against the demand), the best deployment is the pair.
   {
     const RequestRate sch1 = model::agent_sched_throughput(
-        params, platform.node(order[0]).power, 1, B);
-    const MFlopRate w1 = platform.node(order[1]).power;
+        params, platform.power(order[0]), 1, B);
+    const MFlopRate w1 = platform.power(order[1]);
     const RequestRate ser1 =
         model::service_throughput(params, std::span(&w1, 1), service, B);
     if (sch1 < std::min(ser1, demand)) {
@@ -274,83 +305,61 @@ PlanResult plan_heterogeneous(const Platform& platform,
           "early exit: single-child agent power " + std::to_string(sch1) +
           " < min(service " + std::to_string(ser1) + ", demand) — deploying 1 "
           "agent + 1 server");
-      result.report = model::evaluate(pair, platform, params, service);
+      result.report = model::evaluate_unchecked(pair, platform, params, service);
       result.hierarchy = std::move(pair);
       return result;
     }
   }
 
-  // Main growth: k is the number of agents (the k-th iteration converts
-  // the previous frontier server into an agent — the paper's shift_nodes).
-  //
-  // Two agent-selection polarities are searched. The sorted list puts the
-  // best *scheduling* nodes first; spending them as agents is right when
-  // scheduling binds (the paper's default reading of Algorithm 1). When
-  // the service side binds instead, every MFlop parked on an agent is a
-  // MFlop lost from Eq 15, so the second polarity draws the agent set
-  // from the *weak* end of the list and keeps the strong nodes as
-  // servers. The snapshot comparison picks whichever wins.
-  BestTracker best;
+  // Main growth: each block (polarity, k) grows a deployment with k
+  // agents — the k-th iteration converts the previous frontier server
+  // into an agent, the paper's shift_nodes. Blocks are independent, so
+  // they run across the pool; determinism comes from the ordered replay
+  // below, not from scheduling.
   const int polarities = platform.is_homogeneous() ? 1 : 2;
-  for (int polarity = 0; polarity < polarities; ++polarity) {
-    for (std::size_t k = 1; k < n; ++k) {
-      // Agents and the server pool for this (polarity, k) combination,
-      // both listed strongest-scheduler first.
-      std::vector<NodeId> agents, pool;
-      if (polarity == 0) {
-        agents.assign(order.begin(), order.begin() + static_cast<long>(k));
-        pool.assign(order.begin() + static_cast<long>(k), order.end());
-      } else {
-        agents.assign(order.end() - static_cast<long>(k), order.end());
-        std::reverse(agents.begin(), agents.end());
-        pool.assign(order.begin(), order.end() - static_cast<long>(k));
-      }
-
-      Builder builder(platform, params, service);
-      builder.set_root(agents[0]);
-      for (std::size_t j = 1; j < k; ++j) builder.add_agent(agents[j]);
-
-      std::size_t next = 0;  // next unused node in the pool
-
-      // Mandatory fill: give every agent its structural minimum of
-      // children.
-      bool feasible = true;
-      while (!builder.structurally_valid()) {
-        if (next >= pool.size()) {
-          feasible = false;
-          break;
-        }
-        const auto deficient = builder.deficient_agents();
-        ADEPT_ASSERT(!deficient.empty(), "invalid builder state");
-        builder.add_server_under(deficient.front(), pool[next++]);
-      }
-      if (!feasible) continue;  // too many agents for the remaining pool
-      best.offer(builder, demand);
-
-      // Water-fill the remaining nodes as servers while the servicing
-      // side is the bottleneck (vir_max_ser_pow < vir_max_sch_pow) and
-      // the demand is not yet met.
-      while (next < pool.size()) {
-        if (std::min(builder.overall_throughput(), demand) >= demand) break;
-        if (builder.sched_throughput() <= builder.service_throughput()) break;
-        builder.add_server(pool[next++]);
-        best.offer(builder, demand);
-      }
-
-      if (polarity == 0 && k == 1)
-        result.trace.push_back("k=1 (star family): best so far " +
-                               std::to_string(best.objective) + " req/s with " +
-                               std::to_string(best.nodes) + " nodes");
-    }
+  const std::size_t per_polarity = n - 1;  // k = 1 .. n-1
+  const std::size_t block_count =
+      static_cast<std::size_t>(polarities) * per_polarity;
+  std::vector<std::vector<Candidate>> blocks(block_count);
+  auto run = [&](std::size_t b) {
+    const int polarity = static_cast<int>(b / per_polarity);
+    const std::size_t k = 1 + b % per_polarity;
+    blocks[b] = run_block(platform, params, service, demand, order, polarity, k);
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && n >= kParallelMinNodes) {
+    pool->for_each(block_count, run);
+  } else {
+    for (std::size_t b = 0; b < block_count; ++b) run(b);
   }
 
+  // Deterministic reduction: visit candidates in exactly the order the
+  // historical sequential sweep offered them (polarity-major, then k
+  // ascending, then growth step), so the tolerance comparison picks the
+  // same winner — the lowest k on ties.
+  BestTracker best;
+  for (std::size_t b = 0; b < block_count; ++b) {
+    for (std::size_t step = 0; step < blocks[b].size(); ++step)
+      best.offer(blocks[b][step], b, step);
+    if (b == 0)  // after the polarity-0, k=1 (star family) block
+      result.trace.push_back("k=1 (star family): best so far " +
+                             std::to_string(best.objective) + " req/s with " +
+                             std::to_string(best.nodes) + " nodes");
+  }
   ADEPT_ASSERT(best.have, "heuristic found no feasible deployment");
+
+  // Materialize only the winner: replay its block up to the winning step.
+  Hierarchy winner;
+  run_block(platform, params, service, demand, order,
+            static_cast<int>(best.block / per_polarity),
+            1 + best.block % per_polarity, best.step, &winner);
+  ADEPT_ASSERT(!winner.empty(), "winning candidate failed to rebuild");
+
   result.trace.push_back(
-      "selected deployment: " + std::to_string(best.hierarchy.agent_count()) +
-      " agents, " + std::to_string(best.hierarchy.server_count()) +
+      "selected deployment: " + std::to_string(winner.agent_count()) +
+      " agents, " + std::to_string(winner.server_count()) +
       " servers, predicted " + std::to_string(best.objective) + " req/s");
-  result.report = model::evaluate(best.hierarchy, platform, params, service);
-  result.hierarchy = std::move(best.hierarchy);
+  result.report = model::evaluate_unchecked(winner, platform, params, service);
+  result.hierarchy = std::move(winner);
   return result;
 }
 

@@ -27,9 +27,10 @@ PlanResult plan_homogeneous_optimal(const Platform& platform,
     // Degree 1 admits only the 2-node tree; larger trees shrink as m does,
     // so sweep every prefix size m.
     const std::size_t max_m = (degree == 1) ? 2 : n;
+    std::vector<NodeId> prefix;
+    prefix.reserve(max_m);
     for (std::size_t m = 2; m <= max_m; ++m) {
-      std::vector<NodeId> prefix(order.begin(),
-                                 order.begin() + static_cast<long>(m));
+      prefix.assign(order.begin(), order.begin() + static_cast<long>(m));
       Hierarchy candidate = detail::complete_dary(prefix, degree);
       if (!candidate.validate(&platform).empty()) continue;
       const auto report =

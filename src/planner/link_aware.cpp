@@ -46,6 +46,7 @@ Hierarchy without_leaf(const Hierarchy& hierarchy, Hierarchy::Index victim) {
                    hierarchy.element(victim).children.empty(),
                "can only drop leaf servers");
   Hierarchy out;
+  out.reserve(hierarchy.size() - 1);
   std::vector<Hierarchy::Index> map(hierarchy.size(), Hierarchy::npos);
   std::queue<Hierarchy::Index> frontier;
   map[hierarchy.root()] = out.add_root(hierarchy.node_of(hierarchy.root()));
@@ -70,16 +71,22 @@ Hierarchy without_leaf(const Hierarchy& hierarchy, Hierarchy::Index victim) {
 
 PlanResult plan_link_aware(const Platform& platform,
                            const MiddlewareParams& params,
-                           const ServiceSpec& service, RequestRate demand) {
-  PlanResult plan = plan_heterogeneous(platform, params, service, demand);
+                           const ServiceSpec& service, RequestRate demand,
+                           ThreadPool* pool) {
+  PlanResult plan = plan_heterogeneous(platform, params, service, demand, pool);
   if (platform.has_homogeneous_links()) {
     plan.trace.push_back("link-aware: links are homogeneous, nothing to refine");
     return plan;
   }
 
   Hierarchy current = std::move(plan.hierarchy);
+  // Every candidate the hill-climb scores is a node-relabelling or a
+  // leaf-drop of a valid tree — structurally valid by construction, so
+  // the per-candidate validation walk is skipped.
   auto score = [&](const Hierarchy& hierarchy) {
-    return model::evaluate_hetero(hierarchy, platform, params, service).overall;
+    return model::evaluate_hetero_unchecked(hierarchy, platform, params,
+                                            service)
+        .overall;
   };
   const RequestRate initial = score(current);
   RequestRate best = initial;
@@ -146,7 +153,8 @@ PlanResult plan_link_aware(const Platform& platform,
                        " node swap(s), " + std::to_string(drops) +
                        " server drop(s), rho " + std::to_string(initial) +
                        " -> " + std::to_string(best) + " (hetero evaluator)");
-  plan.report = model::evaluate_hetero(current, platform, params, service);
+  plan.report =
+      model::evaluate_hetero_unchecked(current, platform, params, service);
   plan.hierarchy = std::move(current);
   return plan;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "hierarchy/hierarchy.hpp"
 #include "model/evaluate.hpp"
 #include "model/parameters.hpp"
@@ -76,10 +77,18 @@ PlanResult plan_homogeneous_optimal(const Platform& platform,
 /// largest; servers convert to agents when the scheduling side must grow),
 /// and stops when nodes run out, `demand` is met, or throughput starts
 /// decreasing; among equal-throughput deployments the smallest one wins.
+///
+/// Candidates are priced on the incremental evaluation engine
+/// (model::IncrementalEvaluator) and the independent per-k sweeps fan out
+/// across `pool` when one is provided (PlanOptions::pool plumbs the
+/// PlanningService's pool through). The result is bit-identical for any
+/// pool size, including none: the per-k results are reduced in a fixed
+/// deterministic order, lowest k winning ties.
 PlanResult plan_heterogeneous(const Platform& platform,
                               const MiddlewareParams& params,
                               const ServiceSpec& service,
-                              RequestRate demand = kUnlimitedDemand);
+                              RequestRate demand = kUnlimitedDemand,
+                              ThreadPool* pool = nullptr);
 
 /// Heterogeneous-communication planner (the paper's future-work
 /// scenario): plans with Algorithm 1 under the homogeneous-communication
@@ -91,7 +100,8 @@ PlanResult plan_heterogeneous(const Platform& platform,
 PlanResult plan_link_aware(const Platform& platform,
                            const MiddlewareParams& params,
                            const ServiceSpec& service,
-                           RequestRate demand = kUnlimitedDemand);
+                           RequestRate demand = kUnlimitedDemand,
+                           ThreadPool* pool = nullptr);
 
 /// Iterative bottleneck-removal improvement pass (the approach of the
 /// authors' earlier work, ref [7], kept as a refinement stage): repeatedly

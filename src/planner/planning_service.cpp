@@ -77,11 +77,18 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
                                             : "deadline exceeded";
     return run;
   }
+  // Offer the service's pool for the planner's internal parallelism (the
+  // heuristic's per-k sweep). Safe when this job itself runs on a pool
+  // worker: ThreadPool::for_each has the submitting thread participate,
+  // so nested fan-out cannot deadlock — and results are bit-identical
+  // with or without the pool.
+  PlanRequest effective = request;
+  if (effective.options.pool == nullptr) effective.options.pool = &pool();
   const std::uint64_t evals_before = model::evaluations_on_this_thread();
   const auto start = std::chrono::steady_clock::now();
   try {
     const IPlanner& impl = registry_.at(planner);
-    run.result = impl.plan(request);
+    run.result = impl.plan(effective);
     run.ok = true;
   } catch (const std::exception& e) {
     run.error = e.what();

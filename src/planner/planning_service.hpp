@@ -86,8 +86,9 @@ class PlanningService {
   PlanningService(const PlanningService&) = delete;
   PlanningService& operator=(const PlanningService&) = delete;
 
-  /// Runs one planner synchronously on the calling thread (the pool is
-  /// for fan-out; a single run has nothing to overlap).
+  /// Runs one planner synchronously on the calling thread. The service's
+  /// pool is offered to the planner for its internal parallelism (e.g.
+  /// the heuristic's per-k sweep) unless the request already carries one.
   PlannerRun run(const PlanRequest& request, const std::string& planner);
 
   /// Runs independent jobs across the pool; results align with `jobs`.
@@ -102,7 +103,7 @@ class PlanningService {
 
   PlanningStats stats() const;
   /// Workers a batch/portfolio fans out over (the pool itself is created
-  /// lazily on the first batch — single runs never spawn threads).
+  /// lazily on the first executed job).
   std::size_t thread_count() const;
 
  private:

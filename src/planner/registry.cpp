@@ -132,7 +132,8 @@ class HeuristicPlanner final : public BuiltinPlanner {
 
  private:
   PlanResult run(const Platform& platform, const PlanRequest& r) const final {
-    return plan_heterogeneous(platform, r.params, r.service, r.options.demand);
+    return plan_heterogeneous(platform, r.params, r.service, r.options.demand,
+                              r.options.pool);
   }
 };
 
@@ -146,7 +147,8 @@ class LinkAwarePlanner final : public BuiltinPlanner {
 
  private:
   PlanResult run(const Platform& platform, const PlanRequest& r) const final {
-    return plan_link_aware(platform, r.params, r.service, r.options.demand);
+    return plan_link_aware(platform, r.params, r.service, r.options.demand,
+                           r.options.pool);
   }
 };
 

@@ -15,13 +15,15 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
-#include <set>
 
+#include "common/flat_set.hpp"
 #include "model/parameters.hpp"
 #include "model/service.hpp"
 #include "platform/platform.hpp"
 
 namespace adept {
+
+class ThreadPool;
 
 /// Unlimited client demand: the planner maximises raw throughput.
 inline constexpr RequestRate kUnlimitedDemand =
@@ -53,7 +55,7 @@ struct PlanOptions {
   /// Nodes that must not appear in the deployment (failed or reserved
   /// hosts). Honoured by every planner: the registry plans on the
   /// surviving sub-platform and maps the result back to original ids.
-  std::set<NodeId> excluded;
+  NodeSet excluded;
   /// When false the decision log (PlanResult::trace) is dropped, which
   /// keeps batch runs lean.
   bool verbose_trace = true;
@@ -61,6 +63,11 @@ struct PlanOptions {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Optional cancellation token; not owned, may be null.
   const CancelToken* cancel = nullptr;
+  /// Optional pool for a planner's *internal* parallelism (the heuristic
+  /// fans its per-k sweeps out over it). Not owned, may be null; the
+  /// PlanningService plumbs its own pool in, and results are identical
+  /// with or without one.
+  ThreadPool* pool = nullptr;
 
   bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
   bool past_deadline() const {

@@ -15,7 +15,7 @@ PlanResult plan_star(const Platform& platform, const MiddlewareParams& params,
   RequestRate best_rate = 0.0;
   for (NodeId id = 0; id < n; ++id) {
     const RequestRate rate = model::agent_sched_throughput(
-        params, platform.node(id).power, degree, platform.bandwidth());
+        params, platform.power(id), degree, platform.bandwidth());
     if (rate > best_rate) {
       best_rate = rate;
       agent = id;
@@ -23,6 +23,7 @@ PlanResult plan_star(const Platform& platform, const MiddlewareParams& params,
   }
 
   Hierarchy hierarchy;
+  hierarchy.reserve(n);
   const auto root = hierarchy.add_root(agent);
   for (NodeId id = 0; id < n; ++id)
     if (id != agent) hierarchy.add_server(root, id);

@@ -17,6 +17,19 @@ Platform::Platform(std::vector<NodeSpec> nodes, MbitRate bandwidth)
     ADEPT_CHECK(names.insert(node.name).second,
                 "duplicate node name '" + node.name + "'");
   }
+  rebuild_caches();
+}
+
+void Platform::rebuild_caches() {
+  powers_.resize(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) powers_[i] = nodes_[i].power;
+  order_desc_.resize(nodes_.size());
+  for (NodeId i = 0; i < order_desc_.size(); ++i) order_desc_[i] = i;
+  std::stable_sort(order_desc_.begin(), order_desc_.end(),
+                   [this](NodeId a, NodeId b) {
+                     if (powers_[a] != powers_[b]) return powers_[a] > powers_[b];
+                     return a < b;
+                   });
 }
 
 void Platform::validate_node(const NodeSpec& node) const {
@@ -59,6 +72,7 @@ NodeId Platform::add_node(NodeSpec node) {
     ADEPT_CHECK(existing.name != node.name,
                 "duplicate node name '" + node.name + "'");
   nodes_.push_back(std::move(node));
+  rebuild_caches();
   return nodes_.size() - 1;
 }
 
@@ -89,16 +103,6 @@ bool Platform::is_homogeneous() const {
   const double lo = min_power();
   const double hi = max_power();
   return (hi - lo) <= 1e-12 * hi;
-}
-
-std::vector<NodeId> Platform::ids_by_power_desc() const {
-  std::vector<NodeId> ids(nodes_.size());
-  for (NodeId i = 0; i < ids.size(); ++i) ids[i] = i;
-  std::stable_sort(ids.begin(), ids.end(), [this](NodeId a, NodeId b) {
-    if (nodes_[a].power != nodes_[b].power) return nodes_[a].power > nodes_[b].power;
-    return a < b;
-  });
-  return ids;
 }
 
 Platform Platform::subset(const std::vector<NodeId>& ids) const {

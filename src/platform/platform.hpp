@@ -45,6 +45,12 @@ class Platform {
   const std::vector<NodeSpec>& nodes() const { return nodes_; }
   MbitRate bandwidth() const { return bandwidth_; }
 
+  /// Computing power of one node, served from a structure-of-arrays cache
+  /// so planner hot loops avoid the bounds-checked NodeSpec lookup.
+  MFlopRate power(NodeId id) const { return powers_[id]; }
+  /// All node powers, indexed by NodeId.
+  const std::vector<MFlopRate>& powers() const { return powers_; }
+
   /// Effective link bandwidth of a node: its own `link` when set,
   /// otherwise the platform-wide homogeneous bandwidth.
   MbitRate link_bandwidth(NodeId id) const;
@@ -71,17 +77,23 @@ class Platform {
   bool is_homogeneous() const;
 
   /// Node ids sorted by power, descending; ties broken by id for
-  /// determinism.
-  std::vector<NodeId> ids_by_power_desc() const;
+  /// determinism. Computed once per topology change (construction /
+  /// add_node), never per call, so queries are safe from concurrent
+  /// readers.
+  const std::vector<NodeId>& ids_by_power_desc() const { return order_desc_; }
 
   /// Returns a copy restricted to the given ids (in the given order).
   Platform subset(const std::vector<NodeId>& ids) const;
 
  private:
   void validate_node(const NodeSpec& node) const;
+  void rebuild_caches();
 
   std::vector<NodeSpec> nodes_;
   MbitRate bandwidth_ = 0.0;
+  // Structure-of-arrays caches over nodes_, rebuilt on topology change.
+  std::vector<MFlopRate> powers_;
+  std::vector<NodeId> order_desc_;
 };
 
 }  // namespace adept
