@@ -7,7 +7,11 @@
 ///   plan       run a planner on a platform file, print / export the plan
 ///   predict    evaluate a deployment XML with the throughput model
 ///   simulate   run the discrete-event simulator against a deployment XML
+///   serve      answer JSON-lines planning requests on stdin/stdout
 ///   calibrate  reproduce the Table 3 measurement procedure on this host
+///
+/// plan / predict / repair take `--json` for machine-readable output in
+/// the wire format (io/wire.hpp) instead of the human tables.
 
 #include <algorithm>
 #include <cmath>
@@ -18,12 +22,15 @@
 
 #include "common/argparse.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "deploy/launcher.hpp"
 #include "hierarchy/dot.hpp"
 #include "hierarchy/xml.hpp"
+#include "io/serve.hpp"
+#include "io/wire.hpp"
 #include "model/evaluate.hpp"
 #include "planner/planner.hpp"
 #include "planner/planning_service.hpp"
@@ -174,6 +181,7 @@ int cmd_plan(const std::vector<std::string>& args) {
   parser.add_option("jobs", "worker threads for portfolio runs (0 = all cores)",
                     "0");
   parser.add_flag("list-planners", "print the planner registry and exit");
+  parser.add_flag("json", "print the wire-format JSON result instead of tables");
   parser.add_option("xml", "write GoDIET XML to this file");
   parser.add_option("dot", "write Graphviz DOT to this file");
   parser.parse(args);
@@ -191,9 +199,24 @@ int cmd_plan(const std::vector<std::string>& args) {
   ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
   PlanningService service(static_cast<std::size_t>(jobs));
 
+  const bool as_json = parser.get_flag("json");
   PlanResult plan;
   if (planner == "portfolio") {
     const PortfolioResult portfolio = service.run_portfolio(request);
+    if (as_json) {
+      std::cout << wire::to_json(portfolio).dump() << "\n";
+      // The winner is only needed to feed the export writers; a
+      // winnerless portfolio is already fully described by the JSON.
+      if (parser.has("xml") || parser.has("dot")) {
+        plan = portfolio.best().result;  // throws when every planner failed
+        if (parser.has("xml"))
+          write_file(parser.get("xml"),
+                     write_godiet_xml(plan.hierarchy, platform));
+        if (parser.has("dot"))
+          write_file(parser.get("dot"), write_dot(plan.hierarchy, platform));
+      }
+      return portfolio.has_winner() ? 0 : 1;
+    }
     Table table("Portfolio (" + std::to_string(service.thread_count()) +
                 " worker threads)");
     // The rho column is the exact scale the winner is chosen on:
@@ -224,6 +247,16 @@ int cmd_plan(const std::vector<std::string>& args) {
   } else {
     PlannerRun run = service.run(request, planner);
     if (!run.ok) throw Error("planner '" + planner + "' failed: " + run.error);
+    if (as_json) {
+      std::cout << wire::to_json(run).dump() << "\n";
+      if (parser.has("xml"))
+        write_file(parser.get("xml"),
+                   write_godiet_xml(run.result.hierarchy, platform));
+      if (parser.has("dot"))
+        write_file(parser.get("dot"),
+                   write_dot(run.result.hierarchy, platform));
+      return 0;
+    }
     std::cout << "planner         : " << planner << " ("
               << Table::num(run.wall_ms, 2) << " ms, "
               << run.evaluations << " model evaluations)\n";
@@ -251,6 +284,7 @@ int cmd_predict(const std::vector<std::string>& args) {
                    "Evaluate a deployment XML with the throughput model.");
   parser.add_positional("deployment", "GoDIET-style XML file");
   parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
+  parser.add_flag("json", "print the wire-format JSON report instead of text");
   parser.parse(args);
 
   const Deployment deployment = load_deployment(parser.get("deployment"));
@@ -258,6 +292,10 @@ int cmd_predict(const std::vector<std::string>& args) {
   const ServiceSpec service = parse_service(parser.get("service"));
   const auto report =
       model::evaluate(deployment.hierarchy, deployment.platform, params, service);
+  if (parser.get_flag("json")) {
+    std::cout << wire::to_json(report).dump() << "\n";
+    return 0;
+  }
   std::cout << "rho (overall) : " << report.overall << " req/s\n";
   std::cout << "rho_sched     : " << report.sched << " req/s\n";
   std::cout << "rho_service   : " << report.service << " req/s\n";
@@ -298,6 +336,7 @@ int cmd_repair(const std::vector<std::string>& args) {
   parser.add_option("failed", "comma-separated host names that failed");
   parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
   parser.add_option("xml", "write the repaired GoDIET XML to this file");
+  parser.add_flag("json", "print the wire-format JSON plan instead of text");
   parser.parse(args);
 
   const Deployment deployment = load_deployment(parser.get("deployment"));
@@ -308,11 +347,13 @@ int cmd_repair(const std::vector<std::string>& args) {
           ? parse_host_set(deployment.platform, parser.get("failed"))
           : NodeSet{};
 
+  const bool as_json = parser.get_flag("json");
   const auto before = model::evaluate(deployment.hierarchy, deployment.platform,
                                       params, service);
-  std::cout << "before          : " << before.overall << " req/s on "
-            << deployment.hierarchy.size() << " nodes, "
-            << failed.size() << " host(s) failed\n";
+  if (!as_json)
+    std::cout << "before          : " << before.overall << " req/s on "
+              << deployment.hierarchy.size() << " nodes, "
+              << failed.size() << " host(s) failed\n";
 
   const auto repaired =
       deploy::repair(deployment.hierarchy, deployment.platform, failed, params,
@@ -321,10 +362,40 @@ int cmd_repair(const std::vector<std::string>& args) {
               "nothing survives the failures (root lost or no server left)");
   const PlanResult plan =
       make_plan(*repaired, deployment.platform, params, service);
-  print_plan_summary(plan, deployment.platform);
+  if (as_json) {
+    json::Value out = json::Value::object();
+    out.set("before", wire::to_json(before));
+    out.set("plan", wire::to_json(plan));
+    std::cout << out.dump() << "\n";
+  } else {
+    print_plan_summary(plan, deployment.platform);
+  }
   if (parser.has("xml"))
     write_file(parser.get("xml"),
                write_godiet_xml(plan.hierarchy, deployment.platform));
+  return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "adept serve",
+      "Answer JSON-lines planning requests on stdin, one JSON response "
+      "per line on stdout, until EOF or {\"cmd\":\"quit\"} (see io/serve.hpp "
+      "for the request schema).");
+  parser.add_option("jobs", "worker threads (0 = all cores)", "0");
+  parser.add_option("cache", "plan-cache capacity in entries (0 disables)",
+                    "256");
+  parser.parse(args);
+
+  const long long jobs = parser.get_int("jobs");
+  const long long cache = parser.get_int("cache");
+  ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
+  ADEPT_CHECK(cache >= 0, "--cache must be >= 0");
+  io::ServeConfig config;
+  config.threads = static_cast<std::size_t>(jobs);
+  config.cache_capacity = static_cast<std::size_t>(cache);
+  const std::size_t answered = io::serve_session(std::cin, std::cout, config);
+  std::cerr << "serve: answered " << answered << " request(s)\n";
   return 0;
 }
 
@@ -353,7 +424,8 @@ int cmd_calibrate(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   const std::string usage =
-      "usage: adept <generate|plan|predict|simulate|repair|calibrate> [options]\n"
+      "usage: adept <generate|plan|predict|simulate|repair|serve|calibrate> "
+      "[options]\n"
       "run `adept <command> --help` style options are listed on error\n";
   if (args.empty()) {
     std::cerr << usage;
@@ -367,6 +439,7 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "repair") return cmd_repair(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "calibrate") return cmd_calibrate(args);
     std::cerr << "unknown command '" << command << "'\n" << usage;
     return 2;

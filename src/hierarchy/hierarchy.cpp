@@ -11,6 +11,54 @@ const char* role_name(Role role) {
   return role == Role::Agent ? "agent" : "server";
 }
 
+Hierarchy Hierarchy::from_elements(std::vector<Element> elements) {
+  Hierarchy out;
+  out.elements_ = std::move(elements);
+  // Cross-check the doubly-linked parent/children structure; role and
+  // degree rules are validate()'s job (planners may hold intermediate
+  // forms), but a broken linkage would corrupt every traversal.
+  const std::size_t n = out.elements_.size();
+  for (Index i = 0; i < n; ++i) {
+    const Element& element = out.elements_[i];
+    if (i == 0) {
+      ADEPT_CHECK(element.parent == npos, "element 0 must be the root");
+    } else {
+      ADEPT_CHECK(element.parent != npos && element.parent < n,
+                  "element " + std::to_string(i) + " has a bad parent index");
+      const auto& siblings = out.elements_[element.parent].children;
+      ADEPT_CHECK(std::count(siblings.begin(), siblings.end(), i) == 1,
+                  "element " + std::to_string(i) +
+                      " is not listed exactly once by its parent");
+    }
+    for (const Index child : element.children) {
+      ADEPT_CHECK(child < n && child != 0 && out.elements_[child].parent == i,
+                  "element " + std::to_string(i) +
+                      " lists a child that does not point back");
+    }
+  }
+  // Consistent back-pointers still admit cycles detached from the root;
+  // require every element reachable from it (DFS over children).
+  if (n != 0) {
+    std::vector<Index> stack{0};
+    std::size_t reached = 0;
+    std::vector<bool> seen(n, false);
+    seen[0] = true;
+    while (!stack.empty()) {
+      const Index current = stack.back();
+      stack.pop_back();
+      ++reached;
+      for (const Index child : out.elements_[current].children)
+        if (!seen[child]) {
+          seen[child] = true;
+          stack.push_back(child);
+        }
+    }
+    ADEPT_CHECK(reached == n,
+                "hierarchy has elements unreachable from the root");
+  }
+  return out;
+}
+
 Hierarchy::Index Hierarchy::add_root(NodeId node) {
   ADEPT_CHECK(elements_.empty(), "root already exists");
   return add_element(npos, node, Role::Agent);

@@ -45,6 +45,14 @@ class Hierarchy {
 
   Hierarchy() = default;
 
+  /// Restores a hierarchy from a full element list (the wire
+  /// deserializer's path). Unlike the incremental builders this accepts
+  /// any internally consistent element vector — including index orders
+  /// only reachable through reparent()/convert_to_agent() — so a
+  /// serialized hierarchy round-trips to an operator==-identical value.
+  /// Throws adept::Error when parent/children links are inconsistent.
+  static Hierarchy from_elements(std::vector<Element> elements);
+
   /// Reserves element capacity (planners building known-size trees).
   void reserve(std::size_t elements) { elements_.reserve(elements); }
 

@@ -1,0 +1,218 @@
+#include "io/serve.hpp"
+
+#include <chrono>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "io/wire.hpp"
+#include "planner/planning_service.hpp"
+
+namespace adept::io {
+
+namespace {
+
+/// One input line awaiting its response slot — a submitted job, or an
+/// already-failed line (parse/deserialization error) that still has to
+/// wait its turn so responses never jump the request order.
+struct Pending {
+  json::Value id;           ///< Echoed back; null when the client sent none.
+  bool is_portfolio = false;
+  PlanTicket plan;
+  PortfolioTicket portfolio;
+  std::string immediate_error;  ///< Non-empty: no job, answer is this error.
+  bool counts = false;          ///< Contributes to the answered() total.
+
+  bool ready() const {
+    if (!immediate_error.empty()) return true;
+    return is_portfolio ? portfolio.poll() : plan.poll();
+  }
+};
+
+json::Value stats_to_json(const PlanningStats& stats) {
+  json::Value out = json::Value::object();
+  out.set("jobs", stats.jobs);
+  out.set("failures", stats.failures);
+  out.set("cancelled", stats.cancelled);
+  out.set("evaluations", stats.evaluations);
+  out.set("wall_ms", stats.wall_ms);
+  out.set("cache_hits", stats.cache_hits);
+  out.set("cache_misses", stats.cache_misses);
+  out.set("cache_evictions", stats.cache_evictions);
+  return out;
+}
+
+/// The per-session state: the async service plus the in-order response
+/// queue. Responses are written strictly in request order, flushing each
+/// line (clients pipeline against a live pipe).
+class Session {
+ public:
+  Session(std::ostream& out, const ServeConfig& config)
+      : out_(out),
+        service_(config.threads, PlannerRegistry::instance(),
+                 config.cache_capacity) {}
+
+  std::size_t answered() const { return answered_; }
+
+  void handle_line(const std::string& line) {
+    json::Value request;
+    try {
+      request = json::parse(line);
+    } catch (const Error& e) {
+      queue_error(json::Value(nullptr), e.what());
+      return;
+    }
+    if (const json::Value* cmd = request.find("cmd")) {
+      try {
+        handle_command(*cmd);
+      } catch (const Error& e) {
+        // e.g. a non-string "cmd" value — an error line, not a dead session.
+        queue_error(json::Value(nullptr), e.what());
+      }
+      return;
+    }
+    submit(request);
+  }
+
+  bool quitting() const { return quitting_; }
+
+  /// Blocks until every in-flight request has been answered.
+  void drain() {
+    while (!pending_.empty()) emit_front(/*block=*/true);
+  }
+
+ private:
+  void handle_command(const json::Value& cmd) {
+    const std::string& name = cmd.as_string();
+    if (name == "quit") {
+      quitting_ = true;
+      return;
+    }
+    if (name == "stats") {
+      // Stats reflect every *answered* request; flush the queue first so
+      // the numbers are not a race against in-flight jobs.
+      drain();
+      json::Value response = json::Value::object();
+      response.set("ok", true);
+      response.set("stats", stats_to_json(service_.stats()));
+      write(response);
+      return;
+    }
+    queue_error(json::Value(nullptr), "unknown command '" + name + "'");
+  }
+
+  void submit(const json::Value& request) {
+    Pending pending;
+    if (const json::Value* id = request.find("id")) pending.id = *id;
+    try {
+      // The wire deserializer gives the request an *owning* platform, so
+      // the in-flight job can never outlive it.
+      PlanRequest plan_request = wire::request_from_json(request);
+      if (const json::Value* budget = request.find("budget_ms")) {
+        const double ms = budget->as_number();
+        // Upper bound (~1000 days) keeps the microsecond cast and the
+        // time_point addition comfortably inside their ranges.
+        ADEPT_CHECK(ms > 0.0 && ms <= 8.64e10,
+                    "budget_ms must be in (0, 8.64e10]");
+        plan_request.options.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(static_cast<long long>(ms * 1000.0));
+      }
+      std::string planner = "heuristic";
+      if (const json::Value* name = request.find("planner"))
+        planner = name->as_string();
+      if (planner == "portfolio") {
+        pending.is_portfolio = true;
+        pending.portfolio = service_.submit_portfolio(std::move(plan_request));
+      } else {
+        pending.plan = service_.submit(std::move(plan_request), planner);
+      }
+      pending.counts = true;
+    } catch (const Error& e) {
+      // Still queued (not written out directly): the error answer takes
+      // its slot in request order like every other response.
+      pending.immediate_error = e.what();
+    }
+    pending_.push_back(std::move(pending));
+    flush_ready();
+  }
+
+  void queue_error(json::Value id, const std::string& message) {
+    Pending pending;
+    pending.id = std::move(id);
+    pending.immediate_error = message;
+    pending_.push_back(std::move(pending));
+    flush_ready();
+  }
+
+  /// Opportunistically flushes whatever has already finished ahead of
+  /// the reader — keeps latency low without ever reordering responses.
+  void flush_ready() {
+    while (!pending_.empty() && pending_.front().ready())
+      emit_front(/*block=*/false);
+  }
+
+  void emit_front(bool block) {
+    Pending& front = pending_.front();
+    if (!block && !front.ready()) return;
+    json::Value response = json::Value::object();
+    response.set("id", front.id);
+    if (!front.immediate_error.empty()) {
+      response.set("ok", false);
+      response.set("error", front.immediate_error);
+      write(response);
+      pending_.pop_front();
+      return;
+    }
+    if (front.is_portfolio) {
+      const PortfolioResult& portfolio = front.portfolio.wait();
+      const bool ok = portfolio.has_winner();
+      response.set("ok", ok);
+      if (!ok)
+        response.set("error", portfolio.runs.empty()
+                                  ? "portfolio produced no runs"
+                                  : portfolio.runs.front().error);
+      response.set("portfolio", wire::to_json(portfolio));
+    } else {
+      const PlannerRun& run = front.plan.wait();
+      response.set("ok", run.ok);
+      if (!run.ok) response.set("error", run.error);
+      response.set("run", wire::to_json(run));
+    }
+    write(response);
+    if (front.counts) ++answered_;
+    pending_.pop_front();
+  }
+
+  void write(const json::Value& response) {
+    out_ << response.dump() << '\n';
+    out_.flush();
+  }
+
+  std::ostream& out_;
+  PlanningService service_;
+  std::deque<Pending> pending_;
+  std::size_t answered_ = 0;
+  bool quitting_ = false;
+};
+
+}  // namespace
+
+std::size_t serve_session(std::istream& in, std::ostream& out,
+                          const ServeConfig& config) {
+  Session session(out, config);
+  std::string line;
+  while (!session.quitting() && std::getline(in, line)) {
+    if (strings::trim(line).empty()) continue;
+    session.handle_line(line);
+  }
+  session.drain();
+  return session.answered();
+}
+
+}  // namespace adept::io

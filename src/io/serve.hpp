@@ -1,0 +1,55 @@
+#pragma once
+/// \file serve.hpp
+/// \brief JSON-lines planning sessions over the async PlanningService —
+/// the traffic entry point behind `adept serve`.
+///
+/// A session reads one JSON document per input line and writes one JSON
+/// document per response line, in request order. The session pipelines:
+/// every request is submit()ted to the service immediately (tickets), so
+/// planning overlaps both with reading further requests and with other
+/// in-flight plans; responses are flushed as soon as they are ready *and*
+/// every earlier response has been written.
+///
+/// Request lines:
+///   {"id": <any JSON, echoed back>,          // optional
+///    "planner": "heuristic" | ... | "portfolio",  // default "heuristic"
+///    "platform": <wire platform>,            // required
+///    "service": <wire service> | "dgemm-<n>" | <MFlop number>,
+///    "params": <wire params>,                // default: Table 3
+///    "options": <wire options>,              // default: PlanOptions{}
+///    "budget_ms": <number>}                  // deadline, relative
+/// Control lines:
+///   {"cmd": "stats"}   → one response carrying the service's stats
+///   {"cmd": "quit"}    → drain in-flight work and end the session
+///
+/// Response lines (one per request, same order):
+///   {"id": ..., "ok": true,  "run": <wire PlannerRun>}
+///   {"id": ..., "ok": true,  "portfolio": <wire PortfolioResult>}
+///   {"id": ..., "ok": false, "error": "..."}         // incl. parse errors
+///   {"ok": true, "stats": {...}}                     // for "stats"
+///
+/// Each request's platform is deserialized into owning shared storage
+/// (wire::request_from_json), so an in-flight job can never outlive its
+/// platform — the ownership model PlanRequest v2 exists for.
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace adept::io {
+
+/// Tuning for one serve session.
+struct ServeConfig {
+  /// Worker threads of the underlying PlanningService; 0 = all cores.
+  std::size_t threads = 0;
+  /// Plan-cache capacity (entries); 0 disables caching.
+  std::size_t cache_capacity = 256;
+};
+
+/// Runs one session until "quit" or end of input; returns the number of
+/// planning requests answered (control/parse-error lines not counted).
+/// Never throws on malformed request lines — those produce error
+/// responses — only on unrecoverable stream failures.
+std::size_t serve_session(std::istream& in, std::ostream& out,
+                          const ServeConfig& config = {});
+
+}  // namespace adept::io

@@ -1,0 +1,84 @@
+#pragma once
+/// \file wire.hpp
+/// \brief The planning API's JSON wire format (serializers/deserializers).
+///
+/// Every value type a planning client exchanges with ADePT — Platform,
+/// MiddlewareParams, ServiceSpec, PlanOptions, Hierarchy, PlanResult,
+/// PlannerRun, PortfolioResult and the full PlanRequest — has a to_json /
+/// *_from_json pair here with round-trip fidelity: for any value x,
+/// from_json(to_json(x)) compares equal to x (tests/test_wire.cpp pins
+/// this property, including infinity demand and excluded NodeSets).
+///
+/// Conventions:
+///   - serializers always emit keys in one fixed order, so dump() of a
+///     serialized value is a canonical byte string — request_fingerprint()
+///     keys the PlanningService's plan cache on exactly that string;
+///   - unlimited demand is encoded as the string "unlimited" (JSON has no
+///     infinity); any finite demand is a plain number;
+///   - PlanOptions' runtime-only fields (deadline, cancel token, pool) do
+///     not travel: a deadline is an *instant* on the server's clock.
+///     Clients send a relative "budget_ms" instead, which the serve layer
+///     (io/serve.hpp) turns into a deadline at admission time;
+///   - deserializers validate through the domain constructors (Platform's
+///     positivity checks, Hierarchy::from_elements' linkage checks), so a
+///     hostile document cannot materialise an invalid value.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "model/evaluate.hpp"
+#include "model/parameters.hpp"
+#include "model/service.hpp"
+#include "planner/planner.hpp"
+#include "planner/planning_service.hpp"
+#include "planner/request.hpp"
+#include "platform/platform.hpp"
+
+namespace adept::wire {
+
+json::Value to_json(const Platform& platform);
+Platform platform_from_json(const json::Value& value);
+
+json::Value to_json(const MiddlewareParams& params);
+MiddlewareParams params_from_json(const json::Value& value);
+
+json::Value to_json(const ServiceSpec& service);
+/// Accepts the canonical object form plus two client shorthands: the
+/// string "dgemm-<n>" and a bare MFlop-per-request number.
+ServiceSpec service_from_json(const json::Value& value);
+
+json::Value to_json(const PlanOptions& options);
+PlanOptions options_from_json(const json::Value& value);
+
+json::Value to_json(const Hierarchy& hierarchy);
+Hierarchy hierarchy_from_json(const json::Value& value);
+
+json::Value to_json(const model::ThroughputReport& report);
+model::ThroughputReport report_from_json(const json::Value& value);
+
+json::Value to_json(const PlanResult& result);
+PlanResult plan_result_from_json(const json::Value& value);
+
+json::Value to_json(const PlannerRun& run);
+PlannerRun planner_run_from_json(const json::Value& value);
+
+json::Value to_json(const PortfolioResult& portfolio);
+PortfolioResult portfolio_from_json(const json::Value& value);
+
+/// The full request (platform embedded by value).
+json::Value to_json(const PlanRequest& request);
+/// Rebuilds a request that *owns* its platform (std::make_shared), so the
+/// deserialized request is safe to submit() and outlive the call site.
+PlanRequest request_from_json(const json::Value& value);
+
+/// Canonical cache key: the compact dump of {planner, platform, params,
+/// service, options}. Options' runtime-only fields are excluded (a
+/// deadline does not change the plan, only whether it is computed), so
+/// re-asking with a fresh deadline hits the cache. Two requests get the
+/// same fingerprint iff they are the same planning problem for the same
+/// planner on a content-identical platform.
+std::string request_fingerprint(const PlanRequest& request,
+                                const std::string& planner);
+
+}  // namespace adept::wire

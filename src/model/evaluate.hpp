@@ -42,6 +42,8 @@ struct ThroughputReport {
   /// Steady-state share of completed requests per server (Eq 8), aligned
   /// with Hierarchy::servers().
   std::vector<double> server_shares;
+
+  bool operator==(const ThroughputReport&) const = default;
 };
 
 /// Predicts the steady-state throughput of `hierarchy` deployed on

@@ -27,6 +27,8 @@ struct ElementCosts {
   MFlop wpre = 0.0;  ///< Performance-prediction cost (servers).
   Mbit sreq = 0.0;   ///< Request message size at this element's level.
   Mbit srep = 0.0;   ///< Reply message size at this element's level.
+
+  bool operator==(const ElementCosts&) const = default;
 };
 
 /// Full parameter set: one row per element class.
@@ -39,6 +41,8 @@ struct MiddlewareParams {
 
   /// Throws adept::Error when any size is negative or all costs are zero.
   void validate() const;
+
+  bool operator==(const MiddlewareParams&) const = default;
 };
 
 }  // namespace adept

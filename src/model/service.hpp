@@ -16,6 +16,8 @@ namespace adept {
 struct ServiceSpec {
   std::string name;   ///< e.g. "dgemm-310".
   MFlop wapp = 0.0;   ///< Computation per service request.
+
+  bool operator==(const ServiceSpec&) const = default;
 };
 
 /// DGEMM flop count for an n×n × n×n multiply: 2·n³ flop (multiply+add).

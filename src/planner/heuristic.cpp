@@ -179,14 +179,17 @@ struct Candidate {
 /// candidate's score in growth order (empty when k agents are infeasible
 /// for the pool). When `rebuild_step` is given, construction instead
 /// stops at that candidate and materializes it into `*rebuilt`.
+/// `stop` is polled at block entry and per growth step: a cancelled or
+/// late run throws out of the block (and, via for_each, out of the sweep).
 std::vector<Candidate> run_block(const Platform& platform,
                                  const MiddlewareParams& params,
                                  const ServiceSpec& service,
                                  RequestRate demand,
                                  const std::vector<NodeId>& order,
-                                 int polarity, std::size_t k,
+                                 int polarity, std::size_t k, StopGuard& stop,
                                  std::size_t rebuild_step = Hierarchy::npos,
                                  Hierarchy* rebuilt = nullptr) {
+  stop.check();
   const std::size_t n = order.size();
   // Agents and the server pool for this block, both listed
   // strongest-scheduler first (polarity 1 spends the *weak* end of the
@@ -229,6 +232,7 @@ std::vector<Candidate> run_block(const Platform& platform,
   // the bottleneck (vir_max_ser_pow < vir_max_sch_pow) and the demand is
   // not yet met.
   while (next < pool.size()) {
+    stop.check();
     if (std::min(builder.overall_throughput(), demand) >= demand) break;
     if (builder.sched_throughput() <= builder.service_throughput()) break;
     builder.add_server_best(pool[next++]);
@@ -267,11 +271,15 @@ struct BestTracker {
 PlanResult plan_heterogeneous(const Platform& platform,
                               const MiddlewareParams& params,
                               const ServiceSpec& service, RequestRate demand,
-                              ThreadPool* pool) {
+                              ThreadPool* pool, const PlanOptions* control) {
   const std::size_t n = platform.size();
   ADEPT_CHECK(n >= 2, "a deployment needs at least two nodes");
   ADEPT_CHECK(demand > 0.0, "client demand must be positive");
   params.validate();
+  // One guard shared by every block (the deadline-trial counter is
+  // atomic); null control keeps every checkpoint a no-op, so the sweep
+  // stays bit-identical to the uncontrolled path.
+  StopGuard stop(control);
   const MbitRate B = platform.bandwidth();
 
   PlanResult result;
@@ -324,7 +332,8 @@ PlanResult plan_heterogeneous(const Platform& platform,
   auto run = [&](std::size_t b) {
     const int polarity = static_cast<int>(b / per_polarity);
     const std::size_t k = 1 + b % per_polarity;
-    blocks[b] = run_block(platform, params, service, demand, order, polarity, k);
+    blocks[b] =
+        run_block(platform, params, service, demand, order, polarity, k, stop);
   };
   if (pool != nullptr && pool->thread_count() > 1 && n >= kParallelMinNodes) {
     pool->for_each(block_count, run);
@@ -351,7 +360,7 @@ PlanResult plan_heterogeneous(const Platform& platform,
   Hierarchy winner;
   run_block(platform, params, service, demand, order,
             static_cast<int>(best.block / per_polarity),
-            1 + best.block % per_polarity, best.step, &winner);
+            1 + best.block % per_polarity, stop, best.step, &winner);
   ADEPT_ASSERT(!winner.empty(), "winning candidate failed to rebuild");
 
   result.trace.push_back(

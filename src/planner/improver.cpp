@@ -50,7 +50,11 @@ PlanResult improve_deployment(Hierarchy start, const Platform& platform,
   model::IncrementalEvaluator engine(platform, params, service);
   engine.init_from(current);
 
+  // A cancelled or late run aborts between rounds (the service reports
+  // it skipped); the guard coarsens the deadline's clock reads.
+  StopGuard stop(&options);
   for (std::size_t round = 0; round < platform.size(); ++round) {
+    stop.check();
     const RequestRate overall = engine.throughput();
     if (overall >= options.demand) {
       result.trace.push_back("stop: client demand is met");

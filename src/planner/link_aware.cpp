@@ -72,8 +72,9 @@ Hierarchy without_leaf(const Hierarchy& hierarchy, Hierarchy::Index victim) {
 PlanResult plan_link_aware(const Platform& platform,
                            const MiddlewareParams& params,
                            const ServiceSpec& service, RequestRate demand,
-                           ThreadPool* pool) {
-  PlanResult plan = plan_heterogeneous(platform, params, service, demand, pool);
+                           ThreadPool* pool, const PlanOptions* control) {
+  PlanResult plan =
+      plan_heterogeneous(platform, params, service, demand, pool, control);
   if (platform.has_homogeneous_links()) {
     plan.trace.push_back("link-aware: links are homogeneous, nothing to refine");
     return plan;
@@ -94,9 +95,13 @@ PlanResult plan_link_aware(const Platform& platform,
   std::size_t drops = 0;
 
   // Every accepted move strictly raises ρ; the round cap keeps the worst
-  // case predictable.
+  // case predictable. Each candidate the hill-climb prices is one
+  // StopGuard trial, so a late run aborts mid-round, not just between
+  // rounds (a round scores O(agents × nodes) full evaluations).
+  StopGuard stop(control);
   const std::size_t max_rounds = 4 * current.size();
   for (std::size_t round = 0; round < max_rounds; ++round) {
+    stop.check();
     std::vector<Hierarchy::Index> element_of_node(platform.size(),
                                                   Hierarchy::npos);
     for (Hierarchy::Index e = 0; e < current.size(); ++e)
@@ -111,6 +116,7 @@ PlanResult plan_link_aware(const Platform& platform,
       const NodeId original = current.node_of(e);
       for (NodeId m = 0; m < platform.size(); ++m) {
         if (m == original) continue;
+        stop.check();
         assign_node(current, e, m, element_of_node);
         const RequestRate candidate = score(current);
         assign_node(current, e, original, element_of_node);

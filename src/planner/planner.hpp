@@ -84,11 +84,17 @@ PlanResult plan_homogeneous_optimal(const Platform& platform,
 /// PlanningService's pool through). The result is bit-identical for any
 /// pool size, including none: the per-k results are reduced in a fixed
 /// deterministic order, lowest k winning ties.
+///
+/// `control` (optional, not owned) supplies a deadline / cancel token the
+/// growth loops poll through a StopGuard: a cancelled or late run throws
+/// adept::Error mid-flight instead of completing. Null (the legacy
+/// callers) makes every checkpoint a no-op — results are unchanged.
 PlanResult plan_heterogeneous(const Platform& platform,
                               const MiddlewareParams& params,
                               const ServiceSpec& service,
                               RequestRate demand = kUnlimitedDemand,
-                              ThreadPool* pool = nullptr);
+                              ThreadPool* pool = nullptr,
+                              const PlanOptions* control = nullptr);
 
 /// Heterogeneous-communication planner (the paper's future-work
 /// scenario): plans with Algorithm 1 under the homogeneous-communication
@@ -101,7 +107,8 @@ PlanResult plan_link_aware(const Platform& platform,
                            const MiddlewareParams& params,
                            const ServiceSpec& service,
                            RequestRate demand = kUnlimitedDemand,
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           const PlanOptions* control = nullptr);
 
 /// Iterative bottleneck-removal improvement pass (the approach of the
 /// authors' earlier work, ref [7], kept as a refinement stage): repeatedly

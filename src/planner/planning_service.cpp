@@ -1,16 +1,41 @@
 #include "planner/planning_service.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <exception>
+#include <utility>
 
 #include "common/error.hpp"
+// The cache key is produced by the io layer's canonical serializer — a
+// deliberate .cpp-local upward reference: planner and io ship as one
+// static library (libadept), and hand-rolling a second canonical
+// encoding down here would just be a drift hazard.
+#include "io/wire.hpp"
 #include "model/evaluate.hpp"
 #include "model/hetero_comm.hpp"
 
 namespace adept {
 
 namespace {
+
+/// 128-bit digest (two independent FNV-1a streams) of the canonical
+/// fingerprint string, packed into a 16-byte key. Keys stay O(1) sized
+/// however large the serialized platform is; 2^128 key space makes an
+/// accidental collision (which would serve a wrong plan) a non-concern.
+std::string fingerprint_digest(const std::string& canonical) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h1 = 14695981039346656037ull;   // FNV offset basis
+  std::uint64_t h2 = 0x9e3779b97f4a7c15ull;     // independent basis
+  for (const unsigned char c : canonical) {
+    h1 = (h1 ^ c) * kPrime;
+    h2 = (h2 ^ (c ^ 0x5bu)) * kPrime;
+  }
+  std::string key(16, '\0');
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<char>(h1 >> (8 * i));
+    key[8 + i] = static_cast<char>(h2 >> (8 * i));
+  }
+  return key;
+}
 
 /// Score used to rank portfolio candidates. Planner reports are not
 /// directly comparable on heterogeneous-link platforms: link-blind
@@ -49,8 +74,10 @@ const PlannerRun& PortfolioResult::best() const {
 }
 
 PlanningService::PlanningService(std::size_t threads,
-                                 const PlannerRegistry& registry)
-    : registry_(registry), threads_(threads) {}
+                                 const PlannerRegistry& registry,
+                                 std::size_t cache_capacity)
+    : registry_(registry), threads_(threads),
+      cache_capacity_(cache_capacity) {}
 
 ThreadPool& PlanningService::pool() {
   std::call_once(pool_once_, [this] {
@@ -67,6 +94,70 @@ std::size_t PlanningService::thread_count() const {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+// -------------------------------------------------------------- plan cache --
+
+bool PlanningService::cache_lookup(const std::string& key, PlannerRun& run) {
+  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+  const auto found = cache_map_.find(key);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++(found != cache_map_.end() ? stats_.cache_hits : stats_.cache_misses);
+  }
+  if (found == cache_map_.end()) return false;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, found->second);
+  run.ok = true;
+  run.cached = true;
+  run.result = found->second->result;
+  return true;
+}
+
+void PlanningService::cache_insert(const std::string& key,
+                                   const PlanResult& result) {
+  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+  if (cache_capacity_ == 0) return;
+  if (const auto found = cache_map_.find(key); found != cache_map_.end()) {
+    // A concurrent job cached the same request first; refresh recency.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, found->second);
+    return;
+  }
+  std::uint64_t evicted = 0;
+  while (cache_map_.size() >= cache_capacity_) {
+    cache_map_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    ++evicted;
+  }
+  cache_lru_.push_front(CacheEntry{key, result});
+  cache_map_.emplace(key, cache_lru_.begin());
+  if (evicted != 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.cache_evictions += evicted;
+  }
+}
+
+void PlanningService::set_cache_capacity(std::size_t capacity) {
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    cache_capacity_ = capacity;
+    while (cache_map_.size() > cache_capacity_) {
+      cache_map_.erase(cache_lru_.back().key);
+      cache_lru_.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted != 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.cache_evictions += evicted;
+  }
+}
+
+std::size_t PlanningService::cache_capacity() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_capacity_;
+}
+
+// --------------------------------------------------------------- execution --
+
 PlannerRun PlanningService::execute(const PlanRequest& request,
                                     const std::string& planner) {
   PlannerRun run;
@@ -77,16 +168,28 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
                                             : "deadline exceeded";
     return run;
   }
-  // Offer the service's pool for the planner's internal parallelism (the
-  // heuristic's per-k sweep). Safe when this job itself runs on a pool
-  // worker: ThreadPool::for_each has the submitting thread participate,
-  // so nested fan-out cannot deadlock — and results are bit-identical
-  // with or without the pool.
-  PlanRequest effective = request;
-  if (effective.options.pool == nullptr) effective.options.pool = &pool();
   const std::uint64_t evals_before = model::evaluations_on_this_thread();
   const auto start = std::chrono::steady_clock::now();
+  std::string cache_key;
   try {
+    // Consult the plan cache before spending planner time. The
+    // fingerprint covers platform content + params + service +
+    // plan-relevant options, so a hit is guaranteed to be the same
+    // planning problem. Serialization is inside the try: an invalid
+    // request (null platform, NaN demand) must land in run.error like
+    // any planner failure — never escape into a pool worker.
+    if (cache_capacity() != 0) {
+      cache_key =
+          fingerprint_digest(wire::request_fingerprint(request, planner));
+      if (cache_lookup(cache_key, run)) return run;
+    }
+    // Offer the service's pool for the planner's internal parallelism
+    // (the heuristic's per-k sweep). Safe when this job itself runs on a
+    // pool worker: ThreadPool::for_each has the submitting thread
+    // participate, so nested fan-out cannot deadlock — and results are
+    // bit-identical with or without the pool.
+    PlanRequest effective = request;
+    if (effective.options.pool == nullptr) effective.options.pool = &pool();
     const IPlanner& impl = registry_.at(planner);
     run.result = impl.plan(effective);
     run.ok = true;
@@ -95,13 +198,15 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
   } catch (...) {
     run.error = "unknown planner failure";
   }
-  // A cancel/deadline that lands after the pre-check above surfaces as a
-  // planner exception; classify it as skipped, not failed.
+  // A cancel/deadline that lands after the pre-check above — or stops the
+  // planner mid-flight at a StopGuard checkpoint — surfaces as a planner
+  // exception; classify it as skipped, not failed.
   if (!run.ok && request.options.should_stop()) run.skipped = true;
   const auto end = std::chrono::steady_clock::now();
   run.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   run.evaluations = model::evaluations_on_this_thread() - evals_before;
+  if (run.ok && !cache_key.empty()) cache_insert(cache_key, run.result);
   return run;
 }
 
@@ -124,24 +229,16 @@ std::vector<PlannerRun> PlanningService::run_batch(
     const std::vector<Job>& jobs) {
   std::vector<PlannerRun> out(jobs.size());
   if (jobs.empty()) return out;
-
-  std::mutex mutex;
-  std::condition_variable done;
-  std::size_t remaining = jobs.size();
-  ThreadPool& workers = pool();
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    workers.submit([this, &jobs, &out, &mutex, &done, &remaining, i] {
-      // execute() never throws (the pool terminates on escaping
-      // exceptions); failures land in the PlannerRun.
-      PlannerRun run = execute(jobs[i].request, jobs[i].planner);
-      record(run);
-      std::lock_guard<std::mutex> lock(mutex);
-      out[i] = std::move(run);
-      if (--remaining == 0) done.notify_all();
-    });
-  }
-  std::unique_lock<std::mutex> lock(mutex);
-  done.wait(lock, [&] { return remaining == 0; });
+  // for_each has the calling thread participate, so a batch started from
+  // inside a pool worker (submit_portfolio's orchestration job) makes
+  // progress even on a single-worker pool.
+  pool().for_each(jobs.size(), [this, &jobs, &out](std::size_t i) {
+    // execute() never throws (the pool terminates on escaping
+    // exceptions); failures land in the PlannerRun.
+    PlannerRun run = execute(jobs[i].request, jobs[i].planner);
+    record(run);
+    out[i] = std::move(run);
+  });
   return out;
 }
 
@@ -172,6 +269,62 @@ PortfolioResult PlanningService::run_portfolio(
     }
   }
   return portfolio;
+}
+
+// ------------------------------------------------------------------- async --
+
+PlanTicket PlanningService::submit(PlanRequest request, std::string planner) {
+  auto state = std::make_shared<detail::TicketState<PlannerRun>>(
+      request.options.cancel);
+  request.options.cancel = &state->cancel;
+  pool().submit([this, state, request = std::move(request),
+                 planner = std::move(planner)] {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->started = true;
+    }
+    PlannerRun run = execute(request, planner);
+    record(run);
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->result = std::move(run);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return PlanTicket(std::move(state));
+}
+
+PortfolioTicket PlanningService::submit_portfolio(
+    PlanRequest request, std::vector<std::string> planners) {
+  auto state = std::make_shared<detail::TicketState<PortfolioResult>>(
+      request.options.cancel);
+  request.options.cancel = &state->cancel;
+  pool().submit([this, state, request = std::move(request),
+                 planners = std::move(planners)] {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->started = true;
+    }
+    PortfolioResult portfolio;
+    try {
+      portfolio = run_portfolio(request, planners);
+    } catch (const std::exception& e) {
+      // e.g. "portfolio has no planners to run" — deliver an empty,
+      // winnerless result carrying the error instead of killing the pool.
+      PlannerRun failure;
+      failure.error = e.what();
+      portfolio.runs.push_back(std::move(failure));
+      portfolio.scores.push_back(0.0);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->result = std::move(portfolio);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return PortfolioTicket(std::move(state));
 }
 
 PlanningStats PlanningService::stats() const {

@@ -1,6 +1,6 @@
 #pragma once
 /// \file planning_service.hpp
-/// \brief Concurrent execution of planning requests.
+/// \brief Concurrent + asynchronous execution of planning requests.
 ///
 /// The PlanningService turns the registry's planners into a throughput
 /// machine: it owns a ThreadPool and executes
@@ -9,19 +9,39 @@
 ///   - portfolio runs     (every applicable planner on one request in
 ///                         parallel; the best-throughput, smallest-
 ///                         deployment result wins, per-planner wall time
-///                         and model-evaluation counts reported).
-/// A stats sink accumulates job counts, failures, wall time and model
-/// evaluations across the service's lifetime.
+///                         and model-evaluation counts reported),
+///   - async submissions  (submit()/submit_portfolio() enqueue a job and
+///                         return a ticket immediately; the caller wait()s,
+///                         poll()s or cancel()s at leisure — the service
+///                         front door that `adept serve` drives).
+/// A stats sink accumulates job counts, failures, wall time, model
+/// evaluations and plan-cache traffic across the service's lifetime.
+///
+/// Plan cache: an optional bounded LRU keyed by the canonical wire-format
+/// fingerprint of (planner, request) — see wire::request_fingerprint.
+/// The key covers the full platform *content*, the middleware parameters,
+/// the service and every plan-relevant option, so a platform edited in
+/// place (add_node / set_link) fingerprints differently and stale entries
+/// simply age out; runtime-only options (deadline, cancel token, pool) do
+/// not affect the key. Only successful runs are cached. Capacity 0 (the
+/// default) disables caching entirely.
 ///
 /// Planner exceptions never escape a job: they are captured into the
 /// PlannerRun so one bad request cannot take down a batch (the pool
 /// terminates on escaping exceptions). Cancellation and deadlines are
-/// honoured at job granularity — a job observed cancelled or late is not
-/// started and reports ok == false.
+/// honoured both at admission — a job observed cancelled or late is not
+/// started — and *during* planning: the heuristic's growth loops and the
+/// improver's rounds poll a StopGuard, so a cancel() or a passed deadline
+/// stops an in-flight job at its next checkpoint (reported as skipped).
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -35,9 +55,10 @@ struct PlannerRun {
   std::string planner;
   bool ok = false;
   bool skipped = false;       ///< Not run: cancelled or past the deadline.
+  bool cached = false;        ///< Result served from the plan cache.
   std::string error;          ///< Why the run failed / was skipped.
   PlanResult result;          ///< Meaningful only when ok.
-  double wall_ms = 0.0;       ///< Planner wall time.
+  double wall_ms = 0.0;       ///< Planner wall time (~0 on cache hits).
   std::uint64_t evaluations = 0;  ///< Eq-16 evaluations during the run.
 };
 
@@ -67,7 +88,108 @@ struct PlanningStats {
   std::uint64_t cancelled = 0;    ///< Runs skipped (cancelled / deadline).
   std::uint64_t evaluations = 0;  ///< Model evaluations across all runs.
   double wall_ms = 0.0;           ///< Summed per-run wall time.
+  std::uint64_t cache_hits = 0;       ///< Jobs answered from the plan cache.
+  std::uint64_t cache_misses = 0;     ///< Cache-enabled jobs that planned.
+  std::uint64_t cache_evictions = 0;  ///< LRU entries displaced.
 };
+
+namespace detail {
+
+/// Shared completion state behind a ticket. The job-side writer and any
+/// number of ticket copies synchronise on `mutex`/`cv`; the per-job
+/// cancel token layers over the caller's request-level token.
+template <typename Result>
+struct TicketState {
+  explicit TicketState(const CancelToken* parent) : cancel(parent) {}
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool done = false;
+  Result result;
+  CancelToken cancel;
+  std::chrono::steady_clock::time_point submitted =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace detail
+
+/// Handle to an asynchronously submitted planning job. Cheap to copy
+/// (all copies share one state); safe to destroy before the job finishes
+/// — the job owns its request (shared platform ownership included), so
+/// nothing dangles. Obtain from PlanningService::submit*().
+template <typename Result>
+class Ticket {
+ public:
+  /// Point-in-time view of the job's lifecycle.
+  struct Progress {
+    bool started = false;  ///< A worker has picked the job up.
+    bool done = false;     ///< The result is available.
+    bool cancel_requested = false;
+    double waited_ms = 0.0;  ///< Time since submission.
+  };
+
+  Ticket() = default;
+
+  /// True when this handle refers to a submitted job.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking: true when the result is available.
+  bool poll() const {
+    std::lock_guard<std::mutex> lock(state().mutex);
+    return state().done;
+  }
+
+  /// Blocks until the job finishes and returns its result. May be called
+  /// repeatedly. Call from a thread that is not one of the service's
+  /// workers (a worker waiting on a ticket could starve the queue).
+  const Result& wait() const& {
+    std::unique_lock<std::mutex> lock(state().mutex);
+    state().cv.wait(lock, [this] { return state().done; });
+    return state().result;
+  }
+
+  /// Rvalue form: `service.submit(...).wait()` would otherwise hand back
+  /// a reference into the temporary ticket's state — return a copy
+  /// instead (a copy, not a move: other handles may share the state).
+  Result wait() && {
+    const Ticket& self = *this;
+    return self.wait();
+  }
+
+  /// Requests cooperative cancellation. A queued job is skipped at
+  /// admission; a running planner stops at its next StopGuard checkpoint.
+  /// The job still completes (with skipped == true) — wait() never hangs.
+  void cancel() { state().cancel.cancel(); }
+
+  Progress progress() const {
+    Progress out;
+    std::lock_guard<std::mutex> lock(state().mutex);
+    out.started = state().started;
+    out.done = state().done;
+    out.cancel_requested = state().cancel.cancelled();
+    out.waited_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - state().submitted)
+                        .count();
+    return out;
+  }
+
+ private:
+  friend class PlanningService;
+  using State = detail::TicketState<Result>;
+
+  explicit Ticket(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  State& state() const {
+    ADEPT_CHECK(state_ != nullptr, "ticket is empty (default-constructed)");
+    return *state_;
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+using PlanTicket = Ticket<PlannerRun>;
+using PortfolioTicket = Ticket<PortfolioResult>;
 
 class PlanningService {
  public:
@@ -79,9 +201,11 @@ class PlanningService {
 
   /// `threads` = 0 means hardware_concurrency. The registry defaults to
   /// the process-wide instance; tests may inject their own.
+  /// `cache_capacity` bounds the plan-cache LRU; 0 disables caching.
   explicit PlanningService(std::size_t threads = 0,
                            const PlannerRegistry& registry =
-                               PlannerRegistry::instance());
+                               PlannerRegistry::instance(),
+                           std::size_t cache_capacity = 0);
 
   PlanningService(const PlanningService&) = delete;
   PlanningService& operator=(const PlanningService&) = delete;
@@ -92,6 +216,8 @@ class PlanningService {
   PlannerRun run(const PlanRequest& request, const std::string& planner);
 
   /// Runs independent jobs across the pool; results align with `jobs`.
+  /// The calling thread participates, so batches submitted from inside a
+  /// pool worker (nested portfolios) cannot deadlock.
   std::vector<PlannerRun> run_batch(const std::vector<Job>& jobs);
 
   /// Runs the named planners (default: every applicable one) on `request`
@@ -101,6 +227,21 @@ class PlanningService {
   PortfolioResult run_portfolio(const PlanRequest& request,
                                 const std::vector<std::string>& planners = {});
 
+  /// Asynchronous front door: enqueues the job and returns immediately.
+  /// The request is taken by value — give it an owning platform
+  /// (std::shared_ptr) when the call site may return before the job runs.
+  PlanTicket submit(PlanRequest request, std::string planner);
+
+  /// As submit(), for a whole portfolio. The ticket's cancel() stops the
+  /// portfolio's member runs at their next checkpoint.
+  PortfolioTicket submit_portfolio(PlanRequest request,
+                                   std::vector<std::string> planners = {});
+
+  /// Resizes the plan cache; 0 disables and clears it. Shrinking evicts
+  /// least-recently-used entries (counted as evictions).
+  void set_cache_capacity(std::size_t capacity);
+  std::size_t cache_capacity() const;
+
   PlanningStats stats() const;
   /// Workers a batch/portfolio fans out over (the pool itself is created
   /// lazily on the first executed job).
@@ -109,14 +250,34 @@ class PlanningService {
  private:
   PlannerRun execute(const PlanRequest& request, const std::string& planner);
   void record(const PlannerRun& run);
+  /// Cache lookup; true (and fills `run`) on a hit. Counts hit/miss.
+  bool cache_lookup(const std::string& key, PlannerRun& run);
+  void cache_insert(const std::string& key, const PlanResult& result);
   ThreadPool& pool();
 
   const PlannerRegistry& registry_;
   std::size_t threads_;
-  std::once_flag pool_once_;
-  std::unique_ptr<ThreadPool> pool_;
+
   mutable std::mutex stats_mutex_;
   PlanningStats stats_;
+
+  /// LRU plan cache: list front = most recent; map points into the list.
+  /// Keys are 16-byte digests of the canonical request fingerprint, so
+  /// per-entry key storage is O(1) regardless of platform size.
+  struct CacheEntry {
+    std::string key;
+    PlanResult result;
+  };
+  mutable std::mutex cache_mutex_;
+  std::size_t cache_capacity_ = 0;
+  std::list<CacheEntry> cache_lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_;
+
+  // Last members: destroyed first, so the pool joins (draining queued
+  // ticket jobs, which touch the stats and cache above) while the rest
+  // of the service is still alive.
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace adept

@@ -46,7 +46,7 @@ PlanResult plan_excluding(
     // Sub-platform ids are positions in `kept`; rewrite to original ids.
     for (Hierarchy::Index e = 0; e < result.hierarchy.size(); ++e)
       result.hierarchy.replace_node(e, kept[result.hierarchy.node_of(e)]);
-    result.hierarchy.validate_or_throw(request.platform);
+    result.hierarchy.validate_or_throw(request.platform.get());
   }
   if (!options.verbose_trace) result.trace.clear();
   return result;
@@ -133,7 +133,7 @@ class HeuristicPlanner final : public BuiltinPlanner {
  private:
   PlanResult run(const Platform& platform, const PlanRequest& r) const final {
     return plan_heterogeneous(platform, r.params, r.service, r.options.demand,
-                              r.options.pool);
+                              r.options.pool, &r.options);
   }
 };
 
@@ -148,7 +148,7 @@ class LinkAwarePlanner final : public BuiltinPlanner {
  private:
   PlanResult run(const Platform& platform, const PlanRequest& r) const final {
     return plan_link_aware(platform, r.params, r.service, r.options.demand,
-                           r.options.pool);
+                           r.options.pool, &r.options);
   }
 };
 

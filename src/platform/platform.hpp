@@ -28,6 +28,8 @@ struct NodeSpec {
   /// "use the platform's homogeneous bandwidth", which reproduces the
   /// paper's model exactly.
   MbitRate link = 0.0;
+
+  bool operator==(const NodeSpec&) const = default;
 };
 
 /// A pool of candidate nodes plus the (homogeneous) link bandwidth.
@@ -84,6 +86,14 @@ class Platform {
 
   /// Returns a copy restricted to the given ids (in the given order).
   Platform subset(const std::vector<NodeId>& ids) const;
+
+  /// Content equality: same nodes (name, power, link) in the same order
+  /// and the same homogeneous bandwidth. This is the identity the plan
+  /// cache keys on — two Platform objects that compare equal produce
+  /// identical plans.
+  bool operator==(const Platform& other) const {
+    return bandwidth_ == other.bandwidth_ && nodes_ == other.nodes_;
+  }
 
  private:
   void validate_node(const NodeSpec& node) const;

@@ -1,0 +1,211 @@
+/// \file test_serve.cpp
+/// \brief End-to-end JSON-lines sessions through io::serve_session — the
+/// exact code path `adept serve` wires to stdin/stdout. Each test feeds a
+/// scripted session through stringstreams and parses the response lines
+/// back with the JSON kernel.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "io/serve.hpp"
+#include "io/wire.hpp"
+#include "planning_test_util.hpp"
+#include "platform/generator.hpp"
+
+namespace adept {
+namespace {
+
+constexpr MbitRate kB = 1000.0;
+
+std::string platform_json(std::uint64_t seed = 9, std::size_t n = 14) {
+  Rng rng(seed);
+  return wire::to_json(gen::uniform(n, 300.0, 1200.0, kB, rng)).dump();
+}
+
+/// Runs a session over the given input lines; returns (answered count,
+/// parsed response documents).
+std::pair<std::size_t, std::vector<json::Value>> run_session(
+    const std::vector<std::string>& lines, io::ServeConfig config = {}) {
+  std::stringstream in, out;
+  for (const std::string& line : lines) in << line << "\n";
+  if (config.threads == 0) config.threads = 2;
+  const std::size_t answered = io::serve_session(in, out, config);
+  std::vector<json::Value> responses;
+  std::string line;
+  while (std::getline(out, line))
+    if (!line.empty()) responses.push_back(json::parse(line));
+  return {answered, responses};
+}
+
+TEST(Serve, AnswersAPipedSessionInOrder) {
+  const std::string platform = platform_json();
+  const auto [answered, responses] = run_session({
+      R"({"id":"first","planner":"heuristic","platform":)" + platform +
+          R"(,"service":"dgemm-310"})",
+      R"({"id":2,"planner":"star","platform":)" + platform +
+          R"(,"service":"dgemm-310"})",
+      R"({"id":"third","planner":"balanced","platform":)" + platform +
+          R"(,"service":{"name":"custom","wapp":120.5}})",
+  });
+  EXPECT_EQ(answered, 3u);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].at("id").as_string(), "first");
+  EXPECT_EQ(responses[1].at("id").as_number(), 2.0);
+  EXPECT_EQ(responses[2].at("id").as_string(), "third");
+  for (const json::Value& response : responses) {
+    EXPECT_TRUE(response.at("ok").as_bool()) << response.dump();
+    const PlannerRun run = wire::planner_run_from_json(response.at("run"));
+    EXPECT_TRUE(run.ok);
+    EXPECT_GT(run.result.nodes_used(), 0u);
+    EXPECT_TRUE(run.result.hierarchy.validate().empty());
+  }
+}
+
+TEST(Serve, RepeatedRequestsHitThePlanCache) {
+  const std::string platform = platform_json(21);
+  const std::string request = R"({"planner":"heuristic","platform":)" +
+                              platform + R"(,"service":"dgemm-310"})";
+  const auto [answered, responses] =
+      run_session({request, request, R"({"cmd":"stats"})"});
+  EXPECT_EQ(answered, 2u);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[0].at("run").at("cached").as_bool());
+  EXPECT_TRUE(responses[1].at("run").at("cached").as_bool());
+  // Both answers carry the identical plan.
+  EXPECT_EQ(responses[0].at("run").at("result").dump(),
+            responses[1].at("run").at("result").dump());
+  const json::Value& stats = responses[2].at("stats");
+  EXPECT_EQ(stats.at("cache_hits").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache_misses").as_number(), 1.0);
+  EXPECT_EQ(stats.at("jobs").as_number(), 2.0);
+}
+
+TEST(Serve, CacheCanBeDisabledPerSession) {
+  const std::string platform = platform_json(22);
+  const std::string request = R"({"planner":"star","platform":)" + platform +
+                              R"(,"service":"dgemm-100"})";
+  io::ServeConfig config;
+  config.cache_capacity = 0;
+  const auto [answered, responses] =
+      run_session({request, request, R"({"cmd":"stats"})"}, config);
+  EXPECT_EQ(answered, 2u);
+  EXPECT_FALSE(responses[1].at("run").at("cached").as_bool());
+  EXPECT_EQ(responses[2].at("stats").at("cache_hits").as_number(), 0.0);
+}
+
+TEST(Serve, PortfolioRequestsReturnTheWholePortfolio) {
+  const std::string platform = platform_json(25);
+  const auto [answered, responses] = run_session({
+      R"({"id":"p","planner":"portfolio","platform":)" + platform +
+          R"(,"service":"dgemm-310","options":{"demand":50}})",
+  });
+  EXPECT_EQ(answered, 1u);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool()) << responses[0].dump();
+  const PortfolioResult portfolio =
+      wire::portfolio_from_json(responses[0].at("portfolio"));
+  ASSERT_TRUE(portfolio.has_winner());
+  EXPECT_GE(portfolio.runs.size(), 2u);
+  EXPECT_TRUE(portfolio.best().ok);
+}
+
+TEST(Serve, MalformedLinesProduceErrorsWithoutKillingTheSession) {
+  const std::string platform = platform_json(27);
+  const auto [answered, responses] = run_session({
+      "this is not json",
+      R"({"id":"bad-platform","planner":"star","platform":{"bandwidth":-1,"nodes":[]},"service":"dgemm-100"})",
+      R"({"id":"bad-planner","planner":"no-such","platform":)" + platform +
+          R"(,"service":"dgemm-100"})",
+      R"({"id":"fine","planner":"star","platform":)" + platform +
+          R"(,"service":"dgemm-100"})",
+  });
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  EXPECT_TRUE(responses[0].at("id").is_null());
+  EXPECT_FALSE(responses[1].at("ok").as_bool());
+  EXPECT_EQ(responses[1].at("id").as_string(), "bad-platform");
+  EXPECT_FALSE(responses[2].at("ok").as_bool());
+  EXPECT_NE(responses[2].at("error").as_string().find("unknown planner"),
+            std::string::npos);
+  EXPECT_TRUE(responses[3].at("ok").as_bool());
+  // Only the request that actually planned counts as answered... plus the
+  // two submitted ones that failed (planner error is still an answer).
+  EXPECT_EQ(answered, 2u);  // bad-planner + fine went through the service
+}
+
+TEST(Serve, ErrorResponsesKeepRequestOrder) {
+  // A line that fails deserialization must wait its response slot behind
+  // earlier in-flight requests — clients reading positionally depend on
+  // the one-response-per-request-in-order contract.
+  const std::string platform = platform_json(37);
+  const auto [answered, responses] = run_session({
+      R"({"id":"slow","planner":"heuristic","platform":)" + platform +
+          R"(,"service":"dgemm-310"})",
+      R"({"id":"broken","planner":"star","platform":{"bandwidth":-5,"nodes":[]},"service":"dgemm-100"})",
+  });
+  EXPECT_EQ(answered, 1u);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].at("id").as_string(), "slow");
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+  EXPECT_EQ(responses[1].at("id").as_string(), "broken");
+  EXPECT_FALSE(responses[1].at("ok").as_bool());
+}
+
+TEST(Serve, BudgetIsEnforced) {
+  const std::string platform = platform_json(33);
+  const auto [answered, responses] = run_session({
+      R"({"id":"late","planner":"heuristic","platform":)" + platform +
+          R"(,"service":"dgemm-310","budget_ms":0.000001})",
+  });
+  EXPECT_EQ(answered, 1u);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  const PlannerRun run = wire::planner_run_from_json(responses[0].at("run"));
+  EXPECT_TRUE(run.skipped);
+  EXPECT_NE(run.error.find("deadline"), std::string::npos) << run.error;
+}
+
+TEST(Serve, QuitStopsTheSessionEarly) {
+  const std::string platform = platform_json(35);
+  const std::string request = R"({"planner":"star","platform":)" + platform +
+                              R"(,"service":"dgemm-100"})";
+  const auto [answered, responses] =
+      run_session({request, R"({"cmd":"quit"})", request, request});
+  EXPECT_EQ(answered, 1u);  // requests after quit are never read
+  EXPECT_EQ(responses.size(), 1u);
+}
+
+TEST(Serve, OptionsExclusionsAreHonoured) {
+  Rng rng(39);
+  const Platform platform = gen::uniform(12, 300.0, 1200.0, kB, rng);
+  const auto [answered, responses] = run_session({
+      R"({"planner":"heuristic","platform":)" +
+          wire::to_json(platform).dump() +
+          R"(,"service":"dgemm-310","options":{"excluded":[0,3]}})",
+  });
+  EXPECT_EQ(answered, 1u);
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_TRUE(responses[0].at("ok").as_bool()) << responses[0].dump();
+  const PlannerRun run = wire::planner_run_from_json(responses[0].at("run"));
+  for (const NodeId used : run.result.hierarchy.used_nodes()) {
+    EXPECT_NE(used, 0u);
+    EXPECT_NE(used, 3u);
+  }
+}
+
+TEST(Serve, UnknownCommandIsAnError) {
+  const auto [answered, responses] = run_session({R"({"cmd":"reboot"})"});
+  EXPECT_EQ(answered, 0u);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  EXPECT_NE(responses[0].at("error").as_string().find("unknown command"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace adept

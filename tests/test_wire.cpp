@@ -1,0 +1,309 @@
+/// \file test_wire.cpp
+/// \brief The JSON kernel (common/json.hpp) and the wire format
+/// (io/wire.hpp): parser/writer behaviour, and the round-trip property
+/// parse(serialize(x)) ≡ x for every wire value type — including the
+/// edge values the schema encodes specially (infinity demand, excluded
+/// NodeSets, hierarchies whose element order is only reachable through
+/// reparent()).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "io/wire.hpp"
+#include "planner/planning_service.hpp"
+#include "planning_test_util.hpp"
+#include "platform/generator.hpp"
+
+namespace adept {
+namespace {
+
+using test_util::run_planner;
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+constexpr MbitRate kB = 1000.0;
+
+// -------------------------------------------------------------- JSON kernel --
+
+TEST(Json, ScalarsRoundTrip) {
+  EXPECT_EQ(json::parse("null").dump(), "null");
+  EXPECT_EQ(json::parse("true").dump(), "true");
+  EXPECT_EQ(json::parse("false").dump(), "false");
+  EXPECT_EQ(json::parse("42").dump(), "42");
+  EXPECT_EQ(json::parse("-1.5").dump(), "-1.5");
+  EXPECT_EQ(json::parse("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (const double value :
+       {0.1, 1.0 / 3.0, 1e-308, 1.7976931348623157e308, 59.582,
+        123456789.123456789, -0.0, 5.3e-3}) {
+    const json::Value parsed = json::parse(json::Value(value).dump());
+    EXPECT_EQ(parsed.as_number(), value);
+  }
+}
+
+TEST(Json, WriterRejectsNonFiniteNumbers) {
+  EXPECT_THROW(json::Value(std::numeric_limits<double>::infinity()).dump(),
+               Error);
+  EXPECT_THROW(json::Value(std::nan("")).dump(), Error);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string nasty = "line\nbreak\ttab \"quote\" back\\slash \x01";
+  const json::Value round = json::parse(json::Value(nasty).dump());
+  EXPECT_EQ(round.as_string(), nasty);
+  // \u escapes decode to UTF-8 (including a surrogate pair).
+  EXPECT_EQ(json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  json::Value object = json::Value::object();
+  object.set("zebra", 1);
+  object.set("alpha", 2);
+  EXPECT_EQ(object.dump(), "{\"zebra\":1,\"alpha\":2}");
+  // set() on an existing key replaces in place, keeping the order (the
+  // canonical-form property the cache fingerprint relies on).
+  object.set("zebra", 3);
+  EXPECT_EQ(object.dump(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), Error);
+  EXPECT_THROW(json::parse("{"), Error);
+  EXPECT_THROW(json::parse("[1,]"), Error);
+  EXPECT_THROW(json::parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(json::parse("\"unterminated"), Error);
+  EXPECT_THROW(json::parse("1 2"), Error);
+  EXPECT_THROW(json::parse("{\"a\":1,\"a\":2}"), Error);  // duplicate key
+  EXPECT_THROW(json::parse("nul"), Error);
+  EXPECT_THROW(json::parse("\"\\ud800\""), Error);  // unpaired surrogate
+  // Full JSON number grammar: no leading zeros / bare dots / open exps.
+  EXPECT_THROW(json::parse("01"), Error);
+  EXPECT_THROW(json::parse("-01"), Error);
+  EXPECT_THROW(json::parse("1."), Error);
+  EXPECT_THROW(json::parse(".5"), Error);
+  EXPECT_THROW(json::parse("1e"), Error);
+  EXPECT_THROW(json::parse("+1"), Error);
+  EXPECT_EQ(json::parse("0.5e-3").as_number(), 0.5e-3);
+  EXPECT_EQ(json::parse("-0").as_number(), 0.0);
+}
+
+TEST(Json, DeeplyNestedDocumentsFailInsteadOfOverflowingTheStack) {
+  // One hostile serve line must produce a parse error, not a SIGSEGV.
+  const std::string deep_arrays(100000, '[');
+  EXPECT_THROW(json::parse(deep_arrays), Error);
+  std::string deep_objects;
+  for (int i = 0; i < 100000; ++i) deep_objects += "{\"a\":";
+  EXPECT_THROW(json::parse(deep_objects), Error);
+  // Sane nesting is unaffected.
+  EXPECT_NO_THROW(json::parse("[[[[[[[[[[1]]]]]]]]]]"));
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    json::parse("{\"a\": 1,\n  \"b\": }");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const json::Value number(1.5);
+  EXPECT_THROW(number.as_string(), Error);
+  EXPECT_THROW(number.as_array(), Error);
+  const json::Value object = json::Value::object();
+  EXPECT_THROW(object.at("missing"), Error);
+  EXPECT_EQ(object.find("missing"), nullptr);
+  EXPECT_THROW(json::Value(-1.0).as_index(), Error);
+  EXPECT_THROW(json::Value(1.5).as_index(), Error);
+  EXPECT_EQ(json::Value(7.0).as_index(), 7u);
+}
+
+// ---------------------------------------------------------- wire round-trip --
+
+TEST(Wire, PlatformRoundTrips) {
+  Rng rng(11);
+  Platform platform = gen::uniform(20, 200.0, 1200.0, kB, rng);
+  platform.set_link(3, 50.0);  // heterogeneous-link node
+  const Platform round =
+      wire::platform_from_json(json::parse(wire::to_json(platform).dump()));
+  EXPECT_EQ(round, platform);
+  EXPECT_EQ(round.link_bandwidth(3), 50.0);
+}
+
+TEST(Wire, PlatformDeserializationValidates) {
+  // A hostile document cannot materialise an invalid platform: the
+  // domain constructor rejects non-positive powers.
+  EXPECT_THROW(
+      wire::platform_from_json(json::parse(
+          R"({"bandwidth":1000,"nodes":[{"name":"a","power":-5}]})")),
+      Error);
+  EXPECT_THROW(wire::platform_from_json(json::parse(R"({"nodes":[]})")),
+               Error);
+}
+
+TEST(Wire, ParamsAndServiceRoundTrip) {
+  const MiddlewareParams params = MiddlewareParams::diet_grid5000();
+  EXPECT_EQ(wire::params_from_json(json::parse(wire::to_json(params).dump())),
+            params);
+  const ServiceSpec dgemm = dgemm_service(310);
+  EXPECT_EQ(wire::service_from_json(json::parse(wire::to_json(dgemm).dump())),
+            dgemm);
+  const ServiceSpec custom{"custom", 123.25};
+  EXPECT_EQ(wire::service_from_json(json::parse(wire::to_json(custom).dump())),
+            custom);
+}
+
+TEST(Wire, OptionsRoundTripIncludingInfinityDemand) {
+  PlanOptions options;  // default: unlimited demand, empty exclusions
+  PlanOptions round =
+      wire::options_from_json(json::parse(wire::to_json(options).dump()));
+  EXPECT_EQ(round.demand, kUnlimitedDemand);
+  EXPECT_EQ(round.degree, options.degree);
+  EXPECT_EQ(round.excluded, options.excluded);
+  EXPECT_EQ(round.verbose_trace, options.verbose_trace);
+
+  options.demand = 125.5;
+  options.degree = 3;
+  options.excluded = {2, 5, 19};
+  options.verbose_trace = false;
+  round = wire::options_from_json(json::parse(wire::to_json(options).dump()));
+  EXPECT_EQ(round.demand, 125.5);
+  EXPECT_EQ(round.degree, 3u);
+  EXPECT_EQ(round.excluded, NodeSet({2, 5, 19}));
+  EXPECT_FALSE(round.verbose_trace);
+}
+
+TEST(Wire, MinimalOptionsDocumentUsesDefaults) {
+  const PlanOptions round = wire::options_from_json(json::parse("{}"));
+  EXPECT_EQ(round.demand, kUnlimitedDemand);
+  EXPECT_EQ(round.degree, 0u);
+  EXPECT_TRUE(round.excluded.empty());
+  EXPECT_TRUE(round.verbose_trace);
+}
+
+TEST(Wire, HierarchyRoundTripsIncludingReparentedShapes) {
+  // Build a shape whose element order is only reachable through
+  // reparent(): element 3's parent (index 4) was created *after* it.
+  Hierarchy hierarchy;
+  const auto root = hierarchy.add_root(0);
+  hierarchy.add_server(root, 1);
+  hierarchy.add_server(root, 2);
+  const auto moved = hierarchy.add_server(root, 3);
+  const auto agent = hierarchy.add_agent(root, 4);
+  hierarchy.add_server(agent, 5);
+  hierarchy.reparent(moved, agent);
+  const Hierarchy round =
+      wire::hierarchy_from_json(json::parse(wire::to_json(hierarchy).dump()));
+  EXPECT_EQ(round, hierarchy);
+  EXPECT_TRUE(round.validate().empty());
+}
+
+TEST(Wire, HierarchyDeserializationRejectsBrokenLinkage) {
+  // children list not matched by the child's parent pointer
+  EXPECT_THROW(
+      wire::hierarchy_from_json(json::parse(
+          R"({"elements":[
+            {"node":0,"role":"agent","parent":null,"children":[1]},
+            {"node":1,"role":"server","parent":null,"children":[]}]})")),
+      Error);
+  // self-consistent two-cycle detached from the root
+  EXPECT_THROW(
+      wire::hierarchy_from_json(json::parse(
+          R"({"elements":[
+            {"node":0,"role":"agent","parent":null,"children":[]},
+            {"node":1,"role":"agent","parent":2,"children":[2]},
+            {"node":2,"role":"agent","parent":1,"children":[1]}]})")),
+      Error);
+}
+
+TEST(Wire, PlanResultRoundTripsFromARealPlan) {
+  Rng rng(7);
+  const Platform platform = gen::uniform(24, 200.0, 1200.0, kB, rng);
+  for (const char* planner : {"star", "heuristic", "homogeneous"}) {
+    const PlanResult plan = run_planner(planner, platform, dgemm_service(310));
+    const PlanResult round =
+        wire::plan_result_from_json(json::parse(wire::to_json(plan).dump()));
+    EXPECT_EQ(round.hierarchy, plan.hierarchy) << planner;
+    EXPECT_EQ(round.report, plan.report) << planner;
+    EXPECT_EQ(round.trace, plan.trace) << planner;
+  }
+}
+
+TEST(Wire, PortfolioRoundTripsWithScoresAndWinner) {
+  Rng rng(19);
+  const Platform platform = gen::uniform(16, 300.0, 1200.0, kB, rng);
+  PlanningService service(2);
+  const PortfolioResult portfolio =
+      service.run_portfolio(PlanRequest(platform, kParams, dgemm_service(310)));
+  ASSERT_TRUE(portfolio.has_winner());
+  const PortfolioResult round =
+      wire::portfolio_from_json(json::parse(wire::to_json(portfolio).dump()));
+  EXPECT_EQ(round.winner, portfolio.winner);
+  EXPECT_EQ(round.scores, portfolio.scores);
+  ASSERT_EQ(round.runs.size(), portfolio.runs.size());
+  for (std::size_t i = 0; i < round.runs.size(); ++i) {
+    EXPECT_EQ(round.runs[i].planner, portfolio.runs[i].planner);
+    EXPECT_EQ(round.runs[i].ok, portfolio.runs[i].ok);
+    EXPECT_EQ(round.runs[i].evaluations, portfolio.runs[i].evaluations);
+    EXPECT_EQ(round.runs[i].result.hierarchy,
+              portfolio.runs[i].result.hierarchy);
+  }
+}
+
+TEST(Wire, RequestRoundTripsWithOwningPlatform) {
+  Rng rng(3);
+  const Platform platform = gen::uniform(10, 200.0, 900.0, kB, rng);
+  PlanRequest request(platform, kParams, dgemm_service(100));
+  request.options.demand = 40.0;
+  request.options.excluded = {1, 4};
+  const PlanRequest round =
+      wire::request_from_json(json::parse(wire::to_json(request).dump()));
+  ASSERT_NE(round.platform, nullptr);
+  EXPECT_EQ(*round.platform, platform);
+  EXPECT_EQ(round.params, request.params);
+  EXPECT_EQ(round.service, request.service);
+  EXPECT_EQ(round.options.demand, 40.0);
+  EXPECT_EQ(round.options.excluded, NodeSet({1, 4}));
+  // The deserialized request owns its platform (use_count > 0 proves a
+  // control block exists, unlike the borrowed-reference constructor).
+  EXPECT_GT(round.platform.use_count(), 0);
+  const PlanRequest borrowed(platform, kParams, dgemm_service(100));
+  EXPECT_EQ(borrowed.platform.use_count(), 0);
+}
+
+// -------------------------------------------------------------- fingerprint --
+
+TEST(Wire, FingerprintIsCanonicalAndDiscriminating) {
+  Rng rng(5);
+  const Platform platform = gen::uniform(12, 200.0, 1200.0, kB, rng);
+  const PlanRequest request(platform, kParams, dgemm_service(310));
+  const std::string base = wire::request_fingerprint(request, "heuristic");
+  // Same problem, fresh copies → same fingerprint.
+  PlanRequest again(platform, kParams, dgemm_service(310));
+  EXPECT_EQ(wire::request_fingerprint(again, "heuristic"), base);
+  // Runtime-only options (deadline) do not change the key.
+  again.options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(wire::request_fingerprint(again, "heuristic"), base);
+  // Planner, platform content, and plan-relevant options all do.
+  EXPECT_NE(wire::request_fingerprint(request, "star"), base);
+  PlanRequest different(platform, kParams, dgemm_service(310));
+  different.options.demand = 10.0;
+  EXPECT_NE(wire::request_fingerprint(different, "heuristic"), base);
+  Platform edited = platform;
+  edited.set_link(0, 10.0);
+  const PlanRequest edited_request(edited, kParams, dgemm_service(310));
+  EXPECT_NE(wire::request_fingerprint(edited_request, "heuristic"), base);
+}
+
+}  // namespace
+}  // namespace adept
