@@ -6,7 +6,8 @@
 ///   generate   write a synthetic platform description file
 ///   plan       run a planner on a platform file, print / export the plan
 ///   predict    evaluate a deployment XML with the throughput model
-///   simulate   run the discrete-event simulator against a deployment XML
+///   simulate   run the discrete-event simulator against a deployment XML,
+///              or (--scenario) a churn scenario with online replanning
 ///   serve      answer JSON-lines planning requests on stdin/stdout
 ///   calibrate  reproduce the Table 3 measurement procedure on this host
 ///
@@ -14,9 +15,11 @@
 /// the wire format (io/wire.hpp) instead of the human tables.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -35,8 +38,10 @@
 #include "planner/planner.hpp"
 #include "planner/planning_service.hpp"
 #include "planner/registry.hpp"
+#include "planner/replan.hpp"
 #include "platform/generator.hpp"
 #include "platform/io.hpp"
+#include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "workload/calibration.hpp"
 
@@ -304,7 +309,196 @@ int cmd_predict(const std::vector<std::string>& args) {
   return 0;
 }
 
+int list_scenarios() {
+  Table table("Scenario catalog (adept simulate --scenario <name|file>)");
+  table.set_header({"name", "summary"});
+  for (const auto& entry : sim::scenario_catalog())
+    table.add_row({entry.name, entry.summary});
+  std::cout << table;
+  std::cout << "platform presets: ";
+  bool first = true;
+  for (const auto& entry : gen::platform_catalog()) {
+    std::cout << (first ? "" : ", ") << entry.name;
+    first = false;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+/// Resolves --scenario: a readable file holds a recording or a bare
+/// scenario in wire JSON; anything else is a catalog name.
+struct ResolvedScenario {
+  sim::Scenario scenario;
+  std::optional<std::vector<sim::MutationEvent>> recorded_trace;
+};
+
+ResolvedScenario resolve_scenario(const std::string& ref) {
+  std::ifstream in(ref);
+  if (!in.good()) return {sim::catalog_scenario(ref), std::nullopt};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  if (doc.find("scenario") != nullptr) {
+    sim::ScenarioRecording recording = wire::recording_from_json(doc);
+    return {std::move(recording.scenario), std::move(recording.trace)};
+  }
+  return {wire::scenario_from_json(doc), std::nullopt};
+}
+
+int cmd_simulate_scenario(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "adept simulate --scenario",
+      "Run a churn scenario: an event-driven platform mutation stream with "
+      "budgeted online replanning (see --list-scenarios for the catalog).");
+  parser.add_option("scenario", "catalog scenario name or JSON file");
+  parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
+  parser.add_option("budget", "per-event repair budget in ms (0 = unbudgeted)",
+                    "10");
+  parser.add_option("drift", "full-replan fallback threshold in (0,1]", "0.85");
+  parser.add_option("planner", "full-replan planner", "heuristic");
+  parser.add_option("jobs", "planning service worker threads (0 = all cores)",
+                    "0");
+  parser.add_option("events", "stop after this many events (0 = all)", "0");
+  parser.add_option("record", "write the scenario + expanded trace to this file");
+  parser.add_flag("replay", "input must be a recording; verify the trace "
+                            "regenerates bit-identically, then run it");
+  parser.add_flag("json", "print a wire-format JSON summary instead of tables");
+  parser.add_flag("list-scenarios", "print the scenario catalog and exit");
+  parser.parse(args);
+
+  ResolvedScenario resolved = resolve_scenario(parser.get("scenario"));
+  const sim::Scenario& scenario = resolved.scenario;
+
+  bool replay_verified = false;
+  if (parser.get_flag("replay")) {
+    ADEPT_CHECK(resolved.recorded_trace.has_value(),
+                "--replay needs a recording file (scenario + trace)");
+    const sim::ScenarioEngine regenerated(scenario);
+    ADEPT_CHECK(regenerated.trace() == *resolved.recorded_trace,
+                "recorded trace does not regenerate bit-identically from the "
+                "scenario seed");
+    replay_verified = true;
+  }
+
+  sim::ScenarioEngine engine =
+      resolved.recorded_trace.has_value()
+          ? sim::ScenarioEngine(scenario, *resolved.recorded_trace)
+          : sim::ScenarioEngine(scenario);
+
+  const long long jobs = parser.get_int("jobs");
+  ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
+  PlanningService service(static_cast<std::size_t>(jobs));
+  ReplanConfig config;
+  config.planner = parser.get("planner");
+  config.budget_ms = parser.get_double("budget");
+  config.drift_threshold = parser.get_double("drift");
+  ReplanOrchestrator orchestrator(service, MiddlewareParams::diet_grid5000(),
+                                  parse_service(parser.get("service")), config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const RepairOutcome boot =
+      orchestrator.bootstrap(engine.platform(), engine.down(), engine.demand());
+  ADEPT_CHECK(!orchestrator.hierarchy().empty(),
+              "bootstrap replan produced no plan (" + boot.detail + ")");
+  const RequestRate initial = orchestrator.report().overall;
+
+  const auto cap = static_cast<std::size_t>(parser.get_int("events"));
+  std::map<std::string, std::size_t> by_kind;
+  std::size_t processed = 0;
+  while (!engine.done() && (cap == 0 || processed < cap)) {
+    const sim::MutationEvent& event = engine.step();
+    ++by_kind[sim::mutation_kind_name(event.kind)];
+    orchestrator.on_event(event, engine.platform(), engine.down(),
+                          engine.demand());
+    ++processed;
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  const ReplanStats& stats = orchestrator.stats();
+  const double events_per_s =
+      stats.wall_ms > 0.0 ? 1000.0 * static_cast<double>(processed) /
+                                stats.wall_ms
+                          : 0.0;
+
+  if (parser.has("record")) {
+    sim::ScenarioRecording recording{scenario, engine.trace()};
+    write_file(parser.get("record"), wire::to_json(recording).dump() + "\n");
+  }
+
+  if (parser.get_flag("json")) {
+    json::Value counters = json::Value::object();
+    for (const auto& [kind, count] : by_kind) counters.set(kind, count);
+    json::Value repair = json::Value::object();
+    repair.set("events", stats.events);
+    repair.set("prunes", stats.prunes);
+    repair.set("incremental", stats.incremental);
+    repair.set("full", stats.full);
+    repair.set("full_skipped", stats.full_skipped);
+    repair.set("full_failed", stats.full_failed);
+    repair.set("drift_fallbacks", stats.drift_fallbacks);
+    repair.set("structural_fallbacks", stats.structural_fallbacks);
+    repair.set("repair_wall_ms", stats.wall_ms);
+    json::Value out = json::Value::object();
+    out.set("scenario", scenario.name);
+    out.set("events", processed);
+    out.set("events_by_kind", std::move(counters));
+    out.set("repairs", std::move(repair));
+    out.set("events_per_s", events_per_s);
+    out.set("wall_ms", wall_ms);
+    out.set("initial_throughput", initial);
+    out.set("final", wire::to_json(orchestrator.report()));
+    out.set("final_nodes_used", orchestrator.hierarchy().size());
+    if (parser.get_flag("replay")) out.set("replay_verified", replay_verified);
+    std::cout << out.dump() << "\n";
+    return 0;
+  }
+
+  std::cout << "scenario        : " << scenario.name << " ("
+            << engine.trace().size() << " events over " << scenario.duration
+            << " s simulated)\n";
+  std::cout << "platform        : " << engine.platform().size() << " nodes, "
+            << engine.down().size() << " down at end\n";
+  if (replay_verified)
+    std::cout << "replay          : trace regenerated bit-identically\n";
+  Table events_table("Mutation events processed");
+  events_table.set_header({"kind", "count"});
+  for (const auto& [kind, count] : by_kind)
+    events_table.add_row({kind, Table::num(static_cast<long long>(count))});
+  std::cout << events_table;
+  Table repair_table("Online repairs (budget " +
+                     Table::num(config.budget_ms, 1) + " ms/event)");
+  repair_table.set_header({"prunes", "incremental", "full", "full skipped",
+                           "full failed", "drift fallbacks", "structural"});
+  repair_table.add_row(
+      {Table::num(static_cast<long long>(stats.prunes)),
+       Table::num(static_cast<long long>(stats.incremental)),
+       Table::num(static_cast<long long>(stats.full)),
+       Table::num(static_cast<long long>(stats.full_skipped)),
+       Table::num(static_cast<long long>(stats.full_failed)),
+       Table::num(static_cast<long long>(stats.drift_fallbacks)),
+       Table::num(static_cast<long long>(stats.structural_fallbacks))});
+  std::cout << repair_table;
+  std::cout << "throughput      : " << initial << " -> "
+            << orchestrator.report().overall << " req/s predicted ("
+            << orchestrator.hierarchy().size() << " nodes deployed)\n";
+  std::cout << "repair pace     : " << Table::num(events_per_s, 1)
+            << " events/s sustained (" << Table::num(stats.wall_ms, 1)
+            << " ms repairing, " << Table::num(wall_ms, 1) << " ms total)\n";
+  return 0;
+}
+
 int cmd_simulate(const std::vector<std::string>& args) {
+  const auto has = [&](const char* flag) {
+    return std::find(args.begin(), args.end(), flag) != args.end();
+  };
+  if (has("--list-scenarios")) return list_scenarios();
+  if (has("--scenario") ||
+      std::find_if(args.begin(), args.end(), [](const std::string& a) {
+        return strings::starts_with(a, "--scenario=");
+      }) != args.end())
+    return cmd_simulate_scenario(args);
+
   ArgParser parser("adept simulate",
                    "Run the discrete-event simulator on a deployment XML.");
   parser.add_positional("deployment", "GoDIET-style XML file");

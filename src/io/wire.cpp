@@ -347,6 +347,160 @@ PlanRequest request_from_json(const json::Value& value) {
       options != nullptr ? options_from_json(*options) : PlanOptions{});
 }
 
+// ---------------------------------------------------------- churn scenarios --
+
+json::Value to_json(const sim::MutationEvent& event) {
+  json::Value out = json::Value::object();
+  out.set("time", event.time);
+  out.set("kind", sim::mutation_kind_name(event.kind));
+  out.set("node", event.node == sim::kNoNode ? json::Value(nullptr)
+                                             : json::Value(event.node));
+  out.set("value", encode_rate(event.value));
+  if (event.link != 0.0) out.set("link", event.link);
+  if (!event.name.empty()) out.set("name", event.name);
+  return out;
+}
+
+sim::MutationEvent mutation_event_from_json(const json::Value& value) {
+  sim::MutationEvent out;
+  out.time = value.at("time").as_number();
+  out.kind = sim::mutation_kind_from_name(value.at("kind").as_string());
+  const json::Value& node = value.at("node");
+  out.node = node.is_null() ? sim::kNoNode : node.as_index();
+  out.value = decode_rate(value.at("value"));
+  if (const json::Value* link = value.find("link")) out.link = link->as_number();
+  if (const json::Value* name = value.find("name"))
+    out.name = name->as_string();
+  return out;
+}
+
+json::Value trace_to_json(const std::vector<sim::MutationEvent>& trace) {
+  json::Value out = json::Value::array();
+  for (const sim::MutationEvent& event : trace) out.push_back(to_json(event));
+  return out;
+}
+
+std::vector<sim::MutationEvent> trace_from_json(const json::Value& value) {
+  std::vector<sim::MutationEvent> out;
+  for (const json::Value& event : value.as_array())
+    out.push_back(mutation_event_from_json(event));
+  return out;
+}
+
+namespace {
+
+json::Value churn_to_json(const sim::ChurnSpec& churn) {
+  json::Value out = json::Value::object();
+  out.set("crash_rate", churn.crash_rate);
+  out.set("rejoin_after_lo", churn.rejoin_after_lo);
+  out.set("rejoin_after_hi", churn.rejoin_after_hi);
+  out.set("leave_rate", churn.leave_rate);
+  out.set("join_rate", churn.join_rate);
+  out.set("join_power_lo", churn.join_power_lo);
+  out.set("join_power_hi", churn.join_power_hi);
+  out.set("degrade_rate", churn.degrade_rate);
+  out.set("degrade_scale_lo", churn.degrade_scale_lo);
+  out.set("degrade_scale_hi", churn.degrade_scale_hi);
+  out.set("degrade_for_lo", churn.degrade_for_lo);
+  out.set("degrade_for_hi", churn.degrade_for_hi);
+  out.set("link_drop_rate", churn.link_drop_rate);
+  out.set("link_scale_lo", churn.link_scale_lo);
+  out.set("link_scale_hi", churn.link_scale_hi);
+  out.set("link_drop_for_lo", churn.link_drop_for_lo);
+  out.set("link_drop_for_hi", churn.link_drop_for_hi);
+  return out;
+}
+
+sim::ChurnSpec churn_from_json(const json::Value& value) {
+  sim::ChurnSpec out;
+  out.crash_rate = value.at("crash_rate").as_number();
+  out.rejoin_after_lo = value.at("rejoin_after_lo").as_number();
+  out.rejoin_after_hi = value.at("rejoin_after_hi").as_number();
+  out.leave_rate = value.at("leave_rate").as_number();
+  out.join_rate = value.at("join_rate").as_number();
+  out.join_power_lo = value.at("join_power_lo").as_number();
+  out.join_power_hi = value.at("join_power_hi").as_number();
+  out.degrade_rate = value.at("degrade_rate").as_number();
+  out.degrade_scale_lo = value.at("degrade_scale_lo").as_number();
+  out.degrade_scale_hi = value.at("degrade_scale_hi").as_number();
+  out.degrade_for_lo = value.at("degrade_for_lo").as_number();
+  out.degrade_for_hi = value.at("degrade_for_hi").as_number();
+  out.link_drop_rate = value.at("link_drop_rate").as_number();
+  out.link_scale_lo = value.at("link_scale_lo").as_number();
+  out.link_scale_hi = value.at("link_scale_hi").as_number();
+  out.link_drop_for_lo = value.at("link_drop_for_lo").as_number();
+  out.link_drop_for_hi = value.at("link_drop_for_hi").as_number();
+  return out;
+}
+
+}  // namespace
+
+json::Value to_json(const sim::Scenario& scenario) {
+  json::Value platform = json::Value::object();
+  if (scenario.platform.inline_platform.has_value()) {
+    platform.set("inline", to_json(*scenario.platform.inline_platform));
+  } else {
+    platform.set("preset", scenario.platform.preset);
+    platform.set("count", scenario.platform.count);
+    platform.set("seed", scenario.platform.seed);
+  }
+  json::Value demand = json::Value::object();
+  demand.set("base", scenario.demand.base);
+  demand.set("amplitude", scenario.demand.amplitude);
+  demand.set("period", scenario.demand.period);
+  demand.set("step", scenario.demand.step);
+
+  json::Value out = json::Value::object();
+  out.set("name", scenario.name);
+  out.set("seed", scenario.seed);
+  out.set("duration", scenario.duration);
+  out.set("platform", std::move(platform));
+  out.set("churn", churn_to_json(scenario.churn));
+  out.set("demand", std::move(demand));
+  out.set("scripted", trace_to_json(scenario.scripted));
+  return out;
+}
+
+sim::Scenario scenario_from_json(const json::Value& value) {
+  sim::Scenario out;
+  out.name = value.at("name").as_string();
+  // as_index validates non-negative integrality and range: a negative or
+  // fractional seed is a domain error, not a silent (or UB) cast. Seeds
+  // are capped at 2^53 by JSON's number type either way.
+  out.seed = value.at("seed").as_index();
+  out.duration = value.at("duration").as_number();
+  const json::Value& platform = value.at("platform");
+  if (const json::Value* inlined = platform.find("inline")) {
+    out.platform.inline_platform = platform_from_json(*inlined);
+  } else {
+    out.platform.preset = platform.at("preset").as_string();
+    out.platform.count = platform.at("count").as_index();
+    out.platform.seed = platform.at("seed").as_index();
+  }
+  out.churn = churn_from_json(value.at("churn"));
+  const json::Value& demand = value.at("demand");
+  out.demand.base = demand.at("base").as_number();
+  out.demand.amplitude = demand.at("amplitude").as_number();
+  out.demand.period = demand.at("period").as_number();
+  out.demand.step = demand.at("step").as_number();
+  out.scripted = trace_from_json(value.at("scripted"));
+  return out;
+}
+
+json::Value to_json(const sim::ScenarioRecording& recording) {
+  json::Value out = json::Value::object();
+  out.set("scenario", to_json(recording.scenario));
+  out.set("trace", trace_to_json(recording.trace));
+  return out;
+}
+
+sim::ScenarioRecording recording_from_json(const json::Value& value) {
+  sim::ScenarioRecording out;
+  out.scenario = scenario_from_json(value.at("scenario"));
+  out.trace = trace_from_json(value.at("trace"));
+  return out;
+}
+
 // ------------------------------------------------------------- fingerprint --
 
 std::string request_fingerprint(const PlanRequest& request,

@@ -24,6 +24,7 @@
 ///     hostile document cannot materialise an invalid value.
 
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "hierarchy/hierarchy.hpp"
@@ -34,6 +35,7 @@
 #include "planner/planning_service.hpp"
 #include "planner/request.hpp"
 #include "platform/platform.hpp"
+#include "sim/scenario.hpp"
 
 namespace adept::wire {
 
@@ -71,6 +73,24 @@ json::Value to_json(const PlanRequest& request);
 /// Rebuilds a request that *owns* its platform (std::make_shared), so the
 /// deserialized request is safe to submit() and outlive the call site.
 PlanRequest request_from_json(const json::Value& value);
+
+// Churn scenarios (sim/scenario.hpp): the scenario description, single
+// mutation events, whole traces, and recordings (scenario + trace) all
+// round-trip exactly — a replayed recording reproduces every platform
+// state bit-for-bit. Demand values may be infinite and travel as
+// "unlimited", like PlanOptions::demand.
+
+json::Value to_json(const sim::MutationEvent& event);
+sim::MutationEvent mutation_event_from_json(const json::Value& value);
+
+json::Value trace_to_json(const std::vector<sim::MutationEvent>& trace);
+std::vector<sim::MutationEvent> trace_from_json(const json::Value& value);
+
+json::Value to_json(const sim::Scenario& scenario);
+sim::Scenario scenario_from_json(const json::Value& value);
+
+json::Value to_json(const sim::ScenarioRecording& recording);
+sim::ScenarioRecording recording_from_json(const json::Value& value);
 
 /// Canonical cache key: the compact dump of {planner, platform, params,
 /// service, options}. Options' runtime-only fields are excluded (a

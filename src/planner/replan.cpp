@@ -1,0 +1,224 @@
+#include "planner/replan.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "deploy/launcher.hpp"
+#include "model/hetero_comm.hpp"
+#include "planner/planner.hpp"
+
+namespace adept {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// True when the hierarchy deploys onto any node of `down`.
+bool uses_down_node(const Hierarchy& hierarchy, const NodeSet& down) {
+  if (down.empty()) return false;
+  for (std::size_t i = 0; i < hierarchy.size(); ++i)
+    if (down.contains(hierarchy.node_of(i))) return true;
+  return false;
+}
+
+}  // namespace
+
+ReplanOrchestrator::ReplanOrchestrator(PlanningService& service,
+                                       MiddlewareParams params,
+                                       ServiceSpec service_spec,
+                                       ReplanConfig config)
+    : service_(service), params_(std::move(params)),
+      service_spec_(std::move(service_spec)), config_(std::move(config)) {
+  ADEPT_CHECK(config_.budget_ms >= 0.0, "budget_ms must be >= 0");
+  ADEPT_CHECK(config_.drift_threshold > 0.0 && config_.drift_threshold <= 1.0,
+              "drift_threshold must be in (0, 1]");
+}
+
+model::ThroughputReport ReplanOrchestrator::measure(
+    const Platform& platform, const Hierarchy& hierarchy) const {
+  if (hierarchy.empty()) return {};
+  // The structural validity of `hierarchy` is an invariant here: it is
+  // always a planner output or a prune_failures survivor.
+  return platform.has_homogeneous_links()
+             ? model::evaluate_unchecked(hierarchy, platform, params_,
+                                         service_spec_)
+             : model::evaluate_hetero_unchecked(hierarchy, platform, params_,
+                                                service_spec_);
+}
+
+RequestRate ReplanOrchestrator::expected(const Platform& platform,
+                                         const NodeSet& down,
+                                         RequestRate demand) const {
+  if (density_ <= 0.0) return 0.0;
+  return std::min(density_ * sim::alive_power(platform, down), demand);
+}
+
+bool ReplanOrchestrator::full_replan(
+    const Platform& platform, const NodeSet& down, RequestRate demand,
+    const std::optional<Clock::time_point>& deadline, RepairOutcome& outcome) {
+  PlanRequest request(platform, params_, service_spec_);
+  request.options.demand = demand;
+  request.options.excluded = down;
+  request.options.verbose_trace = false;
+  request.options.deadline = deadline;
+  // The event handler blocks on the ticket, so the borrowed-platform
+  // request form is safe: the platform outlives the job by construction.
+  PlanTicket ticket = service_.submit(std::move(request), config_.planner);
+  const PlannerRun& run = ticket.wait();
+  if (!run.ok) {
+    // A skipped run lost to the budget/cancellation; anything else is a
+    // hard planner failure and must not masquerade as budget pressure.
+    if (run.skipped) {
+      ++stats_.full_skipped;
+      outcome.action = RepairAction::FullSkipped;
+    } else {
+      ++stats_.full_failed;
+      outcome.action = RepairAction::FullFailed;
+    }
+    outcome.detail += "; fallback " + (run.skipped ? std::string("skipped: ")
+                                                   : std::string("failed: ")) +
+                      run.error;
+    return false;
+  }
+  ++stats_.full;
+  outcome.action = RepairAction::Full;
+  const model::ThroughputReport candidate =
+      measure(platform, run.result.hierarchy);
+  // A full replan can lose to the incrementally repaired plan (the
+  // heuristic is greedy; the improver may sit in a better basin): keep
+  // the better of the two, but refresh the density estimate either way —
+  // the replan is the best fresh evidence of what this platform can do.
+  const RequestRate achievable = std::max(candidate.overall, report_.overall);
+  if (candidate.overall > report_.overall || current_.empty()) {
+    current_ = run.result.hierarchy;
+    report_ = candidate;
+  } else {
+    outcome.detail += "; full replan lost to repaired plan, kept ours";
+  }
+  const MFlopRate alive = sim::alive_power(platform, down);
+  if (alive > 0.0 && achievable < demand) density_ = achievable / alive;
+  return true;
+}
+
+RepairOutcome ReplanOrchestrator::bootstrap(const Platform& platform,
+                                            const NodeSet& down,
+                                            RequestRate demand) {
+  const auto start = Clock::now();
+  RepairOutcome outcome;
+  outcome.detail = "bootstrap";
+  full_replan(platform, down, demand, std::nullopt, outcome);
+  outcome.after = report_.overall;
+  outcome.wall_ms = ms_since(start);
+  return outcome;
+}
+
+RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
+                                           const Platform& platform,
+                                           const NodeSet& down,
+                                           RequestRate demand) {
+  const auto start = Clock::now();
+  std::optional<Clock::time_point> deadline;
+  if (config_.budget_ms > 0.0)
+    deadline = start + std::chrono::microseconds(
+                           static_cast<std::int64_t>(config_.budget_ms * 1e3));
+
+  ++stats_.events;
+  RepairOutcome outcome;
+  outcome.before = report_.overall;
+
+  // 1. Prune: the plan must never deploy onto a down node.
+  bool structural = current_.empty();
+  if (!structural && uses_down_node(current_, down)) {
+    outcome.pruned = true;
+    ++stats_.prunes;
+    auto surviving = deploy::prune_failures(current_, down);
+    if (surviving.has_value()) {
+      current_ = std::move(*surviving);
+    } else {
+      current_ = Hierarchy{};  // Root lost or no server left.
+      report_ = {};
+      structural = true;
+      outcome.detail = "plan lost to failures";
+    }
+  }
+
+  // Fast path: a demand tick the current plan already satisfies changes
+  // nothing — the report does not depend on demand, the improver would
+  // stop immediately ("demand is met"), and the drift check cannot fire
+  // (expected is clipped to a demand the plan meets).
+  if (!structural && !outcome.pruned &&
+      event.kind == sim::MutationKind::Demand && report_.overall >= demand) {
+    outcome.action = RepairAction::None;
+    outcome.after = report_.overall;
+    outcome.wall_ms = ms_since(start);
+    stats_.wall_ms += outcome.wall_ms;
+    return outcome;
+  }
+
+  // 2. Incremental repair from the surviving tree.
+  bool fallback = structural;
+  if (!structural) {
+    const model::ThroughputReport pre = measure(platform, current_);
+    PlanOptions options;
+    options.demand = demand;
+    options.excluded = down;
+    options.verbose_trace = false;
+    options.deadline = deadline;
+    report_ = pre;
+    try {
+      PlanResult repaired = improve_deployment(current_, platform, params_,
+                                               service_spec_, options);
+      // The improver prices its edits with the homogeneous model; on
+      // heterogeneous links they can lose under the true per-link
+      // evaluator. Adopt only a non-losing repair — a no-op on
+      // homogeneous platforms, where the improver's own accept test is
+      // the same evaluator measure() uses.
+      const model::ThroughputReport post =
+          measure(platform, repaired.hierarchy);
+      if (post.overall >= pre.overall) {
+        current_ = std::move(repaired.hierarchy);
+        report_ = post;
+      } else {
+        outcome.detail = "repair lost under per-link pricing, kept plan";
+      }
+    } catch (const Error&) {
+      // With a deadline armed, the only throw the improver's StopGuard
+      // checkpoints produce is the budget expiring mid-repair: the pruned
+      // tree is still valid — keep it and let the drift check decide
+      // whether a fallback is worth whatever budget remains. Without a
+      // deadline a throw is an invariant break (e.g. an invalid start
+      // hierarchy) and must surface, not degrade into a stale plan.
+      if (!deadline.has_value()) throw;
+      outcome.detail = "incremental repair ran out of budget";
+    }
+    outcome.action = RepairAction::Incremental;
+    ++stats_.incremental;
+
+    const RequestRate want = expected(platform, down, demand);
+    if (report_.overall < config_.drift_threshold * want) {
+      fallback = true;
+      ++stats_.drift_fallbacks;
+      outcome.detail += std::string(outcome.detail.empty() ? "" : "; ") +
+                        "drifted below threshold";
+    }
+  } else {
+    ++stats_.structural_fallbacks;
+  }
+
+  // 3. Full replan through the async service, on whatever budget remains.
+  if (fallback) full_replan(platform, down, demand, deadline, outcome);
+  if (current_.empty()) report_ = {};
+
+  outcome.after = report_.overall;
+  outcome.wall_ms = ms_since(start);
+  stats_.wall_ms += outcome.wall_ms;
+  return outcome;
+}
+
+}  // namespace adept

@@ -1,0 +1,145 @@
+#pragma once
+/// \file replan.hpp
+/// \brief Budgeted online replanning under platform churn.
+///
+/// The ReplanOrchestrator keeps one deployment hierarchy valid and fast
+/// while a ScenarioEngine (sim/scenario.hpp) mutates the platform under
+/// it. Per mutation event it runs the cheapest sufficient repair:
+///
+///   1. prune    — when the plan uses a node that just went down, cut the
+///                 dead subtrees out (deploy::prune_failures);
+///   2. repair   — incremental bottleneck repair from the current tree
+///                 (improve_deployment on the IncrementalEvaluator:
+///                 O(edits), recruits joiners, regrows pruned capacity);
+///   3. fallback — a full replan through the *async* PlanningService
+///                 (submit → ticket → wait) when the repaired plan has
+///                 drifted below `drift_threshold` × the expected
+///                 achievable throughput, or when nothing survived to
+///                 repair (root crash, empty plan).
+///
+/// Every step honours a per-event wall-clock budget (`budget_ms`): the
+/// incremental pass and the fallback planner share one deadline, enforced
+/// mid-flight by the planners' StopGuard checkpoints; a late fallback is
+/// reported skipped and the orchestrator keeps serving the best plan it
+/// has. budget_ms == 0 disables the deadline, which also makes the whole
+/// run deterministic — the planners are bit-identical for any service
+/// thread count, so same scenario + same seed reproduce the same final
+/// hierarchy anywhere.
+///
+/// Drift estimation: at every adopted full replan the orchestrator
+/// records achieved-throughput-per-alive-MFlop; the expected throughput
+/// after later mutations is that density times the current alive power,
+/// clipped to the demand. It is a proxy (a replan after heavy churn can
+/// legitimately do worse), which is exactly what the threshold tolerates.
+
+#include <cstdint>
+#include <string>
+
+#include "model/evaluate.hpp"
+#include "planner/planning_service.hpp"
+#include "planner/request.hpp"
+#include "sim/scenario.hpp"
+
+namespace adept {
+
+/// Tuning of the orchestrator's repair policy.
+struct ReplanConfig {
+  /// Planner used for bootstrap and full-replan fallbacks.
+  std::string planner = "heuristic";
+  /// Per-event repair budget in wall milliseconds; 0 = unbudgeted
+  /// (deterministic).
+  double budget_ms = 0.0;
+  /// Fall back to a full replan when the repaired plan's predicted
+  /// throughput is below this fraction of the expected achievable one.
+  double drift_threshold = 0.85;
+};
+
+/// What the orchestrator did for one event.
+enum class RepairAction {
+  None,         ///< Demand tick the current plan already satisfies.
+  Incremental,  ///< prune (maybe) + incremental bottleneck repair.
+  Full,         ///< Fallback full replan adopted (or attempted and lost).
+  FullSkipped,  ///< Fallback needed but the budget expired; kept old plan.
+  FullFailed,   ///< Fallback errored (bad planner / invalid request) —
+                ///< not budget pressure; kept old plan.
+};
+
+/// Per-event repair report.
+struct RepairOutcome {
+  RepairAction action = RepairAction::None;
+  bool pruned = false;     ///< Dead subtrees were cut out first.
+  double wall_ms = 0.0;    ///< Wall time spent handling the event.
+  RequestRate before = 0.0;  ///< Predicted throughput entering the event.
+  RequestRate after = 0.0;   ///< Predicted throughput after the repair.
+  std::string detail;        ///< Human-readable note (fallback reason, ...).
+};
+
+/// Lifetime counters across a run.
+struct ReplanStats {
+  std::uint64_t events = 0;
+  std::uint64_t prunes = 0;       ///< Events that required pruning.
+  std::uint64_t incremental = 0;  ///< Incremental repairs run.
+  std::uint64_t full = 0;         ///< Full replans completed.
+  std::uint64_t full_skipped = 0;  ///< Fallbacks lost to the budget.
+  std::uint64_t full_failed = 0;   ///< Fallbacks that errored (bad planner,
+                                   ///< invalid request) — not budget pressure.
+  std::uint64_t drift_fallbacks = 0;        ///< Fallbacks from quality drift.
+  std::uint64_t structural_fallbacks = 0;   ///< Fallbacks from plan loss.
+  double wall_ms = 0.0;  ///< Summed per-event repair wall time.
+};
+
+/// Keeps one deployment plan alive across a stream of platform mutations.
+/// Not thread-safe: one orchestrator drives one plan; the concurrency
+/// lives in the PlanningService behind it.
+class ReplanOrchestrator {
+ public:
+  ReplanOrchestrator(PlanningService& service, MiddlewareParams params,
+                     ServiceSpec service_spec, ReplanConfig config = {});
+
+  /// Establishes the initial plan with an unbudgeted full replan.
+  RepairOutcome bootstrap(const Platform& platform, const NodeSet& down,
+                          RequestRate demand);
+
+  /// Reacts to one mutation event; `platform`/`down`/`demand` are the
+  /// post-event state (ScenarioEngine::platform()/down()/demand()).
+  RepairOutcome on_event(const sim::MutationEvent& event,
+                         const Platform& platform, const NodeSet& down,
+                         RequestRate demand);
+
+  /// The current deployment (empty until bootstrap; never uses a node
+  /// that was down at the last event).
+  const Hierarchy& hierarchy() const { return current_; }
+  /// Model prediction for hierarchy() on the last-seen platform state.
+  const model::ThroughputReport& report() const { return report_; }
+  const ReplanStats& stats() const { return stats_; }
+
+ private:
+  /// Evaluates `hierarchy` under the link model the platform needs; zero
+  /// report for an empty hierarchy.
+  model::ThroughputReport measure(const Platform& platform,
+                                  const Hierarchy& hierarchy) const;
+  /// Expected achievable throughput from the recorded density.
+  RequestRate expected(const Platform& platform, const NodeSet& down,
+                       RequestRate demand) const;
+  /// Runs the fallback planner through the async service; returns true
+  /// when a plan was adopted.
+  bool full_replan(const Platform& platform, const NodeSet& down,
+                   RequestRate demand,
+                   const std::optional<std::chrono::steady_clock::time_point>&
+                       deadline,
+                   RepairOutcome& outcome);
+
+  PlanningService& service_;
+  MiddlewareParams params_;
+  ServiceSpec service_spec_;
+  ReplanConfig config_;
+
+  Hierarchy current_;
+  model::ThroughputReport report_;
+  /// Throughput per alive MFlop at the last adopted full replan; 0 until
+  /// one succeeds (drift detection is then inactive).
+  double density_ = 0.0;
+  ReplanStats stats_;
+};
+
+}  // namespace adept

@@ -125,4 +125,115 @@ Platform grid5000_orsay_loaded(std::size_t count, Rng& rng) {
   return Platform(std::move(nodes), 1000.0);
 }
 
+namespace {
+
+/// Per-site spec of the multi-cluster presets: name, share of the pool,
+/// effective power relative to kGrid5000NodePower.
+struct Site {
+  const char* name;
+  double share;
+  double power_scale;
+};
+
+constexpr Site kSites[] = {
+    {"lyon", 0.30, 1.00},    // sagittaire-class, unloaded
+    {"orsay", 0.35, 0.80},   // gdx nodes, lightly loaded
+    {"rennes", 0.20, 1.20},  // newer paravent-class
+    {"sophia", 0.15, 0.65},  // older helios-class
+};
+
+std::vector<std::size_t> site_sizes(std::size_t count) {
+  std::vector<std::size_t> sizes;
+  std::size_t assigned = 0;
+  for (const Site& site : kSites) {
+    const auto n = static_cast<std::size_t>(site.share * static_cast<double>(count));
+    sizes.push_back(n);
+    assigned += n;
+  }
+  for (std::size_t i = 0; assigned < count; i = (i + 1) % sizes.size()) {
+    ++sizes[i];
+    ++assigned;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Platform grid5000_multi_cluster(std::size_t count, Rng& rng) {
+  ADEPT_CHECK(count >= 4, "grid5000_multi_cluster: need at least 4 nodes");
+  const std::vector<std::size_t> sizes = site_sizes(count);
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(count);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const MFlopRate site_power = kGrid5000NodePower * kSites[s].power_scale;
+    for (std::size_t i = 0; i < sizes[s]; ++i) {
+      // ±3% per-node Linpack measurement jitter, like repeated calibration
+      // runs on nominally identical machines show.
+      const double noise = 1.0 + rng.uniform(-0.03, 0.03);
+      nodes.push_back({node_name(kSites[s].name, i), site_power * noise});
+    }
+  }
+  return Platform(std::move(nodes), 1000.0);
+}
+
+Platform wan_clusters(std::size_t count, Rng& rng) {
+  ADEPT_CHECK(count >= 4, "wan_clusters: need at least 4 nodes");
+  Platform platform = grid5000_multi_cluster(count, rng);
+  const std::vector<std::size_t> sizes = site_sizes(count);
+  // Every node outside the first (client-side) site talks through the WAN:
+  // its per-node link models that share, drawn around 100 Mbit/s.
+  NodeId id = sizes[0];
+  for (std::size_t s = 1; s < sizes.size(); ++s)
+    for (std::size_t i = 0; i < sizes[s]; ++i, ++id)
+      platform.set_link(id, rng.uniform(80.0, 120.0));
+  return platform;
+}
+
+Platform long_tail(std::size_t count, Rng& rng) {
+  ADEPT_CHECK(count > 0, "long_tail: count must be positive");
+  const std::size_t head = std::max<std::size_t>(1, count / 10);
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(count);
+  for (std::size_t i = 0; i < head; ++i) {
+    const double noise = 1.0 + rng.uniform(-0.05, 0.05);
+    nodes.push_back({node_name("head", i), 5.0 * kGrid5000NodePower * noise});
+  }
+  for (std::size_t i = head; i < count; ++i) {
+    const double u = rng.uniform();
+    const MFlopRate p = std::min(2.0 * kGrid5000NodePower,
+                                 0.1 * kGrid5000NodePower *
+                                     std::pow(1.0 - u, -1.0 / 1.2));
+    nodes.push_back({node_name("tail", i - head), p});
+  }
+  return Platform(std::move(nodes), 1000.0);
+}
+
+std::vector<PlatformCatalogEntry> platform_catalog() {
+  return {
+      {"g5k-multi-cluster",
+       "four Grid'5000-like sites, per-site powers, gigabit links"},
+      {"wan-clusters",
+       "multi-cluster with remote sites behind a ~100 Mbit WAN share"},
+      {"long-tail", "strong 10% head over a Pareto tail of weak nodes"},
+      {"orsay", "background-loaded Orsay pool of §5.3"},
+      {"uniform", "powers uniform in [200, 1400] MFlop/s"},
+      {"homogeneous", "identical 200 MFlop/s nodes, gigabit links"},
+  };
+}
+
+Platform catalog_platform(const std::string& name, std::size_t count,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  if (name == "g5k-multi-cluster") return grid5000_multi_cluster(count, rng);
+  if (name == "wan-clusters") return wan_clusters(count, rng);
+  if (name == "long-tail") return long_tail(count, rng);
+  if (name == "orsay") return grid5000_orsay_loaded(count, rng);
+  if (name == "uniform") return uniform(count, 200.0, 1400.0, 1000.0, rng);
+  if (name == "homogeneous") return grid5000_lyon(count);
+  std::string known;
+  for (const auto& entry : platform_catalog())
+    known += (known.empty() ? "" : ", ") + entry.name;
+  throw Error("unknown platform preset '" + name + "' (known: " + known + ")");
+}
+
 }  // namespace adept::gen

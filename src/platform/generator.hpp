@@ -58,4 +58,43 @@ Platform grid5000_lyon(std::size_t count);
 /// Orsay nodes after background loading: the heterogeneous pool of §5.3.
 Platform grid5000_orsay_loaded(std::size_t count, Rng& rng);
 
+// ------------------------------------------------------------- catalog --
+// Named platform presets the churn scenarios (sim/scenario.hpp) and the
+// CLI build from. Each is deterministic in (count, seed).
+
+/// Multi-site Grid'5000-like pool: four clusters in the style of the
+/// 2006-era sites (lyon / orsay / rennes / sophia), each homogeneous at
+/// its own per-site power with small per-node measurement jitter, all on
+/// gigabit links. Sizes split proportionally; remainder to the first
+/// sites.
+Platform grid5000_multi_cluster(std::size_t count, Rng& rng);
+
+/// WAN-linked clusters: like grid5000_multi_cluster, but only the first
+/// cluster sits next to the clients — every node of the remote clusters
+/// reaches the rest of the platform through a ~100 Mbit WAN share, which
+/// its per-node link bandwidth models (store-and-forward min-of-endpoints
+/// pricing charges every cross-site edge at the WAN rate).
+Platform wan_clusters(std::size_t count, Rng& rng);
+
+/// Long-tail heterogeneous pool: a strong head (10% of nodes at 5× base)
+/// over a Pareto-like tail of weak donated nodes — the volunteer-computing
+/// shape where picking agents well matters most.
+Platform long_tail(std::size_t count, Rng& rng);
+
+/// One catalog entry: a preset name plus a one-line description.
+struct PlatformCatalogEntry {
+  std::string name;
+  std::string summary;
+};
+
+/// All named presets `catalog_platform` understands.
+std::vector<PlatformCatalogEntry> platform_catalog();
+
+/// Builds a preset by name ("g5k-multi-cluster", "wan-clusters",
+/// "long-tail", "orsay", "uniform", "homogeneous"); throws adept::Error
+/// (listing the known names) on an unknown one. Deterministic in
+/// (count, seed).
+Platform catalog_platform(const std::string& name, std::size_t count,
+                          std::uint64_t seed);
+
 }  // namespace adept::gen

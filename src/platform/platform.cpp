@@ -61,6 +61,13 @@ void Platform::set_link(NodeId id, MbitRate link) {
   nodes_[id].link = link;
 }
 
+void Platform::set_power(NodeId id, MFlopRate power) {
+  ADEPT_CHECK(id < nodes_.size(), "node id out of range");
+  ADEPT_CHECK(power > 0.0, "node power must be positive");
+  nodes_[id].power = power;
+  rebuild_caches();
+}
+
 const NodeSpec& Platform::node(NodeId id) const {
   ADEPT_CHECK(id < nodes_.size(), "node id out of range");
   return nodes_[id];

@@ -65,6 +65,12 @@ class Platform {
   /// Overrides one node's link bandwidth (> 0).
   void set_link(NodeId id, MbitRate link);
 
+  /// Overrides one node's computing power (> 0) and rebuilds the SoA
+  /// caches. This is how churn scenarios model background load arriving
+  /// on (and leaving) a node — the §5.3 heterogenisation procedure, but
+  /// applied to a *live* platform between replans.
+  void set_power(NodeId id, MFlopRate power);
+
   /// Appends a node; returns its id. Validates like the constructor.
   NodeId add_node(NodeSpec node);
 

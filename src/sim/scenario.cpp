@@ -1,0 +1,505 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+#include "platform/generator.hpp"
+
+namespace adept::sim {
+
+const char* mutation_kind_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::Join: return "join";
+    case MutationKind::Leave: return "leave";
+    case MutationKind::Crash: return "crash";
+    case MutationKind::Rejoin: return "rejoin";
+    case MutationKind::SetPower: return "set-power";
+    case MutationKind::SetLink: return "set-link";
+    case MutationKind::Demand: return "demand";
+  }
+  return "?";
+}
+
+MutationKind mutation_kind_from_name(const std::string& name) {
+  for (MutationKind kind :
+       {MutationKind::Join, MutationKind::Leave, MutationKind::Crash,
+        MutationKind::Rejoin, MutationKind::SetPower, MutationKind::SetLink,
+        MutationKind::Demand})
+    if (name == mutation_kind_name(kind)) return kind;
+  throw Error("unknown mutation kind '" + name + "'");
+}
+
+Platform PlatformSpec::build() const {
+  if (inline_platform.has_value()) return *inline_platform;
+  ADEPT_CHECK(!preset.empty(),
+              "platform spec needs a preset name or an inline platform");
+  // Bounded before any generator loop runs: build() is called from the
+  // engine's constructor init-list, ahead of every other validation, so
+  // a hostile count must be rejected here, not discovered as an OOM.
+  ADEPT_CHECK(count <= 1'000'000,
+              "platform spec count is unreasonably large (max 1e6)");
+  return gen::catalog_platform(preset, count, seed);
+}
+
+namespace {
+
+// Independent RNG stream salts — one arrival-time stream and one
+// victim/payload stream per stochastic process, so enabling or
+// re-ordering one process never shifts another's random draws (victim
+// *eligibility* still reflects the shared platform state, which other
+// processes' effects do change).
+constexpr std::uint64_t kSaltCrash = 0xC7A5'11E5'0001ULL;
+constexpr std::uint64_t kSaltLeave = 0xC7A5'11E5'0002ULL;
+constexpr std::uint64_t kSaltJoin = 0xC7A5'11E5'0003ULL;
+constexpr std::uint64_t kSaltDegrade = 0xC7A5'11E5'0004ULL;
+constexpr std::uint64_t kSaltLink = 0xC7A5'11E5'0005ULL;
+constexpr std::uint64_t kSaltPick = 0xC7A5'11E5'0006ULL;
+
+/// Poisson arrival instants in [0, duration) at `rate` per second.
+std::vector<Seconds> poisson_arrivals(double rate, Seconds duration, Rng rng) {
+  std::vector<Seconds> out;
+  if (rate <= 0.0 || duration <= 0.0) return out;
+  Seconds t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform()) / rate;
+    if (t >= duration) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+/// What a queued entry is: a ready event applied verbatim, or a
+/// stochastic process firing whose target/payload is drawn at pop time.
+enum class Tag { Ready, Crash, Leave, Join, Degrade, LinkDrop };
+
+struct Pending {
+  Seconds time = 0.0;
+  std::uint64_t seq = 0;
+  Tag tag = Tag::Ready;
+  MutationEvent event;  ///< Fully formed for Tag::Ready.
+};
+
+struct Later {
+  bool operator()(const Pending& a, const Pending& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+void apply_to(const MutationEvent& event, Platform& platform, NodeSet& down,
+              RequestRate& demand) {
+  switch (event.kind) {
+    case MutationKind::Join: {
+      ADEPT_CHECK(!event.name.empty() && event.value > 0.0,
+                  "join event needs a name and a positive power");
+      const NodeId id =
+          platform.add_node({event.name, event.value, event.link});
+      ADEPT_CHECK(id == event.node,
+                  "join event id disagrees with the platform (trace does not "
+                  "apply to this scenario)");
+      return;
+    }
+    case MutationKind::Leave:
+    case MutationKind::Crash:
+      ADEPT_CHECK(event.node < platform.size(), "event targets unknown node");
+      down.insert(event.node);
+      return;
+    case MutationKind::Rejoin:
+      ADEPT_CHECK(event.node < platform.size(), "event targets unknown node");
+      down.erase(event.node);
+      return;
+    case MutationKind::SetPower:
+      platform.set_power(event.node, event.value);
+      return;
+    case MutationKind::SetLink:
+      platform.set_link(event.node, event.value);
+      return;
+    case MutationKind::Demand:
+      ADEPT_CHECK(event.value > 0.0, "demand must be positive");
+      demand = event.value;
+      return;
+  }
+  throw Error("corrupt mutation event");
+}
+
+/// Rejects scenarios whose numeric fields would hang or overflow the
+/// expansion — a deserialized document goes through here unchecked by the
+/// wire layer, and "hostile JSON cannot materialise an invalid value" is
+/// this module's contract as much as the constructors'.
+void validate_scenario(const Scenario& sc) {
+  auto finite = [](double v) { return std::isfinite(v); };
+  ADEPT_CHECK(finite(sc.duration) && sc.duration >= 0.0,
+              "scenario duration must be finite and >= 0");
+  const ChurnSpec& churn = sc.churn;
+  for (double rate : {churn.crash_rate, churn.leave_rate, churn.join_rate,
+                      churn.degrade_rate, churn.link_drop_rate}) {
+    ADEPT_CHECK(finite(rate) && rate >= 0.0,
+                "churn rates must be finite and >= 0");
+    ADEPT_CHECK(rate * sc.duration <= 1e7,
+                "churn rate x duration would expand too many events");
+  }
+  auto span = [&](double lo, double hi, const char* what) {
+    ADEPT_CHECK(finite(lo) && finite(hi) && 0.0 <= lo && lo <= hi,
+                std::string(what) + " must satisfy 0 <= lo <= hi (finite)");
+  };
+  span(churn.rejoin_after_lo, churn.rejoin_after_hi, "rejoin_after");
+  span(churn.degrade_for_lo, churn.degrade_for_hi, "degrade_for");
+  span(churn.link_drop_for_lo, churn.link_drop_for_hi, "link_drop_for");
+  auto scale = [&](double lo, double hi, const char* what) {
+    ADEPT_CHECK(finite(lo) && finite(hi) && 0.0 < lo && lo <= hi,
+                std::string(what) + " must satisfy 0 < lo <= hi (finite)");
+  };
+  scale(churn.degrade_scale_lo, churn.degrade_scale_hi, "degrade_scale");
+  scale(churn.link_scale_lo, churn.link_scale_hi, "link_scale");
+  if (churn.join_rate > 0.0)
+    scale(churn.join_power_lo, churn.join_power_hi, "join_power");
+  const DemandWaveSpec& demand = sc.demand;
+  ADEPT_CHECK(finite(demand.base) && demand.base >= 0.0 &&
+                  finite(demand.amplitude),
+              "demand wave base/amplitude must be finite, base >= 0");
+  if (demand.base > 0.0) {
+    ADEPT_CHECK(finite(demand.period) && demand.period > 0.0,
+                "demand wave period must be finite and > 0");
+    ADEPT_CHECK(finite(demand.step) && demand.step > 0.0 &&
+                    sc.duration / demand.step <= 1e7,
+                "demand wave step must be > 0 and coarse enough for the "
+                "duration");
+  }
+  for (const MutationEvent& event : sc.scripted) {
+    ADEPT_CHECK(finite(event.time) && event.time >= 0.0,
+                "scripted event times must be finite and >= 0");
+    switch (event.kind) {
+      case MutationKind::Join:
+        ADEPT_CHECK(finite(event.value) && event.value > 0.0 &&
+                        finite(event.link) && event.link >= 0.0,
+                    "scripted join needs a finite positive power and a "
+                    "finite non-negative link");
+        break;
+      case MutationKind::SetPower:
+      case MutationKind::SetLink:
+        ADEPT_CHECK(finite(event.value) && event.value > 0.0,
+                    "scripted set-power/set-link values must be finite "
+                    "and > 0");
+        break;
+      case MutationKind::Demand:
+        // Infinity is legal here: it means "back to unlimited demand".
+        ADEPT_CHECK(event.value > 0.0, "scripted demand must be > 0");
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+const MutationEvent* ScenarioEngine::peek() const {
+  return done() ? nullptr : &trace_[cursor_];
+}
+
+const MutationEvent& ScenarioEngine::step() {
+  ADEPT_CHECK(!done(), "scenario trace exhausted");
+  const MutationEvent& event = trace_[cursor_++];
+  apply(event);
+  return event;
+}
+
+void ScenarioEngine::apply(const MutationEvent& event) {
+  apply_to(event, platform_, down_, demand_);
+}
+
+MFlopRate alive_power(const Platform& platform, const NodeSet& down) {
+  MFlopRate total = 0.0;
+  for (NodeId id = 0; id < platform.size(); ++id)
+    if (!down.contains(id)) total += platform.power(id);
+  return total;
+}
+
+MFlopRate ScenarioEngine::alive_power() const {
+  return sim::alive_power(platform_, down_);
+}
+
+ScenarioEngine::ScenarioEngine(Scenario scenario)
+    : scenario_(std::move(scenario)), platform_(scenario_.platform.build()) {
+  validate_scenario(scenario_);
+  expand();
+}
+
+ScenarioEngine::ScenarioEngine(Scenario scenario,
+                               std::vector<MutationEvent> trace)
+    : scenario_(std::move(scenario)), platform_(scenario_.platform.build()),
+      trace_(std::move(trace)) {
+  validate_scenario(scenario_);
+  // Validate the recorded trace by dry-running it against a scratch copy
+  // of the initial state — a recording that cannot replay exactly is
+  // rejected here, not half-way through a run.
+  Platform scratch = platform_;
+  NodeSet down;
+  RequestRate demand = kNoDemandCap;
+  for (const MutationEvent& event : trace_)
+    apply_to(event, scratch, down, demand);
+}
+
+void ScenarioEngine::expand() {
+  const Scenario& sc = scenario_;
+  const ChurnSpec& churn = sc.churn;
+
+  // Scratch state the expansion walks forward; platform_ keeps the
+  // initial state so step() can replay from the beginning.
+  Platform scratch = platform_;
+  NodeSet down;
+  RequestRate demand = kNoDemandCap;
+  // Nominal (pre-degradation) power and link per node, extended on joins;
+  // restore events carry these as absolute values.
+  std::vector<MFlopRate> nominal_power(scratch.powers());
+  std::vector<MbitRate> nominal_link(scratch.size());
+  for (NodeId id = 0; id < scratch.size(); ++id)
+    nominal_link[id] = scratch.link_bandwidth(id);
+
+  std::priority_queue<Pending, std::vector<Pending>, Later> queue;
+  std::uint64_t seq = 0;
+  auto push = [&](Seconds time, Tag tag, MutationEvent event = {}) {
+    event.time = time;
+    queue.push(Pending{time, seq++, tag, std::move(event)});
+  };
+
+  // Seeding order fixes the tie-break among same-instant firings:
+  // scripted, demand samples, then the stochastic processes.
+  for (const MutationEvent& event : sc.scripted)
+    push(event.time, Tag::Ready, event);
+
+  if (sc.demand.base > 0.0 && sc.demand.step > 0.0) {
+    const auto samples =
+        static_cast<std::size_t>(sc.duration / sc.demand.step);
+    for (std::size_t k = 1; k <= samples; ++k) {
+      const Seconds t = static_cast<double>(k) * sc.demand.step;
+      if (t >= sc.duration) break;
+      const double wave =
+          sc.demand.base +
+          sc.demand.amplitude *
+              std::sin(2.0 * 3.14159265358979323846 * t / sc.demand.period);
+      MutationEvent event;
+      event.kind = MutationKind::Demand;
+      event.value = std::max(wave, 1e-3);
+      push(t, Tag::Ready, std::move(event));
+    }
+  }
+
+  for (Seconds t :
+       poisson_arrivals(churn.crash_rate, sc.duration, Rng(sc.seed ^ kSaltCrash)))
+    push(t, Tag::Crash);
+  for (Seconds t :
+       poisson_arrivals(churn.leave_rate, sc.duration, Rng(sc.seed ^ kSaltLeave)))
+    push(t, Tag::Leave);
+  for (Seconds t :
+       poisson_arrivals(churn.join_rate, sc.duration, Rng(sc.seed ^ kSaltJoin)))
+    push(t, Tag::Join);
+  for (Seconds t : poisson_arrivals(churn.degrade_rate, sc.duration,
+                                    Rng(sc.seed ^ kSaltDegrade)))
+    push(t, Tag::Degrade);
+  for (Seconds t : poisson_arrivals(churn.link_drop_rate, sc.duration,
+                                    Rng(sc.seed ^ kSaltLink)))
+    push(t, Tag::LinkDrop);
+
+  // One victim/payload stream per process (arrival streams above are
+  // separate): the crash stream's draws are the same whether or not link
+  // drops are enabled, and vice versa.
+  Rng crash_pick(sc.seed ^ kSaltCrash ^ kSaltPick);
+  Rng leave_pick(sc.seed ^ kSaltLeave ^ kSaltPick);
+  Rng join_pick(sc.seed ^ kSaltJoin ^ kSaltPick);
+  Rng degrade_pick(sc.seed ^ kSaltDegrade ^ kSaltPick);
+  Rng link_pick(sc.seed ^ kSaltLink ^ kSaltPick);
+  std::size_t joined = 0;
+  // Draws a live victim; kNoNode when every node is down.
+  auto victim = [&](Rng& pick) -> NodeId {
+    std::vector<NodeId> alive;
+    alive.reserve(scratch.size());
+    for (NodeId id = 0; id < scratch.size(); ++id)
+      if (!down.contains(id)) alive.push_back(id);
+    if (alive.empty()) return kNoNode;
+    return alive[static_cast<std::size_t>(
+        pick.uniform_int(0, static_cast<std::int64_t>(alive.size()) - 1))];
+  };
+  auto emit = [&](MutationEvent event) {
+    apply_to(event, scratch, down, demand);
+    if (event.kind == MutationKind::Join) {
+      // Track nominals for scripted and stochastic joins alike — the
+      // degrade/link-drop processes may pick any joined node as victim.
+      nominal_power.push_back(scratch.power(scratch.size() - 1));
+      nominal_link.push_back(scratch.link_bandwidth(scratch.size() - 1));
+    }
+    trace_.push_back(std::move(event));
+  };
+
+  while (!queue.empty()) {
+    Pending p = queue.top();
+    queue.pop();
+    switch (p.tag) {
+      case Tag::Ready:
+        emit(std::move(p.event));
+        break;
+      case Tag::Crash: {
+        const NodeId node = victim(crash_pick);
+        if (node == kNoNode) break;
+        MutationEvent event;
+        event.time = p.time;
+        event.kind = MutationKind::Crash;
+        event.node = node;
+        emit(std::move(event));
+        if (churn.rejoin_after_hi > 0.0) {
+          const Seconds delay = crash_pick.uniform(churn.rejoin_after_lo,
+                                                   churn.rejoin_after_hi);
+          MutationEvent rejoin;
+          rejoin.kind = MutationKind::Rejoin;
+          rejoin.node = node;
+          push(p.time + delay, Tag::Ready, std::move(rejoin));
+        }
+        break;
+      }
+      case Tag::Leave: {
+        const NodeId node = victim(leave_pick);
+        if (node == kNoNode) break;
+        MutationEvent event;
+        event.time = p.time;
+        event.kind = MutationKind::Leave;
+        event.node = node;
+        emit(std::move(event));
+        break;
+      }
+      case Tag::Join: {
+        MutationEvent event;
+        event.time = p.time;
+        event.kind = MutationKind::Join;
+        event.node = scratch.size();
+        event.name = "join-" + std::to_string(joined++);
+        event.value =
+            join_pick.uniform(churn.join_power_lo, churn.join_power_hi);
+        emit(std::move(event));
+        break;
+      }
+      case Tag::Degrade: {
+        const NodeId node = victim(degrade_pick);
+        if (node == kNoNode) break;
+        MutationEvent event;
+        event.time = p.time;
+        event.kind = MutationKind::SetPower;
+        event.node = node;
+        event.value = nominal_power[node] *
+                      degrade_pick.uniform(churn.degrade_scale_lo,
+                                           churn.degrade_scale_hi);
+        emit(std::move(event));
+        if (churn.degrade_for_hi > 0.0) {
+          const Seconds delay = degrade_pick.uniform(churn.degrade_for_lo,
+                                                     churn.degrade_for_hi);
+          MutationEvent restore;
+          restore.kind = MutationKind::SetPower;
+          restore.node = node;
+          restore.value = nominal_power[node];
+          push(p.time + delay, Tag::Ready, std::move(restore));
+        }
+        break;
+      }
+      case Tag::LinkDrop: {
+        const NodeId node = victim(link_pick);
+        if (node == kNoNode) break;
+        MutationEvent event;
+        event.time = p.time;
+        event.kind = MutationKind::SetLink;
+        event.node = node;
+        event.value = nominal_link[node] *
+                      link_pick.uniform(churn.link_scale_lo,
+                                        churn.link_scale_hi);
+        emit(std::move(event));
+        if (churn.link_drop_for_hi > 0.0) {
+          const Seconds delay = link_pick.uniform(churn.link_drop_for_lo,
+                                                  churn.link_drop_for_hi);
+          MutationEvent restore;
+          restore.kind = MutationKind::SetLink;
+          restore.node = node;
+          restore.value = nominal_link[node];
+          push(p.time + delay, Tag::Ready, std::move(restore));
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::vector<ScenarioCatalogEntry> scenario_catalog() {
+  return {
+      {"g5k-310-churn",
+       "310-node multi-site pool under crashes, load waves and demand "
+       "swings (the bench_churn workload)"},
+      {"wan-120-flaky-links",
+       "WAN-linked clusters with collapsing remote shares plus crashes"},
+      {"longtail-500-flash-crowd",
+       "long-tail pool under join waves and a steep demand flash crowd"},
+      {"g5k-310-steady", "the 310-node pool with no churn (control runs)"},
+  };
+}
+
+Scenario catalog_scenario(const std::string& name) {
+  Scenario sc;
+  sc.name = name;
+  if (name == "g5k-310-churn") {
+    sc.seed = 42;
+    sc.duration = 60.0;
+    sc.platform = {"g5k-multi-cluster", 310, 7, {}};
+    sc.churn.crash_rate = 1.2;
+    sc.churn.rejoin_after_lo = 2.0;
+    sc.churn.rejoin_after_hi = 8.0;
+    sc.churn.leave_rate = 0.05;
+    sc.churn.join_rate = 0.3;
+    sc.churn.join_power_lo = 150.0;
+    sc.churn.join_power_hi = 280.0;
+    sc.churn.degrade_rate = 1.5;
+    sc.churn.degrade_scale_lo = 0.3;
+    sc.churn.degrade_scale_hi = 0.8;
+    sc.churn.degrade_for_lo = 3.0;
+    sc.churn.degrade_for_hi = 10.0;
+    sc.demand = {500.0, 350.0, 20.0, 0.5};
+    return sc;
+  }
+  if (name == "wan-120-flaky-links") {
+    sc.seed = 43;
+    sc.duration = 60.0;
+    sc.platform = {"wan-clusters", 120, 9, {}};
+    sc.churn.crash_rate = 0.4;
+    sc.churn.rejoin_after_lo = 3.0;
+    sc.churn.rejoin_after_hi = 10.0;
+    sc.churn.link_drop_rate = 1.0;
+    sc.churn.link_scale_lo = 0.2;
+    sc.churn.link_scale_hi = 0.6;
+    sc.churn.link_drop_for_lo = 2.0;
+    sc.churn.link_drop_for_hi = 8.0;
+    sc.demand = {300.0, 150.0, 15.0, 1.0};
+    return sc;
+  }
+  if (name == "longtail-500-flash-crowd") {
+    sc.seed = 44;
+    sc.duration = 60.0;
+    sc.platform = {"long-tail", 500, 11, {}};
+    sc.churn.crash_rate = 0.3;
+    sc.churn.rejoin_after_lo = 5.0;
+    sc.churn.rejoin_after_hi = 15.0;
+    sc.churn.join_rate = 1.0;
+    sc.churn.join_power_lo = 20.0;
+    sc.churn.join_power_hi = 400.0;
+    sc.demand = {250.0, 240.0, 40.0, 0.5};
+    return sc;
+  }
+  if (name == "g5k-310-steady") {
+    sc.seed = 42;
+    sc.duration = 60.0;
+    sc.platform = {"g5k-multi-cluster", 310, 7, {}};
+    return sc;
+  }
+  std::string known;
+  for (const auto& entry : scenario_catalog())
+    known += (known.empty() ? "" : ", ") + entry.name;
+  throw Error("unknown scenario '" + name + "' (known: " + known + ")");
+}
+
+}  // namespace adept::sim

@@ -1,0 +1,232 @@
+#pragma once
+/// \file scenario.hpp
+/// \brief Churn scenarios: event-driven mutation of a live Platform.
+///
+/// The paper plans for a *static* platform; production platforms are not
+/// static. A Scenario is a seeded, serializable description of how a
+/// platform changes over simulated time — nodes crash and rejoin, leave
+/// for good, fresh ones arrive, background load degrades (and releases)
+/// node powers, WAN shares collapse, client demand rises and falls — and
+/// the ScenarioEngine turns it into a concrete, deterministic sequence of
+/// MutationEvents applied to a live Platform.
+///
+/// Determinism contract: the whole event trace is expanded *up front*
+/// from the scenario's seed, single-threaded, with one independent RNG
+/// stream per stochastic process (so adding a process never perturbs the
+/// others) — same scenario + same seed give a bit-identical trace for any
+/// thread count, and across hosts whose libm (log/sin) rounds
+/// identically; a recorded trace replays bit-exactly anywhere regardless.
+/// Every event carries *absolute* values (the
+/// new power, the new link rate), never deltas or factors, so a recorded
+/// trace replays to the exact same platform states without consulting the
+/// RNG again. wire.hpp round-trips Scenario, MutationEvent and whole
+/// recordings through JSON (`adept simulate --scenario --record/--replay`).
+///
+/// The engine mutates platform *state* but never deletes nodes: NodeIds
+/// are indices that hierarchies and plans hold, so departed nodes stay in
+/// the Platform and are reported through down() — the same excluded-hosts
+/// convention PlanOptions and deploy::prune_failures already speak.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/flat_set.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "platform/platform.hpp"
+
+namespace adept::sim {
+
+/// What one mutation event does to the platform state.
+enum class MutationKind {
+  Join,      ///< A fresh node appears (name/power/link in the event).
+  Leave,     ///< A node departs for good (decommissioned).
+  Crash,     ///< A node fails abruptly; may Rejoin later.
+  Rejoin,    ///< A crashed node returns to service.
+  SetPower,  ///< A node's measured power changes (background load).
+  SetLink,   ///< A node's link bandwidth changes (WAN weather).
+  Demand,    ///< The client demand level changes.
+};
+
+/// Sum of powers of the platform's nodes that are not in `down` — the
+/// capacity actually in service. Shared by the engine's diagnostics and
+/// the orchestrator's drift estimate.
+MFlopRate alive_power(const Platform& platform, const NodeSet& down);
+
+/// Stable wire name of a kind ("join", "crash", ...).
+const char* mutation_kind_name(MutationKind kind);
+/// Inverse of mutation_kind_name; throws adept::Error on unknown names.
+MutationKind mutation_kind_from_name(const std::string& name);
+
+/// Event target when the event has none (Demand).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// "No demand cap" — planners maximise raw throughput (mirrors
+/// adept::kUnlimitedDemand without pulling the planner layer into sim).
+inline constexpr RequestRate kNoDemandCap =
+    std::numeric_limits<RequestRate>::infinity();
+
+/// One platform mutation at one instant of simulated time. All values are
+/// absolute so application is RNG-free and replay is exact.
+struct MutationEvent {
+  Seconds time = 0.0;
+  MutationKind kind = MutationKind::Crash;
+  NodeId node = kNoNode;  ///< Target node; for Join, the id assigned.
+  /// Kind-specific payload: Join → nominal power; SetPower → new power;
+  /// SetLink → new link Mbit/s; Demand → new demand (may be infinity).
+  double value = 0.0;
+  MbitRate link = 0.0;  ///< Join only: per-node link (0 = homogeneous).
+  std::string name;     ///< Join only: the new node's name.
+
+  bool operator==(const MutationEvent&) const = default;
+};
+
+/// Stochastic churn processes, all Poisson-arrival with uniform payload
+/// draws. A rate of 0 disables a process.
+struct ChurnSpec {
+  double crash_rate = 0.0;        ///< Node crashes per simulated second.
+  Seconds rejoin_after_lo = 0.0;  ///< Crashed node returns after U[lo,hi];
+  Seconds rejoin_after_hi = 0.0;  ///< hi == 0 means it never returns.
+  double leave_rate = 0.0;        ///< Permanent departures per second.
+  double join_rate = 0.0;         ///< Fresh node arrivals per second.
+  MFlopRate join_power_lo = 0.0;  ///< Power of joining nodes U[lo,hi].
+  MFlopRate join_power_hi = 0.0;
+  double degrade_rate = 0.0;        ///< Background-load waves per second.
+  double degrade_scale_lo = 0.2;    ///< Degraded power = nominal × U[lo,hi].
+  double degrade_scale_hi = 0.9;
+  Seconds degrade_for_lo = 0.0;  ///< Load released after U[lo,hi];
+  Seconds degrade_for_hi = 0.0;  ///< hi == 0 means the load stays.
+  double link_drop_rate = 0.0;   ///< Link-bandwidth drops per second.
+  double link_scale_lo = 0.1;    ///< Dropped link = nominal × U[lo,hi].
+  double link_scale_hi = 0.5;
+  Seconds link_drop_for_lo = 0.0;  ///< Link restored after U[lo,hi];
+  Seconds link_drop_for_hi = 0.0;  ///< hi == 0 means it stays dropped.
+
+  bool operator==(const ChurnSpec&) const = default;
+};
+
+/// Sinusoidal client-demand wave, sampled every `step` seconds:
+///   demand(t) = base + amplitude · sin(2π t / period)
+/// (clamped to stay positive). base == 0 disables the process entirely —
+/// the scenario then runs under unlimited demand.
+struct DemandWaveSpec {
+  RequestRate base = 0.0;
+  RequestRate amplitude = 0.0;
+  Seconds period = 30.0;
+  Seconds step = 1.0;
+
+  bool operator==(const DemandWaveSpec&) const = default;
+};
+
+/// How the scenario's initial platform is built: a named catalog preset
+/// (gen::catalog_platform) expanded with (count, seed), or an inline
+/// Platform carried by value.
+struct PlatformSpec {
+  std::string preset;      ///< Empty when `inline_platform` is set.
+  std::size_t count = 0;   ///< Preset size.
+  std::uint64_t seed = 1;  ///< Preset generator seed.
+  std::optional<Platform> inline_platform;
+
+  /// Materialises the initial platform; throws on an unknown preset or
+  /// when neither form is specified.
+  Platform build() const;
+
+  bool operator==(const PlatformSpec&) const = default;
+};
+
+/// A complete, serializable churn scenario.
+struct Scenario {
+  std::string name;
+  std::uint64_t seed = 1;   ///< Seed of the event expansion.
+  Seconds duration = 60.0;  ///< Simulated time covered by the processes.
+  PlatformSpec platform;
+  ChurnSpec churn;
+  DemandWaveSpec demand;
+  /// Extra hand-written events merged into the stochastic trace (time
+  /// order, scripted-first on ties). Values are applied verbatim.
+  std::vector<MutationEvent> scripted;
+
+  bool operator==(const Scenario&) const = default;
+};
+
+/// A recorded run: the scenario plus the exact trace it expanded to.
+/// Round-trips through wire.hpp; replaying the recording reproduces every
+/// intermediate platform state bit-for-bit.
+struct ScenarioRecording {
+  Scenario scenario;
+  std::vector<MutationEvent> trace;
+
+  bool operator==(const ScenarioRecording&) const = default;
+};
+
+/// Expands a scenario into its mutation trace and plays it against a live
+/// Platform. Construction expands (or adopts) the full trace; step()
+/// applies one event at a time while the caller — typically a
+/// ReplanOrchestrator — watches platform()/down()/demand() evolve.
+class ScenarioEngine {
+ public:
+  /// Expands `scenario` deterministically from its seed.
+  explicit ScenarioEngine(Scenario scenario);
+
+  /// Replay form: adopts a previously recorded trace verbatim instead of
+  /// re-expanding. Throws when the trace does not apply cleanly (e.g. a
+  /// Join whose assigned id disagrees with the platform).
+  ScenarioEngine(Scenario scenario, std::vector<MutationEvent> trace);
+
+  const Scenario& scenario() const { return scenario_; }
+  /// The live platform (grows on Join; powers/links mutate in place).
+  const Platform& platform() const { return platform_; }
+  /// Nodes currently out of service (crashed or departed).
+  const NodeSet& down() const { return down_; }
+  /// Current client demand; kNoDemandCap until a Demand event fires.
+  RequestRate demand() const { return demand_; }
+  /// Sum of powers of nodes in service (diagnostics / drift estimates).
+  MFlopRate alive_power() const;
+
+  /// The full pre-expanded trace (also what --record persists).
+  const std::vector<MutationEvent>& trace() const { return trace_; }
+  std::size_t cursor() const { return cursor_; }
+  bool done() const { return cursor_ >= trace_.size(); }
+  /// Next event without applying it; nullptr when done.
+  const MutationEvent* peek() const;
+  /// Applies the next event to the platform state and returns it.
+  const MutationEvent& step();
+
+ private:
+  void apply(const MutationEvent& event);
+  void expand();
+
+  Scenario scenario_;
+  Platform platform_;
+  NodeSet down_;
+  RequestRate demand_ = kNoDemandCap;
+  std::vector<MutationEvent> trace_;
+  std::size_t cursor_ = 0;
+};
+
+/// One named, ready-made scenario of the catalog.
+struct ScenarioCatalogEntry {
+  std::string name;
+  std::string summary;
+};
+
+/// All named scenarios `catalog_scenario` understands.
+std::vector<ScenarioCatalogEntry> scenario_catalog();
+
+/// Builds a catalog scenario by name; throws adept::Error (listing the
+/// known names) on an unknown one. The catalog ships:
+///   - "g5k-310-churn"            sustained crash/rejoin + load waves +
+///                                demand swings on a 310-node multi-site
+///                                Grid'5000-like pool (the bench workload);
+///   - "wan-120-flaky-links"      WAN-linked clusters whose remote shares
+///                                collapse and recover, plus crashes;
+///   - "longtail-500-flash-crowd" a long-tail pool under join waves and a
+///                                steep demand flash crowd;
+///   - "g5k-310-steady"           the 310-node pool with no churn at all
+///                                (control / baseline runs).
+Scenario catalog_scenario(const std::string& name);
+
+}  // namespace adept::sim

@@ -1,0 +1,237 @@
+/// \file test_replan.cpp
+/// \brief ReplanOrchestrator: pruning, incremental repair, drift and
+/// structural fallbacks, budget behaviour, and whole-run determinism
+/// across service thread counts.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "planner/replan.hpp"
+#include "platform/generator.hpp"
+#include "sim/scenario.hpp"
+
+namespace adept {
+namespace {
+
+using sim::MutationEvent;
+using sim::MutationKind;
+using sim::Scenario;
+using sim::ScenarioEngine;
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+const ServiceSpec kService = dgemm_service(310);
+
+MutationEvent crash_event(NodeId node) {
+  MutationEvent event;
+  event.kind = MutationKind::Crash;
+  event.node = node;
+  return event;
+}
+
+/// Short scenario with enough churn to force prunes and regrowth.
+Scenario churny(std::uint64_t seed = 8) {
+  Scenario sc;
+  sc.name = "test-churny";
+  sc.seed = seed;
+  sc.duration = 6.0;
+  sc.platform = {"uniform", 24, 3, {}};
+  sc.churn.crash_rate = 3.0;
+  sc.churn.rejoin_after_lo = 0.5;
+  sc.churn.rejoin_after_hi = 2.0;
+  sc.churn.degrade_rate = 2.0;
+  sc.churn.degrade_scale_lo = 0.3;
+  sc.churn.degrade_scale_hi = 0.7;
+  sc.churn.degrade_for_lo = 0.5;
+  sc.churn.degrade_for_hi = 2.0;
+  sc.demand = {120.0, 80.0, 3.0, 0.5};
+  return sc;
+}
+
+/// Runs a whole scenario through an orchestrator; asserts the plan is
+/// structurally valid and avoids down nodes after every single event.
+ReplanStats run_checked(const Scenario& scenario, std::size_t threads,
+                        ReplanConfig config, Hierarchy* final_hierarchy,
+                        model::ThroughputReport* final_report) {
+  ScenarioEngine engine(scenario);
+  PlanningService service(threads);
+  ReplanOrchestrator orchestrator(service, kParams, kService, config);
+  orchestrator.bootstrap(engine.platform(), engine.down(), engine.demand());
+  while (!engine.done()) {
+    const MutationEvent& event = engine.step();
+    orchestrator.on_event(event, engine.platform(), engine.down(),
+                          engine.demand());
+    const Hierarchy& plan = orchestrator.hierarchy();
+    if (!plan.empty()) {
+      EXPECT_TRUE(plan.validate(&engine.platform()).empty());
+      for (std::size_t i = 0; i < plan.size(); ++i)
+        EXPECT_FALSE(engine.down().contains(plan.node_of(i)));
+    }
+  }
+  if (final_hierarchy != nullptr) *final_hierarchy = orchestrator.hierarchy();
+  if (final_report != nullptr) *final_report = orchestrator.report();
+  return orchestrator.stats();
+}
+
+TEST(ReplanOrchestrator, BootstrapPlansTheFullPlatform) {
+  const Platform platform = gen::catalog_platform("uniform", 30, 3);
+  PlanningService service(2);
+  ReplanOrchestrator orchestrator(service, kParams, kService);
+  const RepairOutcome outcome =
+      orchestrator.bootstrap(platform, {}, sim::kNoDemandCap);
+  EXPECT_EQ(outcome.action, RepairAction::Full);
+  EXPECT_FALSE(orchestrator.hierarchy().empty());
+  EXPECT_TRUE(orchestrator.hierarchy().validate(&platform).empty());
+  EXPECT_GT(orchestrator.report().overall, 0.0);
+}
+
+TEST(ReplanOrchestrator, CrashOfUsedNodePrunesAndRepairs) {
+  const Platform platform = gen::catalog_platform("uniform", 30, 3);
+  PlanningService service(2);
+  ReplanOrchestrator orchestrator(service, kParams, kService);
+  orchestrator.bootstrap(platform, {}, sim::kNoDemandCap);
+
+  // Crash a deployed server (any non-root element's node).
+  const Hierarchy& plan = orchestrator.hierarchy();
+  ASSERT_GT(plan.size(), 1u);
+  const NodeId victim = plan.node_of(plan.servers().front());
+  NodeSet down;
+  down.insert(victim);
+
+  const RepairOutcome outcome = orchestrator.on_event(
+      crash_event(victim), platform, down, sim::kNoDemandCap);
+  EXPECT_TRUE(outcome.pruned);
+  EXPECT_EQ(outcome.action, RepairAction::Incremental);
+  for (std::size_t i = 0; i < orchestrator.hierarchy().size(); ++i)
+    EXPECT_NE(orchestrator.hierarchy().node_of(i), victim);
+  EXPECT_EQ(orchestrator.stats().prunes, 1u);
+}
+
+TEST(ReplanOrchestrator, RootCrashFallsBackToFullReplan) {
+  const Platform platform = gen::catalog_platform("uniform", 30, 3);
+  PlanningService service(2);
+  ReplanOrchestrator orchestrator(service, kParams, kService);
+  orchestrator.bootstrap(platform, {}, sim::kNoDemandCap);
+
+  const NodeId root_node =
+      orchestrator.hierarchy().node_of(orchestrator.hierarchy().root());
+  NodeSet down;
+  down.insert(root_node);
+  const RepairOutcome outcome = orchestrator.on_event(
+      crash_event(root_node), platform, down, sim::kNoDemandCap);
+  EXPECT_EQ(outcome.action, RepairAction::Full);
+  EXPECT_EQ(orchestrator.stats().structural_fallbacks, 1u);
+  EXPECT_FALSE(orchestrator.hierarchy().empty());
+  for (std::size_t i = 0; i < orchestrator.hierarchy().size(); ++i)
+    EXPECT_NE(orchestrator.hierarchy().node_of(i), root_node);
+}
+
+TEST(ReplanOrchestrator, StartingWithoutBootstrapStillPlans) {
+  const Platform platform = gen::catalog_platform("uniform", 20, 3);
+  PlanningService service(2);
+  ReplanOrchestrator orchestrator(service, kParams, kService);
+  const RepairOutcome outcome = orchestrator.on_event(
+      crash_event(0), platform, NodeSet{0}, sim::kNoDemandCap);
+  EXPECT_EQ(outcome.action, RepairAction::Full);
+  EXPECT_FALSE(orchestrator.hierarchy().empty());
+}
+
+TEST(ReplanOrchestrator, RootDegradationTriggersDriftFallback) {
+  // Degrading only the root agent's node collapses the scheduling term
+  // while the platform's alive power (the drift estimate's basis) barely
+  // moves — and a root bottleneck has no incremental local fix, so the
+  // orchestrator must notice the drift and restructure via a full replan.
+  Platform platform = gen::catalog_platform("uniform", 24, 3);
+  PlanningService service(2);
+  ReplanOrchestrator orchestrator(service, kParams, kService);
+  orchestrator.bootstrap(platform, {}, sim::kNoDemandCap);
+  const RequestRate healthy = orchestrator.report().overall;
+
+  const NodeId root_node =
+      orchestrator.hierarchy().node_of(orchestrator.hierarchy().root());
+  platform.set_power(root_node, 1.0);
+  MutationEvent event;
+  event.kind = MutationKind::SetPower;
+  event.node = root_node;
+  event.value = 1.0;
+  const RepairOutcome outcome =
+      orchestrator.on_event(event, platform, {}, sim::kNoDemandCap);
+
+  EXPECT_EQ(orchestrator.stats().drift_fallbacks, 1u);
+  EXPECT_EQ(outcome.action, RepairAction::Full);
+  EXPECT_EQ(orchestrator.stats().full, 2u);  // Bootstrap + the fallback.
+  // The replanned hierarchy roots on a healthy node and recovers most of
+  // the lost throughput.
+  EXPECT_NE(orchestrator.hierarchy().node_of(orchestrator.hierarchy().root()),
+            root_node);
+  EXPECT_GT(orchestrator.report().overall, 0.5 * healthy);
+}
+
+TEST(ReplanOrchestrator, SatisfiedDemandTickIsANoOp) {
+  const Platform platform = gen::catalog_platform("uniform", 20, 3);
+  PlanningService service(2);
+  ReplanOrchestrator orchestrator(service, kParams, kService);
+  orchestrator.bootstrap(platform, {}, sim::kNoDemandCap);
+  const RequestRate met = orchestrator.report().overall / 2.0;
+  const Hierarchy before = orchestrator.hierarchy();
+
+  MutationEvent event;
+  event.kind = MutationKind::Demand;
+  event.value = met;
+  const RepairOutcome outcome =
+      orchestrator.on_event(event, platform, {}, met);
+  EXPECT_EQ(outcome.action, RepairAction::None);
+  EXPECT_EQ(orchestrator.stats().incremental, 0u);
+  EXPECT_TRUE(orchestrator.hierarchy() == before);
+
+  // A demand the plan does NOT meet takes the repair path.
+  const RequestRate unmet = orchestrator.report().overall * 2.0;
+  event.value = unmet;
+  EXPECT_EQ(orchestrator.on_event(event, platform, {}, unmet).action,
+            RepairAction::Incremental);
+}
+
+TEST(ReplanOrchestrator, WholeRunKeepsPlansValid) {
+  ReplanConfig config;  // Unbudgeted.
+  const ReplanStats stats = run_checked(churny(), 2, config, nullptr, nullptr);
+  EXPECT_GT(stats.events, 0u);
+  EXPECT_GT(stats.incremental, 0u);
+  EXPECT_GT(stats.prunes, 0u);
+  EXPECT_EQ(stats.full_skipped, 0u);  // No budget, nothing can be skipped.
+}
+
+TEST(ReplanOrchestrator, DeterministicAcrossServiceThreadCounts) {
+  // budget_ms == 0 removes every wall-clock influence: the planners are
+  // bit-identical for any pool size, so the entire run must be too.
+  ReplanConfig config;
+  Hierarchy h1, h4;
+  model::ThroughputReport r1, r4;
+  const ReplanStats s1 = run_checked(churny(), 1, config, &h1, &r1);
+  const ReplanStats s4 = run_checked(churny(), 4, config, &h4, &r4);
+  EXPECT_TRUE(h1 == h4);
+  EXPECT_EQ(r1, r4);
+  EXPECT_EQ(s1.events, s4.events);
+  EXPECT_EQ(s1.incremental, s4.incremental);
+  EXPECT_EQ(s1.full, s4.full);
+  EXPECT_EQ(s1.prunes, s4.prunes);
+}
+
+TEST(ReplanOrchestrator, TinyBudgetNeverCorruptsThePlan) {
+  ReplanConfig config;
+  config.budget_ms = 0.05;  // Guaranteed to expire mid-repair regularly.
+  const ReplanStats stats = run_checked(churny(), 2, config, nullptr, nullptr);
+  EXPECT_EQ(stats.events, ScenarioEngine(churny()).trace().size());
+}
+
+TEST(ReplanOrchestrator, RejectsBadConfig) {
+  PlanningService service(1);
+  ReplanConfig negative;
+  negative.budget_ms = -1.0;
+  EXPECT_THROW(ReplanOrchestrator(service, kParams, kService, negative), Error);
+  ReplanConfig zero_drift;
+  zero_drift.drift_threshold = 0.0;
+  EXPECT_THROW(ReplanOrchestrator(service, kParams, kService, zero_drift),
+               Error);
+}
+
+}  // namespace
+}  // namespace adept

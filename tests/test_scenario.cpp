@@ -1,0 +1,372 @@
+/// \file test_scenario.cpp
+/// \brief Churn scenario engine: catalog presets, deterministic event
+/// expansion, state application, replay exactness, and wire round-trips.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "io/wire.hpp"
+#include "platform/generator.hpp"
+#include "sim/scenario.hpp"
+
+namespace adept {
+namespace {
+
+using sim::MutationEvent;
+using sim::MutationKind;
+using sim::Scenario;
+using sim::ScenarioEngine;
+
+/// Small, fast scenario exercising every stochastic process.
+Scenario busy_scenario(std::uint64_t seed = 5) {
+  Scenario sc;
+  sc.name = "test-busy";
+  sc.seed = seed;
+  sc.duration = 10.0;
+  sc.platform = {"uniform", 30, 3, {}};
+  sc.churn.crash_rate = 2.0;
+  sc.churn.rejoin_after_lo = 1.0;
+  sc.churn.rejoin_after_hi = 3.0;
+  sc.churn.leave_rate = 0.2;
+  sc.churn.join_rate = 1.0;
+  sc.churn.join_power_lo = 100.0;
+  sc.churn.join_power_hi = 300.0;
+  sc.churn.degrade_rate = 2.0;
+  sc.churn.degrade_for_lo = 1.0;
+  sc.churn.degrade_for_hi = 2.0;
+  sc.churn.link_drop_rate = 1.0;
+  sc.churn.link_drop_for_lo = 1.0;
+  sc.churn.link_drop_for_hi = 2.0;
+  sc.demand = {200.0, 150.0, 5.0, 0.5};
+  return sc;
+}
+
+// ---------------------------------------------------------------- catalog --
+
+TEST(PlatformCatalog, PresetsAreDeterministicAndValid) {
+  for (const auto& entry : gen::platform_catalog()) {
+    const Platform a = gen::catalog_platform(entry.name, 40, 5);
+    const Platform b = gen::catalog_platform(entry.name, 40, 5);
+    EXPECT_EQ(a, b) << entry.name;
+    EXPECT_EQ(a.size(), 40u) << entry.name;
+    EXPECT_GT(a.total_power(), 0.0) << entry.name;
+  }
+}
+
+TEST(PlatformCatalog, SeedChangesStochasticPresets) {
+  EXPECT_NE(gen::catalog_platform("g5k-multi-cluster", 40, 5),
+            gen::catalog_platform("g5k-multi-cluster", 40, 6));
+}
+
+TEST(PlatformCatalog, WanClustersHaveHeterogeneousLinks) {
+  const Platform wan = gen::catalog_platform("wan-clusters", 40, 5);
+  EXPECT_FALSE(wan.has_homogeneous_links());
+}
+
+TEST(PlatformCatalog, UnknownPresetThrows) {
+  EXPECT_THROW(gen::catalog_platform("no-such-preset", 10, 1), Error);
+}
+
+TEST(ScenarioCatalog, EveryEntryBuilds) {
+  for (const auto& entry : sim::scenario_catalog()) {
+    const Scenario sc = sim::catalog_scenario(entry.name);
+    EXPECT_EQ(sc.name, entry.name);
+    EXPECT_NO_THROW({ Platform p = sc.platform.build(); (void)p; });
+  }
+}
+
+TEST(ScenarioCatalog, UnknownScenarioThrows) {
+  EXPECT_THROW(sim::catalog_scenario("no-such-scenario"), Error);
+}
+
+TEST(MutationKinds, NamesRoundTrip) {
+  for (MutationKind kind :
+       {MutationKind::Join, MutationKind::Leave, MutationKind::Crash,
+        MutationKind::Rejoin, MutationKind::SetPower, MutationKind::SetLink,
+        MutationKind::Demand})
+    EXPECT_EQ(sim::mutation_kind_from_name(sim::mutation_kind_name(kind)),
+              kind);
+  EXPECT_THROW(sim::mutation_kind_from_name("explode"), Error);
+}
+
+// -------------------------------------------------------------- expansion --
+
+TEST(ScenarioEngine, ExpansionIsDeterministic) {
+  const ScenarioEngine a(busy_scenario());
+  const ScenarioEngine b(busy_scenario());
+  ASSERT_FALSE(a.trace().empty());
+  EXPECT_EQ(a.trace(), b.trace());
+}
+
+TEST(ScenarioEngine, SeedChangesTheTrace) {
+  EXPECT_NE(ScenarioEngine(busy_scenario(5)).trace(),
+            ScenarioEngine(busy_scenario(6)).trace());
+}
+
+TEST(ScenarioEngine, TraceIsTimeOrdered) {
+  const ScenarioEngine engine(busy_scenario());
+  for (std::size_t i = 1; i < engine.trace().size(); ++i)
+    EXPECT_LE(engine.trace()[i - 1].time, engine.trace()[i].time);
+}
+
+TEST(ScenarioEngine, ExpansionCoversEveryProcess) {
+  const ScenarioEngine engine(busy_scenario());
+  std::size_t by_kind[7] = {};
+  for (const MutationEvent& event : engine.trace())
+    ++by_kind[static_cast<std::size_t>(event.kind)];
+  EXPECT_GT(by_kind[static_cast<std::size_t>(MutationKind::Crash)], 0u);
+  EXPECT_GT(by_kind[static_cast<std::size_t>(MutationKind::Rejoin)], 0u);
+  EXPECT_GT(by_kind[static_cast<std::size_t>(MutationKind::Join)], 0u);
+  EXPECT_GT(by_kind[static_cast<std::size_t>(MutationKind::SetPower)], 0u);
+  EXPECT_GT(by_kind[static_cast<std::size_t>(MutationKind::SetLink)], 0u);
+  EXPECT_GT(by_kind[static_cast<std::size_t>(MutationKind::Demand)], 0u);
+}
+
+TEST(ScenarioEngine, SteadyScenarioHasNoEvents) {
+  const ScenarioEngine engine(sim::catalog_scenario("g5k-310-steady"));
+  EXPECT_TRUE(engine.trace().empty());
+  EXPECT_TRUE(engine.done());
+}
+
+// ------------------------------------------------------- state application --
+
+TEST(ScenarioEngine, ScriptedEventsMutateTheState) {
+  Scenario sc;
+  sc.name = "scripted";
+  sc.duration = 10.0;
+  sc.platform.inline_platform = gen::homogeneous(3, 100.0, 1000.0);
+  MutationEvent join;
+  join.time = 1.0;
+  join.kind = MutationKind::Join;
+  join.node = 3;
+  join.value = 250.0;
+  join.name = "fresh";
+  MutationEvent crash;
+  crash.time = 2.0;
+  crash.kind = MutationKind::Crash;
+  crash.node = 1;
+  MutationEvent power;
+  power.time = 3.0;
+  power.kind = MutationKind::SetPower;
+  power.node = 0;
+  power.value = 40.0;
+  MutationEvent link;
+  link.time = 4.0;
+  link.kind = MutationKind::SetLink;
+  link.node = 2;
+  link.value = 100.0;
+  MutationEvent demand;
+  demand.time = 5.0;
+  demand.kind = MutationKind::Demand;
+  demand.value = 77.0;
+  MutationEvent rejoin;
+  rejoin.time = 6.0;
+  rejoin.kind = MutationKind::Rejoin;
+  rejoin.node = 1;
+  sc.scripted = {join, crash, power, link, demand, rejoin};
+
+  ScenarioEngine engine(sc);
+  EXPECT_EQ(engine.platform().size(), 3u);
+  EXPECT_EQ(engine.demand(), sim::kNoDemandCap);
+
+  EXPECT_EQ(engine.step().kind, MutationKind::Join);
+  EXPECT_EQ(engine.platform().size(), 4u);
+  EXPECT_EQ(engine.platform().node(3).name, "fresh");
+
+  EXPECT_EQ(engine.step().kind, MutationKind::Crash);
+  EXPECT_TRUE(engine.down().contains(1));
+  EXPECT_DOUBLE_EQ(engine.alive_power(), 100.0 + 100.0 + 250.0);
+
+  engine.step();
+  EXPECT_DOUBLE_EQ(engine.platform().power(0), 40.0);
+
+  engine.step();
+  EXPECT_DOUBLE_EQ(engine.platform().link_bandwidth(2), 100.0);
+
+  engine.step();
+  EXPECT_DOUBLE_EQ(engine.demand(), 77.0);
+
+  engine.step();
+  EXPECT_TRUE(engine.down().empty());
+  EXPECT_TRUE(engine.done());
+  EXPECT_THROW(engine.step(), Error);
+}
+
+TEST(ScenarioEngine, ScriptedJoinsAreDegradableAndRestoreTheirOwnNominal) {
+  // Regression: the expansion used to track nominal powers/links only for
+  // stochastic joins, so a degrade picking a *scripted* joiner read past
+  // the nominal arrays (and restores after later stochastic joins used a
+  // neighbour's nominal).
+  Scenario sc;
+  sc.name = "scripted-join-degrade";
+  sc.seed = 3;
+  sc.duration = 20.0;
+  sc.platform.inline_platform = gen::homogeneous(4, 100.0, 1000.0);
+  MutationEvent join;
+  join.time = 0.1;
+  join.kind = MutationKind::Join;
+  join.node = 4;
+  join.value = 500.0;
+  join.name = "late";
+  sc.scripted = {join};
+  sc.churn.degrade_rate = 3.0;
+  sc.churn.degrade_scale_lo = 0.5;
+  sc.churn.degrade_scale_hi = 0.5;
+  sc.churn.degrade_for_lo = 1.0;
+  sc.churn.degrade_for_hi = 2.0;
+
+  const ScenarioEngine engine(sc);
+  std::size_t touched = 0;
+  for (const MutationEvent& event : engine.trace()) {
+    if (event.kind != MutationKind::SetPower || event.node != 4) continue;
+    ++touched;
+    // Degrades halve the joiner's own 500 MFlop nominal; restores bring
+    // exactly it back.
+    EXPECT_TRUE(event.value == 250.0 || event.value == 500.0)
+        << "event value " << event.value;
+  }
+  EXPECT_GT(touched, 0u);
+}
+
+TEST(ScenarioEngine, DownNodesStayInThePlatform) {
+  Scenario sc = busy_scenario();
+  ScenarioEngine engine(sc);
+  const std::size_t initial = engine.platform().size();
+  std::size_t joins = 0;
+  while (!engine.done())
+    if (engine.step().kind == MutationKind::Join) ++joins;
+  EXPECT_EQ(engine.platform().size(), initial + joins);
+}
+
+// ----------------------------------------------------------------- replay --
+
+TEST(ScenarioEngine, ReplayReproducesEveryStateBitForBit) {
+  const Scenario sc = busy_scenario();
+  ScenarioEngine recorded(sc);
+  ScenarioEngine replayed(sc, recorded.trace());
+  while (!recorded.done()) {
+    EXPECT_EQ(recorded.step(), replayed.step());
+    ASSERT_TRUE(recorded.platform() == replayed.platform());
+    ASSERT_EQ(recorded.down(), replayed.down());
+    ASSERT_EQ(recorded.demand(), replayed.demand());
+  }
+  EXPECT_TRUE(replayed.done());
+}
+
+TEST(ScenarioEngine, ReplayRejectsForeignTraces) {
+  const ScenarioEngine big(busy_scenario());
+  Scenario small;
+  small.name = "small";
+  small.duration = 10.0;
+  small.platform.inline_platform = gen::homogeneous(2, 100.0, 1000.0);
+  // busy_scenario's trace targets nodes a 2-node platform does not have.
+  EXPECT_THROW(ScenarioEngine(small, big.trace()), Error);
+}
+
+// ------------------------------------------------------------------- wire --
+
+TEST(ScenarioWire, MutationEventRoundTrips) {
+  MutationEvent event;
+  event.time = 1.25;
+  event.kind = MutationKind::Join;
+  event.node = 17;
+  event.value = 123.456;
+  event.link = 100.0;
+  event.name = "fresh-1";
+  const auto back = wire::mutation_event_from_json(
+      json::parse(wire::to_json(event).dump()));
+  EXPECT_EQ(back, event);
+
+  MutationEvent demand;
+  demand.kind = MutationKind::Demand;
+  demand.value = sim::kNoDemandCap;  // Infinity travels as "unlimited".
+  const auto demand_back = wire::mutation_event_from_json(
+      json::parse(wire::to_json(demand).dump()));
+  EXPECT_EQ(demand_back, demand);
+}
+
+TEST(ScenarioWire, ExpandedTraceRoundTripsExactly) {
+  const ScenarioEngine engine(busy_scenario());
+  const auto back = wire::trace_from_json(
+      json::parse(wire::trace_to_json(engine.trace()).dump()));
+  EXPECT_EQ(back, engine.trace());
+}
+
+TEST(ScenarioWire, ScenarioRoundTripsWithPresetPlatform) {
+  const Scenario sc = busy_scenario();
+  const Scenario back =
+      wire::scenario_from_json(json::parse(wire::to_json(sc).dump()));
+  EXPECT_EQ(back, sc);
+  // And the round-tripped scenario expands to the identical trace.
+  EXPECT_EQ(ScenarioEngine(back).trace(), ScenarioEngine(sc).trace());
+}
+
+TEST(ScenarioWire, ScenarioRoundTripsWithInlinePlatform) {
+  Scenario sc;
+  sc.name = "inline";
+  sc.seed = 9;
+  sc.duration = 5.0;
+  Rng rng(4);
+  sc.platform.inline_platform =
+      gen::with_heterogeneous_links(gen::uniform(8, 100, 900, 1000, rng),
+                                    100, 1000, rng);
+  sc.churn.crash_rate = 1.0;
+  MutationEvent demand;
+  demand.time = 0.5;
+  demand.kind = MutationKind::Demand;
+  demand.value = 42.0;
+  sc.scripted = {demand};
+  const Scenario back =
+      wire::scenario_from_json(json::parse(wire::to_json(sc).dump()));
+  EXPECT_EQ(back, sc);
+}
+
+TEST(ScenarioEngine, RejectsHostileNumericFields) {
+  // A deserialized scenario goes through no wire-level range checks, so
+  // the engine must refuse fields that would hang or overflow expansion.
+  Scenario tiny_step = busy_scenario();
+  tiny_step.demand.step = 1e-300;
+  EXPECT_THROW(ScenarioEngine{tiny_step}, Error);
+
+  Scenario zero_period = busy_scenario();
+  zero_period.demand.period = 0.0;
+  EXPECT_THROW(ScenarioEngine{zero_period}, Error);
+
+  Scenario wild_rate = busy_scenario();
+  wild_rate.churn.crash_rate = 1e12;
+  EXPECT_THROW(ScenarioEngine{wild_rate}, Error);
+
+  Scenario nan_duration = busy_scenario();
+  nan_duration.duration = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ScenarioEngine{nan_duration}, Error);
+
+  Scenario bad_scale = busy_scenario();
+  bad_scale.churn.degrade_scale_lo = -0.5;
+  EXPECT_THROW(ScenarioEngine{bad_scale}, Error);
+}
+
+TEST(ScenarioWire, RejectsNegativeOrFractionalSeeds) {
+  json::Value doc = wire::to_json(busy_scenario());
+  doc.set("seed", -1);
+  EXPECT_THROW(wire::scenario_from_json(doc), Error);
+  doc.set("seed", 1.5);
+  EXPECT_THROW(wire::scenario_from_json(doc), Error);
+}
+
+TEST(ScenarioWire, RecordingRoundTripsAndReplays) {
+  const Scenario sc = busy_scenario();
+  ScenarioEngine engine(sc);
+  const sim::ScenarioRecording recording{sc, engine.trace()};
+  const sim::ScenarioRecording back =
+      wire::recording_from_json(json::parse(wire::to_json(recording).dump()));
+  EXPECT_EQ(back, recording);
+  ScenarioEngine replayed(back.scenario, back.trace);
+  while (!replayed.done()) replayed.step();
+  while (!engine.done()) engine.step();
+  EXPECT_TRUE(replayed.platform() == engine.platform());
+}
+
+}  // namespace
+}  // namespace adept

@@ -70,8 +70,15 @@ TEST(Serve, RepeatedRequestsHitThePlanCache) {
   const std::string platform = platform_json(21);
   const std::string request = R"({"planner":"heuristic","platform":)" +
                               platform + R"(,"service":"dgemm-310"})";
+  // One worker serialises the pipelined jobs: the first request has
+  // inserted its plan before the second is admitted, so the hit is
+  // guaranteed. With >1 workers the two identical in-flight requests can
+  // legitimately both miss (the cache does not coalesce in-flight jobs),
+  // which made this assertion a scheduling race under TSan.
+  io::ServeConfig config;
+  config.threads = 1;
   const auto [answered, responses] =
-      run_session({request, request, R"({"cmd":"stats"})"});
+      run_session({request, request, R"({"cmd":"stats"})"}, config);
   EXPECT_EQ(answered, 2u);
   ASSERT_EQ(responses.size(), 3u);
   EXPECT_FALSE(responses[0].at("run").at("cached").as_bool());

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json trajectory files.
+
+Compares a freshly produced bench JSON against the committed baseline and
+fails (exit 1) on regression. Records are matched by (series,
+platform_size); baseline records with no fresh counterpart are skipped
+(CI runs the benches at a subset of sizes to keep wall time flat), fresh
+records with no baseline are ignored (new series land first, the baseline
+follows).
+
+Three kinds of checks, all higher-is-better:
+
+  --metric KEY[@SERIES]  ratio check: fresh[KEY] >= baseline[KEY] * (1 -
+                         tolerance). Use for machine-independent ratios
+                         (speedup_vs_reference, retained_mean, ...); raw
+                         wall_ms is deliberately NOT comparable across
+                         hosts. An @SERIES suffix restricts the check to
+                         that series (e.g. the serial timing series —
+                         parallel speedups on small problems are too noisy
+                         on shared CI runners to gate on).
+  --floor KEY[@SERIES]=VALUE
+                         absolute floor: fresh[KEY] >= VALUE. Use for
+                         hard acceptance numbers (events_per_s >= 100).
+  --value-metric KEY     near-exact check: fresh[KEY] must match the
+                         baseline within --value-rel relative error. Use
+                         for deterministic model outputs (predicted
+                         throughput), where any drift means behaviour
+                         changed, not just speed.
+
+Usage:
+  tools/bench_gate.py --baseline BENCH_plan_scale.json --fresh fresh.json \
+      --tolerance 0.5 --metric speedup_vs_reference --value-metric throughput
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    records = {}
+    for record in doc.get("records", []):
+        key = (record.get("series"), record.get("platform_size"))
+        records[key] = record
+    return doc.get("bench", "?"), records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional drop for --metric checks")
+    parser.add_argument("--metric", action="append", default=[],
+                        help="ratio metric key (repeatable)")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="absolute floor on a fresh metric (repeatable)")
+    parser.add_argument("--value-metric", action="append", default=[],
+                        help="near-exact metric key (repeatable)")
+    parser.add_argument("--value-rel", type=float, default=1e-6,
+                        help="relative error allowed for --value-metric")
+    args = parser.parse_args()
+
+    bench, baseline = load_records(args.baseline)
+    fresh_bench, fresh = load_records(args.fresh)
+    if not baseline:
+        print(f"error: baseline {args.baseline} has no records")
+        return 2
+
+    floors = []
+    for spec in args.floor:
+        key, _, value = spec.partition("=")
+        if not value:
+            print(f"error: --floor expects KEY[@SERIES]=VALUE, got '{spec}'")
+            return 2
+        metric, _, only_series = key.partition("@")
+        floors.append((spec, metric, only_series, float(value)))
+
+    matched = 0
+    failures = []
+    # Every requested check must fire on at least one record — a renamed
+    # series or dropped record must not silently skip an acceptance gate.
+    fired = {f"--metric {spec}": 0 for spec in args.metric}
+    fired.update({f"--floor {spec}": 0 for spec in args.floor})
+    fired.update({f"--value-metric {spec}": 0 for spec in args.value_metric})
+
+    def check(key, record, label, ok, detail):
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {label}: {detail}")
+        if not ok:
+            failures.append(f"{key}: {label} {detail}")
+
+    print(f"bench gate: {bench} (baseline {args.baseline} vs {args.fresh})")
+    for key, base in sorted(baseline.items(), key=str):
+        got = fresh.get(key)
+        if got is None:
+            print(f"  [skip] {key}: not in fresh run")
+            continue
+        matched += 1
+        print(f"  record {key}:")
+        for spec in args.metric:
+            metric, _, only_series = spec.partition("@")
+            if only_series and key[0] != only_series:
+                continue
+            if metric not in base:
+                continue
+            fired[f"--metric {spec}"] += 1
+            if metric not in got:
+                check(key, got, metric, False, "missing from fresh record")
+                continue
+            want = base[metric] * (1.0 - args.tolerance)
+            ok = got[metric] >= want
+            check(key, got, metric,
+                  ok, f"{got[metric]:.4g} vs baseline {base[metric]:.4g} "
+                      f"(min allowed {want:.4g})")
+        for spec, metric, only_series, floor in floors:
+            if only_series and key[0] != only_series:
+                continue
+            fired[f"--floor {spec}"] += 1
+            if metric not in got:
+                check(key, got, metric, False, "missing from fresh record")
+                continue
+            check(key, got, metric, got[metric] >= floor,
+                  f"{got[metric]:.4g} (floor {floor:.4g})")
+        for metric in args.value_metric:
+            if metric not in base or metric not in got:
+                continue
+            fired[f"--value-metric {metric}"] += 1
+            base_v, got_v = base[metric], got[metric]
+            scale = max(abs(base_v), abs(got_v), 1e-300)
+            ok = abs(base_v - got_v) <= args.value_rel * scale
+            check(key, got, metric,
+                  ok, f"{got_v!r} vs baseline {base_v!r} "
+                      f"(rel tol {args.value_rel:g})")
+
+    if matched == 0:
+        print("error: no baseline record matched the fresh run "
+              "(series/platform_size mismatch?)")
+        return 2
+    unfired = [spec for spec, count in fired.items() if count == 0]
+    if unfired:
+        print("error: requested check(s) never fired — renamed series or "
+              "missing metric would silently pass the gate:")
+        for spec in unfired:
+            print(f"  - {spec}")
+        return 2
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} check(s) failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall checks passed over {matched} matched record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
