@@ -132,9 +132,9 @@ int main(int argc, char** argv) {
       repair_wall_ms > 0.0
           ? 1000.0 * static_cast<double>(processed) / repair_wall_ms
           : 0.0;
-  const double p50 = latencies.empty() ? 0.0 : percentile(latencies, 50.0);
-  const double p95 = latencies.empty() ? 0.0 : percentile(latencies, 95.0);
-  const double p99 = latencies.empty() ? 0.0 : percentile(latencies, 99.0);
+  const double p50 = latencies.empty() ? 0.0 : stats::percentile(latencies, 50.0);
+  const double p95 = latencies.empty() ? 0.0 : stats::percentile(latencies, 95.0);
+  const double p99 = latencies.empty() ? 0.0 : stats::percentile(latencies, 99.0);
   const double retained_mean =
       retained.empty()
           ? 0.0

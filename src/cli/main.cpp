@@ -156,14 +156,25 @@ NodeSet parse_host_set(const Platform& platform, const std::string& csv) {
   return out;
 }
 
+/// Parses a --shards value: "auto" (the planner partitions by cluster
+/// labels / affinity) maps to 0, anything else must be a count >= 1.
+std::size_t parse_shards(const std::string& text) {
+  if (text == "auto") return 0;
+  const auto count = strings::parse_int(text);
+  ADEPT_CHECK(count.has_value() && *count >= 1,
+              "--shards expects 'auto' or a count >= 1, got '" + text + "'");
+  return static_cast<std::size_t>(*count);
+}
+
 int list_planners() {
   Table table("Registered planners (adept plan --planner <name|portfolio>)");
-  table.set_header({"name", "demand", "links", "degree", "summary"});
+  table.set_header({"name", "demand", "links", "degree", "shards", "summary"});
   for (const IPlanner* planner : PlannerRegistry::instance().all()) {
     const PlannerInfo& info = planner->info();
     table.add_row({info.name, info.caps.demand_aware ? "yes" : "-",
                    info.caps.link_aware ? "yes" : "-",
-                   info.caps.degree_parameterised ? "yes" : "-", info.summary});
+                   info.caps.degree_parameterised ? "yes" : "-",
+                   info.caps.shard_aware ? "yes" : "-", info.summary});
   }
   std::cout << table;
   std::cout << "'portfolio' runs every applicable planner concurrently and "
@@ -182,6 +193,8 @@ int cmd_plan(const std::vector<std::string>& args) {
   parser.add_option("service", "dgemm-<n> or MFlop per request", "dgemm-310");
   parser.add_option("demand", "client demand in req/s (demand-aware planners)");
   parser.add_option("degree", "tree degree (degree-parameterised planners)", "0");
+  parser.add_option("shards", "shard count for the sharded planner: auto|N",
+                    "auto");
   parser.add_option("exclude", "comma-separated host names never to deploy");
   parser.add_option("jobs", "worker threads for portfolio runs (0 = all cores)",
                     "0");
@@ -196,6 +209,7 @@ int cmd_plan(const std::vector<std::string>& args) {
                       parse_service(parser.get("service")));
   if (parser.has("demand")) request.options.demand = parser.get_double("demand");
   request.options.degree = static_cast<std::size_t>(parser.get_int("degree"));
+  request.options.shards = parse_shards(parser.get("shards"));
   if (parser.has("exclude"))
     request.options.excluded = parse_host_set(platform, parser.get("exclude"));
 
@@ -356,6 +370,8 @@ int cmd_simulate_scenario(const std::vector<std::string>& args) {
                     "10");
   parser.add_option("drift", "full-replan fallback threshold in (0,1]", "0.85");
   parser.add_option("planner", "full-replan planner", "heuristic");
+  parser.add_option("shards", "shard-local repair: auto|N (omit for global "
+                              "repair)");
   parser.add_option("jobs", "planning service worker threads (0 = all cores)",
                     "0");
   parser.add_option("events", "stop after this many events (0 = all)", "0");
@@ -392,6 +408,7 @@ int cmd_simulate_scenario(const std::vector<std::string>& args) {
   config.planner = parser.get("planner");
   config.budget_ms = parser.get_double("budget");
   config.drift_threshold = parser.get_double("drift");
+  if (parser.has("shards")) config.shards = parse_shards(parser.get("shards"));
   ReplanOrchestrator orchestrator(service, MiddlewareParams::diet_grid5000(),
                                   parse_service(parser.get("service")), config);
 

@@ -154,6 +154,7 @@ json::Value to_json(const PlanOptions& options) {
   json::Value out = json::Value::object();
   out.set("demand", encode_rate(options.demand));
   out.set("degree", options.degree);
+  out.set("shards", options.shards);
   out.set("excluded", std::move(excluded));
   out.set("verbose_trace", options.verbose_trace);
   return out;
@@ -165,6 +166,8 @@ PlanOptions options_from_json(const json::Value& value) {
     out.demand = decode_rate(*demand);
   if (const json::Value* degree = value.find("degree"))
     out.degree = degree->as_index();
+  if (const json::Value* shards = value.find("shards"))
+    out.shards = shards->as_index();
   if (const json::Value* excluded = value.find("excluded"))
     for (const json::Value& id : excluded->as_array())
       out.excluded.insert(id.as_index());

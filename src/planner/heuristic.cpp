@@ -254,9 +254,7 @@ struct BestTracker {
   void offer(const Candidate& candidate, std::size_t at_block,
              std::size_t at_step) {
     const RequestRate obj = candidate.objective;
-    const double tolerance = 1e-9 * std::max(obj, objective);
-    if (!have || obj > objective + tolerance ||
-        (obj >= objective - tolerance && candidate.nodes < nodes)) {
+    if (!have || plan_candidate_beats(obj, candidate.nodes, objective, nodes)) {
       have = true;
       objective = obj;
       nodes = candidate.nodes;

@@ -8,6 +8,7 @@
 /// subset of its nodes (the paper prefers the deployment with the fewest
 /// resources among equal-throughput ones).
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 #include <set>
@@ -26,10 +27,11 @@ namespace adept {
 
 /// Outcome of a planning run.
 struct PlanResult {
-  Hierarchy hierarchy;
+  Hierarchy hierarchy;             ///< The planned agent/server tree.
   model::ThroughputReport report;  ///< Model prediction for `hierarchy`.
   std::vector<std::string> trace;  ///< Human-readable decision log.
 
+  /// Platform nodes the plan deploys on (one element per node).
   std::size_t nodes_used() const { return hierarchy.size(); }
 };
 
@@ -132,5 +134,21 @@ PlanResult improve_deployment(Hierarchy start, const Platform& platform,
 /// Convenience: evaluates and packages an externally built hierarchy.
 PlanResult make_plan(Hierarchy hierarchy, const Platform& platform,
                      const MiddlewareParams& params, const ServiceSpec& service);
+
+/// The planner-wide candidate comparison: a deployment beats the
+/// incumbent when its demand-clipped throughput is higher beyond a
+/// 1-part-in-1e9 near-tie band, or near-ties it with fewer nodes. One
+/// definition shared by the heuristic's fixed-order candidate replay
+/// and the sharded backend's stitch/quality-floor decisions, so the
+/// tie rule cannot drift between them. (The portfolio ranking in
+/// planning_service.cpp is deliberately different: it compares two
+/// *completed* runs symmetrically and layers a planner-name tiebreak
+/// on top for cross-planner determinism.)
+inline bool plan_candidate_beats(RequestRate rho_new, std::size_t nodes_new,
+                                 RequestRate rho_old, std::size_t nodes_old) {
+  const double tolerance = 1e-9 * std::max(rho_new, rho_old);
+  if (rho_new > rho_old + tolerance) return true;
+  return rho_new >= rho_old - tolerance && nodes_new < nodes_old;
+}
 
 }  // namespace adept

@@ -52,8 +52,8 @@ namespace adept {
 
 /// Outcome of one planner execution (or non-execution).
 struct PlannerRun {
-  std::string planner;
-  bool ok = false;
+  std::string planner;        ///< Registry name of the planner that ran.
+  bool ok = false;            ///< The run completed with a valid plan.
   bool skipped = false;       ///< Not run: cancelled or past the deadline.
   bool cached = false;        ///< Result served from the plan cache.
   std::string error;          ///< Why the run failed / was skipped.
@@ -64,10 +64,11 @@ struct PlannerRun {
 
 /// Result of a portfolio run over one request.
 struct PortfolioResult {
+  /// Sentinel winner index: no planner produced a usable plan.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   /// Index of the winning run in `runs`; npos when every planner failed.
   std::size_t winner = npos;
-  std::vector<PlannerRun> runs;
+  std::vector<PlannerRun> runs;  ///< One run per portfolio member.
   /// Comparable score per run (aligned with `runs`; 0 for failed ones).
   /// Equals the run's reported overall throughput except on
   /// heterogeneous-link platforms, where every candidate is re-scored
@@ -77,6 +78,7 @@ struct PortfolioResult {
   /// reports, when ranking runs side by side.
   std::vector<RequestRate> scores;
 
+  /// True when some planner produced a usable plan.
   bool has_winner() const { return winner != npos; }
   const PlannerRun& best() const;  ///< Throws adept::Error when no winner.
 };
@@ -125,10 +127,11 @@ class Ticket {
   struct Progress {
     bool started = false;  ///< A worker has picked the job up.
     bool done = false;     ///< The result is available.
-    bool cancel_requested = false;
+    bool cancel_requested = false;  ///< cancel() has been called.
     double waited_ms = 0.0;  ///< Time since submission.
   };
 
+  /// An empty handle (valid() is false); assign a submitted ticket to it.
   Ticket() = default;
 
   /// True when this handle refers to a submitted job.
@@ -188,15 +191,19 @@ class Ticket {
   std::shared_ptr<State> state_;
 };
 
+/// Ticket for one asynchronous planner run.
 using PlanTicket = Ticket<PlannerRun>;
+/// Ticket for one asynchronous portfolio run.
 using PortfolioTicket = Ticket<PortfolioResult>;
 
+/// Concurrent, asynchronous executor of planning requests (see the
+/// file comment for the full service contract).
 class PlanningService {
  public:
   /// One request × one planner, ready for run_batch.
   struct Job {
-    PlanRequest request;
-    std::string planner;
+    PlanRequest request;  ///< The planning problem.
+    std::string planner;  ///< Registry name to run it with.
   };
 
   /// `threads` = 0 means hardware_concurrency. The registry defaults to
@@ -207,8 +214,8 @@ class PlanningService {
                                PlannerRegistry::instance(),
                            std::size_t cache_capacity = 0);
 
-  PlanningService(const PlanningService&) = delete;
-  PlanningService& operator=(const PlanningService&) = delete;
+  PlanningService(const PlanningService&) = delete;             ///< Non-copyable.
+  PlanningService& operator=(const PlanningService&) = delete;  ///< Non-copyable.
 
   /// Runs one planner synchronously on the calling thread. The service's
   /// pool is offered to the planner for its internal parallelism (e.g.
@@ -240,8 +247,10 @@ class PlanningService {
   /// Resizes the plan cache; 0 disables and clears it. Shrinking evicts
   /// least-recently-used entries (counted as evictions).
   void set_cache_capacity(std::size_t capacity);
+  /// Current plan-cache capacity in entries (0 = caching disabled).
   std::size_t cache_capacity() const;
 
+  /// Snapshot of the lifetime counters.
   PlanningStats stats() const;
   /// Workers a batch/portfolio fans out over (the pool itself is created
   /// lazily on the first executed job).

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "planner/sharded.hpp"
 
 namespace adept {
 
@@ -187,6 +188,11 @@ PlannerRegistry& PlannerRegistry::instance() {
     registry.add(std::make_unique<HeuristicPlanner>());
     registry.add(std::make_unique<LinkAwarePlanner>());
     registry.add(std::make_unique<ImproverPlanner>());
+    // The sharded backend lives in sharded.cpp (it is not a thin adapter
+    // over a legacy free function); registering it here rather than via
+    // a static initialiser keeps it present even when the static library
+    // linker drops the otherwise-unreferenced object file.
+    registry.add(make_sharded_planner());
     return true;
   }();
   (void)builtins_registered;
@@ -247,6 +253,11 @@ std::vector<const IPlanner*> PlannerRegistry::applicable(
     if (planner->info().caps.link_aware &&
         request.platform->has_homogeneous_links())
       continue;  // provably identical to its link-blind base planner
+    if (planner->info().caps.shard_aware)
+      continue;  // sharding trades plan quality for planning latency: on
+                 // quality it can only tie or lose to the monolithic
+                 // heuristic already in the portfolio, so it is opt-in
+                 // by name (--planner sharded), never a portfolio member
     out.push_back(planner);
   }
   return out;

@@ -6,11 +6,12 @@
 /// Every planner is an IPlanner registered by name with capability flags.
 /// The CLI, the examples, the benches, and the PlanningService all resolve
 /// planners here instead of hard-coding free-function calls, so adding a
-/// planner is one registration — no caller changes. The built-in planners
+/// planner is one registration — no caller changes. Six built-in planners
 /// (star, balanced, homogeneous, heuristic, link-aware, improver) are
 /// adapters over the legacy free functions in planner.hpp and are
 /// guaranteed to return bit-identical results to them (golden-parity
-/// tests enforce this).
+/// tests enforce this); the seventh, the sharded multi-cluster backend
+/// (sharded.hpp), has no legacy counterpart.
 ///
 /// All planners honour PlanOptions::excluded uniformly: the registry plans
 /// on the surviving sub-platform and remaps the resulting hierarchy back
@@ -33,6 +34,7 @@ struct PlannerCaps {
   bool demand_aware = false;         ///< Uses PlanOptions::demand.
   bool link_aware = false;           ///< Models per-node link bandwidths.
   bool degree_parameterised = false; ///< Uses PlanOptions::degree.
+  bool shard_aware = false;          ///< Uses PlanOptions::shards.
 };
 
 /// Registration record of one planner.
@@ -48,6 +50,7 @@ struct PlannerInfo {
 class IPlanner {
  public:
   virtual ~IPlanner() = default;
+  /// The planner's registration record (name, summary, capabilities).
   virtual const PlannerInfo& info() const = 0;
   /// Plans the request. Throws adept::Error on invalid input or when the
   /// request was cancelled / past its deadline before planning started.
@@ -59,6 +62,7 @@ class IPlanner {
 /// PlannerRegistration static) before using them.
 class PlannerRegistry {
  public:
+  /// The process-wide registry (built-ins registered on first access).
   static PlannerRegistry& instance();
 
   /// Registers a planner; throws adept::Error on a duplicate name.
@@ -89,6 +93,7 @@ class PlannerRegistry {
 /// Static-initialiser helper for self-registration:
 ///   static PlannerRegistration reg(std::make_unique<MyPlanner>());
 struct PlannerRegistration {
+  /// Registers `planner` with PlannerRegistry::instance().
   explicit PlannerRegistration(std::unique_ptr<IPlanner> planner);
 };
 

@@ -40,6 +40,15 @@ ReplanOrchestrator::ReplanOrchestrator(PlanningService& service,
               "drift_threshold must be in (0, 1]");
 }
 
+const std::vector<std::size_t>& ReplanOrchestrator::shard_map(
+    const Platform& platform) {
+  if (shard_of_.size() != platform.size()) {
+    partition_ = plat::partition_platform(platform, config_.shards.value_or(0));
+    shard_of_ = partition_.shard_of(platform.size());
+  }
+  return shard_of_;
+}
+
 model::ThroughputReport ReplanOrchestrator::measure(
     const Platform& platform, const Hierarchy& hierarchy) const {
   if (hierarchy.empty()) return {};
@@ -67,6 +76,9 @@ bool ReplanOrchestrator::full_replan(
   request.options.excluded = down;
   request.options.verbose_trace = false;
   request.options.deadline = deadline;
+  // Shard-aware fallback planners (config.planner == "sharded") replan
+  // shard-wise under the same partition policy; others ignore the field.
+  request.options.shards = config_.shards.value_or(0);
   // The event handler blocks on the ticket, so the borrowed-platform
   // request form is safe: the platform outlives the job by construction.
   PlanTicket ticket = service_.submit(std::move(request), config_.planner);
@@ -110,6 +122,11 @@ RepairOutcome ReplanOrchestrator::bootstrap(const Platform& platform,
                                             const NodeSet& down,
                                             RequestRate demand) {
   const auto start = Clock::now();
+  // A re-bootstrap may present a different platform of the same size;
+  // the cached shard partition must not survive it (shard_map only
+  // recomputes on a node-count change).
+  partition_ = {};
+  shard_of_.clear();
   RepairOutcome outcome;
   outcome.detail = "bootstrap";
   full_replan(platform, down, demand, std::nullopt, outcome);
@@ -170,6 +187,21 @@ RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
     options.excluded = down;
     options.verbose_trace = false;
     options.deadline = deadline;
+    // Shard-local repair: an event that touches a node may only recruit
+    // replacements from that node's shard — every other shard's unused
+    // nodes join `down` in the exclusion mask, so the repair cost scales
+    // with the shard. Demand waves (no node) keep the global mask, and
+    // the drift check below still escalates to a global full replan.
+    if (config_.shards.has_value() && event.node != sim::kNoNode &&
+        event.node < platform.size()) {
+      const std::vector<std::size_t>& shard_of = shard_map(platform);
+      const std::size_t touched = shard_of[event.node];
+      for (NodeId id = 0; id < platform.size(); ++id)
+        if (shard_of[id] != touched) options.excluded.insert(id);
+      outcome.detail = "repair masked to shard " + std::to_string(touched) +
+                       " (" + std::to_string(partition_.shards[touched].size()) +
+                       " nodes)";
+    }
     report_ = pre;
     try {
       PlanResult repaired = improve_deployment(current_, platform, params_,

@@ -33,11 +33,13 @@
 /// legitimately do worse), which is exactly what the threshold tolerates.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "model/evaluate.hpp"
 #include "planner/planning_service.hpp"
 #include "planner/request.hpp"
+#include "platform/partition.hpp"
 #include "sim/scenario.hpp"
 
 namespace adept {
@@ -52,6 +54,16 @@ struct ReplanConfig {
   /// Fall back to a full replan when the repaired plan's predicted
   /// throughput is below this fraction of the expected achievable one.
   double drift_threshold = 0.85;
+  /// Shard-local repair (the sharded backend's churn discipline):
+  /// nullopt keeps the historical global behaviour; a value partitions
+  /// the platform (plat::partition_platform — 0 = automatic, >= 1 an
+  /// explicit affinity shard count) and an event that touches a node
+  /// repairs *only that node's shard* — the incremental pass may recruit
+  /// replacements from the touched shard alone, so per-event repair cost
+  /// scales with the shard, not the platform. Quality drift still
+  /// triggers the global fallback, and the shard count is forwarded to
+  /// the fallback planner (so "sharded" replans shard-wise too).
+  std::optional<std::size_t> shards;
 };
 
 /// What the orchestrator did for one event.
@@ -66,7 +78,7 @@ enum class RepairAction {
 
 /// Per-event repair report.
 struct RepairOutcome {
-  RepairAction action = RepairAction::None;
+  RepairAction action = RepairAction::None;  ///< What the repair did.
   bool pruned = false;     ///< Dead subtrees were cut out first.
   double wall_ms = 0.0;    ///< Wall time spent handling the event.
   RequestRate before = 0.0;  ///< Predicted throughput entering the event.
@@ -76,7 +88,7 @@ struct RepairOutcome {
 
 /// Lifetime counters across a run.
 struct ReplanStats {
-  std::uint64_t events = 0;
+  std::uint64_t events = 0;       ///< Mutation events handled.
   std::uint64_t prunes = 0;       ///< Events that required pruning.
   std::uint64_t incremental = 0;  ///< Incremental repairs run.
   std::uint64_t full = 0;         ///< Full replans completed.
@@ -93,6 +105,8 @@ struct ReplanStats {
 /// lives in the PlanningService behind it.
 class ReplanOrchestrator {
  public:
+  /// Binds the orchestrator to the service it replans through and the
+  /// problem it keeps solving; throws adept::Error on invalid config.
   ReplanOrchestrator(PlanningService& service, MiddlewareParams params,
                      ServiceSpec service_spec, ReplanConfig config = {});
 
@@ -111,6 +125,7 @@ class ReplanOrchestrator {
   const Hierarchy& hierarchy() const { return current_; }
   /// Model prediction for hierarchy() on the last-seen platform state.
   const model::ThroughputReport& report() const { return report_; }
+  /// Lifetime repair counters.
   const ReplanStats& stats() const { return stats_; }
 
  private:
@@ -134,8 +149,15 @@ class ReplanOrchestrator {
   ServiceSpec service_spec_;
   ReplanConfig config_;
 
+  /// Shard-local repair state (config_.shards engaged): the cached
+  /// partition and its node → shard map, rebuilt when the platform's
+  /// node count changes. Empty while disabled.
+  const std::vector<std::size_t>& shard_map(const Platform& platform);
+
   Hierarchy current_;
   model::ThroughputReport report_;
+  plat::Partition partition_;
+  std::vector<std::size_t> shard_of_;
   /// Throughput per alive MFlop at the last adopted full replan; 0 until
   /// one succeeds (drift detection is then inactive).
   double density_ = 0.0;

@@ -46,12 +46,15 @@ inline constexpr RequestRate kUnlimitedDemand =
 /// caller's request-level one); cancelling either cancels the job.
 class CancelToken {
  public:
+  /// A fresh, uncancelled token with no parent.
   CancelToken() = default;
   /// A token that also observes `parent` (not owned; may be null). The
   /// parent must outlive this token.
   explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
 
+  /// Requests cancellation; safe from any thread, idempotent.
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  /// True when this token or any parent has been cancelled.
   bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed) ||
            (parent_ != nullptr && parent_->cancelled());
@@ -77,6 +80,12 @@ struct PlanOptions {
   /// hosts). Honoured by every planner: the registry plans on the
   /// surviving sub-platform and maps the result back to original ids.
   NodeSet excluded;
+  /// Shard count for shard-aware planners (the "sharded" backend): 0
+  /// lets the planner partition automatically (explicit cluster labels
+  /// from node names, or the power/link-affinity partitioner); >= 1
+  /// forces an affinity partition into that many shards. Ignored by
+  /// every other planner, like degree is by the star planner.
+  std::size_t shards = 0;
   /// When false the decision log (PlanResult::trace) is dropped, which
   /// keeps batch runs lean.
   bool verbose_trace = true;
@@ -92,7 +101,9 @@ struct PlanOptions {
   /// with or without one.
   ThreadPool* pool = nullptr;
 
+  /// True when a cancel token is attached and has been cancelled.
   bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
+  /// True when a deadline is set and the clock has passed it.
   bool past_deadline() const {
     return deadline.has_value() && std::chrono::steady_clock::now() > *deadline;
   }
@@ -110,6 +121,7 @@ struct PlanOptions {
 /// is atomic), and a throw propagates through ThreadPool::for_each.
 class StopGuard {
  public:
+  /// The deadline clock is read once per this many check() calls.
   static constexpr std::uint32_t kDeadlineStride = 64;
 
   /// `options` may be null (legacy free-function callers): every check
@@ -119,8 +131,8 @@ class StopGuard {
              (options->cancel != nullptr || options->deadline.has_value());
   }
 
-  StopGuard(const StopGuard&) = delete;
-  StopGuard& operator=(const StopGuard&) = delete;
+  StopGuard(const StopGuard&) = delete;             ///< Non-copyable.
+  StopGuard& operator=(const StopGuard&) = delete;  ///< Non-copyable.
 
   /// One checkpoint: throws "planning cancelled" / "planning deadline
   /// exceeded" when the run should stop.
@@ -142,11 +154,12 @@ class StopGuard {
 /// A complete planning problem with shared platform ownership: copies of
 /// a request (queued jobs, tickets) all keep the platform alive.
 struct PlanRequest {
-  std::shared_ptr<const Platform> platform;
-  MiddlewareParams params;
-  ServiceSpec service;
-  PlanOptions options;
+  std::shared_ptr<const Platform> platform;  ///< The pool to deploy on.
+  MiddlewareParams params;                   ///< Middleware cost model.
+  ServiceSpec service;                       ///< Service being deployed.
+  PlanOptions options;                       ///< Planner options.
 
+  /// An empty request (no platform); fill the fields before planning.
   PlanRequest() = default;
 
   /// Owning form (API v2): the request participates in the platform's

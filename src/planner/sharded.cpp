@@ -1,0 +1,279 @@
+/// \file sharded.cpp
+/// \brief Sharded planning: concurrent per-shard heuristics, a
+/// deterministic stitch, and a bounded cross-shard repair pass.
+
+#include "planner/sharded.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "model/evaluate.hpp"
+
+namespace adept {
+
+namespace {
+
+/// Appends the subtree of `src_index` (from `src`) under `dst_parent`,
+/// preserving roles and the original child order.
+void append_subtree(Hierarchy& dst, Hierarchy::Index dst_parent,
+                    const Hierarchy& src, Hierarchy::Index src_index) {
+  const auto& element = src.element(src_index);
+  if (element.role == Role::Server) {
+    dst.add_server(dst_parent, element.node);
+    return;
+  }
+  const Hierarchy::Index agent = dst.add_agent(dst_parent, element.node);
+  for (const Hierarchy::Index child : element.children)
+    append_subtree(dst, agent, src, child);
+}
+
+/// Attaches one shard plan under `root` of `dst`. A shard root with two
+/// or more children grafts as a non-root agent directly; a shard root
+/// with a single child would violate the >= 2-children rule, so the pair
+/// is flattened: the child subtree (or server) and the shard-root node
+/// both join `root` directly.
+void attach_shard(Hierarchy& dst, Hierarchy::Index root,
+                  const Hierarchy& shard_plan) {
+  const Hierarchy::Index shard_root = shard_plan.root();
+  const auto& element = shard_plan.element(shard_root);
+  if (element.children.size() >= 2) {
+    append_subtree(dst, root, shard_plan, shard_root);
+    return;
+  }
+  const Hierarchy::Index only = element.children.front();
+  if (shard_plan.is_agent(only)) {
+    append_subtree(dst, root, shard_plan, only);
+    dst.add_server(root, element.node);
+  } else {
+    dst.add_server(root, element.node);
+    dst.add_server(root, shard_plan.element(only).node);
+  }
+}
+
+/// Demand-clipped objective compared with the planner-wide tie rule
+/// (plan_candidate_beats: higher throughput wins, near-ties go to the
+/// smaller deployment).
+struct Objective {
+  RequestRate rho = 0.0;
+  std::size_t nodes = 0;
+
+  bool beats(const Objective& other) const {
+    return plan_candidate_beats(rho, nodes, other.rho, other.nodes);
+  }
+};
+
+Objective objective_of(const PlanResult& plan, RequestRate demand) {
+  return {std::min(plan.report.overall, demand), plan.hierarchy.size()};
+}
+
+}  // namespace
+
+PlanResult plan_sharded(const Platform& platform,
+                        const MiddlewareParams& params,
+                        const ServiceSpec& service, const PlanOptions& options,
+                        const plat::Partition& partition) {
+  ADEPT_CHECK(platform.size() >= 2, "a deployment needs at least two nodes");
+  ADEPT_CHECK(options.demand > 0.0, "client demand must be positive");
+  ADEPT_CHECK(options.excluded.empty(),
+              "plan_sharded expects exclusion to be applied by the registry "
+              "wrapper (plan on the surviving sub-platform)");
+  params.validate();
+
+  // Canonical shard order: the stitch below merges results in this
+  // order, so two partitions differing only in shard ordering produce
+  // bit-identical plans.
+  plat::Partition shards = partition;
+  shards.canonicalize();
+  ADEPT_CHECK(shards.node_count() == platform.size(),
+              "partition must cover the platform exactly (" +
+                  std::to_string(shards.node_count()) + " of " +
+                  std::to_string(platform.size()) + " nodes)");
+  (void)shards.shard_of(platform.size());  // throws on overlapping shards
+
+  PlanResult result;
+  if (shards.size() <= 1) {
+    result = plan_heterogeneous(platform, params, service, options.demand,
+                                options.pool, &options);
+    if (options.verbose_trace)
+      result.trace.insert(result.trace.begin(),
+                          "sharded: single shard, planning monolithically");
+    else
+      result.trace.clear();
+    return result;
+  }
+  for (const auto& shard : shards.shards)
+    ADEPT_CHECK(shard.size() >= 2, "every shard needs at least two nodes (got "
+                                       "one of " +
+                                       std::to_string(shard.size()) + ")");
+
+  // --- per-shard plans, concurrent, bit-identical for any pool size ----
+  std::vector<PlanResult> plans(shards.size());
+  auto plan_one = [&](std::size_t s) {
+    const std::vector<NodeId>& ids = shards.shards[s];
+    const Platform sub = platform.subset(ids);
+    PlanResult plan = plan_heterogeneous(sub, params, service, options.demand,
+                                         options.pool, &options);
+    // Sub-platform ids are positions in `ids`; rewrite to platform ids.
+    for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+      plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
+    plans[s] = std::move(plan);
+  };
+  if (options.pool != nullptr && options.pool->thread_count() > 1) {
+    options.pool->for_each(shards.size(), plan_one);
+  } else {
+    for (std::size_t s = 0; s < shards.size(); ++s) plan_one(s);
+  }
+
+  // --- best single shard (the quality floor) ---------------------------
+  std::size_t best_shard = 0;
+  for (std::size_t s = 1; s < shards.size(); ++s)
+    if (objective_of(plans[s], options.demand)
+            .beats(objective_of(plans[best_shard], options.demand)))
+      best_shard = s;
+
+  std::vector<std::string> trace;
+  if (options.verbose_trace) {
+    std::string shape =
+        "sharded: " + std::to_string(shards.size()) + " shards (";
+    for (std::size_t s = 0; s < shards.size(); ++s)
+      shape += (s > 0 ? "+" : "") + std::to_string(shards.shards[s].size());
+    shape += " nodes)";
+    trace.push_back(std::move(shape));
+    for (std::size_t s = 0; s < shards.size(); ++s)
+      trace.push_back("shard " + std::to_string(s) + ": " +
+                      std::to_string(plans[s].hierarchy.size()) +
+                      " nodes deployed, predicted " +
+                      std::to_string(plans[s].report.overall) + " req/s");
+  }
+
+  // --- stitch candidates -----------------------------------------------
+  // One candidate per shard (that shard's root becomes the global root,
+  // every other shard grafts under it, in canonical order), plus an
+  // aggregator candidate rooted on the strongest node no shard plan
+  // uses. Each is evaluated under the homogeneous model — the same
+  // belief every other registry planner reports — and the best one goes
+  // into the repair pass.
+  std::vector<bool> used(platform.size(), false);
+  for (const PlanResult& plan : plans)
+    for (const NodeId id : plan.hierarchy.used_nodes()) used[id] = true;
+  NodeId aggregator = static_cast<NodeId>(-1);
+  for (const NodeId id : platform.ids_by_power_desc())
+    if (!used[id]) {
+      aggregator = id;
+      break;
+    }
+
+  Hierarchy stitched;
+  Objective stitched_objective;
+  std::string stitched_detail;
+  bool have_stitched = false;
+  auto offer_candidate = [&](Hierarchy candidate, const std::string& detail) {
+    const model::ThroughputReport report =
+        model::evaluate(candidate, platform, params, service);
+    const Objective objective{std::min(report.overall, options.demand),
+                              candidate.size()};
+    if (!have_stitched || objective.beats(stitched_objective)) {
+      have_stitched = true;
+      stitched = std::move(candidate);
+      stitched_objective = objective;
+      stitched_detail = detail;
+    }
+  };
+
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    Hierarchy candidate = plans[s].hierarchy;
+    const Hierarchy::Index root = candidate.root();
+    for (std::size_t t = 0; t < shards.size(); ++t)
+      if (t != s) attach_shard(candidate, root, plans[t].hierarchy);
+    offer_candidate(std::move(candidate),
+                    "root from shard " + std::to_string(s));
+  }
+  if (aggregator != static_cast<NodeId>(-1)) {
+    Hierarchy candidate;
+    const Hierarchy::Index root = candidate.add_root(aggregator);
+    for (std::size_t t = 0; t < shards.size(); ++t)
+      attach_shard(candidate, root, plans[t].hierarchy);
+    offer_candidate(std::move(candidate),
+                    "aggregator root on node " +
+                        platform.node(aggregator).name);
+  }
+  ADEPT_ASSERT(have_stitched, "sharded stitch produced no candidate");
+
+  // --- bounded cross-shard repair --------------------------------------
+  // The improver recruits the strongest unused nodes (from any shard)
+  // and rebalances saturated agents across shard boundaries; its rounds
+  // poll the caller's StopGuard, so a deadline bounds the pass without
+  // invalidating the plan. It only ever accepts improving edits, so the
+  // repaired plan is at least as good as the stitched one. Its own
+  // trace (folded into ours below) honours the caller's trace switch,
+  // so quiet batch runs never pay for log formatting.
+  PlanResult repaired =
+      improve_deployment(std::move(stitched), platform, params, service,
+                         options);
+
+  // --- the quality floor: never worse than the best single shard -------
+  const Objective repaired_objective = objective_of(repaired, options.demand);
+  const Objective floor_objective =
+      objective_of(plans[best_shard], options.demand);
+  const bool keep_stitched = !floor_objective.beats(repaired_objective);
+
+  result = keep_stitched ? std::move(repaired) : std::move(plans[best_shard]);
+  result.report =
+      model::evaluate_unchecked(result.hierarchy, platform, params, service);
+
+  if (options.verbose_trace) {
+    trace.push_back("stitch: " + stitched_detail + ", predicted " +
+                    std::to_string(stitched_objective.rho) + " req/s");
+    trace.push_back(keep_stitched
+                        ? "repair: accepted stitched plan at " +
+                              std::to_string(result.report.overall) + " req/s"
+                        : "repair: stitched plan lost to shard " +
+                              std::to_string(best_shard) +
+                              " alone; returning the shard plan");
+    trace.insert(trace.end(), std::make_move_iterator(result.trace.begin()),
+                 std::make_move_iterator(result.trace.end()));
+  }
+  result.trace = std::move(trace);
+  return result;
+}
+
+namespace {
+
+class ShardedPlanner final : public IPlanner {
+ public:
+  ShardedPlanner()
+      : info_{"sharded",
+              "multi-cluster backend: per-shard Algorithm 1 in parallel, "
+              "stitched + cross-shard repair; honours --demand and --shards",
+              {.demand_aware = true, .shard_aware = true}} {}
+
+  const PlannerInfo& info() const final { return info_; }
+
+  PlanResult plan(const PlanRequest& request) const final {
+    return detail::plan_excluding(
+        request, [](const Platform& platform, const PlanRequest& r) {
+          PlanOptions options = r.options;
+          options.excluded.clear();  // applied by the registry wrapper
+          const plat::Partition partition =
+              plat::partition_platform(platform, options.shards);
+          return plan_sharded(platform, r.params, r.service, options,
+                              partition);
+        });
+  }
+
+ private:
+  PlannerInfo info_;
+};
+
+}  // namespace
+
+std::unique_ptr<IPlanner> make_sharded_planner() {
+  return std::make_unique<ShardedPlanner>();
+}
+
+}  // namespace adept

@@ -1,0 +1,57 @@
+#pragma once
+/// \file sharded.hpp
+/// \brief The sharded multi-cluster planning backend.
+///
+/// Monolithic planning treats the platform as one flat pool, and the
+/// heuristic's cost grows superlinearly with pool size — at 10k nodes a
+/// single plan takes tens of seconds. The deployment model the paper
+/// targets (hierarchical middleware over multi-cluster grids) suggests
+/// the fix: partition the platform into clusters (platform/partition.hpp),
+/// plan each cluster's sub-hierarchy independently — and concurrently,
+/// on the PlanningService's thread pool — then stitch the shard roots
+/// under one globally chosen root and run a bounded cross-shard repair
+/// pass. Σ shardᵢ² work replaces n² work, so the speedup holds even on
+/// one core; the shards also parallelise perfectly.
+///
+/// Determinism discipline (same as the PR-2 heuristic rewrite): shard
+/// plans are bit-identical for any pool size, shard results are merged
+/// in the canonical partition order, and every tie-break is total — the
+/// sharded plan is bit-identical for any thread count and any ordering
+/// of the partition's shards.
+///
+/// Quality guarantee: the returned plan is never worse (on the planner's
+/// demand-clipped objective) than the best single shard's plan — the
+/// stitched-and-repaired candidate competes against each shard-local
+/// plan and the best one wins.
+
+#include <memory>
+
+#include "planner/planner.hpp"
+#include "planner/registry.hpp"
+#include "planner/request.hpp"
+#include "platform/partition.hpp"
+
+namespace adept {
+
+/// Plans `platform` shard-by-shard over an explicit `partition` and
+/// stitches the result (see the file comment for the algorithm). The
+/// entry point the registry's "sharded" planner calls after resolving
+/// `options.shards` through plat::partition_platform; exposed so tests
+/// and benches can pin behaviour for hand-built partitions (including
+/// shuffled shard orderings, which must not change the plan).
+///
+/// `options.excluded` must be empty: exclusion is applied by the
+/// registry wrapper (plan on the surviving sub-platform, remap back)
+/// before any partitioning happens. `options.demand`, `options.pool`,
+/// and the deadline/cancel controls are honoured; a one-shard partition
+/// degenerates to plan_heterogeneous exactly.
+PlanResult plan_sharded(const Platform& platform,
+                        const MiddlewareParams& params,
+                        const ServiceSpec& service, const PlanOptions& options,
+                        const plat::Partition& partition);
+
+/// Factory for the registry entry ("sharded", demand- and shard-aware).
+/// Called by PlannerRegistry::instance() when the built-ins register.
+std::unique_ptr<IPlanner> make_sharded_planner();
+
+}  // namespace adept

@@ -83,8 +83,8 @@ Platform long_tail(std::size_t count, Rng& rng);
 
 /// One catalog entry: a preset name plus a one-line description.
 struct PlatformCatalogEntry {
-  std::string name;
-  std::string summary;
+  std::string name;     ///< Preset key `catalog_platform` accepts.
+  std::string summary;  ///< One-line description for the CLI listing.
 };
 
 /// All named presets `catalog_platform` understands.

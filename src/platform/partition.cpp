@@ -1,0 +1,254 @@
+/// \file partition.cpp
+/// \brief Platform partitioning: cluster labels and affinity cuts.
+
+#include "platform/partition.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace adept::plat {
+
+std::size_t Partition::node_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  return total;
+}
+
+void Partition::canonicalize() {
+  for (auto& shard : shards) std::sort(shard.begin(), shard.end());
+  shards.erase(std::remove_if(shards.begin(), shards.end(),
+                              [](const auto& s) { return s.empty(); }),
+               shards.end());
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+}
+
+std::vector<std::size_t> Partition::shard_of(std::size_t universe) const {
+  std::vector<std::size_t> out(universe, npos);
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    for (const NodeId id : shards[s]) {
+      ADEPT_CHECK(id < universe, "partition references node " +
+                                     std::to_string(id) +
+                                     " outside the platform");
+      ADEPT_CHECK(out[id] == npos, "node " + std::to_string(id) +
+                                       " appears in two shards");
+      out[id] = s;
+    }
+  return out;
+}
+
+std::string cluster_label(const std::string& name) {
+  const auto dash = name.rfind('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 == name.size())
+    return name;
+  for (std::size_t i = dash + 1; i < name.size(); ++i)
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return name;
+  return name.substr(0, dash);
+}
+
+Partition partition_by_label(const Platform& platform) {
+  // std::map keys the groups deterministically; canonicalize() then
+  // re-orders shards by smallest member id, erasing the label order.
+  std::map<std::string, std::vector<NodeId>> groups;
+  for (NodeId id = 0; id < platform.size(); ++id)
+    groups[cluster_label(platform.node(id).name)].push_back(id);
+  Partition out;
+  out.shards.reserve(groups.size());
+  for (auto& [label, ids] : groups) out.shards.push_back(std::move(ids));
+  out.canonicalize();
+  return out;
+}
+
+namespace {
+
+/// Link class of a node: the octave (floor log2) of its effective link
+/// bandwidth. Nodes of different classes never share an affinity shard
+/// — a gigabit node and a WAN node make bad shard mates regardless of
+/// power, because every cross-class edge prices at the narrow link.
+int link_class(const Platform& platform, NodeId id) {
+  return static_cast<int>(
+      std::floor(std::log2(std::max(platform.link_bandwidth(id), 1e-12))));
+}
+
+/// Cuts `run` (already sorted by ascending power) into `pieces`
+/// near-equal chunks, snapping each cut to the largest relative power
+/// gap within a quarter-chunk window of the equal-size position.
+void cut_run(const Platform& platform, const std::vector<NodeId>& run,
+             std::size_t pieces, Partition& out) {
+  const std::size_t n = run.size();
+  pieces = std::max<std::size_t>(1, std::min(pieces, n));
+  const std::size_t window = std::max<std::size_t>(1, n / (4 * pieces));
+  std::size_t begin = 0;
+  for (std::size_t c = 1; c < pieces; ++c) {
+    const std::size_t target = c * n / pieces;
+    // The cut must leave >= 1 element for this chunk (j > begin) and
+    // >= 1 per remaining chunk (j <= n - (pieces - c)); within that,
+    // prefer the gap-snapping window around the equal-size position.
+    // The feasible range is never empty (begin < n - (pieces - c) holds
+    // inductively from pieces <= n), so exactly `pieces` chunks come
+    // out — a prior cut snapping past this window only shrinks the
+    // search to the feasible range, it can no longer drop a chunk.
+    const std::size_t feas_lo = begin + 1;
+    const std::size_t feas_hi = n - (pieces - c);
+    std::size_t lo = std::max(
+        feas_lo, target > window ? target - window : std::size_t{1});
+    std::size_t hi = std::min(feas_hi, target + window);
+    if (lo > hi) {
+      lo = feas_lo;
+      hi = feas_hi;
+    }
+    std::size_t cut = lo;
+    double best = -1.0;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double pa = platform.power(run[j - 1]);
+      const double pb = platform.power(run[j]);
+      const double gap = std::abs(pb - pa) / std::max({pa, pb, 1e-12});
+      if (gap > best) {
+        best = gap;
+        cut = j;
+      }
+    }
+    out.shards.emplace_back(run.begin() + static_cast<long>(begin),
+                            run.begin() + static_cast<long>(cut));
+    begin = cut;
+  }
+  out.shards.emplace_back(run.begin() + static_cast<long>(begin), run.end());
+}
+
+}  // namespace
+
+Partition partition_affinity(const Platform& platform, std::size_t shards) {
+  ADEPT_CHECK(shards >= 1, "partition_affinity: need at least one shard");
+  const std::size_t n = platform.size();
+  Partition out;
+  if (n == 0) return out;
+  shards = std::min(shards, n);
+
+  // Level 1: exact link classes, ordered by ascending bandwidth. Each
+  // class sorted by (power, id) so nodes that price alike are adjacent.
+  std::map<int, std::vector<NodeId>> classes;
+  for (NodeId id = 0; id < n; ++id)
+    classes[link_class(platform, id)].push_back(id);
+  std::vector<std::vector<NodeId>> runs;
+  runs.reserve(classes.size());
+  for (auto& [cls, ids] : classes) {
+    std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+      if (platform.power(a) != platform.power(b))
+        return platform.power(a) < platform.power(b);
+      return a < b;
+    });
+    runs.push_back(std::move(ids));
+  }
+
+  // Level 2: apportion the shard budget across the classes (largest-
+  // remainder style, each class >= 1 piece, never more pieces than
+  // nodes), then cut each class into its pieces. More link classes than
+  // `shards` yields one shard per class — purity beats the count.
+  const std::size_t total = std::max(shards, runs.size());
+  std::vector<std::size_t> alloc(runs.size());
+  std::size_t assigned = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    alloc[r] = std::clamp<std::size_t>(total * runs[r].size() / n,
+                                       std::size_t{1}, runs[r].size());
+    assigned += alloc[r];
+  }
+  while (assigned < total) {
+    // Grow the class with the most nodes per piece (ties: first class).
+    std::size_t grow = runs.size();
+    double worst = -1.0;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (alloc[r] >= runs[r].size()) continue;
+      const double load =
+          static_cast<double>(runs[r].size()) / static_cast<double>(alloc[r]);
+      if (load > worst) {
+        worst = load;
+        grow = r;
+      }
+    }
+    if (grow == runs.size()) break;  // every class fully atomised
+    ++alloc[grow];
+    ++assigned;
+  }
+  while (assigned > total) {
+    // Shrink the class with the fewest nodes per piece (ties: last).
+    std::size_t shrink = runs.size();
+    double lightest = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (alloc[r] <= 1) continue;
+      const double load =
+          static_cast<double>(runs[r].size()) / static_cast<double>(alloc[r]);
+      if (load <= lightest) {
+        lightest = load;
+        shrink = r;
+      }
+    }
+    if (shrink == runs.size()) break;
+    --alloc[shrink];
+    --assigned;
+  }
+
+  for (std::size_t r = 0; r < runs.size(); ++r)
+    cut_run(platform, runs[r], alloc[r], out);
+  out.canonicalize();
+  return out;
+}
+
+Partition partition_platform(const Platform& platform, std::size_t shards,
+                             std::size_t min_shard, std::size_t max_shard) {
+  ADEPT_CHECK(min_shard >= 1, "partition_platform: min_shard must be >= 1");
+  ADEPT_CHECK(max_shard >= min_shard,
+              "partition_platform: max_shard must be >= min_shard");
+  const std::size_t n = platform.size();
+  Partition part;
+  if (n == 0) return part;
+
+  if (shards == 0) {
+    part = partition_by_label(platform);
+    if (part.size() == 1 && n <= max_shard) return part;
+    // Subdivide oversized label shards by affinity on the sub-platform;
+    // subset() preserves names and per-node links, and local positions
+    // map back through the shard's id list.
+    Partition split;
+    for (auto& shard : part.shards) {
+      if (shard.size() <= max_shard) {
+        split.shards.push_back(std::move(shard));
+        continue;
+      }
+      const Platform sub = platform.subset(shard);
+      const std::size_t pieces = (shard.size() + max_shard - 1) / max_shard;
+      Partition local = partition_affinity(sub, pieces);
+      for (auto& piece : local.shards) {
+        for (NodeId& id : piece) id = shard[id];
+        split.shards.push_back(std::move(piece));
+      }
+    }
+    part = std::move(split);
+  } else {
+    part = partition_affinity(platform, shards);
+  }
+  part.canonicalize();
+
+  // Merge undersized shards into their canonical neighbour (the next
+  // shard; the previous one for the last). One pass suffices: merging
+  // only grows the receiving shard.
+  for (std::size_t s = 0; s < part.shards.size();) {
+    if (part.shards[s].size() >= min_shard || part.shards.size() == 1) {
+      ++s;
+      continue;
+    }
+    const std::size_t into = s + 1 < part.shards.size() ? s + 1 : s - 1;
+    auto& sink = part.shards[into];
+    sink.insert(sink.end(), part.shards[s].begin(), part.shards[s].end());
+    part.shards.erase(part.shards.begin() + static_cast<long>(s));
+    if (into < s) break;  // merged backwards: the pass is complete
+  }
+  part.canonicalize();
+  return part;
+}
+
+}  // namespace adept::plat

@@ -1,0 +1,101 @@
+#pragma once
+/// \file partition.hpp
+/// \brief Platform partitioning for the sharded planning backend.
+///
+/// The paper's deployment model targets hierarchical middleware over
+/// multi-cluster grids, and the catalog presets (g5k-multi-cluster,
+/// wan-clusters) reproduce that shape — yet a Platform is a flat node
+/// pool. This module recovers the cluster structure so the sharded
+/// planner (planner/sharded.hpp) can plan each cluster's sub-hierarchy
+/// independently:
+///
+///   - by label  — the generators name nodes "<site>-<index>"
+///                 ("lyon-3", "orsay-17"); the site prefix is an explicit
+///                 cluster label and one shard is made per label;
+///   - by affinity — when labels carry no structure (single prefix),
+///                 nodes are sorted by (link bandwidth, power) and cut
+///                 into k runs of near-equal size, with each cut snapped
+///                 to the largest nearby affinity gap — nodes that look
+///                 alike (same link class, similar power) stay together,
+///                 which is exactly what makes a shard plan stitch well.
+///
+/// Every partition is canonical: shards are ordered by their smallest
+/// member id and ids ascend within a shard. Two calls on equal platforms
+/// return identical partitions, and the sharded planner's fixed-order
+/// merge therefore produces bit-identical plans for any thread count.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace adept::plat {
+
+/// A disjoint grouping of a platform's nodes into planning shards.
+/// Invariants (established by canonicalize(), maintained by every
+/// function in this header): shards are non-empty, ids ascend within a
+/// shard, and shards are sorted by their first (smallest) id.
+struct Partition {
+  /// The shards; each inner vector holds platform node ids.
+  std::vector<std::vector<NodeId>> shards;
+
+  /// Number of shards.
+  std::size_t size() const { return shards.size(); }
+  /// Total node count across all shards.
+  std::size_t node_count() const;
+
+  /// Restores the canonical form after external reordering: sorts ids
+  /// within each shard, drops empty shards, and sorts shards by their
+  /// smallest id. Idempotent.
+  void canonicalize();
+
+  /// Shard index of a node that belongs to no shard.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Maps every node id to the index of its shard (ids absent from the
+  /// partition map to `npos`). `universe` is the platform size; throws
+  /// adept::Error on out-of-range ids or overlapping shards.
+  std::vector<std::size_t> shard_of(std::size_t universe) const;
+};
+
+/// Cluster label of a node name: the prefix before the trailing
+/// "-<digits>" suffix the generators append ("lyon-12" -> "lyon",
+/// "node-3" -> "node"); the whole name when there is no such suffix.
+std::string cluster_label(const std::string& name);
+
+/// One shard per distinct cluster label, in canonical order. Every node
+/// is assigned; single-node "clusters" are kept as-is (the facade below
+/// merges undersized shards).
+Partition partition_by_label(const Platform& platform);
+
+/// Affinity partition into `shards` groups. Two levels: nodes are first
+/// grouped by exact link class (the octave of their effective link
+/// bandwidth — a gigabit node and a WAN node never share a shard), then
+/// each class, sorted by power, is cut into its apportioned number of
+/// near-equal chunks with every cut snapped to the largest relative
+/// power gap nearby. Deterministic in the platform content. The result
+/// has exactly `shards` groups unless the platform has more link
+/// classes than `shards` (purity wins: one shard per class) or fewer
+/// nodes than `shards` (clamped). `shards` >= 1.
+Partition partition_affinity(const Platform& platform, std::size_t shards);
+
+/// Shards larger than this are subdivided by affinity in automatic mode:
+/// the planning heuristic's cost grows superlinearly with shard size, so
+/// capping the largest shard is what actually bounds planning latency.
+inline constexpr std::size_t kDefaultMaxShardNodes = 512;
+
+/// The sharded planner's facade. `shards` == 0 is automatic: partition
+/// by label, then subdivide any shard larger than `max_shard` nodes into
+/// near-equal affinity chunks. A single-label platform of at most
+/// `max_shard` nodes stays one shard (sharding a small pool costs more
+/// in stitch quality than it saves in planning work). An explicit
+/// `shards` >= 1 forces an affinity partition into that many groups.
+/// In both modes shards smaller than `min_shard` nodes are merged into
+/// their canonical neighbour, so every returned shard can host at least
+/// one agent + one server. The result is canonical.
+Partition partition_platform(const Platform& platform, std::size_t shards,
+                             std::size_t min_shard = 2,
+                             std::size_t max_shard = kDefaultMaxShardNodes);
+
+}  // namespace adept::plat

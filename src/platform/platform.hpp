@@ -29,22 +29,29 @@ struct NodeSpec {
   /// paper's model exactly.
   MbitRate link = 0.0;
 
+  /// Field-wise equality (name, power, link).
   bool operator==(const NodeSpec&) const = default;
 };
 
 /// A pool of candidate nodes plus the (homogeneous) link bandwidth.
 class Platform {
  public:
+  /// An empty platform (no nodes, zero bandwidth).
   Platform() = default;
   /// Builds a platform; throws adept::Error if any power or the bandwidth
   /// is non-positive, or if names collide.
   Platform(std::vector<NodeSpec> nodes, MbitRate bandwidth);
 
+  /// Number of nodes.
   std::size_t size() const { return nodes_.size(); }
+  /// True when the platform has no nodes.
   bool empty() const { return nodes_.empty(); }
 
+  /// One node's spec; throws adept::Error on an out-of-range id.
   const NodeSpec& node(NodeId id) const;
+  /// All node specs, indexed by NodeId.
   const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  /// The platform-wide homogeneous link bandwidth (Mbit/s).
   MbitRate bandwidth() const { return bandwidth_; }
 
   /// Computing power of one node, served from a structure-of-arrays cache

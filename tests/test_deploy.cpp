@@ -154,6 +154,41 @@ TEST(Prune, AllServersGoneMeansNoDeployment) {
   EXPECT_FALSE(deploy::prune_failures(pair, {1}).has_value());
 }
 
+// Edge cases surfaced while wiring the shard-local replan path: the
+// orchestrator's masks can exclude *every* host of a plan, just the
+// root, or everything but one node — pruning must degrade to "no
+// deployment", never to an invalid hierarchy or a crash.
+
+TEST(Prune, AllHostsExcludedMeansNoDeployment) {
+  NodeSet all;
+  for (NodeId id = 0; id <= 8; ++id) all.insert(id);
+  EXPECT_FALSE(deploy::prune_failures(sample(), all).has_value());
+}
+
+TEST(Prune, RootExcludedAloneKillsEverythingEvenWithHealthySubtrees) {
+  // Only the root is failed; every subtree below it is healthy, but a
+  // DIET hierarchy cannot re-root itself (children register upwards).
+  const auto pruned = deploy::prune_failures(sample(), {0});
+  EXPECT_FALSE(pruned.has_value());
+}
+
+TEST(Prune, SingleNodePlatformPlanHasNothingToPruneTo) {
+  // A one-element "hierarchy" (bare root, as a single-node platform
+  // would host) has no server, so any failure — and even no failure —
+  // cannot yield a deployable remainder.
+  Hierarchy bare;
+  bare.add_root(0);
+  EXPECT_FALSE(deploy::prune_failures(bare, {0}).has_value());
+  EXPECT_FALSE(deploy::prune_failures(bare, {5}).has_value());
+  EXPECT_FALSE(deploy::prune_failures(bare, {}).has_value());
+}
+
+TEST(Prune, FailuresOutsideThePlanAreIgnored) {
+  const auto pruned = deploy::prune_failures(sample(), {100, 200, 300});
+  ASSERT_TRUE(pruned.has_value());
+  EXPECT_EQ(parent_map(*pruned), parent_map(sample()));
+}
+
 /// Property sweep: pruning any random failure set yields either nullopt
 /// or a valid hierarchy that avoids every failed node and never grows.
 class PruneSweep : public ::testing::TestWithParam<std::uint64_t> {};

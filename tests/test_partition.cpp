@@ -1,0 +1,185 @@
+/// \file test_partition.cpp
+/// \brief Platform partitioner: labels, affinity cuts, canonical form.
+
+#include "platform/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "platform/generator.hpp"
+
+namespace adept::plat {
+namespace {
+
+constexpr MbitRate kB = 1000.0;
+
+// ------------------------------------------------------------ the label --
+
+TEST(ClusterLabel, StripsTrailingNumericSuffix) {
+  EXPECT_EQ(cluster_label("lyon-12"), "lyon");
+  EXPECT_EQ(cluster_label("orsay-0"), "orsay");
+  EXPECT_EQ(cluster_label("head-007"), "head");
+  EXPECT_EQ(cluster_label("big-cluster-3"), "big-cluster");
+}
+
+TEST(ClusterLabel, KeepsNamesWithoutASuffix) {
+  EXPECT_EQ(cluster_label("frontend"), "frontend");
+  EXPECT_EQ(cluster_label("node-a3"), "node-a3");  // non-digits after '-'
+  EXPECT_EQ(cluster_label("-3"), "-3");            // empty prefix
+  EXPECT_EQ(cluster_label("trailing-"), "trailing-");
+}
+
+// --------------------------------------------------------------- labels --
+
+TEST(PartitionByLabel, OneShardPerGeneratorSite) {
+  Rng rng(11);
+  const Platform platform = gen::grid5000_multi_cluster(100, rng);
+  const Partition partition = partition_by_label(platform);
+  ASSERT_EQ(partition.size(), 4u);  // lyon / orsay / rennes / sophia
+  EXPECT_EQ(partition.node_count(), platform.size());
+  // Shards group by name prefix and are canonical (sorted by first id).
+  for (const auto& shard : partition.shards) {
+    const std::string label = cluster_label(platform.node(shard.front()).name);
+    for (const NodeId id : shard)
+      EXPECT_EQ(cluster_label(platform.node(id).name), label);
+    EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+  }
+  for (std::size_t s = 1; s < partition.size(); ++s)
+    EXPECT_LT(partition.shards[s - 1].front(), partition.shards[s].front());
+}
+
+TEST(PartitionByLabel, UniformNamesCollapseToOneShard) {
+  const Platform platform = gen::homogeneous(30, 500.0, kB);
+  EXPECT_EQ(partition_by_label(platform).size(), 1u);
+}
+
+// ------------------------------------------------------------- affinity --
+
+TEST(PartitionAffinity, CoversThePlatformWithRequestedShards) {
+  Rng rng(5);
+  const Platform platform = gen::uniform(200, 200.0, 1400.0, kB, rng);
+  const Partition partition = partition_affinity(platform, 4);
+  EXPECT_EQ(partition.size(), 4u);
+  EXPECT_EQ(partition.node_count(), platform.size());
+  const auto shard_of = partition.shard_of(platform.size());
+  for (const std::size_t s : shard_of) EXPECT_NE(s, Partition::npos);
+}
+
+TEST(PartitionAffinity, GroupsByLinkClassFirst) {
+  Rng rng(7);
+  const Platform platform = gen::wan_clusters(80, rng);
+  // Two link classes: the client-side gigabit site and the ~100 Mbit
+  // WAN sites. A 2-way affinity cut must not mix them.
+  const Partition partition = partition_affinity(platform, 2);
+  ASSERT_EQ(partition.size(), 2u);
+  for (const auto& shard : partition.shards) {
+    const bool wan = platform.link_bandwidth(shard.front()) < 500.0;
+    for (const NodeId id : shard)
+      EXPECT_EQ(platform.link_bandwidth(id) < 500.0, wan);
+  }
+}
+
+TEST(PartitionAffinity, DeterministicAcrossCalls) {
+  Rng rng(9);
+  const Platform platform = gen::long_tail(150, rng);
+  const Partition a = partition_affinity(platform, 3);
+  const Partition b = partition_affinity(platform, 3);
+  EXPECT_EQ(a.shards, b.shards);
+}
+
+TEST(PartitionAffinity, DeliversTheRequestedCountEvenWhenGapsCluster) {
+  // Powers {100, 101, 200}: the largest gap sits at the last position,
+  // so a greedy first cut lands there and the second cut's preferred
+  // window collapses. The cut must fall back to the feasible range and
+  // still deliver exactly 3 shards — not silently fold to 2 (which the
+  // min-shard merge would then collapse to monolithic planning).
+  const Platform platform(
+      {{"a", 100.0}, {"b", 101.0}, {"c", 200.0}}, kB);
+  const Partition partition = partition_affinity(platform, 3);
+  EXPECT_EQ(partition.size(), 3u);
+  EXPECT_EQ(partition.node_count(), 3u);
+}
+
+TEST(PartitionAffinity, MoreShardsThanNodesClamps) {
+  const Platform platform = gen::homogeneous(3, 500.0, kB);
+  const Partition partition = partition_affinity(platform, 10);
+  EXPECT_EQ(partition.node_count(), 3u);
+  EXPECT_LE(partition.size(), 3u);
+}
+
+// --------------------------------------------------------------- facade --
+
+TEST(PartitionPlatform, AutoUsesLabelsOnMultiClusterPools) {
+  Rng rng(3);
+  const Platform platform = gen::grid5000_multi_cluster(120, rng);
+  const Partition partition = partition_platform(platform, 0);
+  EXPECT_EQ(partition.size(), 4u);
+  EXPECT_EQ(partition.node_count(), platform.size());
+}
+
+TEST(PartitionPlatform, AutoKeepsSmallSingleLabelPoolsWhole) {
+  const Platform platform = gen::grid5000_lyon(100);
+  EXPECT_EQ(partition_platform(platform, 0).size(), 1u);
+}
+
+TEST(PartitionPlatform, AutoSubdividesOversizedShards) {
+  Rng rng(13);
+  const Platform platform = gen::grid5000_orsay_loaded(1000, rng);
+  const Partition partition = partition_platform(platform, 0);
+  EXPECT_GE(partition.size(), 2u);
+  EXPECT_EQ(partition.node_count(), platform.size());
+  for (const auto& shard : partition.shards)
+    EXPECT_LE(shard.size(), kDefaultMaxShardNodes);
+}
+
+TEST(PartitionPlatform, ExplicitCountForcesAffinity) {
+  Rng rng(3);
+  const Platform platform = gen::grid5000_multi_cluster(120, rng);
+  const Partition partition = partition_platform(platform, 6);
+  EXPECT_EQ(partition.size(), 6u);
+  EXPECT_EQ(partition.node_count(), platform.size());
+}
+
+TEST(PartitionPlatform, MergesUndersizedShards) {
+  // 5 nodes into 4 shards of >= 2 is impossible; the merge pass must
+  // leave every shard large enough to host an agent + server pair.
+  const Platform platform = gen::homogeneous(5, 500.0, kB);
+  const Partition partition = partition_platform(platform, 4);
+  EXPECT_EQ(partition.node_count(), 5u);
+  for (const auto& shard : partition.shards) EXPECT_GE(shard.size(), 2u);
+}
+
+TEST(PartitionPlatform, EmptyPlatformYieldsEmptyPartition) {
+  EXPECT_EQ(partition_platform(Platform{}, 0).size(), 0u);
+}
+
+// ------------------------------------------------------------ canonical --
+
+TEST(Partition, CanonicalizeIsIdempotentAndOrderErasing) {
+  Rng rng(21);
+  const Platform platform = gen::grid5000_multi_cluster(60, rng);
+  Partition partition = partition_platform(platform, 0);
+  Partition shuffled = partition;
+  std::mt19937 shuffle_rng(99);
+  std::shuffle(shuffled.shards.begin(), shuffled.shards.end(), shuffle_rng);
+  for (auto& shard : shuffled.shards)
+    std::shuffle(shard.begin(), shard.end(), shuffle_rng);
+  shuffled.canonicalize();
+  EXPECT_EQ(shuffled.shards, partition.shards);
+  shuffled.canonicalize();
+  EXPECT_EQ(shuffled.shards, partition.shards);
+}
+
+TEST(Partition, ShardOfRejectsOverlapsAndOutOfRangeIds) {
+  Partition overlap{{{0, 1}, {1, 2}}};
+  EXPECT_THROW(overlap.shard_of(3), Error);
+  Partition outside{{{0, 5}}};
+  EXPECT_THROW(outside.shard_of(3), Error);
+}
+
+}  // namespace
+}  // namespace adept::plat

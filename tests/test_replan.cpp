@@ -222,6 +222,67 @@ TEST(ReplanOrchestrator, TinyBudgetNeverCorruptsThePlan) {
   EXPECT_EQ(stats.events, ScenarioEngine(churny()).trace().size());
 }
 
+// ------------------------------------------------------------ shard-local --
+
+/// Multi-cluster churn scenario for the shard-local repair discipline.
+Scenario clustered_churny(std::uint64_t seed = 12) {
+  Scenario sc = churny(seed);
+  sc.name = "test-clustered-churny";
+  sc.platform = {"g5k-multi-cluster", 48, 5, {}};
+  return sc;
+}
+
+TEST(ReplanOrchestrator, ShardLocalRepairOnlyRecruitsFromTheTouchedShard) {
+  Rng rng(5);
+  const Platform platform = gen::grid5000_multi_cluster(48, rng);
+  PlanningService service(1);
+  ReplanConfig config;
+  config.shards = 0;  // automatic: one shard per cluster label
+  ReplanOrchestrator orchestrator(service, kParams, kService, config);
+  orchestrator.bootstrap(platform, {}, kUnlimitedDemand);
+
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const auto shard_of = partition.shard_of(platform.size());
+  // Crash a deployed node; the repair may only recruit from its shard.
+  const NodeId victim = orchestrator.hierarchy().node_of(
+      orchestrator.hierarchy().size() / 2);
+  NodeSet before(orchestrator.hierarchy().used_nodes());
+  const NodeSet down{victim};
+  const RepairOutcome outcome = orchestrator.on_event(
+      crash_event(victim), platform, down, kUnlimitedDemand);
+  ASSERT_EQ(outcome.action, RepairAction::Incremental) << outcome.detail;
+  for (const NodeId used : orchestrator.hierarchy().used_nodes()) {
+    EXPECT_NE(used, victim);
+    if (!before.contains(used))
+      EXPECT_EQ(shard_of[used], shard_of[victim])
+          << "recruited node " << used << " from a foreign shard";
+  }
+}
+
+TEST(ReplanOrchestrator, ShardLocalRunsStayDeterministicAcrossThreadCounts) {
+  ReplanConfig config;
+  config.shards = 0;
+  Hierarchy h1, h4;
+  model::ThroughputReport r1, r4;
+  const ReplanStats s1 = run_checked(clustered_churny(), 1, config, &h1, &r1);
+  const ReplanStats s4 = run_checked(clustered_churny(), 4, config, &h4, &r4);
+  EXPECT_TRUE(h1 == h4);
+  EXPECT_EQ(r1, r4);
+  EXPECT_EQ(s1.incremental, s4.incremental);
+  EXPECT_EQ(s1.full, s4.full);
+}
+
+TEST(ReplanOrchestrator, ShardLocalWholeRunKeepsPlansValid) {
+  ReplanConfig config;
+  config.shards = 0;
+  config.planner = "sharded";  // shard-aware fallback planner too
+  const ReplanStats stats =
+      run_checked(clustered_churny(), 2, config, nullptr, nullptr);
+  EXPECT_GT(stats.events, 0u);
+  EXPECT_GT(stats.incremental, 0u);
+  EXPECT_EQ(stats.full_failed, 0u);
+}
+
 TEST(ReplanOrchestrator, RejectsBadConfig) {
   PlanningService service(1);
   ReplanConfig negative;

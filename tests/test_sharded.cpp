@@ -1,0 +1,185 @@
+/// \file test_sharded.cpp
+/// \brief The sharded planning backend: determinism pins (thread counts,
+/// shard orderings), the quality floor, exclusion, and service dispatch.
+
+#include "planner/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "planner/planning_service.hpp"
+#include "planning_test_util.hpp"
+#include "platform/generator.hpp"
+
+namespace adept {
+namespace {
+
+using test_util::run_planner;
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+
+Platform multi_cluster(std::size_t count, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  return gen::grid5000_multi_cluster(count, rng);
+}
+
+PlanResult plan_with_pool(const Platform& platform, std::size_t threads,
+                          const plat::Partition& partition,
+                          PlanOptions options = {}) {
+  if (threads == 0) {
+    options.pool = nullptr;
+    return plan_sharded(platform, kParams, dgemm_service(310), options,
+                        partition);
+  }
+  ThreadPool pool(threads);
+  options.pool = &pool;
+  return plan_sharded(platform, kParams, dgemm_service(310), options,
+                      partition);
+}
+
+// ---------------------------------------------------------- determinism --
+
+TEST(Sharded, BitIdenticalForAnyThreadCount) {
+  const Platform platform = multi_cluster(160);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const PlanResult serial = plan_with_pool(platform, 0, partition);
+  for (const std::size_t threads : {1u, 2u, 5u, 8u}) {
+    const PlanResult parallel = plan_with_pool(platform, threads, partition);
+    EXPECT_EQ(parallel.hierarchy, serial.hierarchy) << threads << " threads";
+    EXPECT_EQ(parallel.report.overall, serial.report.overall);
+    EXPECT_EQ(parallel.trace, serial.trace);
+  }
+}
+
+TEST(Sharded, BitIdenticalForAnyShardOrdering) {
+  const Platform platform = multi_cluster(160);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const PlanResult canonical = plan_with_pool(platform, 2, partition);
+  std::mt19937 shuffle_rng(7);
+  for (int round = 0; round < 5; ++round) {
+    plat::Partition shuffled = partition;
+    std::shuffle(shuffled.shards.begin(), shuffled.shards.end(), shuffle_rng);
+    for (auto& shard : shuffled.shards)
+      std::shuffle(shard.begin(), shard.end(), shuffle_rng);
+    const PlanResult plan = plan_with_pool(platform, 2, shuffled);
+    EXPECT_EQ(plan.hierarchy, canonical.hierarchy) << "round " << round;
+    EXPECT_EQ(plan.trace, canonical.trace);
+  }
+}
+
+// -------------------------------------------------------------- quality --
+
+TEST(Sharded, NeverWorseThanTheBestSingleShard) {
+  const Platform platform = multi_cluster(200);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const PlanResult whole = plan_with_pool(platform, 0, partition);
+  for (const auto& shard : partition.shards) {
+    const Platform sub = platform.subset(shard);
+    const PlanResult alone =
+        plan_heterogeneous(sub, kParams, dgemm_service(310));
+    EXPECT_GE(whole.report.overall, alone.report.overall * (1.0 - 1e-9));
+  }
+}
+
+TEST(Sharded, StitchedPlanIsValidAndDisjoint) {
+  const Platform platform = multi_cluster(200);
+  const PlanResult plan =
+      run_planner("sharded", platform, dgemm_service(310));
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  std::vector<NodeId> used = plan.hierarchy.used_nodes();
+  std::sort(used.begin(), used.end());
+  EXPECT_EQ(std::adjacent_find(used.begin(), used.end()), used.end())
+      << "a node hosts two elements";
+}
+
+TEST(Sharded, SingleShardDegeneratesToTheHeuristic) {
+  // A small single-label pool stays monolithic and must match the
+  // heuristic planner bit for bit.
+  Rng rng(5);
+  const Platform platform = gen::grid5000_orsay_loaded(80, rng);
+  const PlanResult sharded =
+      run_planner("sharded", platform, dgemm_service(310));
+  const PlanResult heuristic =
+      run_planner("heuristic", platform, dgemm_service(310));
+  EXPECT_EQ(sharded.hierarchy, heuristic.hierarchy);
+  EXPECT_EQ(sharded.report.overall, heuristic.report.overall);
+}
+
+TEST(Sharded, MeetsDemandWithFewerNodesThanUnlimited) {
+  const Platform platform = multi_cluster(200);
+  PlanOptions capped;
+  capped.demand = 50.0;
+  const PlanResult small =
+      run_planner("sharded", platform, dgemm_service(310), capped);
+  const PlanResult large = run_planner("sharded", platform, dgemm_service(310));
+  EXPECT_GE(small.report.overall, 50.0);
+  EXPECT_LE(small.nodes_used(), large.nodes_used());
+}
+
+// ------------------------------------------------------------ exclusion --
+
+TEST(Sharded, ExcludedNodesNeverDeploy) {
+  const Platform platform = multi_cluster(120);
+  PlanOptions options;
+  options.excluded = {0, 5, 17, 60, 119};
+  const PlanResult plan =
+      run_planner("sharded", platform, dgemm_service(310), options);
+  EXPECT_TRUE(plan.hierarchy.validate(&platform).empty());
+  for (const NodeId used : plan.hierarchy.used_nodes())
+    EXPECT_FALSE(options.excluded.contains(used)) << used;
+}
+
+// ----------------------------------------------------------- validation --
+
+TEST(Sharded, RejectsPartitionsThatDoNotCoverThePlatform) {
+  const Platform platform = multi_cluster(12);
+  plat::Partition partial;
+  partial.shards = {{0, 1, 2, 3}};
+  EXPECT_THROW(plan_sharded(platform, kParams, dgemm_service(310), {}, partial),
+               Error);
+}
+
+TEST(Sharded, RejectsSingleNodeShards) {
+  const Platform platform = multi_cluster(12);
+  plat::Partition bad;
+  bad.shards.push_back({0});
+  std::vector<NodeId> rest;
+  for (NodeId id = 1; id < platform.size(); ++id) rest.push_back(id);
+  bad.shards.push_back(std::move(rest));
+  EXPECT_THROW(plan_sharded(platform, kParams, dgemm_service(310), {}, bad),
+               Error);
+}
+
+// -------------------------------------------------- service integration --
+
+TEST(Sharded, RunsThroughThePlanningService) {
+  const auto platform = std::make_shared<const Platform>(multi_cluster(160));
+  PlanningService service(2);
+  PlanRequest request(platform, kParams, dgemm_service(310));
+  const PlannerRun run =
+      service.submit(request, "sharded").wait();
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_TRUE(run.result.hierarchy.validate(platform.get()).empty());
+  // The service path (pool plumbed in) matches the direct serial path.
+  const PlanResult direct = run_planner("sharded", *platform, dgemm_service(310));
+  EXPECT_EQ(run.result.hierarchy, direct.hierarchy);
+}
+
+TEST(Sharded, ExplicitShardCountIsHonoured) {
+  const Platform platform = multi_cluster(160);
+  PlanOptions options;
+  options.shards = 3;
+  options.verbose_trace = true;
+  const PlanResult plan =
+      run_planner("sharded", platform, dgemm_service(310), options);
+  ASSERT_FALSE(plan.trace.empty());
+  EXPECT_NE(plan.trace.front().find("3 shards"), std::string::npos)
+      << plan.trace.front();
+}
+
+}  // namespace
+}  // namespace adept

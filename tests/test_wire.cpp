@@ -173,11 +173,13 @@ TEST(Wire, OptionsRoundTripIncludingInfinityDemand) {
 
   options.demand = 125.5;
   options.degree = 3;
+  options.shards = 6;
   options.excluded = {2, 5, 19};
   options.verbose_trace = false;
   round = wire::options_from_json(json::parse(wire::to_json(options).dump()));
   EXPECT_EQ(round.demand, 125.5);
   EXPECT_EQ(round.degree, 3u);
+  EXPECT_EQ(round.shards, 6u);
   EXPECT_EQ(round.excluded, NodeSet({2, 5, 19}));
   EXPECT_FALSE(round.verbose_trace);
 }
@@ -186,6 +188,7 @@ TEST(Wire, MinimalOptionsDocumentUsesDefaults) {
   const PlanOptions round = wire::options_from_json(json::parse("{}"));
   EXPECT_EQ(round.demand, kUnlimitedDemand);
   EXPECT_EQ(round.degree, 0u);
+  EXPECT_EQ(round.shards, 0u);
   EXPECT_TRUE(round.excluded.empty());
   EXPECT_TRUE(round.verbose_trace);
 }
