@@ -1,0 +1,186 @@
+/// \file bench_dist.cpp
+/// \brief Distributed planning tier vs the local sharded backend.
+///
+/// One multi-cluster platform, three series:
+///   - sharded-local — the registry `sharded` planner with the local
+///     thread pool (the tier's bit-identity reference);
+///   - dist-inproc   — a Coordinator over the in-process transport (the
+///     fallback tier: full wire round-trip, no subprocesses);
+///   - dist-pipe     — a Coordinator over real `adept serve` subprocess
+///     workers speaking JSON-lines over pipes.
+///
+/// Reported per series: wall clock, predicted throughput, dispatch
+/// overhead vs the local sharded run. Asserted (exit 1 on violation):
+///   - both distributed series are bit-identical to sharded-local
+///     (hierarchy, report and trace — ISSUE-6's acceptance contract);
+///   - the healthy pipe fleet answers every dispatched shard itself: no
+///     worker failures, no in-process fallbacks.
+///
+///   ./bench_dist [--count N] [--workers N] [--seed N]
+///                [--binary PATH] [--json BENCH_dist.json]
+///
+/// `--binary` points at the adept CLI for the pipe fleet; the default is
+/// baked in at build time (the sibling `adept` target).
+
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/stats.hpp"
+#include "dist/transport.hpp"
+#include "platform/partition.hpp"
+
+#ifndef ADEPT_CLI_BINARY
+#define ADEPT_CLI_BINARY "adept"
+#endif
+
+namespace {
+
+using namespace adept;
+
+struct Measured {
+  PlanResult plan;
+  double wall_ms = 0.0;
+};
+
+template <typename Fn>
+Measured timed(Fn&& fn) {
+  Measured out;
+  const auto start = std::chrono::steady_clock::now();
+  out.plan = fn();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return out;
+}
+
+bool identical(const PlanResult& a, const PlanResult& b) {
+  return a.hierarchy == b.hierarchy &&
+         a.report.overall == b.report.overall && a.trace == b.trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser(argv[0] ? argv[0] : "bench_dist",
+                   "Distributed planning tier vs the local sharded backend.");
+  parser.add_option("count", "multi-cluster platform node count", "2000");
+  parser.add_option("workers", "fleet size for both distributed series", "4");
+  parser.add_option("seed", "RNG seed for the synthetic platform", "20080615");
+  parser.add_option("binary", "adept CLI binary for the pipe fleet",
+                    ADEPT_CLI_BINARY);
+  parser.add_option("json", "output path for the perf-trajectory JSON",
+                    "BENCH_dist.json");
+  try {
+    parser.parse(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n' << parser.usage();
+    return 2;
+  }
+  const auto count = static_cast<std::size_t>(parser.get_int("count"));
+  const auto workers = static_cast<std::size_t>(parser.get_int("workers"));
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  bench::banner("Distributed tier (coordinator + worker fleet) vs sharded");
+  Rng rng(seed);
+  const Platform platform = gen::grid5000_multi_cluster(count, rng);
+  const ServiceSpec service = dgemm_service(310);
+  const std::size_t shard_count = plat::partition_platform(platform, 0).size();
+  ThreadPool pool;
+
+  PlanOptions options;
+  options.pool = &pool;
+  const PlanRequest request{platform, bench::params(), service, options};
+
+  const Measured local =
+      timed([&] { return bench::run_planner("sharded", platform,
+                                            bench::params(), service,
+                                            options); });
+
+  dist::CoordinatorConfig config;
+  config.workers = workers;
+
+  const Measured inproc = timed([&] {
+    dist::InProcessTransport transport;
+    dist::Coordinator coordinator(transport, config);
+    return coordinator.plan(request);
+  });
+
+  const dist::DistStats before = dist::stats_snapshot();
+  const Measured pipe = timed([&] {
+    std::vector<std::string> argv_serve{parser.get("binary"), "serve",
+                                        "--jobs", "1", "--cache", "0"};
+    dist::PipeTransport transport(std::move(argv_serve));
+    dist::Coordinator coordinator(transport, config);
+    return coordinator.plan(request);
+  });
+  const dist::DistStats after = dist::stats_snapshot();
+  const auto faults = (after.worker_failures - before.worker_failures) +
+                      (after.fallbacks - before.fallbacks);
+  const bool clean_pipe_run = faults == 0;
+
+  const bool inproc_identical = identical(local.plan, inproc.plan);
+  const bool pipe_identical = identical(local.plan, pipe.plan);
+  const double inproc_overhead =
+      local.wall_ms > 0.0 ? inproc.wall_ms / local.wall_ms : 0.0;
+  const double pipe_overhead =
+      local.wall_ms > 0.0 ? pipe.wall_ms / local.wall_ms : 0.0;
+
+  Table table("sharded (local pool) vs distributed fleets, " +
+              std::to_string(shard_count) + " shards, dgemm-310, " +
+              std::to_string(workers) + " workers");
+  table.set_header({"series", "wall ms", "rho (req/s)", "nodes",
+                    "overhead", "identical"});
+  table.add_row({"sharded-local", Table::num(local.wall_ms, 1),
+                 Table::num(local.plan.report.overall, 2),
+                 Table::num(static_cast<long long>(local.plan.nodes_used())),
+                 "-", "-"});
+  table.add_row({"dist-inproc", Table::num(inproc.wall_ms, 1),
+                 Table::num(inproc.plan.report.overall, 2),
+                 Table::num(static_cast<long long>(inproc.plan.nodes_used())),
+                 Table::num(inproc_overhead, 2) + "x",
+                 inproc_identical ? "yes" : "NO"});
+  table.add_row({"dist-pipe", Table::num(pipe.wall_ms, 1),
+                 Table::num(pipe.plan.report.overall, 2),
+                 Table::num(static_cast<long long>(pipe.plan.nodes_used())),
+                 Table::num(pipe_overhead, 2) + "x",
+                 pipe_identical ? "yes" : "NO"});
+  std::cout << table << '\n';
+
+  bench::JsonBenchWriter json("dist");
+  json.add({"sharded-local", count, local.wall_ms, 0,
+            local.plan.report.overall,
+            {{"shards", static_cast<double>(shard_count)}}});
+  // efficiency = local/dist wall ratio: higher is better, which is the
+  // direction tools/bench_gate.py's --metric checks gate on.
+  json.add({"dist-inproc", count, inproc.wall_ms, 0,
+            inproc.plan.report.overall,
+            {{"overhead_vs_sharded", inproc_overhead},
+             {"efficiency_vs_sharded",
+              inproc_overhead > 0.0 ? 1.0 / inproc_overhead : 0.0},
+             {"workers", static_cast<double>(workers)},
+             {"bit_identical", inproc_identical ? 1.0 : 0.0}}});
+  json.add({"dist-pipe", count, pipe.wall_ms, 0, pipe.plan.report.overall,
+            {{"overhead_vs_sharded", pipe_overhead},
+             {"efficiency_vs_sharded",
+              pipe_overhead > 0.0 ? 1.0 / pipe_overhead : 0.0},
+             {"workers", static_cast<double>(workers)},
+             {"bit_identical", pipe_identical ? 1.0 : 0.0},
+             {"clean_run", clean_pipe_run ? 1.0 : 0.0}}});
+
+  bench::verdict("in-process fleet bit-identical to local sharded",
+                 inproc_identical);
+  bench::verdict("pipe fleet (real serve subprocesses) bit-identical to "
+                 "local sharded",
+                 pipe_identical);
+  bench::verdict("healthy pipe fleet answered every shard itself "
+                 "(0 failures, 0 fallbacks; got " +
+                     std::to_string(faults) + ")",
+                 clean_pipe_run);
+
+  json.write(parser.get("json"));
+  return inproc_identical && pipe_identical && clean_pipe_run ? 0 : 1;
+}

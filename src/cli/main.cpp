@@ -30,6 +30,8 @@
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "deploy/launcher.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/transport.hpp"
 #include "hierarchy/dot.hpp"
 #include "hierarchy/xml.hpp"
 #include "io/serve.hpp"
@@ -198,6 +200,9 @@ int cmd_plan(const std::vector<std::string>& args) {
   parser.add_option("exclude", "comma-separated host names never to deploy");
   parser.add_option("jobs", "worker threads for portfolio runs (0 = all cores)",
                     "0");
+  parser.add_option("workers",
+                    "distributed planner only: spawn this many `adept serve` "
+                    "subprocesses as the worker fleet");
   parser.add_flag("list-planners", "print the planner registry and exit");
   parser.add_flag("json", "print the wire-format JSON result instead of tables");
   parser.add_option("xml", "write GoDIET XML to this file");
@@ -264,7 +269,35 @@ int cmd_plan(const std::vector<std::string>& args) {
     std::cout << "winner: " << portfolio.best().planner << "\n\n";
     plan = portfolio.best().result;
   } else {
-    PlannerRun run = service.run(request, planner);
+    PlannerRun run;
+    if (parser.has("workers")) {
+      // A real distributed run: the fleet is `adept serve` subprocesses
+      // of this very binary, spoken to over stdin/stdout pipes. The
+      // result is bit-identical to the in-process registry path (and to
+      // --planner sharded); only the latency profile changes.
+      const long long workers = parser.get_int("workers");
+      ADEPT_CHECK(workers >= 1, "--workers must be >= 1");
+      ADEPT_CHECK(planner == "distributed",
+                  "--workers only applies to --planner distributed");
+      dist::PipeTransport transport(dist::self_serve_command());
+      dist::CoordinatorConfig config;
+      config.workers = static_cast<std::size_t>(workers);
+      dist::Coordinator coordinator(transport, config);
+      run.planner = planner;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        run.result = coordinator.plan(request);
+        run.ok = true;
+      } catch (const std::exception& e) {
+        run.error = e.what();
+        if (request.options.should_stop()) run.skipped = true;
+      }
+      run.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    } else {
+      run = service.run(request, planner);
+    }
     if (!run.ok) throw Error("planner '" + planner + "' failed: " + run.error);
     if (as_json) {
       std::cout << wire::to_json(run).dump() << "\n";

@@ -1,0 +1,146 @@
+/// \file coordinator.cpp
+/// \brief Coordinator: partition → dispatch → shared stitch core.
+
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "dist/stats.hpp"
+#include "platform/partition.hpp"
+
+namespace adept::dist {
+
+Coordinator::Coordinator(Transport& transport, CoordinatorConfig config,
+                         const PlannerRegistry& registry)
+    : config_(std::move(config)), registry_(registry),
+      pool_(transport, config_.workers,
+            WorkerPoolConfig{config_.shard_timeout_ms, config_.max_retries}) {}
+
+Coordinator::Coordinator(std::vector<std::unique_ptr<Worker>> workers,
+                         CoordinatorConfig config,
+                         const PlannerRegistry& registry)
+    : config_(std::move(config)), registry_(registry),
+      pool_(std::move(workers),
+            WorkerPoolConfig{config_.shard_timeout_ms, config_.max_retries}) {}
+
+PlanResult Coordinator::plan(const PlanRequest& request) {
+  ++detail::counters().plans;
+  return adept::detail::plan_excluding(
+      request, [this](const Platform& platform, const PlanRequest& r) {
+        PlanOptions options = r.options;
+        options.excluded.clear();  // applied by plan_excluding already
+        const plat::Partition partition =
+            plat::partition_platform(platform, options.shards);
+        auto plan_leaves =
+            [this, &platform, &r,
+             &options](const std::vector<std::vector<NodeId>>& leaves) {
+              return dispatch_leaves(platform, r, options, leaves);
+            };
+        return plan_sharded_with(platform, r.params, r.service, options,
+                                 partition, config_.stitch_fanout,
+                                 plan_leaves);
+      });
+}
+
+std::vector<PlanResult> Coordinator::dispatch_leaves(
+    const Platform& platform, const PlanRequest& request,
+    const PlanOptions& options,
+    const std::vector<std::vector<NodeId>>& leaves) {
+  // Each leaf is a self-contained request on the leaf's sub-platform.
+  // Only wire-travelling options go along (demand, trace switch); the
+  // runtime-only deadline/cancel stay for the local fallback, and the
+  // encoder turns a deadline into the remaining budget_ms for workers.
+  std::vector<ShardJob> jobs;
+  jobs.reserve(leaves.size());
+  for (const std::vector<NodeId>& ids : leaves) {
+    ShardJob job;
+    job.planner = config_.leaf_planner;
+    PlanOptions leaf_options;
+    leaf_options.demand = options.demand;
+    leaf_options.verbose_trace = options.verbose_trace;
+    leaf_options.deadline = options.deadline;
+    leaf_options.cancel = options.cancel;
+    job.request = PlanRequest(
+        std::make_shared<const Platform>(platform.subset(ids)),
+        request.params, request.service, std::move(leaf_options));
+    jobs.push_back(std::move(job));
+  }
+
+  // The in-process fallback: same registry planner, same (serial) path a
+  // worker would run — so fallback plans are bit-identical to dispatched
+  // ones and a worker loss is invisible in the result.
+  auto local_fallback = [this](const ShardJob& job) {
+    PlannerRun run;
+    run.planner = job.planner;
+    try {
+      run.result = registry_.at(job.planner).plan(job.request);
+      run.ok = true;
+    } catch (const std::exception& e) {
+      run.error = e.what();
+      if (job.request.options.should_stop()) run.skipped = true;
+    }
+    return run;
+  };
+
+  std::vector<PlannerRun> runs = pool_.run(jobs, local_fallback);
+
+  std::vector<PlanResult> plans;
+  plans.reserve(leaves.size());
+  for (std::size_t s = 0; s < leaves.size(); ++s) {
+    // A run that is still not ok went through the local fallback, so
+    // this is a genuine planning error (or a cancelled/late request) —
+    // exactly what the local sharded planner would have thrown.
+    ADEPT_CHECK(runs[s].ok, runs[s].error.empty()
+                                ? "shard " + std::to_string(s) + " failed"
+                                : runs[s].error);
+    PlanResult plan = std::move(runs[s].result);
+    const std::vector<NodeId>& ids = leaves[s];
+    // Leaf hierarchies are in sub-platform ids (positions in `ids`);
+    // rewrite to platform ids for the shared stitch core.
+    for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+      plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+namespace {
+
+/// The eighth registry planner: a coordinator over an in-process fleet.
+/// shard_aware keeps it out of portfolios, like "sharded" (it can only
+/// tie the monolithic heuristic on quality).
+class DistributedPlanner final : public IPlanner {
+ public:
+  DistributedPlanner()
+      : info_{"distributed",
+              "coordinator dispatching shards to a worker fleet "
+              "(in-process here; `adept plan --workers N` spawns serve "
+              "subprocesses); bit-identical to sharded",
+              {.demand_aware = true, .shard_aware = true}} {}
+
+  const PlannerInfo& info() const final { return info_; }
+
+  PlanResult plan(const PlanRequest& request) const final {
+    InProcessTransport transport;
+    CoordinatorConfig config;
+    config.workers = std::clamp<std::size_t>(
+        std::thread::hardware_concurrency(), 1, 8);
+    Coordinator coordinator(transport, config);
+    return coordinator.plan(request);
+  }
+
+ private:
+  PlannerInfo info_;
+};
+
+}  // namespace
+
+std::unique_ptr<IPlanner> make_distributed_planner() {
+  return std::make_unique<DistributedPlanner>();
+}
+
+}  // namespace adept::dist

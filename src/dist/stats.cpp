@@ -1,0 +1,38 @@
+#include "dist/stats.hpp"
+
+namespace adept::dist {
+
+namespace detail {
+
+Counters& counters() {
+  static Counters instance;
+  return instance;
+}
+
+}  // namespace detail
+
+DistStats stats_snapshot() {
+  const detail::Counters& c = detail::counters();
+  DistStats out;
+  out.plans = c.plans.load(std::memory_order_relaxed);
+  out.dispatched = c.dispatched.load(std::memory_order_relaxed);
+  out.responded = c.responded.load(std::memory_order_relaxed);
+  out.retried = c.retried.load(std::memory_order_relaxed);
+  out.worker_failures = c.worker_failures.load(std::memory_order_relaxed);
+  out.fallbacks = c.fallbacks.load(std::memory_order_relaxed);
+  out.workers_spawned = c.workers_spawned.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_stats_for_test() {
+  detail::Counters& c = detail::counters();
+  c.plans.store(0, std::memory_order_relaxed);
+  c.dispatched.store(0, std::memory_order_relaxed);
+  c.responded.store(0, std::memory_order_relaxed);
+  c.retried.store(0, std::memory_order_relaxed);
+  c.worker_failures.store(0, std::memory_order_relaxed);
+  c.fallbacks.store(0, std::memory_order_relaxed);
+  c.workers_spawned.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace adept::dist

@@ -1,0 +1,56 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Process-wide counters of the distributed planning tier.
+///
+/// Coordinators and worker pools are short-lived (one per CLI run, one
+/// per registry plan() call), so their observability lives in one
+/// process-wide set of monotone atomic counters — the same lifetime
+/// shape PlanningStats has per service. The serve layer snapshots them
+/// into the `dist` section of its `stats` response; tests reset them
+/// around a scenario to assert exact fault-path counts. This header is
+/// dependency-free on purpose: io/serve.cpp includes it without pulling
+/// the transport machinery into the io layer.
+
+#include <atomic>
+#include <cstdint>
+
+namespace adept::dist {
+
+/// Point-in-time snapshot of the distributed tier's lifetime counters.
+struct DistStats {
+  std::uint64_t plans = 0;        ///< Coordinator plan() calls.
+  std::uint64_t dispatched = 0;   ///< Shard requests sent to workers.
+  std::uint64_t responded = 0;    ///< Well-formed shard responses received.
+  std::uint64_t retried = 0;      ///< Shards re-dispatched after a failure.
+  std::uint64_t worker_failures = 0;  ///< Workers marked failed (crash,
+                                      ///  hang, malformed response).
+  std::uint64_t fallbacks = 0;    ///< Shards planned in-process because no
+                                  ///  healthy worker could answer.
+  std::uint64_t workers_spawned = 0;  ///< Workers ever spawned.
+};
+
+/// Snapshot of the process-wide counters.
+DistStats stats_snapshot();
+
+/// Resets every counter to zero (tests only — the serve `stats` contract
+/// is monotone counters, like PlanningStats).
+void reset_stats_for_test();
+
+namespace detail {
+
+/// The live counters; increment directly (relaxed ordering — these are
+/// statistics, not synchronisation).
+struct Counters {
+  std::atomic<std::uint64_t> plans{0};
+  std::atomic<std::uint64_t> dispatched{0};
+  std::atomic<std::uint64_t> responded{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<std::uint64_t> worker_failures{0};
+  std::atomic<std::uint64_t> fallbacks{0};
+  std::atomic<std::uint64_t> workers_spawned{0};
+};
+Counters& counters();
+
+}  // namespace detail
+
+}  // namespace adept::dist

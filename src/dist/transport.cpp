@@ -1,0 +1,293 @@
+/// \file transport.cpp
+/// \brief In-process and pipe worker transports.
+
+#include "dist/transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "dist/stats.hpp"
+// The workers speak the serve wire format; like planning_service.cpp's
+// cache-key serializer, this is a deliberate .cpp-local upward reference
+// into the io layer of the same static library.
+#include "io/wire.hpp"
+#include "model/evaluate.hpp"
+
+namespace adept::dist {
+
+namespace {
+
+// ------------------------------------------------------------- in-process --
+
+/// Answers serve-protocol lines by planning on the receiving thread.
+class InProcessWorker final : public Worker {
+ public:
+  explicit InProcessWorker(const PlannerRegistry& registry)
+      : registry_(registry) {}
+
+  bool send(const std::string& line) final {
+    if (!alive_) return false;
+    inbox_.push_back(line);
+    return true;
+  }
+
+  bool receive(std::string& line, double /*timeout_ms*/) final {
+    if (!alive_ || inbox_.empty()) return false;
+    const std::string request = std::move(inbox_.front());
+    inbox_.pop_front();
+    line = answer(request);
+    return true;
+  }
+
+  bool alive() const final { return alive_; }
+  void kill() final { alive_ = false; }
+
+ private:
+  std::string answer(const std::string& line) const {
+    json::Value response = json::Value::object();
+    response.set("id", json::Value(nullptr));
+    try {
+      const json::Value doc = json::parse(line);
+      if (const json::Value* id = doc.find("id")) response.set("id", *id);
+      if (const json::Value* cmd = doc.find("cmd")) {
+        ADEPT_CHECK(cmd->as_string() == "stats",
+                    "unknown command '" + cmd->as_string() + "'");
+        response.set("ok", true);
+        response.set("stats", json::Value::object());
+        return response.dump();
+      }
+      PlannerRun run;
+      run.planner = "heuristic";
+      if (const json::Value* planner = doc.find("planner"))
+        run.planner = planner->as_string();
+      PlanRequest request = wire::request_from_json(doc);
+      if (const json::Value* budget = doc.find("budget_ms")) {
+        const double ms = budget->as_number();
+        ADEPT_CHECK(ms > 0.0 && ms <= 8.64e10,
+                    "budget_ms must be in (0, 8.64e10]");
+        request.options.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(static_cast<long long>(ms * 1000.0));
+      }
+      const std::uint64_t evals_before = model::evaluations_on_this_thread();
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        run.result = registry_.at(run.planner).plan(request);
+        run.ok = true;
+      } catch (const std::exception& e) {
+        run.error = e.what();
+        if (request.options.should_stop()) run.skipped = true;
+      }
+      run.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      run.evaluations = model::evaluations_on_this_thread() - evals_before;
+      response.set("ok", run.ok);
+      if (!run.ok) response.set("error", run.error);
+      response.set("run", wire::to_json(run));
+    } catch (const std::exception& e) {
+      response.set("ok", false);
+      response.set("error", e.what());
+    }
+    return response.dump();
+  }
+
+  const PlannerRegistry& registry_;
+  std::deque<std::string> inbox_;
+  bool alive_ = true;
+};
+
+// ------------------------------------------------------------------- pipes --
+
+/// One fork/exec'd subprocess with piped stdin/stdout.
+class PipeWorker final : public Worker {
+ public:
+  explicit PipeWorker(const std::vector<std::string>& argv) {
+    int to_child[2];    // parent writes → child stdin
+    int from_child[2];  // child stdout → parent reads
+    ADEPT_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+                "cannot create worker pipes: " +
+                    std::string(std::strerror(errno)));
+    pid_ = ::fork();
+    ADEPT_CHECK(pid_ >= 0,
+                "cannot fork worker: " + std::string(std::strerror(errno)));
+    if (pid_ == 0) {
+      // Child: wire the pipes to stdio and exec. Only async-signal-safe
+      // calls between fork and exec (the parent may be multithreaded).
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      std::vector<char*> args;
+      args.reserve(argv.size() + 1);
+      for (const std::string& arg : argv)
+        args.push_back(const_cast<char*>(arg.c_str()));
+      args.push_back(nullptr);
+      ::execvp(args[0], args.data());
+      ::_exit(127);  // exec failed; the parent sees EOF on first receive
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    in_fd_ = to_child[1];
+    out_fd_ = from_child[0];
+    // Keep the fds out of any worker this process forks later.
+    ::fcntl(in_fd_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(out_fd_, F_SETFD, FD_CLOEXEC);
+  }
+
+  ~PipeWorker() final { shutdown(); }
+
+  bool send(const std::string& line) final {
+    if (!alive_ || in_fd_ < 0) return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t written = 0;
+    while (written < framed.size()) {
+      const ssize_t n = ::write(in_fd_, framed.data() + written,
+                                framed.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        alive_ = false;  // EPIPE: the worker died under us
+        return false;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool receive(std::string& line, double timeout_ms) final {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            static_cast<long long>(std::max(0.0, timeout_ms) * 1000.0));
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      if (!alive_ || out_fd_ < 0) return false;
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return false;  // timeout: hung worker
+      struct pollfd pfd;
+      pfd.fd = out_fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(
+          &pfd, 1,
+          static_cast<int>(std::min<long long>(remaining.count(), 1000)));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        alive_ = false;
+        return false;
+      }
+      if (ready == 0) continue;  // re-check the deadline
+      char chunk[4096];
+      const ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
+      if (n <= 0) {  // EOF (crash / exec failure) or read error
+        alive_ = false;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool alive() const final { return alive_; }
+
+  void kill() final {
+    if (pid_ > 0) ::kill(pid_, SIGKILL);
+    alive_ = false;
+  }
+
+ private:
+  /// Supervised shutdown: close stdin (serve quits on EOF), give the
+  /// worker a bounded grace period, then SIGKILL; always reaps.
+  void shutdown() {
+    if (in_fd_ >= 0) {
+      ::close(in_fd_);
+      in_fd_ = -1;
+    }
+    if (pid_ > 0) {
+      bool reaped = false;
+      // Only a healthy worker earns the grace period — a failed one is
+      // wedged or already dead, so go straight to SIGKILL.
+      const int grace_rounds = alive_ ? 40 : 0;
+      for (int round = 0; round < grace_rounds && !reaped; ++round) {
+        int status = 0;
+        if (::waitpid(pid_, &status, WNOHANG) == pid_) reaped = true;
+        if (!reaped)
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (!reaped) {
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+      }
+      pid_ = -1;
+    }
+    if (out_fd_ >= 0) {
+      ::close(out_fd_);
+      out_fd_ = -1;
+    }
+    alive_ = false;
+  }
+
+  pid_t pid_ = -1;
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+  std::string buffer_;
+  bool alive_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<Worker> InProcessTransport::spawn() {
+  ++detail::counters().workers_spawned;
+  return std::make_unique<InProcessWorker>(registry_);
+}
+
+PipeTransport::PipeTransport(std::vector<std::string> argv)
+    : argv_(std::move(argv)) {
+  ADEPT_CHECK(!argv_.empty() && !argv_[0].empty(),
+              "pipe transport needs a worker command");
+  // A worker that dies mid-write must surface as an EPIPE errno on the
+  // coordinator's write(), not as a process-killing SIGPIPE.
+  static std::once_flag ignore_sigpipe;
+  std::call_once(ignore_sigpipe, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+std::unique_ptr<Worker> PipeTransport::spawn() {
+  auto worker = std::make_unique<PipeWorker>(argv_);
+  ++detail::counters().workers_spawned;
+  return worker;
+}
+
+std::vector<std::string> self_serve_command(std::size_t jobs) {
+  char path[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", path, sizeof path - 1);
+  ADEPT_CHECK(n > 0, "cannot resolve /proc/self/exe for worker spawning");
+  path[n] = '\0';
+  return {std::string(path), "serve", "--jobs", std::to_string(jobs),
+          "--cache", "0"};
+}
+
+}  // namespace adept::dist

@@ -1,0 +1,114 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Worker transports of the distributed planning tier.
+///
+/// A Worker is one endpoint speaking the `adept serve` JSON-lines
+/// protocol: send() a request line, receive() the matching response line
+/// (responses arrive in request order — the serve contract). A Transport
+/// spawns workers. Two implementations:
+///
+///   - InProcessTransport — answers each line by running the registry
+///     planner on the calling thread. No serialization is skipped: the
+///     request line is deserialized through io/wire exactly as a real
+///     server would, so the in-process path exercises — and guarantees —
+///     the same round-trip-exact wire behaviour the pipe path relies on
+///     for bit-identity. This is also the Coordinator's fallback when a
+///     worker fleet dies: a request never fails because of worker loss.
+///
+///   - PipeTransport — fork/execs a subprocess per worker (by default
+///     this very binary, `adept serve`) and speaks the protocol over
+///     stdin/stdout pipes. receive() enforces a timeout via poll(), so a
+///     hung worker is detected, and the destructor supervises shutdown:
+///     closing the worker's stdin makes serve quit on EOF, with a
+///     bounded wait before SIGKILL.
+///
+/// Workers are single-owner: the WorkerPool drives each worker from one
+/// drain thread at a time, so implementations need no internal locking.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "planner/registry.hpp"
+
+namespace adept::dist {
+
+/// One serve-protocol endpoint (see the file comment for the contract).
+class Worker {
+ public:
+  virtual ~Worker() = default;
+
+  /// Ships one request line (newline appended by the transport). False
+  /// when the worker is unusable (died, pipe closed); the pool marks the
+  /// worker failed and re-dispatches elsewhere.
+  virtual bool send(const std::string& line) = 0;
+
+  /// Receives the next response line, waiting at most `timeout_ms`.
+  /// False on timeout, EOF, or a dead worker — the caller cannot tell
+  /// which, and does not need to: any false is a worker failure.
+  virtual bool receive(std::string& line, double timeout_ms) = 0;
+
+  /// True until the worker is known dead (send/receive failed, kill()).
+  virtual bool alive() const = 0;
+
+  /// Hard-kills the worker (SIGKILL for subprocesses). Idempotent; used
+  /// on failure paths and by fault-injection tests.
+  virtual void kill() = 0;
+};
+
+/// Spawns workers for a WorkerPool.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Transport name for logs/stats ("in-process", "pipe").
+  virtual const char* name() const = 0;
+  /// Spawns one worker; throws adept::Error when spawning itself fails
+  /// (a worker that dies *after* spawning is detected on first use).
+  virtual std::unique_ptr<Worker> spawn() = 0;
+};
+
+/// Same-process transport: every spawned worker answers request lines by
+/// running the named registry planner directly — serially, on the
+/// receiving thread, which makes leaf plans bit-identical to the local
+/// sharded planner's serial path by construction. Parallelism comes from
+/// the pool driving several workers from separate drain threads.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(
+      const PlannerRegistry& registry = PlannerRegistry::instance())
+      : registry_(registry) {}
+
+  const char* name() const final { return "in-process"; }
+  std::unique_ptr<Worker> spawn() final;
+
+ private:
+  const PlannerRegistry& registry_;
+};
+
+/// Subprocess transport: each worker is `argv` fork/exec'd with its
+/// stdin/stdout connected to the coordinator by pipes. The default argv
+/// (see self_serve_command) runs this very binary's serve mode; tests
+/// substitute shell one-liners to inject crashes, garbage and hangs.
+class PipeTransport final : public Transport {
+ public:
+  /// `argv[0]` is the program (PATH-resolved via execvp); must be
+  /// non-empty.
+  explicit PipeTransport(std::vector<std::string> argv);
+
+  const char* name() const final { return "pipe"; }
+  std::unique_ptr<Worker> spawn() final;
+
+ private:
+  std::vector<std::string> argv_;
+};
+
+/// The standard worker command for this process: {self, "serve",
+/// "--jobs", jobs, "--cache", "0"} with `self` read from /proc/self/exe.
+/// `jobs` = 0 lets each worker size its own pool. Throws adept::Error
+/// when the executable path cannot be resolved (non-Linux without
+/// procfs); callers may then fall back to the in-process transport.
+std::vector<std::string> self_serve_command(std::size_t jobs = 1);
+
+}  // namespace adept::dist

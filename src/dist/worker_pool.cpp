@@ -1,0 +1,233 @@
+/// \file worker_pool.cpp
+/// \brief Dispatch, drain, retry and fallback over a worker fleet.
+
+#include "dist/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "dist/stats.hpp"
+#include "io/wire.hpp"
+
+namespace adept::dist {
+
+namespace {
+
+/// Serializes one job as a serve request line, keyed by its job index.
+std::string encode(std::size_t id, const ShardJob& job) {
+  json::Value line = wire::to_json(job.request);
+  line.set("id", id);
+  line.set("planner", job.planner);
+  // A deadline is an instant on this process's clock; workers get the
+  // remaining budget instead (the serve convention, io/wire.hpp).
+  if (job.request.options.deadline.has_value()) {
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(
+            *job.request.options.deadline - std::chrono::steady_clock::now())
+            .count();
+    line.set("budget_ms", std::max(remaining_ms, 0.001));
+  }
+  return line.dump();
+}
+
+}  // namespace
+
+const char* worker_phase_name(WorkerPhase phase) {
+  switch (phase) {
+    case WorkerPhase::Idle: return "idle";
+    case WorkerPhase::Dispatched: return "dispatched";
+    case WorkerPhase::Responded: return "responded";
+    case WorkerPhase::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+WorkerPool::WorkerPool(Transport& transport, std::size_t workers,
+                       WorkerPoolConfig config)
+    : config_(config) {
+  ADEPT_CHECK(workers >= 1, "a worker pool needs at least one worker");
+  slots_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    Slot slot;
+    try {
+      slot.worker = transport.spawn();
+    } catch (const std::exception&) {
+      // Spawn failure is a worker failure, not a pool failure: run()'s
+      // fallback still answers every job.
+      slot.phase = WorkerPhase::Failed;
+      ++detail::counters().worker_failures;
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+WorkerPool::WorkerPool(std::vector<std::unique_ptr<Worker>> workers,
+                       WorkerPoolConfig config)
+    : config_(config) {
+  ADEPT_CHECK(!workers.empty(), "a worker pool needs at least one worker");
+  slots_.reserve(workers.size());
+  for (auto& worker : workers) {
+    Slot slot;
+    slot.worker = std::move(worker);
+    if (slot.worker == nullptr) slot.phase = WorkerPhase::Failed;
+    slots_.push_back(std::move(slot));
+  }
+}
+
+std::size_t WorkerPool::healthy_count() const {
+  return healthy_indices().size();
+}
+
+WorkerPhase WorkerPool::phase(std::size_t index) const {
+  ADEPT_CHECK(index < slots_.size(), "worker index out of range");
+  return slots_[index].phase;
+}
+
+std::vector<std::size_t> WorkerPool::healthy_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].phase != WorkerPhase::Failed &&
+        slots_[i].worker != nullptr && slots_[i].worker->alive())
+      out.push_back(i);
+  return out;
+}
+
+void WorkerPool::fail(Slot& slot) {
+  slot.phase = WorkerPhase::Failed;
+  ++detail::counters().worker_failures;
+  // A failed worker may be wedged mid-plan; a stale late response must
+  // never reach a later round, so the worker is killed, not benched.
+  if (slot.worker != nullptr) slot.worker->kill();
+}
+
+void WorkerPool::drain(Slot& slot, const std::vector<ShardJob>& jobs,
+                       const std::vector<std::size_t>& job_ids,
+                       std::vector<PlannerRun>& results,
+                       std::vector<std::size_t>& unanswered,
+                       std::vector<std::size_t>& remote_failed) {
+  slot.phase = WorkerPhase::Dispatched;
+  // Pipeline the worker's whole share before reading: serve overlaps
+  // planning with request parsing and answers strictly in order.
+  std::size_t sent = 0;
+  for (const std::size_t id : job_ids) {
+    if (!slot.worker->send(encode(id, jobs[id]))) break;
+    ++sent;
+    ++detail::counters().dispatched;
+  }
+  bool failed = sent != job_ids.size();
+  std::size_t answered = 0;
+  while (!failed && answered < sent) {
+    const std::size_t id = job_ids[answered];
+    std::string line;
+    if (!slot.worker->receive(line, config_.shard_timeout_ms)) {
+      failed = true;  // crash (EOF), hang (timeout) or dead pipe
+      break;
+    }
+    try {
+      const json::Value doc = json::parse(line);
+      ADEPT_CHECK(doc.at("id").as_index() == id,
+                  "worker answered out of order");
+      if (doc.at("ok").as_bool()) {
+        results[id] = wire::planner_run_from_json(doc.at("run"));
+      } else {
+        // The *job* failed remotely (planner error, budget); the worker
+        // is fine. Re-plan locally so the error (or late success) is
+        // decided by the same code path the local planner would use.
+        remote_failed.push_back(id);
+      }
+      ++answered;
+      ++detail::counters().responded;
+    } catch (const std::exception&) {
+      failed = true;  // garbage, truncated JSON, protocol violation
+    }
+  }
+  if (failed) {
+    fail(slot);
+    for (std::size_t k = answered; k < job_ids.size(); ++k)
+      unanswered.push_back(job_ids[k]);
+  } else {
+    slot.phase = WorkerPhase::Responded;
+  }
+}
+
+std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
+                                        const LocalPlanFn& local_fallback) {
+  ADEPT_CHECK(local_fallback != nullptr,
+              "worker pool needs a local fallback planner");
+  std::vector<PlannerRun> results(jobs.size());
+  std::vector<std::size_t> pending(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) pending[i] = i;
+  std::vector<std::size_t> local_jobs;
+
+  for (int round = 0; !pending.empty() && round <= config_.max_retries;
+       ++round) {
+    const std::vector<std::size_t> healthy = healthy_indices();
+    if (healthy.empty()) break;
+    if (round > 0) detail::counters().retried += pending.size();
+
+    // Deterministic round-robin assignment over the healthy workers.
+    std::vector<std::vector<std::size_t>> assigned(healthy.size());
+    for (std::size_t k = 0; k < pending.size(); ++k)
+      assigned[k % healthy.size()].push_back(pending[k]);
+
+    std::vector<std::vector<std::size_t>> unanswered(healthy.size());
+    std::vector<std::vector<std::size_t>> remote_failed(healthy.size());
+    std::vector<std::thread> drains;
+    for (std::size_t g = 0; g < healthy.size(); ++g) {
+      if (assigned[g].empty()) continue;
+      drains.emplace_back([this, g, &healthy, &jobs, &assigned, &results,
+                           &unanswered, &remote_failed] {
+        drain(slots_[healthy[g]], jobs, assigned[g], results, unanswered[g],
+              remote_failed[g]);
+      });
+    }
+    for (std::thread& thread : drains) thread.join();
+
+    pending.clear();
+    for (const auto& leftover : unanswered)
+      pending.insert(pending.end(), leftover.begin(), leftover.end());
+    std::sort(pending.begin(), pending.end());
+    for (const auto& rejected : remote_failed)
+      local_jobs.insert(local_jobs.end(), rejected.begin(), rejected.end());
+  }
+
+  // Whatever no worker could answer — plus jobs workers answered with an
+  // error — is planned in-process, in ascending job order.
+  local_jobs.insert(local_jobs.end(), pending.begin(), pending.end());
+  std::sort(local_jobs.begin(), local_jobs.end());
+  for (const std::size_t id : local_jobs) {
+    results[id] = local_fallback(jobs[id]);
+    ++detail::counters().fallbacks;
+  }
+
+  // A successful round leaves the worker ready for the next batch.
+  for (Slot& slot : slots_)
+    if (slot.phase == WorkerPhase::Responded) slot.phase = WorkerPhase::Idle;
+  return results;
+}
+
+bool WorkerPool::health_check() {
+  for (Slot& slot : slots_) {
+    if (slot.phase == WorkerPhase::Failed || slot.worker == nullptr) continue;
+    bool ok = false;
+    if (slot.worker->send(R"({"cmd":"stats"})")) {
+      std::string line;
+      if (slot.worker->receive(line, config_.shard_timeout_ms)) {
+        try {
+          ok = json::parse(line).at("ok").as_bool();
+        } catch (const std::exception&) {
+          ok = false;
+        }
+      }
+    }
+    if (!ok) fail(slot);
+  }
+  return healthy_count() == slots_.size();
+}
+
+}  // namespace adept::dist

@@ -1,0 +1,126 @@
+#pragma once
+/// \file worker_pool.hpp
+/// \brief Supervised fleet of serve workers with retry and fallback.
+///
+/// The WorkerPool runs batches of shard jobs over a set of Workers. Each
+/// worker follows an explicit phase machine:
+///
+///     Idle ──► Dispatched ──► Responded ──► Idle      (healthy round)
+///                   │
+///                   └───────► Failed                  (terminal)
+///
+/// A worker fails when a send breaks, a receive times out or hits EOF,
+/// or a response line is malformed / out of order. Failure is terminal:
+/// the worker is hard-killed and never reused (a wedged worker could
+/// otherwise emit a stale response into a later round). The jobs it left
+/// unanswered are re-dispatched to the remaining healthy workers —
+/// bounded by `max_retries` rounds — and whatever still has no answer is
+/// planned in-process through the caller's fallback, so a batch never
+/// fails because of worker loss. Results are placed by job index, and
+/// failed jobs are re-dispatched and fallen back in ascending job order,
+/// so the output is deterministic whatever the failure timing.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/transport.hpp"
+#include "planner/planning_service.hpp"
+#include "planner/request.hpp"
+
+namespace adept::dist {
+
+/// Phase of one worker's dispatch state machine.
+enum class WorkerPhase { Idle, Dispatched, Responded, Failed };
+
+/// Human-readable phase name ("idle", "dispatched", ...).
+const char* worker_phase_name(WorkerPhase phase);
+
+/// One shard planning job: a self-contained request plus the registry
+/// planner to run it with.
+struct ShardJob {
+  PlanRequest request;
+  std::string planner = "heuristic";
+};
+
+/// Pool tuning knobs.
+struct WorkerPoolConfig {
+  /// Per-response receive timeout; a worker that exceeds it is failed.
+  double shard_timeout_ms = 120000.0;
+  /// Re-dispatch rounds after the initial one before giving up on
+  /// workers and planning the leftovers in-process.
+  int max_retries = 1;
+};
+
+/// Runs shard-job batches over a worker fleet (see the file comment).
+/// Not internally synchronised against concurrent run() calls — one
+/// coordinator drives one pool.
+class WorkerPool {
+ public:
+  /// Spawns `workers` workers from `transport` (>= 1). A worker whose
+  /// spawn throws starts in the Failed phase; the pool is still usable
+  /// as long as run()'s fallback can plan.
+  WorkerPool(Transport& transport, std::size_t workers,
+             WorkerPoolConfig config = {});
+
+  /// Adopts pre-spawned workers — fault-injection tests mix healthy and
+  /// rigged workers in one fleet this way.
+  explicit WorkerPool(std::vector<std::unique_ptr<Worker>> workers,
+                      WorkerPoolConfig config = {});
+
+  WorkerPool(const WorkerPool&) = delete;             ///< Non-copyable.
+  WorkerPool& operator=(const WorkerPool&) = delete;  ///< Non-copyable.
+
+  /// Plans every shard locally when no worker can: called for each job
+  /// that exhausted dispatch; must not throw (capture errors in the
+  /// returned PlannerRun, like PlanningService::execute does).
+  using LocalPlanFn = std::function<PlannerRun(const ShardJob&)>;
+
+  /// Runs every job; `results[i]` answers `jobs[i]`. Worker loss never
+  /// surfaces as a failure here — exhausted jobs go through
+  /// `local_fallback` (required non-null). A run with healthy workers
+  /// pipelines each worker's share and drains the workers concurrently,
+  /// one thread per dispatched worker.
+  std::vector<PlannerRun> run(const std::vector<ShardJob>& jobs,
+                              const LocalPlanFn& local_fallback);
+
+  /// Pings every non-failed worker with a `stats` command and fails the
+  /// ones that do not answer ok within the shard timeout. Returns true
+  /// when every worker in the pool is healthy.
+  bool health_check();
+
+  std::size_t size() const { return slots_.size(); }
+  /// Workers not (yet) failed.
+  std::size_t healthy_count() const;
+  /// Current phase of worker `index`. Between run() calls this is Idle
+  /// or Failed; Dispatched/Responded are transient in-run states.
+  WorkerPhase phase(std::size_t index) const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Worker> worker;
+    WorkerPhase phase = WorkerPhase::Idle;
+  };
+
+  /// Worker indices able to take jobs.
+  std::vector<std::size_t> healthy_indices() const;
+  /// Fails `slot`: phase, counter, hard-kill.
+  static void fail(Slot& slot);
+  /// Sends `job_ids` through `slot` pipelined, drains the responses, and
+  /// sorts the outcomes: answered jobs fill `results`, jobs the worker
+  /// answered with ok=false go to `remote_failed` (deterministically
+  /// re-planned locally), everything unanswered at failure goes to
+  /// `unanswered`.
+  void drain(Slot& slot, const std::vector<ShardJob>& jobs,
+             const std::vector<std::size_t>& job_ids,
+             std::vector<PlannerRun>& results,
+             std::vector<std::size_t>& unanswered,
+             std::vector<std::size_t>& remote_failed);
+
+  std::vector<Slot> slots_;
+  WorkerPoolConfig config_;
+};
+
+}  // namespace adept::dist

@@ -1,15 +1,21 @@
 #include "io/serve.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/strings.hpp"
+// Counters only (dependency-free header); the dist tier itself sits
+// above io and is never pulled in here.
+#include "dist/stats.hpp"
 #include "io/wire.hpp"
 #include "planner/planning_service.hpp"
 
@@ -17,21 +23,17 @@ namespace adept::io {
 
 namespace {
 
-/// One input line awaiting its response slot — a submitted job, or an
-/// already-failed line (parse/deserialization error) that still has to
-/// wait its turn so responses never jump the request order.
+/// One input line awaiting its response slot — a submitted job, a stats
+/// marker, or an already-failed line (parse/deserialization error) that
+/// still has to wait its turn so responses never jump the request order.
 struct Pending {
   json::Value id;           ///< Echoed back; null when the client sent none.
   bool is_portfolio = false;
+  bool is_stats = false;    ///< A `stats` command's response slot.
   PlanTicket plan;
   PortfolioTicket portfolio;
   std::string immediate_error;  ///< Non-empty: no job, answer is this error.
   bool counts = false;          ///< Contributes to the answered() total.
-
-  bool ready() const {
-    if (!immediate_error.empty()) return true;
-    return is_portfolio ? portfolio.poll() : plan.poll();
-  }
 };
 
 json::Value stats_to_json(const PlanningStats& stats) {
@@ -44,19 +46,44 @@ json::Value stats_to_json(const PlanningStats& stats) {
   out.set("cache_hits", stats.cache_hits);
   out.set("cache_misses", stats.cache_misses);
   out.set("cache_evictions", stats.cache_evictions);
+  out.set("cache_coalesced", stats.cache_coalesced);
+  // Distributed-tier counters (dist/stats.hpp): process-wide, so a serve
+  // process that coordinates `--planner distributed` jobs exposes its
+  // dispatch/retry/fallback history next to the planning stats.
+  const dist::DistStats dist_stats = dist::stats_snapshot();
+  json::Value dist = json::Value::object();
+  dist.set("plans", dist_stats.plans);
+  dist.set("workers_spawned", dist_stats.workers_spawned);
+  dist.set("dispatched", dist_stats.dispatched);
+  dist.set("responded", dist_stats.responded);
+  dist.set("retried", dist_stats.retried);
+  dist.set("worker_failures", dist_stats.worker_failures);
+  dist.set("fallbacks", dist_stats.fallbacks);
+  out.set("dist", std::move(dist));
   return out;
 }
 
 /// The per-session state: the async service plus the in-order response
 /// queue. Responses are written strictly in request order, flushing each
 /// line (clients pipeline against a live pipe).
+///
+/// A dedicated writer thread emits each response the moment its job
+/// finishes — crucially, *while the reader blocks on the next input
+/// line*. Without it a client that sends one request and then waits
+/// (every interactive client, and the distributed tier's coordinator)
+/// would deadlock against a server that only flushed responses when more
+/// input arrived.
 class Session {
  public:
   Session(std::ostream& out, const ServeConfig& config)
       : out_(out),
         service_(config.threads, PlannerRegistry::instance(),
-                 config.cache_capacity) {}
+                 config.cache_capacity),
+        writer_([this] { writer_loop(); }) {}
 
+  ~Session() { finish(); }
+
+  /// Only valid after finish(): the writer thread owns the counter.
   std::size_t answered() const { return answered_; }
 
   void handle_line(const std::string& line) {
@@ -81,9 +108,15 @@ class Session {
 
   bool quitting() const { return quitting_; }
 
-  /// Blocks until every in-flight request has been answered.
-  void drain() {
-    while (!pending_.empty()) emit_front(/*block=*/true);
+  /// Signals end of input and blocks until every queued response has
+  /// been written and the writer thread has exited. Idempotent.
+  void finish() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_reading_ = true;
+    }
+    cv_.notify_one();
+    if (writer_.joinable()) writer_.join();
   }
 
  private:
@@ -94,13 +127,12 @@ class Session {
       return;
     }
     if (name == "stats") {
-      // Stats reflect every *answered* request; flush the queue first so
-      // the numbers are not a race against in-flight jobs.
-      drain();
-      json::Value response = json::Value::object();
-      response.set("ok", true);
-      response.set("stats", stats_to_json(service_.stats()));
-      write(response);
+      // Queued like any request: the writer answers it only after every
+      // earlier response has been written, so the snapshot reflects all
+      // previously-answered requests without racing in-flight jobs.
+      Pending pending;
+      pending.is_stats = true;
+      enqueue(std::move(pending));
       return;
     }
     queue_error(json::Value(nullptr), "unknown command '" + name + "'");
@@ -138,35 +170,53 @@ class Session {
       // its slot in request order like every other response.
       pending.immediate_error = e.what();
     }
-    pending_.push_back(std::move(pending));
-    flush_ready();
+    enqueue(std::move(pending));
   }
 
   void queue_error(json::Value id, const std::string& message) {
     Pending pending;
     pending.id = std::move(id);
     pending.immediate_error = message;
-    pending_.push_back(std::move(pending));
-    flush_ready();
+    enqueue(std::move(pending));
   }
 
-  /// Opportunistically flushes whatever has already finished ahead of
-  /// the reader — keeps latency low without ever reordering responses.
-  void flush_ready() {
-    while (!pending_.empty() && pending_.front().ready())
-      emit_front(/*block=*/false);
+  void enqueue(Pending pending) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(std::move(pending));
+    }
+    cv_.notify_one();
   }
 
-  void emit_front(bool block) {
-    Pending& front = pending_.front();
-    if (!block && !front.ready()) return;
+  /// Writer thread: pops responses strictly in request order, blocking
+  /// on each job's completion, and writes them as they finish.
+  void writer_loop() {
+    for (;;) {
+      Pending front;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return !pending_.empty() || done_reading_; });
+        if (pending_.empty()) return;
+        front = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      emit(front);
+    }
+  }
+
+  void emit(Pending& front) {
     json::Value response = json::Value::object();
+    if (front.is_stats) {
+      response.set("ok", true);
+      response.set("stats", stats_to_json(service_.stats()));
+      write(response);
+      return;
+    }
     response.set("id", front.id);
     if (!front.immediate_error.empty()) {
       response.set("ok", false);
       response.set("error", front.immediate_error);
       write(response);
-      pending_.pop_front();
       return;
     }
     if (front.is_portfolio) {
@@ -186,7 +236,6 @@ class Session {
     }
     write(response);
     if (front.counts) ++answered_;
-    pending_.pop_front();
   }
 
   void write(const json::Value& response) {
@@ -196,9 +245,13 @@ class Session {
 
   std::ostream& out_;
   PlanningService service_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
   std::deque<Pending> pending_;
+  bool done_reading_ = false;
   std::size_t answered_ = 0;
   bool quitting_ = false;
+  std::thread writer_;  ///< Last member: starts after everything it uses.
 };
 
 }  // namespace
@@ -211,7 +264,7 @@ std::size_t serve_session(std::istream& in, std::ostream& out,
     if (strings::trim(line).empty()) continue;
     session.handle_line(line);
   }
-  session.drain();
+  session.finish();
   return session.answered();
 }
 

@@ -96,38 +96,84 @@ std::size_t PlanningService::thread_count() const {
 
 // -------------------------------------------------------------- plan cache --
 
-bool PlanningService::cache_lookup(const std::string& key, PlannerRun& run) {
-  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-  const auto found = cache_map_.find(key);
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++(found != cache_map_.end() ? stats_.cache_hits : stats_.cache_misses);
+bool PlanningService::cache_wait_or_begin(const std::string& key,
+                                          PlannerRun& run,
+                                          const PlanOptions& options) {
+  std::unique_lock<std::mutex> lock(cache_mutex_);
+  bool coalesced = false;
+  for (;;) {
+    if (const auto found = cache_map_.find(key); found != cache_map_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, found->second);
+      run.ok = true;
+      run.cached = true;
+      run.result = found->second->result;
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.cache_hits;
+      if (coalesced) ++stats_.cache_coalesced;
+      return true;
+    }
+    const auto inflight = inflight_.find(key);
+    if (inflight == inflight_.end()) {
+      // No finished entry and nobody planning it: this job leads.
+      inflight_.emplace(key, std::make_shared<Inflight>());
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.cache_misses;
+      return false;
+    }
+    // An identical request is in flight; wait for the leader's verdict
+    // instead of planning the same problem on another core. The entry is
+    // held by shared_ptr: the leader may erase it from the map while
+    // followers still examine it.
+    const std::shared_ptr<Inflight> entry = inflight->second;
+    coalesced = true;
+    while (!entry->done) {
+      if (options.should_stop()) {
+        run.skipped = true;
+        run.error = options.cancelled() ? "cancelled" : "deadline exceeded";
+        return true;
+      }
+      // Bounded waits keep a follower's own deadline/cancel responsive
+      // without a cv per token.
+      inflight_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+    if (entry->ok) {
+      run.ok = true;
+      run.cached = true;
+      run.result = entry->result;
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.cache_hits;
+      ++stats_.cache_coalesced;
+      return true;
+    }
+    // The leader failed; its failure is not this job's failure. Loop:
+    // the cache may have been filled meanwhile, or this job becomes the
+    // new leader and plans for itself.
   }
-  if (found == cache_map_.end()) return false;
-  cache_lru_.splice(cache_lru_.begin(), cache_lru_, found->second);
-  run.ok = true;
-  run.cached = true;
-  run.result = found->second->result;
-  return true;
 }
 
-void PlanningService::cache_insert(const std::string& key,
-                                   const PlanResult& result) {
-  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-  if (cache_capacity_ == 0) return;
-  if (const auto found = cache_map_.find(key); found != cache_map_.end()) {
-    // A concurrent job cached the same request first; refresh recency.
-    cache_lru_.splice(cache_lru_.begin(), cache_lru_, found->second);
-    return;
-  }
+void PlanningService::cache_finish(const std::string& key,
+                                   const PlannerRun& run) {
   std::uint64_t evicted = 0;
-  while (cache_map_.size() >= cache_capacity_) {
-    cache_map_.erase(cache_lru_.back().key);
-    cache_lru_.pop_back();
-    ++evicted;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    if (const auto found = inflight_.find(key); found != inflight_.end()) {
+      found->second->done = true;
+      found->second->ok = run.ok;
+      if (run.ok) found->second->result = run.result;
+      inflight_.erase(found);
+    }
+    if (run.ok && cache_capacity_ != 0 &&
+        cache_map_.find(key) == cache_map_.end()) {
+      while (cache_map_.size() >= cache_capacity_) {
+        cache_map_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+        ++evicted;
+      }
+      cache_lru_.push_front(CacheEntry{key, run.result});
+      cache_map_.emplace(key, cache_lru_.begin());
+    }
   }
-  cache_lru_.push_front(CacheEntry{key, result});
-  cache_map_.emplace(key, cache_lru_.begin());
+  inflight_cv_.notify_all();
   if (evicted != 0) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.cache_evictions += evicted;
@@ -181,7 +227,10 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
     if (cache_capacity() != 0) {
       cache_key =
           fingerprint_digest(wire::request_fingerprint(request, planner));
-      if (cache_lookup(cache_key, run)) return run;
+      // Answered from the cache, coalesced onto an identical in-flight
+      // job, or stopped while waiting; otherwise this job is the leader
+      // for the key and must publish its outcome via cache_finish below.
+      if (cache_wait_or_begin(cache_key, run, request.options)) return run;
     }
     // Offer the service's pool for the planner's internal parallelism
     // (the heuristic's per-k sweep). Safe when this job itself runs on a
@@ -206,7 +255,7 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
   run.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   run.evaluations = model::evaluations_on_this_thread() - evals_before;
-  if (run.ok && !cache_key.empty()) cache_insert(cache_key, run.result);
+  if (!cache_key.empty()) cache_finish(cache_key, run);
   return run;
 }
 

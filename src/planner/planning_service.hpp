@@ -26,6 +26,15 @@
 /// not affect the key. Only successful runs are cached. Capacity 0 (the
 /// default) disables caching entirely.
 ///
+/// Identical *concurrent* requests are single-flighted: the first job to
+/// miss on a key becomes the leader and plans; followers that arrive
+/// while it is in flight wait for its verdict instead of planning the
+/// same problem on another core (counted as cache_coalesced hits). A
+/// leader that fails releases its followers, and the first to wake
+/// retries as the new leader — a failure is never cached, and a follower
+/// is never failed by proxy. Waiting followers honour their own
+/// cancellation and deadline.
+///
 /// Planner exceptions never escape a job: they are captured into the
 /// PlannerRun so one bad request cannot take down a batch (the pool
 /// terminates on escaping exceptions). Cancellation and deadlines are
@@ -93,6 +102,9 @@ struct PlanningStats {
   std::uint64_t cache_hits = 0;       ///< Jobs answered from the plan cache.
   std::uint64_t cache_misses = 0;     ///< Cache-enabled jobs that planned.
   std::uint64_t cache_evictions = 0;  ///< LRU entries displaced.
+  /// Subset of cache_hits that waited on an identical in-flight job
+  /// (single-flight coalescing) instead of finding a finished entry.
+  std::uint64_t cache_coalesced = 0;
 };
 
 namespace detail {
@@ -259,9 +271,15 @@ class PlanningService {
  private:
   PlannerRun execute(const PlanRequest& request, const std::string& planner);
   void record(const PlannerRun& run);
-  /// Cache lookup; true (and fills `run`) on a hit. Counts hit/miss.
-  bool cache_lookup(const std::string& key, PlannerRun& run);
-  void cache_insert(const std::string& key, const PlanResult& result);
+  /// Single-flight cache front: true (and fills `run`) when the job is
+  /// answered — by a cached entry, by a coalesced in-flight result, or
+  /// by the waiter's own cancellation/deadline. False makes the caller
+  /// the leader for `key`; it MUST call cache_finish() with its outcome.
+  bool cache_wait_or_begin(const std::string& key, PlannerRun& run,
+                           const PlanOptions& options);
+  /// Leader's epilogue: publishes the outcome to followers, caches a
+  /// successful result, and releases the in-flight entry.
+  void cache_finish(const std::string& key, const PlannerRun& run);
   ThreadPool& pool();
 
   const PlannerRegistry& registry_;
@@ -281,6 +299,16 @@ class PlanningService {
   std::size_t cache_capacity_ = 0;
   std::list<CacheEntry> cache_lru_;
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_;
+
+  /// One in-flight (leader-owned) plan per key; followers hold the
+  /// shared_ptr and wait on inflight_cv_ (paired with cache_mutex_).
+  struct Inflight {
+    bool done = false;
+    bool ok = false;
+    PlanResult result;  ///< Meaningful only when done && ok.
+  };
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  std::condition_variable inflight_cv_;
 
   // Last members: destroyed first, so the pool joins (draining queued
   // ticket jobs, which touch the stats and cache above) while the rest

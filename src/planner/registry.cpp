@@ -15,6 +15,12 @@
 #include <utility>
 
 #include "common/error.hpp"
+// The distributed planner lives one layer up (src/dist/) — a deliberate
+// .cpp-local upward reference, like planning_service.cpp's use of
+// io/wire.hpp: planner and dist ship as one static library, and
+// registering it here (not via a static initialiser in dist/) keeps it
+// present even when the linker drops unreferenced object files.
+#include "dist/coordinator.hpp"
 #include "planner/sharded.hpp"
 
 namespace adept {
@@ -193,6 +199,9 @@ PlannerRegistry& PlannerRegistry::instance() {
     // a static initialiser keeps it present even when the static library
     // linker drops the otherwise-unreferenced object file.
     registry.add(make_sharded_planner());
+    // The distributed tier's planner (dist/coordinator.hpp): sharded's
+    // algorithm with leaves dispatched to a worker fleet.
+    registry.add(dist::make_distributed_planner());
     return true;
   }();
   (void)builtins_registered;

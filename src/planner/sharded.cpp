@@ -71,90 +71,34 @@ Objective objective_of(const PlanResult& plan, RequestRate demand) {
   return {std::min(plan.report.overall, demand), plan.hierarchy.size()};
 }
 
-}  // namespace
+/// One stitch + repair over child plans that together cover `platform`
+/// exactly (hierarchies in `platform` node ids). Used by the top level
+/// of the sharded core and, through a sub-platform remap, by every
+/// intermediate level of a recursive stitch. Consumes `plans`.
+struct StitchOutcome {
+  PlanResult result;            ///< The stitched-and-repaired (or floor) plan.
+  Objective stitched_objective; ///< Best candidate before repair.
+  std::string detail;           ///< Winning candidate description.
+  std::size_t best_child = 0;   ///< Quality-floor child index.
+  bool kept_stitched = false;   ///< False: the floor child won outright.
+};
 
-PlanResult plan_sharded(const Platform& platform,
-                        const MiddlewareParams& params,
-                        const ServiceSpec& service, const PlanOptions& options,
-                        const plat::Partition& partition) {
-  ADEPT_CHECK(platform.size() >= 2, "a deployment needs at least two nodes");
-  ADEPT_CHECK(options.demand > 0.0, "client demand must be positive");
-  ADEPT_CHECK(options.excluded.empty(),
-              "plan_sharded expects exclusion to be applied by the registry "
-              "wrapper (plan on the surviving sub-platform)");
-  params.validate();
-
-  // Canonical shard order: the stitch below merges results in this
-  // order, so two partitions differing only in shard ordering produce
-  // bit-identical plans.
-  plat::Partition shards = partition;
-  shards.canonicalize();
-  ADEPT_CHECK(shards.node_count() == platform.size(),
-              "partition must cover the platform exactly (" +
-                  std::to_string(shards.node_count()) + " of " +
-                  std::to_string(platform.size()) + " nodes)");
-  (void)shards.shard_of(platform.size());  // throws on overlapping shards
-
-  PlanResult result;
-  if (shards.size() <= 1) {
-    result = plan_heterogeneous(platform, params, service, options.demand,
-                                options.pool, &options);
-    if (options.verbose_trace)
-      result.trace.insert(result.trace.begin(),
-                          "sharded: single shard, planning monolithically");
-    else
-      result.trace.clear();
-    return result;
-  }
-  for (const auto& shard : shards.shards)
-    ADEPT_CHECK(shard.size() >= 2, "every shard needs at least two nodes (got "
-                                       "one of " +
-                                       std::to_string(shard.size()) + ")");
-
-  // --- per-shard plans, concurrent, bit-identical for any pool size ----
-  std::vector<PlanResult> plans(shards.size());
-  auto plan_one = [&](std::size_t s) {
-    const std::vector<NodeId>& ids = shards.shards[s];
-    const Platform sub = platform.subset(ids);
-    PlanResult plan = plan_heterogeneous(sub, params, service, options.demand,
-                                         options.pool, &options);
-    // Sub-platform ids are positions in `ids`; rewrite to platform ids.
-    for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
-      plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
-    plans[s] = std::move(plan);
-  };
-  if (options.pool != nullptr && options.pool->thread_count() > 1) {
-    options.pool->for_each(shards.size(), plan_one);
-  } else {
-    for (std::size_t s = 0; s < shards.size(); ++s) plan_one(s);
-  }
-
-  // --- best single shard (the quality floor) ---------------------------
-  std::size_t best_shard = 0;
-  for (std::size_t s = 1; s < shards.size(); ++s)
+StitchOutcome stitch_children(const Platform& platform,
+                              const MiddlewareParams& params,
+                              const ServiceSpec& service,
+                              const PlanOptions& options,
+                              std::vector<PlanResult>& plans) {
+  // --- best child (the quality floor) ----------------------------------
+  std::size_t best_child = 0;
+  for (std::size_t s = 1; s < plans.size(); ++s)
     if (objective_of(plans[s], options.demand)
-            .beats(objective_of(plans[best_shard], options.demand)))
-      best_shard = s;
-
-  std::vector<std::string> trace;
-  if (options.verbose_trace) {
-    std::string shape =
-        "sharded: " + std::to_string(shards.size()) + " shards (";
-    for (std::size_t s = 0; s < shards.size(); ++s)
-      shape += (s > 0 ? "+" : "") + std::to_string(shards.shards[s].size());
-    shape += " nodes)";
-    trace.push_back(std::move(shape));
-    for (std::size_t s = 0; s < shards.size(); ++s)
-      trace.push_back("shard " + std::to_string(s) + ": " +
-                      std::to_string(plans[s].hierarchy.size()) +
-                      " nodes deployed, predicted " +
-                      std::to_string(plans[s].report.overall) + " req/s");
-  }
+            .beats(objective_of(plans[best_child], options.demand)))
+      best_child = s;
 
   // --- stitch candidates -----------------------------------------------
-  // One candidate per shard (that shard's root becomes the global root,
-  // every other shard grafts under it, in canonical order), plus an
-  // aggregator candidate rooted on the strongest node no shard plan
+  // One candidate per child (that child's root becomes the global root,
+  // every other child grafts under it, in canonical order), plus an
+  // aggregator candidate rooted on the strongest node no child plan
   // uses. Each is evaluated under the homogeneous model — the same
   // belief every other registry planner reports — and the best one goes
   // into the repair pass.
@@ -185,10 +129,10 @@ PlanResult plan_sharded(const Platform& platform,
     }
   };
 
-  for (std::size_t s = 0; s < shards.size(); ++s) {
+  for (std::size_t s = 0; s < plans.size(); ++s) {
     Hierarchy candidate = plans[s].hierarchy;
     const Hierarchy::Index root = candidate.root();
-    for (std::size_t t = 0; t < shards.size(); ++t)
+    for (std::size_t t = 0; t < plans.size(); ++t)
       if (t != s) attach_shard(candidate, root, plans[t].hierarchy);
     offer_candidate(std::move(candidate),
                     "root from shard " + std::to_string(s));
@@ -196,7 +140,7 @@ PlanResult plan_sharded(const Platform& platform,
   if (aggregator != static_cast<NodeId>(-1)) {
     Hierarchy candidate;
     const Hierarchy::Index root = candidate.add_root(aggregator);
-    for (std::size_t t = 0; t < shards.size(); ++t)
+    for (std::size_t t = 0; t < plans.size(); ++t)
       attach_shard(candidate, root, plans[t].hierarchy);
     offer_candidate(std::move(candidate),
                     "aggregator root on node " +
@@ -205,41 +149,229 @@ PlanResult plan_sharded(const Platform& platform,
   ADEPT_ASSERT(have_stitched, "sharded stitch produced no candidate");
 
   // --- bounded cross-shard repair --------------------------------------
-  // The improver recruits the strongest unused nodes (from any shard)
-  // and rebalances saturated agents across shard boundaries; its rounds
+  // The improver recruits the strongest unused nodes (from any child)
+  // and rebalances saturated agents across child boundaries; its rounds
   // poll the caller's StopGuard, so a deadline bounds the pass without
   // invalidating the plan. It only ever accepts improving edits, so the
   // repaired plan is at least as good as the stitched one. Its own
-  // trace (folded into ours below) honours the caller's trace switch,
+  // trace (folded into the caller's) honours the caller's trace switch,
   // so quiet batch runs never pay for log formatting.
   PlanResult repaired =
       improve_deployment(std::move(stitched), platform, params, service,
                          options);
 
-  // --- the quality floor: never worse than the best single shard -------
+  // --- the quality floor: never worse than the best child --------------
   const Objective repaired_objective = objective_of(repaired, options.demand);
   const Objective floor_objective =
-      objective_of(plans[best_shard], options.demand);
+      objective_of(plans[best_child], options.demand);
   const bool keep_stitched = !floor_objective.beats(repaired_objective);
 
-  result = keep_stitched ? std::move(repaired) : std::move(plans[best_shard]);
-  result.report =
-      model::evaluate_unchecked(result.hierarchy, platform, params, service);
+  StitchOutcome out;
+  out.result =
+      keep_stitched ? std::move(repaired) : std::move(plans[best_child]);
+  out.result.report = model::evaluate_unchecked(out.result.hierarchy, platform,
+                                                params, service);
+  out.stitched_objective = stitched_objective;
+  out.detail = std::move(stitched_detail);
+  out.best_child = best_child;
+  out.kept_stitched = keep_stitched;
+  return out;
+}
+
+}  // namespace
+
+PlanResult plan_sharded_with(const Platform& platform,
+                             const MiddlewareParams& params,
+                             const ServiceSpec& service,
+                             const PlanOptions& options,
+                             const plat::Partition& partition,
+                             std::size_t stitch_fanout,
+                             const ShardLeafBatchFn& plan_leaves) {
+  ADEPT_CHECK(platform.size() >= 2, "a deployment needs at least two nodes");
+  ADEPT_CHECK(options.demand > 0.0, "client demand must be positive");
+  ADEPT_CHECK(options.excluded.empty(),
+              "plan_sharded expects exclusion to be applied by the registry "
+              "wrapper (plan on the surviving sub-platform)");
+  ADEPT_CHECK(stitch_fanout >= 2, "stitch fanout must be at least 2");
+  ADEPT_CHECK(plan_leaves != nullptr, "plan_sharded_with needs a leaf planner");
+  params.validate();
+
+  // Canonical shard order: the stitch below merges results in this
+  // order, so two partitions differing only in shard ordering produce
+  // bit-identical plans.
+  plat::Partition shards = partition;
+  shards.canonicalize();
+  ADEPT_CHECK(shards.node_count() == platform.size(),
+              "partition must cover the platform exactly (" +
+                  std::to_string(shards.node_count()) + " of " +
+                  std::to_string(platform.size()) + " nodes)");
+  (void)shards.shard_of(platform.size());  // throws on overlapping shards
+
+  PlanResult result;
+  if (shards.size() <= 1) {
+    std::vector<PlanResult> plans = plan_leaves(shards.shards);
+    ADEPT_CHECK(plans.size() == 1, "leaf planner returned " +
+                                       std::to_string(plans.size()) +
+                                       " plans for 1 shard");
+    result = std::move(plans[0]);
+    if (options.verbose_trace)
+      result.trace.insert(result.trace.begin(),
+                          "sharded: single shard, planning monolithically");
+    else
+      result.trace.clear();
+    return result;
+  }
+  for (const auto& shard : shards.shards)
+    ADEPT_CHECK(shard.size() >= 2, "every shard needs at least two nodes (got "
+                                       "one of " +
+                                       std::to_string(shard.size()) + ")");
+
+  // --- per-shard plans, in one batch, bit-identical for any executor ---
+  std::vector<PlanResult> plans = plan_leaves(shards.shards);
+  ADEPT_CHECK(plans.size() == shards.size(),
+              "leaf planner returned " + std::to_string(plans.size()) +
+                  " plans for " + std::to_string(shards.size()) + " shards");
+
+  std::vector<std::string> trace;
+  if (options.verbose_trace) {
+    std::string shape =
+        "sharded: " + std::to_string(shards.size()) + " shards (";
+    for (std::size_t s = 0; s < shards.size(); ++s)
+      shape += (s > 0 ? "+" : "") + std::to_string(shards.shards[s].size());
+    shape += " nodes)";
+    trace.push_back(std::move(shape));
+    for (std::size_t s = 0; s < shards.size(); ++s)
+      trace.push_back("shard " + std::to_string(s) + ": " +
+                      std::to_string(plans[s].hierarchy.size()) +
+                      " nodes deployed, predicted " +
+                      std::to_string(plans[s].report.overall) + " req/s");
+  }
+
+  // --- recursive stitch levels -----------------------------------------
+  // More shards than the fanout: group consecutive canonical shards into
+  // balanced runs, stitch + repair each group on its own sub-platform,
+  // and let the group plans meet at the next level. Grouping follows the
+  // canonical shard order, so the tree shape — like everything else here
+  // — is a pure function of the platform content. The per-level quality
+  // floor makes the guarantee transitive: the final plan is never worse
+  // than the best leaf shard alone.
+  std::vector<std::vector<NodeId>> region_ids = shards.shards;
+  std::size_t levels = 1;
+  PlanOptions group_options = options;
+  group_options.verbose_trace = false;  // intermediate traces don't travel
+  while (plans.size() > stitch_fanout) {
+    const std::size_t n = plans.size();
+    const std::size_t groups = (n + stitch_fanout - 1) / stitch_fanout;
+    std::vector<PlanResult> merged_plans;
+    std::vector<std::vector<NodeId>> merged_ids;
+    merged_plans.reserve(groups);
+    merged_ids.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t begin = g * n / groups;
+      const std::size_t end = (g + 1) * n / groups;
+      std::vector<NodeId> region;
+      for (std::size_t s = begin; s < end; ++s)
+        region.insert(region.end(), region_ids[s].begin(),
+                      region_ids[s].end());
+      std::sort(region.begin(), region.end());
+      if (end - begin == 1) {  // a group of one child passes through
+        merged_plans.push_back(std::move(plans[begin]));
+        merged_ids.push_back(std::move(region));
+        continue;
+      }
+      const Platform sub = platform.subset(region);
+      // Child hierarchies use platform ids; the group stitch runs on the
+      // region sub-platform, so remap in (ids are positions in `region`)
+      // and back out after.
+      auto local_of = [&region](NodeId id) {
+        return static_cast<NodeId>(
+            std::lower_bound(region.begin(), region.end(), id) -
+            region.begin());
+      };
+      std::vector<PlanResult> children;
+      children.reserve(end - begin);
+      for (std::size_t s = begin; s < end; ++s) {
+        PlanResult child = std::move(plans[s]);
+        for (Hierarchy::Index e = 0; e < child.hierarchy.size(); ++e)
+          child.hierarchy.replace_node(e,
+                                       local_of(child.hierarchy.node_of(e)));
+        children.push_back(std::move(child));
+      }
+      StitchOutcome group =
+          stitch_children(sub, params, service, group_options, children);
+      for (Hierarchy::Index e = 0; e < group.result.hierarchy.size(); ++e)
+        group.result.hierarchy.replace_node(
+            e, region[group.result.hierarchy.node_of(e)]);
+      group.result.trace.clear();
+      merged_plans.push_back(std::move(group.result));
+      merged_ids.push_back(std::move(region));
+    }
+    plans = std::move(merged_plans);
+    region_ids = std::move(merged_ids);
+    ++levels;
+    if (options.verbose_trace)
+      trace.push_back("stitch level " + std::to_string(levels) + ": " +
+                      std::to_string(plans.size()) + " groups of <= " +
+                      std::to_string(stitch_fanout) + " children");
+  }
+
+  // --- top-level stitch + repair + floor -------------------------------
+  StitchOutcome top = stitch_children(platform, params, service, options,
+                                      plans);
+  result = std::move(top.result);
 
   if (options.verbose_trace) {
-    trace.push_back("stitch: " + stitched_detail + ", predicted " +
-                    std::to_string(stitched_objective.rho) + " req/s");
-    trace.push_back(keep_stitched
+    trace.push_back("stitch: " + top.detail + ", predicted " +
+                    std::to_string(top.stitched_objective.rho) + " req/s");
+    trace.push_back(top.kept_stitched
                         ? "repair: accepted stitched plan at " +
                               std::to_string(result.report.overall) + " req/s"
                         : "repair: stitched plan lost to shard " +
-                              std::to_string(best_shard) +
+                              std::to_string(top.best_child) +
                               " alone; returning the shard plan");
     trace.insert(trace.end(), std::make_move_iterator(result.trace.begin()),
                  std::make_move_iterator(result.trace.end()));
   }
   result.trace = std::move(trace);
   return result;
+}
+
+PlanResult plan_sharded(const Platform& platform,
+                        const MiddlewareParams& params,
+                        const ServiceSpec& service, const PlanOptions& options,
+                        const plat::Partition& partition) {
+  // The local leaf planner: each shard's sub-platform through the
+  // paper's heuristic, fanned over the caller's pool when one is given —
+  // bit-identical for any pool size.
+  auto plan_leaves = [&](const std::vector<std::vector<NodeId>>& leaves) {
+    std::vector<PlanResult> plans(leaves.size());
+    auto plan_one = [&](std::size_t s) {
+      const std::vector<NodeId>& ids = leaves[s];
+      if (ids.size() == platform.size()) {
+        // The single-shard degenerate case plans the platform as-is.
+        plans[s] = plan_heterogeneous(platform, params, service,
+                                      options.demand, options.pool, &options);
+        return;
+      }
+      const Platform sub = platform.subset(ids);
+      PlanResult plan = plan_heterogeneous(sub, params, service,
+                                           options.demand, options.pool,
+                                           &options);
+      // Sub-platform ids are positions in `ids`; rewrite to platform ids.
+      for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+        plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
+      plans[s] = std::move(plan);
+    };
+    if (options.pool != nullptr && options.pool->thread_count() > 1 &&
+        leaves.size() > 1) {
+      options.pool->for_each(leaves.size(), plan_one);
+    } else {
+      for (std::size_t s = 0; s < leaves.size(); ++s) plan_one(s);
+    }
+    return plans;
+  };
+  return plan_sharded_with(platform, params, service, options, partition,
+                           kDefaultStitchFanout, plan_leaves);
 }
 
 namespace {

@@ -24,7 +24,9 @@
 /// stitched-and-repaired candidate competes against each shard-local
 /// plan and the best one wins.
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "planner/planner.hpp"
 #include "planner/registry.hpp"
@@ -32,6 +34,26 @@
 #include "platform/partition.hpp"
 
 namespace adept {
+
+/// Maximum children a single stitch merges. A partition with more shards
+/// than this is stitched recursively: consecutive canonical shards are
+/// grouped (balanced, ≤ fanout groups per level) and each group is
+/// stitched + repaired on its own sub-platform before the groups meet at
+/// the next level — so a 100k-node platform does not flatten into one
+/// 200-way merge. 32 keeps every catalog preset (≤ ~20 shards) on the
+/// historical single-level path bit for bit.
+inline constexpr std::size_t kDefaultStitchFanout = 32;
+
+/// Batch leaf planner of the sharded core: given the canonical leaf
+/// shards (platform node ids, ascending within a shard), returns one
+/// PlanResult per shard, aligned by index, with hierarchies already in
+/// *platform* node ids. The local implementation plans each shard's
+/// sub-platform with the paper's heuristic; the distributed Coordinator
+/// (dist/coordinator.hpp) ships each shard to a worker instead. Both
+/// must be deterministic in the shard content — the stitch above them is
+/// shared, which is what makes the two planners bit-identical.
+using ShardLeafBatchFn = std::function<std::vector<PlanResult>(
+    const std::vector<std::vector<NodeId>>&)>;
 
 /// Plans `platform` shard-by-shard over an explicit `partition` and
 /// stitches the result (see the file comment for the algorithm). The
@@ -49,6 +71,21 @@ PlanResult plan_sharded(const Platform& platform,
                         const MiddlewareParams& params,
                         const ServiceSpec& service, const PlanOptions& options,
                         const plat::Partition& partition);
+
+/// The sharded core with the leaf planner injected: plan_sharded() with
+/// a local `plan_leaves`, the distributed Coordinator with a dispatching
+/// one. Canonicalizes `partition`, obtains every leaf plan from
+/// `plan_leaves` in one batch, then stitches — recursively when the
+/// partition has more than `stitch_fanout` shards — and repairs, with
+/// the per-level quality floor (never worse than the best child). All
+/// validation of plan_sharded() applies; `stitch_fanout` >= 2.
+PlanResult plan_sharded_with(const Platform& platform,
+                             const MiddlewareParams& params,
+                             const ServiceSpec& service,
+                             const PlanOptions& options,
+                             const plat::Partition& partition,
+                             std::size_t stitch_fanout,
+                             const ShardLeafBatchFn& plan_leaves);
 
 /// Factory for the registry entry ("sharded", demand- and shard-aware).
 /// Called by PlannerRegistry::instance() when the built-ins register.

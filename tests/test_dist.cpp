@@ -1,0 +1,314 @@
+/// \file test_dist.cpp
+/// \brief The distributed planning tier: bit-identity with the local
+/// sharded planner (in-process fleets, real serve subprocesses, any
+/// worker count, recursive stitching), and fault injection — crashed,
+/// hung, and garbage-spewing workers must cost retries and fallbacks,
+/// never the request or a single bit of the result.
+///
+/// Pipe-based tests spawn real subprocesses: shell one-liners rig the
+/// faults, and ADEPT_CLI_BINARY (a compile definition pointing at the
+/// built `adept` binary) provides genuine serve workers.
+
+#include "dist/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/stats.hpp"
+#include "dist/transport.hpp"
+#include "dist/worker_pool.hpp"
+#include "planner/planner.hpp"
+#include "planner/sharded.hpp"
+#include "planning_test_util.hpp"
+#include "platform/generator.hpp"
+#include "platform/partition.hpp"
+
+namespace adept {
+namespace {
+
+using test_util::run_planner;
+using namespace dist;
+
+const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+
+Platform multi_cluster(std::size_t count, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  return gen::grid5000_multi_cluster(count, rng);
+}
+
+PlanRequest make_request(const Platform& platform, PlanOptions options = {}) {
+  return PlanRequest(platform, kParams, dgemm_service(310),
+                     std::move(options));
+}
+
+void expect_identical(const PlanResult& a, const PlanResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.hierarchy, b.hierarchy) << what;
+  EXPECT_EQ(a.report.overall, b.report.overall) << what;
+  EXPECT_EQ(a.report.sched, b.report.sched) << what;
+  EXPECT_EQ(a.report.service, b.report.service) << what;
+  EXPECT_EQ(a.report.bottleneck, b.report.bottleneck) << what;
+  EXPECT_EQ(a.trace, b.trace) << what;
+}
+
+/// A rigged worker command: bash running `script` with its stdin/stdout
+/// on the coordinator's pipes.
+std::vector<std::string> shell(const std::string& script) {
+  return {"bash", "-c", script};
+}
+
+/// The real thing: the built CLI in serve mode, one worker thread, no
+/// cache (a worker must plan, not remember).
+std::vector<std::string> serve_command() {
+  return {ADEPT_CLI_BINARY, "serve", "--jobs", "1", "--cache", "0"};
+}
+
+// ------------------------------------------------------- bit-identity --
+
+TEST(Dist, InProcessFleetMatchesShardedForAnyWorkerCount) {
+  const Platform platform = multi_cluster(160);
+  const PlanResult sharded =
+      run_planner("sharded", platform, dgemm_service(310));
+  for (const std::size_t workers : {1u, 2u, 5u}) {
+    InProcessTransport transport;
+    CoordinatorConfig config;
+    config.workers = workers;
+    Coordinator coordinator(transport, config);
+    const PlanResult distributed = coordinator.plan(make_request(platform));
+    expect_identical(distributed, sharded,
+                     std::to_string(workers) + " workers");
+  }
+}
+
+TEST(Dist, RegistryEntryMatchesShardedAndStaysOutOfPortfolios) {
+  const Platform platform = multi_cluster(120, 7);
+  expect_identical(run_planner("distributed", platform, dgemm_service(310)),
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "registry dispatch");
+  const IPlanner& planner = PlannerRegistry::instance().at("distributed");
+  EXPECT_TRUE(planner.info().caps.shard_aware);
+  for (const IPlanner* member :
+       PlannerRegistry::instance().applicable(make_request(platform)))
+    EXPECT_NE(member->info().name, "distributed");
+}
+
+TEST(Dist, RealServeSubprocessesMatchSharded) {
+  const Platform platform = multi_cluster(160);
+  PipeTransport transport(serve_command());
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  const PlanResult distributed = coordinator.plan(make_request(platform));
+  expect_identical(distributed,
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "pipe fleet of real serve workers");
+}
+
+TEST(Dist, ExplicitShardCountAndDemandTravelToWorkers) {
+  const Platform platform = multi_cluster(140, 3);
+  PlanOptions options;
+  options.shards = 5;
+  options.demand = 40.0;
+  InProcessTransport transport;
+  Coordinator coordinator(transport);
+  const PlanResult distributed =
+      coordinator.plan(make_request(platform, options));
+  expect_identical(distributed,
+                   run_planner("sharded", platform, dgemm_service(310),
+                               options),
+                   "shards=5 demand=40");
+}
+
+TEST(Dist, RecursiveStitchMatchesTheLocalCoreAtTheSameFanout) {
+  const Platform platform = multi_cluster(160);
+  PlanOptions options;
+  options.shards = 9;
+  // Local reference: the shared core at fanout 3 with the serial leaf
+  // path the in-process worker also runs.
+  const plat::Partition partition = plat::partition_platform(platform, 9);
+  const auto leaves_fn =
+      [&platform, &options](const std::vector<std::vector<NodeId>>& leaves) {
+        std::vector<PlanResult> plans;
+        for (const std::vector<NodeId>& ids : leaves) {
+          const Platform sub = platform.subset(ids);
+          PlanResult plan = plan_heterogeneous(sub, kParams,
+                                               dgemm_service(310),
+                                               options.demand, nullptr,
+                                               &options);
+          for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+            plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
+          plans.push_back(std::move(plan));
+        }
+        return plans;
+      };
+  const PlanResult local =
+      plan_sharded_with(platform, kParams, dgemm_service(310), options,
+                        partition, 3, leaves_fn);
+  // 9 shards over fanout 3 forces at least one recursive stitch level.
+  bool recursed = false;
+  for (const std::string& line : local.trace)
+    recursed = recursed || line.find("stitch level") != std::string::npos;
+  EXPECT_TRUE(recursed) << "expected a recursive stitch in the trace";
+
+  InProcessTransport transport;
+  CoordinatorConfig config;
+  config.workers = 3;
+  config.stitch_fanout = 3;
+  Coordinator coordinator(transport, config);
+  const PlanResult distributed =
+      coordinator.plan(make_request(platform, options));
+  expect_identical(distributed, local, "recursive stitch, fanout 3");
+  EXPECT_TRUE(distributed.hierarchy.validate().empty());
+}
+
+// ----------------------------------------------------- fault injection --
+
+TEST(Dist, CrashingFleetFallsBackInProcessBitIdentically) {
+  const Platform platform = multi_cluster(160);
+  reset_stats_for_test();
+  PipeTransport transport(shell("read -r line; exit 1"));
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  const PlanResult distributed = coordinator.plan(make_request(platform));
+  expect_identical(distributed,
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "every worker crashed mid-request");
+  const DistStats stats = stats_snapshot();
+  EXPECT_EQ(stats.worker_failures, 2u);
+  EXPECT_GT(stats.fallbacks, 0u);
+  for (std::size_t i = 0; i < coordinator.pool().size(); ++i)
+    EXPECT_EQ(coordinator.pool().phase(i), WorkerPhase::Failed);
+}
+
+TEST(Dist, GarbageResponsesFailTheWorkerNeverTheRequest) {
+  const Platform platform = multi_cluster(120, 5);
+  PipeTransport transport(shell("while read -r line; do echo not-json; done"));
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  expect_identical(coordinator.plan(make_request(platform)),
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "garbage on the wire");
+}
+
+TEST(Dist, TruncatedJsonFailsTheWorkerNeverTheRequest) {
+  const Platform platform = multi_cluster(120, 5);
+  PipeTransport transport(
+      shell(R"(read -r line; printf '%s\n' '{"id":0,"ok":tr'; exit 0)"));
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  expect_identical(coordinator.plan(make_request(platform)),
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "truncated response line");
+}
+
+TEST(Dist, HangingWorkersTimeOutAndTheRequestStillSucceeds) {
+  const Platform platform = multi_cluster(120, 5);
+  reset_stats_for_test();
+  PipeTransport transport(shell("sleep 30"));
+  CoordinatorConfig config;
+  config.workers = 2;
+  config.shard_timeout_ms = 150.0;
+  Coordinator coordinator(transport, config);
+  expect_identical(coordinator.plan(make_request(platform)),
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "hung workers under a 150 ms shard timeout");
+  EXPECT_EQ(stats_snapshot().worker_failures, 2u);
+}
+
+TEST(Dist, ExecFailureBehavesLikeWorkerLossNotAnError) {
+  const Platform platform = multi_cluster(120, 5);
+  PipeTransport transport({"/nonexistent/adept-no-such-binary"});
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  expect_identical(coordinator.plan(make_request(platform)),
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "worker binary missing");
+}
+
+TEST(Dist, MixedFleetRedispatchesToTheSurvivingWorker) {
+  const Platform platform = multi_cluster(160);
+  reset_stats_for_test();
+  PipeTransport healthy(serve_command());
+  PipeTransport rigged(shell("read -r line; exit 1"));
+  std::vector<std::unique_ptr<Worker>> fleet;
+  fleet.push_back(healthy.spawn());
+  fleet.push_back(rigged.spawn());
+  Coordinator coordinator(std::move(fleet));
+  const PlanResult distributed = coordinator.plan(make_request(platform));
+  expect_identical(distributed,
+                   run_planner("sharded", platform, dgemm_service(310)),
+                   "one worker killed mid-run");
+  const DistStats stats = stats_snapshot();
+  EXPECT_EQ(stats.worker_failures, 1u);
+  EXPECT_GT(stats.retried, 0u);
+  // The rigged worker's shards were answered by the survivor, not the
+  // in-process fallback.
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_EQ(coordinator.pool().phase(0), WorkerPhase::Idle);
+  EXPECT_EQ(coordinator.pool().phase(1), WorkerPhase::Failed);
+  EXPECT_EQ(coordinator.pool().healthy_count(), 1u);
+}
+
+// ------------------------------------------------ pool-level behaviour --
+
+TEST(Dist, HealthCheckFailsUnresponsiveWorkers) {
+  PipeTransport healthy(serve_command());
+  PipeTransport rigged(shell("read -r line; exit 1"));
+  std::vector<std::unique_ptr<Worker>> fleet;
+  fleet.push_back(healthy.spawn());
+  fleet.push_back(rigged.spawn());
+  WorkerPoolConfig config;
+  config.shard_timeout_ms = 5000.0;
+  WorkerPool pool(std::move(fleet), config);
+  EXPECT_FALSE(pool.health_check());
+  EXPECT_EQ(pool.healthy_count(), 1u);
+  EXPECT_EQ(pool.phase(0), WorkerPhase::Idle);
+  EXPECT_EQ(pool.phase(1), WorkerPhase::Failed);
+}
+
+TEST(Dist, HealthyFleetPassesTheHealthCheck) {
+  InProcessTransport transport;
+  WorkerPool pool(transport, 2);
+  EXPECT_TRUE(pool.health_check());
+  EXPECT_EQ(pool.healthy_count(), 2u);
+}
+
+TEST(Dist, PhaseNamesCoverTheStateMachine) {
+  EXPECT_STREQ(worker_phase_name(WorkerPhase::Idle), "idle");
+  EXPECT_STREQ(worker_phase_name(WorkerPhase::Dispatched), "dispatched");
+  EXPECT_STREQ(worker_phase_name(WorkerPhase::Responded), "responded");
+  EXPECT_STREQ(worker_phase_name(WorkerPhase::Failed), "failed");
+}
+
+TEST(Dist, CleanRunLeavesWorkersIdleAndCountsNoFaults) {
+  const Platform platform = multi_cluster(120, 9);
+  reset_stats_for_test();
+  InProcessTransport transport;
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  const PlanResult result = coordinator.plan(make_request(platform));
+  EXPECT_TRUE(result.hierarchy.validate().empty());
+  for (std::size_t i = 0; i < coordinator.pool().size(); ++i)
+    EXPECT_EQ(coordinator.pool().phase(i), WorkerPhase::Idle);
+  const DistStats stats = stats_snapshot();
+  EXPECT_EQ(stats.plans, 1u);
+  EXPECT_EQ(stats.workers_spawned, 2u);
+  EXPECT_GT(stats.dispatched, 0u);
+  EXPECT_EQ(stats.dispatched, stats.responded);
+  EXPECT_EQ(stats.worker_failures, 0u);
+  EXPECT_EQ(stats.retried, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace adept

@@ -71,10 +71,8 @@ TEST(Serve, RepeatedRequestsHitThePlanCache) {
   const std::string request = R"({"planner":"heuristic","platform":)" +
                               platform + R"(,"service":"dgemm-310"})";
   // One worker serialises the pipelined jobs: the first request has
-  // inserted its plan before the second is admitted, so the hit is
-  // guaranteed. With >1 workers the two identical in-flight requests can
-  // legitimately both miss (the cache does not coalesce in-flight jobs),
-  // which made this assertion a scheduling race under TSan.
+  // inserted its plan before the second is admitted, so the second is a
+  // plain (non-coalesced) cache hit.
   io::ServeConfig config;
   config.threads = 1;
   const auto [answered, responses] =
@@ -89,7 +87,35 @@ TEST(Serve, RepeatedRequestsHitThePlanCache) {
   const json::Value& stats = responses[2].at("stats");
   EXPECT_EQ(stats.at("cache_hits").as_number(), 1.0);
   EXPECT_EQ(stats.at("cache_misses").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache_coalesced").as_number(), 0.0);
   EXPECT_EQ(stats.at("jobs").as_number(), 2.0);
+}
+
+TEST(Serve, ConcurrentIdenticalRequestsCoalesceOntoOnePlan) {
+  const std::string platform = platform_json(24);
+  const std::string request = R"({"planner":"heuristic","platform":)" +
+                              platform + R"(,"service":"dgemm-310"})";
+  // Many workers admit the pipelined identical requests concurrently.
+  // Single-flight coalescing guarantees exactly one of them plans (one
+  // miss); every other job either waits on that leader (coalesced hit)
+  // or finds the finished entry (plain hit) — under every scheduling,
+  // misses == 1 and hits == N - 1, which is what this test pins.
+  constexpr std::size_t kRequests = 8;
+  io::ServeConfig config;
+  config.threads = 4;
+  std::vector<std::string> lines(kRequests, request);
+  lines.push_back(R"({"cmd":"stats"})");
+  const auto [answered, responses] = run_session(lines, config);
+  EXPECT_EQ(answered, kRequests);
+  ASSERT_EQ(responses.size(), kRequests + 1);
+  for (std::size_t i = 1; i < kRequests; ++i)
+    EXPECT_EQ(responses[0].at("run").at("result").dump(),
+              responses[i].at("run").at("result").dump());
+  const json::Value& stats = responses[kRequests].at("stats");
+  EXPECT_EQ(stats.at("cache_misses").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache_hits").as_number(),
+            static_cast<double>(kRequests - 1));
+  EXPECT_EQ(stats.at("jobs").as_number(), static_cast<double>(kRequests));
 }
 
 TEST(Serve, CacheCanBeDisabledPerSession) {
