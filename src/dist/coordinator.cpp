@@ -14,18 +14,46 @@
 
 namespace adept::dist {
 
+namespace {
+
+WorkerPoolConfig pool_config(const CoordinatorConfig& config) {
+  WorkerPoolConfig out;
+  out.shard_timeout_ms = config.shard_timeout_ms;
+  out.health_timeout_ms = config.health_timeout_ms;
+  out.max_retries = config.max_retries;
+  return out;
+}
+
+}  // namespace
+
 Coordinator::Coordinator(Transport& transport, CoordinatorConfig config,
                          const PlannerRegistry& registry)
-    : config_(std::move(config)), registry_(registry),
-      pool_(transport, config_.workers,
-            WorkerPoolConfig{config_.shard_timeout_ms, config_.max_retries}) {}
+    : config_(std::move(config)), registry_(registry) {
+  owned_pool_.emplace(transport, config_.workers, pool_config(config_));
+}
 
 Coordinator::Coordinator(std::vector<std::unique_ptr<Worker>> workers,
                          CoordinatorConfig config,
                          const PlannerRegistry& registry)
-    : config_(std::move(config)), registry_(registry),
-      pool_(std::move(workers),
-            WorkerPoolConfig{config_.shard_timeout_ms, config_.max_retries}) {}
+    : config_(std::move(config)), registry_(registry) {
+  owned_pool_.emplace(std::move(workers), pool_config(config_));
+}
+
+Coordinator::Coordinator(FleetSupervisor& fleet, CoordinatorConfig config,
+                         const PlannerRegistry& registry)
+    : config_(std::move(config)), registry_(registry), fleet_(&fleet) {}
+
+WorkerPool& Coordinator::pool() {
+  ADEPT_CHECK(owned_pool_.has_value(),
+              "a borrowed fleet is reached through its FleetSupervisor");
+  return *owned_pool_;
+}
+
+const WorkerPool& Coordinator::pool() const {
+  ADEPT_CHECK(owned_pool_.has_value(),
+              "a borrowed fleet is reached through its FleetSupervisor");
+  return *owned_pool_;
+}
 
 PlanResult Coordinator::plan(const PlanRequest& request) {
   ++detail::counters().plans;
@@ -86,7 +114,16 @@ std::vector<PlanResult> Coordinator::dispatch_leaves(
     return run;
   };
 
-  std::vector<PlannerRun> runs = pool_.run(jobs, local_fallback);
+  std::vector<PlannerRun> runs;
+  if (fleet_ != nullptr) {
+    // One lease per batch: the warm fleet is exclusively ours for the
+    // dispatch (the heartbeat and other coordinators wait), and run()'s
+    // per-round respawn pass heals any losses from earlier requests.
+    FleetSupervisor::Lease lease = fleet_->lease();
+    runs = lease.pool().run(jobs, local_fallback);
+  } else {
+    runs = owned_pool_->run(jobs, local_fallback);
+  }
 
   std::vector<PlanResult> plans;
   plans.reserve(leaves.size());
@@ -110,26 +147,24 @@ std::vector<PlanResult> Coordinator::dispatch_leaves(
 
 namespace {
 
-/// The eighth registry planner: a coordinator over an in-process fleet.
+/// The eighth registry planner: a coordinator borrowing the process-wide
+/// warm fleet (dist/supervisor.hpp) — repeated plan() calls reuse the
+/// same supervised workers instead of building a fleet each time.
 /// shard_aware keeps it out of portfolios, like "sharded" (it can only
 /// tie the monolithic heuristic on quality).
 class DistributedPlanner final : public IPlanner {
  public:
   DistributedPlanner()
       : info_{"distributed",
-              "coordinator dispatching shards to a worker fleet "
-              "(in-process here; `adept plan --workers N` spawns serve "
-              "subprocesses); bit-identical to sharded",
+              "coordinator dispatching shards to a supervised warm "
+              "worker fleet (in-process here; `adept plan --workers N` "
+              "spawns serve subprocesses); bit-identical to sharded",
               {.demand_aware = true, .shard_aware = true}} {}
 
   const PlannerInfo& info() const final { return info_; }
 
   PlanResult plan(const PlanRequest& request) const final {
-    InProcessTransport transport;
-    CoordinatorConfig config;
-    config.workers = std::clamp<std::size_t>(
-        std::thread::hardware_concurrency(), 1, 8);
-    Coordinator coordinator(transport, config);
+    Coordinator coordinator(shared_fleet());
     return coordinator.plan(request);
   }
 

@@ -24,9 +24,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "dist/supervisor.hpp"
 #include "dist/worker_pool.hpp"
 #include "planner/registry.hpp"
 #include "planner/request.hpp"
@@ -38,6 +40,7 @@ namespace adept::dist {
 struct CoordinatorConfig {
   std::size_t workers = 2;      ///< Fleet size (Transport constructor only).
   double shard_timeout_ms = 120000.0;  ///< Per-shard response timeout.
+  double health_timeout_ms = 2000.0;   ///< health_check() ping timeout.
   int max_retries = 1;          ///< Re-dispatch rounds before fallback.
   /// Stitch fanout of the shared sharded core; keep the default for
   /// bit-identity with `--planner sharded` (which uses the same value).
@@ -62,15 +65,25 @@ class Coordinator {
               CoordinatorConfig config = {},
               const PlannerRegistry& registry = PlannerRegistry::instance());
 
+  /// Borrows a long-lived supervised fleet instead of building one:
+  /// every dispatch takes a lease on `fleet` for the batch, so the
+  /// workers stay warm across coordinators and requests.
+  /// `config.workers` / timeout knobs are ignored in favour of the
+  /// fleet's own SupervisorConfig; the fleet must outlive the
+  /// coordinator.
+  Coordinator(FleetSupervisor& fleet, CoordinatorConfig config = {},
+              const PlannerRegistry& registry = PlannerRegistry::instance());
+
   /// Plans `request` bit-identically with the registry's "sharded"
   /// planner. Honours demand, shards, excluded, verbose_trace, deadline
   /// and cancellation exactly like any registry planner; throws
   /// adept::Error on invalid requests or genuine planning failures.
   PlanResult plan(const PlanRequest& request);
 
-  /// The underlying fleet (phase/health introspection).
-  WorkerPool& pool() { return pool_; }
-  const WorkerPool& pool() const { return pool_; }
+  /// The underlying fleet (phase/health introspection). Owned pools
+  /// only — a borrowed fleet is reached through its FleetSupervisor.
+  WorkerPool& pool();
+  const WorkerPool& pool() const;
 
  private:
   std::vector<PlanResult> dispatch_leaves(
@@ -80,14 +93,17 @@ class Coordinator {
 
   CoordinatorConfig config_;
   const PlannerRegistry& registry_;
-  WorkerPool pool_;
+  std::optional<WorkerPool> owned_pool_;   ///< Null when fleet-borrowing.
+  FleetSupervisor* fleet_ = nullptr;       ///< Null when pool-owning.
 };
 
 /// Factory for the registry entry ("distributed", demand- and
-/// shard-aware): a coordinator over an in-process fleet, sized to the
-/// hardware. Registered by PlannerRegistry::instance() like the other
-/// built-ins; `adept plan --workers N` builds a PipeTransport fleet of
-/// real serve subprocesses around the same Coordinator instead.
+/// shard-aware): a coordinator borrowing the process-wide warm
+/// `shared_fleet()` (in-process transport, hardware-sized, supervised),
+/// so repeated plan() calls reuse the same workers. Registered by
+/// PlannerRegistry::instance() like the other built-ins; `adept plan
+/// --workers N` builds a supervised PipeTransport fleet of real serve
+/// subprocesses around the same Coordinator instead.
 std::unique_ptr<IPlanner> make_distributed_planner();
 
 }  // namespace adept::dist

@@ -21,6 +21,9 @@ DistStats stats_snapshot() {
   out.worker_failures = c.worker_failures.load(std::memory_order_relaxed);
   out.fallbacks = c.fallbacks.load(std::memory_order_relaxed);
   out.workers_spawned = c.workers_spawned.load(std::memory_order_relaxed);
+  out.workers_respawned = c.workers_respawned.load(std::memory_order_relaxed);
+  out.respawn_failures = c.respawn_failures.load(std::memory_order_relaxed);
+  out.health_checks = c.health_checks.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -33,6 +36,9 @@ void reset_stats_for_test() {
   c.worker_failures.store(0, std::memory_order_relaxed);
   c.fallbacks.store(0, std::memory_order_relaxed);
   c.workers_spawned.store(0, std::memory_order_relaxed);
+  c.workers_respawned.store(0, std::memory_order_relaxed);
+  c.respawn_failures.store(0, std::memory_order_relaxed);
+  c.health_checks.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace adept::dist

@@ -27,6 +27,11 @@ struct DistStats {
   std::uint64_t fallbacks = 0;    ///< Shards planned in-process because no
                                   ///  healthy worker could answer.
   std::uint64_t workers_spawned = 0;  ///< Workers ever spawned.
+  std::uint64_t workers_respawned = 0;  ///< Failed workers replaced by the
+                                        ///  supervised respawn loop.
+  std::uint64_t respawn_failures = 0;   ///< Respawn attempts whose spawn
+                                        ///  itself failed (backoff escalates).
+  std::uint64_t health_checks = 0;      ///< Fleet health-check passes run.
 };
 
 /// Snapshot of the process-wide counters.
@@ -48,6 +53,9 @@ struct Counters {
   std::atomic<std::uint64_t> worker_failures{0};
   std::atomic<std::uint64_t> fallbacks{0};
   std::atomic<std::uint64_t> workers_spawned{0};
+  std::atomic<std::uint64_t> workers_respawned{0};
+  std::atomic<std::uint64_t> respawn_failures{0};
+  std::atomic<std::uint64_t> health_checks{0};
 };
 Counters& counters();
 

@@ -1,0 +1,83 @@
+/// \file supervisor.cpp
+/// \brief Fleet supervision: leases, heartbeat, the shared warm fleet.
+
+#include "dist/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace adept::dist {
+
+namespace {
+
+WorkerPoolConfig supervised(WorkerPoolConfig pool) {
+  pool.respawn = true;
+  return pool;
+}
+
+}  // namespace
+
+FleetSupervisor::FleetSupervisor(Transport& transport, SupervisorConfig config)
+    : config_(config),
+      pool_(transport, config_.workers, supervised(config_.pool)) {
+  if (config_.heartbeat_interval_ms > 0.0)
+    monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+FleetSupervisor::~FleetSupervisor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+FleetSupervisor::Lease FleetSupervisor::lease() {
+  return Lease(std::unique_lock<std::mutex>(mutex_), pool_);
+}
+
+bool FleetSupervisor::heartbeat() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pool_.respawn_due();
+  return pool_.health_check();
+}
+
+std::size_t FleetSupervisor::size() const { return pool_.size(); }
+
+std::size_t FleetSupervisor::healthy_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.healthy_count();
+}
+
+void FleetSupervisor::monitor_loop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              config_.heartbeat_interval_ms));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    // Waiting on the stop cv doubles as the heartbeat sleep — the lock
+    // is released while idle, so leases are never delayed by an idle
+    // monitor, and shutdown interrupts the sleep promptly.
+    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; }))
+      break;
+    pool_.respawn_due();
+    pool_.health_check();
+  }
+}
+
+FleetSupervisor& shared_fleet() {
+  // Declaration order pins destruction order: the transport outlives the
+  // fleet it spawns workers from.
+  static InProcessTransport transport;
+  static FleetSupervisor fleet(transport, [] {
+    SupervisorConfig config;
+    config.workers =
+        std::clamp<std::size_t>(std::thread::hardware_concurrency(), 1, 8);
+    return config;
+  }());
+  return fleet;
+}
+
+}  // namespace adept::dist

@@ -1,0 +1,110 @@
+#pragma once
+/// \file supervisor.hpp
+/// \brief Long-lived supervised worker fleet, shared across plan() calls.
+///
+/// PR 6's Coordinator built a fresh fleet per plan() call and treated
+/// worker failure as terminal: a crash permanently shrank capacity and
+/// every request paid fork/exec (or at least worker construction) up
+/// front. The FleetSupervisor fixes both. It owns one WorkerPool for its
+/// whole lifetime with the pool's supervised respawn loop switched on —
+/// failed slots are refilled with freshly spawned workers under capped
+/// exponential backoff — and hands the pool out to coordinators one
+/// batch at a time through a mutex-backed Lease, so the fleet stays warm
+/// across requests and a crash costs one respawn, not a request.
+///
+/// Supervision runs at two rhythms:
+///   - **at request boundaries**: every WorkerPool::run() round starts
+///     with a respawn pass, so a fleet wiped out in request k is rebuilt
+///     for (or even during) request k+1;
+///   - **between requests** (optional): `heartbeat_interval_ms > 0`
+///     starts a monitor thread that periodically takes the same lease,
+///     respawns due slots and health-checks the fleet with the short
+///     `health_timeout_ms` ping — so dead workers are detected and
+///     replaced while the serve tier is idle, not on the next request's
+///     critical path.
+///
+/// Determinism (rule #7, docs/ARCHITECTURE.md): respawn changes *which
+/// process* answers a shard, never the answer — workers are stateless
+/// (`--cache 0`) and leaf planners are deterministic in platform
+/// content, so any crash/respawn schedule yields the bit-identical
+/// plan. The lease serialises fleet access, so the heartbeat can never
+/// interleave with a dispatch round.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+#include "dist/worker_pool.hpp"
+
+namespace adept::dist {
+
+/// Supervisor tuning knobs.
+struct SupervisorConfig {
+  std::size_t workers = 2;  ///< Fleet size.
+  /// Pool knobs (timeouts, retries, backoff). `respawn` is forced on —
+  /// a supervisor without respawn would just be a mutex.
+  WorkerPoolConfig pool;
+  /// Period of the background heartbeat; 0 (default) disables the
+  /// monitor thread and leaves supervision to request boundaries.
+  double heartbeat_interval_ms = 0.0;
+};
+
+/// Owns a WorkerPool for its lifetime and supervises it (see the file
+/// comment). Thread-safe: any number of coordinators (and the optional
+/// heartbeat) may contend for the fleet; leases serialise them.
+class FleetSupervisor {
+ public:
+  /// Spawns the fleet from `transport`, which must outlive the
+  /// supervisor.
+  explicit FleetSupervisor(Transport& transport, SupervisorConfig config = {});
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;             ///< Non-copyable.
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;  ///< Non-copyable.
+
+  /// Exclusive access to the fleet for one dispatch batch; the fleet
+  /// lock is held for the Lease's lifetime.
+  class Lease {
+   public:
+    WorkerPool& pool() { return *pool_; }
+
+   private:
+    friend class FleetSupervisor;
+    Lease(std::unique_lock<std::mutex> lock, WorkerPool& pool)
+        : lock_(std::move(lock)), pool_(&pool) {}
+    std::unique_lock<std::mutex> lock_;
+    WorkerPool* pool_;
+  };
+
+  /// Blocks until the fleet is free, then leases it to the caller.
+  Lease lease();
+
+  /// One supervision pass under the fleet lock: respawn due failed
+  /// slots, then ping every worker (short health timeout; unresponsive
+  /// workers are failed and picked up by the next respawn pass).
+  /// Returns true when the whole fleet is healthy.
+  bool heartbeat();
+
+  std::size_t size() const;            ///< Fleet size (fixed).
+  std::size_t healthy_count();         ///< Non-failed workers (locks).
+  const SupervisorConfig& config() const { return config_; }
+
+ private:
+  void monitor_loop();
+
+  SupervisorConfig config_;
+  mutable std::mutex mutex_;  ///< Guards pool_ (the lease lock).
+  WorkerPool pool_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;  ///< Guarded by mutex_.
+  std::thread monitor_;
+};
+
+/// The process-wide warm fleet behind the `distributed` registry
+/// planner: an in-process transport, hardware-sized, supervised, built
+/// on first use and reused by every subsequent plan() — so the service
+/// and portfolios stop paying fleet construction per request.
+FleetSupervisor& shared_fleet();
+
+}  // namespace adept::dist

@@ -172,6 +172,11 @@ class PipeWorker final : public Worker {
   }
 
   bool receive(std::string& line, double timeout_ms) final {
+    // One absolute deadline for the whole receive. Every retry below —
+    // poll() slices, EINTR on poll() or read(), partial-line reads from
+    // a dribbling writer — re-checks this instant; nothing restarts the
+    // budget, so a receive(t) returns within ~t no matter how the bytes
+    // arrive.
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(
@@ -203,7 +208,14 @@ class PipeWorker final : public Worker {
       if (ready == 0) continue;  // re-check the deadline
       char chunk[4096];
       const ssize_t n = ::read(out_fd_, chunk, sizeof chunk);
-      if (n <= 0) {  // EOF (crash / exec failure) or read error
+      if (n < 0) {
+        // A signal landing between poll() and read() is not a dead
+        // worker; retry against the same absolute deadline.
+        if (errno == EINTR) continue;
+        alive_ = false;
+        return false;
+      }
+      if (n == 0) {  // EOF: crash or exec failure
         alive_ = false;
         return false;
       }

@@ -1,10 +1,12 @@
 /// \file worker_pool.cpp
-/// \brief Dispatch, drain, retry and fallback over a worker fleet.
+/// \brief Dispatch, drain, retry, respawn and fallback over a worker
+/// fleet.
 
 #include "dist/worker_pool.hpp"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -49,7 +51,7 @@ const char* worker_phase_name(WorkerPhase phase) {
 
 WorkerPool::WorkerPool(Transport& transport, std::size_t workers,
                        WorkerPoolConfig config)
-    : config_(config) {
+    : config_(config), transport_(&transport) {
   ADEPT_CHECK(workers >= 1, "a worker pool needs at least one worker");
   slots_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
@@ -58,8 +60,11 @@ WorkerPool::WorkerPool(Transport& transport, std::size_t workers,
       slot.worker = transport.spawn();
     } catch (const std::exception&) {
       // Spawn failure is a worker failure, not a pool failure: run()'s
-      // fallback still answers every job.
+      // fallback still answers every job (and respawn may refill the
+      // slot later).
       slot.phase = WorkerPhase::Failed;
+      slot.failures = 1;
+      slot.retry_at = std::chrono::steady_clock::now() + backoff_delay(1);
       ++detail::counters().worker_failures;
     }
     slots_.push_back(std::move(slot));
@@ -97,12 +102,67 @@ std::vector<std::size_t> WorkerPool::healthy_indices() const {
   return out;
 }
 
+std::chrono::steady_clock::duration WorkerPool::backoff_delay(
+    int failures) const {
+  if (config_.respawn_backoff_ms <= 0.0 || failures <= 0)
+    return std::chrono::steady_clock::duration::zero();
+  // Capped exponential: backoff * 2^(failures-1), saturating well before
+  // the shift could overflow.
+  const int exponent = std::min(failures - 1, 30);
+  const double ms =
+      std::min(config_.respawn_backoff_ms *
+                   static_cast<double>(std::uint64_t{1} << exponent),
+               config_.respawn_backoff_max_ms);
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
 void WorkerPool::fail(Slot& slot) {
   slot.phase = WorkerPhase::Failed;
+  ++slot.failures;
+  slot.retry_at =
+      std::chrono::steady_clock::now() + backoff_delay(slot.failures);
   ++detail::counters().worker_failures;
   // A failed worker may be wedged mid-plan; a stale late response must
   // never reach a later round, so the worker is killed, not benched.
   if (slot.worker != nullptr) slot.worker->kill();
+}
+
+std::size_t WorkerPool::respawn_due() {
+  if (transport_ == nullptr || !config_.respawn) return 0;
+  std::size_t respawned = 0;
+  const auto now = std::chrono::steady_clock::now();
+  for (Slot& slot : slots_) {
+    if (slot.phase != WorkerPhase::Failed || now < slot.retry_at) continue;
+    try {
+      slot.worker = transport_->spawn();
+      slot.phase = WorkerPhase::Idle;
+      ++respawned;
+      ++detail::counters().workers_respawned;
+    } catch (const std::exception&) {
+      // The replacement could not even start; escalate the backoff and
+      // leave the slot failed for a later pass.
+      ++slot.failures;
+      slot.retry_at = now + backoff_delay(slot.failures);
+      ++detail::counters().respawn_failures;
+    }
+  }
+  return respawned;
+}
+
+double WorkerPool::receive_timeout_ms(const ShardJob& job) const {
+  double timeout = config_.shard_timeout_ms;
+  if (job.request.options.deadline.has_value()) {
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(
+            *job.request.options.deadline - std::chrono::steady_clock::now())
+            .count();
+    // May clamp to <= 0: an expired budget turns the receive into an
+    // immediate timeout, which fails the (possibly hung) worker instead
+    // of waiting out the flat shard timeout.
+    timeout = std::min(timeout, remaining_ms);
+  }
+  return timeout;
 }
 
 void WorkerPool::drain(Slot& slot, const std::vector<ShardJob>& jobs,
@@ -124,8 +184,9 @@ void WorkerPool::drain(Slot& slot, const std::vector<ShardJob>& jobs,
   while (!failed && answered < sent) {
     const std::size_t id = job_ids[answered];
     std::string line;
-    if (!slot.worker->receive(line, config_.shard_timeout_ms)) {
-      failed = true;  // crash (EOF), hang (timeout) or dead pipe
+    if (!slot.worker->receive(line, receive_timeout_ms(jobs[id]))) {
+      failed = true;  // crash (EOF), hang (timeout / expired budget) or
+                      // dead pipe
       break;
     }
     try {
@@ -166,6 +227,24 @@ std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
 
   for (int round = 0; !pending.empty() && round <= config_.max_retries;
        ++round) {
+    // Supervised pools refill failed slots before every round, so a
+    // crash in round k can be answered by a fresh worker in round k+1.
+    respawn_due();
+    // Jobs already past their deadline (or cancelled) skip dispatch —
+    // waiting on a worker for them would only burn healthy workers on
+    // guaranteed timeouts. The fallback gives them the same skipped /
+    // deadline-exceeded outcome the local sharded path would.
+    std::vector<std::size_t> due;
+    due.reserve(pending.size());
+    for (const std::size_t id : pending) {
+      if (jobs[id].request.options.should_stop())
+        local_jobs.push_back(id);
+      else
+        due.push_back(id);
+    }
+    pending.swap(due);
+    if (pending.empty()) break;
+
     const std::vector<std::size_t> healthy = healthy_indices();
     if (healthy.empty()) break;
     if (round > 0) detail::counters().retried += pending.size();
@@ -205,19 +284,24 @@ std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
     ++detail::counters().fallbacks;
   }
 
-  // A successful round leaves the worker ready for the next batch.
+  // A successful round leaves the worker ready for the next batch, with
+  // its failure streak (and therefore its backoff) cleared.
   for (Slot& slot : slots_)
-    if (slot.phase == WorkerPhase::Responded) slot.phase = WorkerPhase::Idle;
+    if (slot.phase == WorkerPhase::Responded) {
+      slot.phase = WorkerPhase::Idle;
+      slot.failures = 0;
+    }
   return results;
 }
 
 bool WorkerPool::health_check() {
+  ++detail::counters().health_checks;
   for (Slot& slot : slots_) {
     if (slot.phase == WorkerPhase::Failed || slot.worker == nullptr) continue;
     bool ok = false;
     if (slot.worker->send(R"({"cmd":"stats"})")) {
       std::string line;
-      if (slot.worker->receive(line, config_.shard_timeout_ms)) {
+      if (slot.worker->receive(line, config_.health_timeout_ms)) {
         try {
           ok = json::parse(line).at("ok").as_bool();
         } catch (const std::exception&) {
@@ -225,7 +309,10 @@ bool WorkerPool::health_check() {
         }
       }
     }
-    if (!ok) fail(slot);
+    if (ok)
+      slot.failures = 0;  // a responsive worker has redeemed itself
+    else
+      fail(slot);
   }
   return healthy_count() == slots_.size();
 }

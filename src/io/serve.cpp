@@ -1,9 +1,12 @@
 #include "io/serve.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <istream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -30,10 +33,20 @@ struct Pending {
   json::Value id;           ///< Echoed back; null when the client sent none.
   bool is_portfolio = false;
   bool is_stats = false;    ///< A `stats` command's response slot.
+  bool is_cancel = false;   ///< A `cancel` command's ack slot.
   PlanTicket plan;
   PortfolioTicket portfolio;
   std::string immediate_error;  ///< Non-empty: no job, answer is this error.
   bool counts = false;          ///< Contributes to the answered() total.
+  bool occupies = false;    ///< Holds one admission-queue slot until written.
+  bool overloaded = false;  ///< Refused at admission; answer is the refusal.
+  double retry_after_ms = 0.0;    ///< Backoff hint on overloaded answers.
+  bool degraded = false;          ///< Answered by the degrade planner.
+  PlannerRun degraded_run;        ///< The precomputed degraded answer.
+  std::size_t cancelled_count = 0;  ///< Payload of a cancel ack.
+  /// The parsed request, kept only when degrade is on so an over-budget
+  /// job can be re-answered by the degrade planner at emit time.
+  std::shared_ptr<const PlanRequest> request;
 };
 
 json::Value stats_to_json(const PlanningStats& stats) {
@@ -59,6 +72,9 @@ json::Value stats_to_json(const PlanningStats& stats) {
   dist.set("retried", dist_stats.retried);
   dist.set("worker_failures", dist_stats.worker_failures);
   dist.set("fallbacks", dist_stats.fallbacks);
+  dist.set("workers_respawned", dist_stats.workers_respawned);
+  dist.set("respawn_failures", dist_stats.respawn_failures);
+  dist.set("health_checks", dist_stats.health_checks);
   out.set("dist", std::move(dist));
   return out;
 }
@@ -76,7 +92,7 @@ json::Value stats_to_json(const PlanningStats& stats) {
 class Session {
  public:
   Session(std::ostream& out, const ServeConfig& config)
-      : out_(out),
+      : out_(out), config_(config),
         service_(config.threads, PlannerRegistry::instance(),
                  config.cache_capacity),
         writer_([this] { writer_loop(); }) {}
@@ -96,7 +112,7 @@ class Session {
     }
     if (const json::Value* cmd = request.find("cmd")) {
       try {
-        handle_command(*cmd);
+        handle_command(*cmd, request);
       } catch (const Error& e) {
         // e.g. a non-string "cmd" value — an error line, not a dead session.
         queue_error(json::Value(nullptr), e.what());
@@ -120,7 +136,7 @@ class Session {
   }
 
  private:
-  void handle_command(const json::Value& cmd) {
+  void handle_command(const json::Value& cmd, const json::Value& request) {
     const std::string& name = cmd.as_string();
     if (name == "quit") {
       quitting_ = true;
@@ -135,13 +151,65 @@ class Session {
       enqueue(std::move(pending));
       return;
     }
+    if (name == "cancel") {
+      const json::Value* target = request.find("id");
+      ADEPT_CHECK(target != nullptr,
+                  "cancel needs the id of the request(s) to cancel");
+      // Ids are arbitrary JSON; compare by canonical dump. Only entries
+      // still waiting in the queue can be reached — the response being
+      // emitted right now is already past the point of cancellation.
+      const std::string key = target->dump();
+      Pending ack;
+      ack.is_cancel = true;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (Pending& waiting : pending_) {
+          if (waiting.id.dump() != key) continue;
+          if (waiting.is_portfolio && waiting.portfolio.valid()) {
+            waiting.portfolio.cancel();
+            ++ack.cancelled_count;
+          } else if (!waiting.is_portfolio && waiting.plan.valid()) {
+            waiting.plan.cancel();
+            ++ack.cancelled_count;
+          }
+        }
+        cancelled_total_ += ack.cancelled_count;
+      }
+      enqueue(std::move(ack));
+      return;
+    }
     queue_error(json::Value(nullptr), "unknown command '" + name + "'");
   }
 
   void submit(const json::Value& request) {
     Pending pending;
     if (const json::Value* id = request.find("id")) pending.id = *id;
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      depth = open_requests_;
+    }
+    const bool full =
+        config_.max_pending > 0 && depth >= config_.max_pending;
     try {
+      if (full && !config_.degrade) {
+        // Admission refusal: no job is created, the slot in the response
+        // order carries an explicit overloaded answer with a backoff
+        // hint. (The reader is the only thread that admits, so the
+        // depth read above cannot race another admission.)
+        pending.overloaded = true;
+        pending.retry_after_ms = retry_after_estimate(depth);
+        pending.immediate_error =
+            "server overloaded: " + std::to_string(depth) +
+            " requests pending (max " + std::to_string(config_.max_pending) +
+            ")";
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++overloaded_total_;
+        }
+        enqueue(std::move(pending));
+        return;
+      }
       // The wire deserializer gives the request an *owning* platform, so
       // the in-flight job can never outlive it.
       PlanRequest plan_request = wire::request_from_json(request);
@@ -158,6 +226,23 @@ class Session {
       std::string planner = "heuristic";
       if (const json::Value* name = request.find("planner"))
         planner = name->as_string();
+      if (full) {
+        // Degrade-on-overload: answer right here on the reader thread
+        // with the cheap planner — the synchronous run throttles an
+        // overloading client to the degrade planner's pace, which is
+        // the graceful half of admission control.
+        pending.degraded = true;
+        pending.degraded_run = run_degraded(plan_request);
+        pending.counts = true;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++degraded_total_;
+        }
+        enqueue(std::move(pending));
+        return;
+      }
+      if (config_.degrade)
+        pending.request = std::make_shared<const PlanRequest>(plan_request);
       if (planner == "portfolio") {
         pending.is_portfolio = true;
         pending.portfolio = service_.submit_portfolio(std::move(plan_request));
@@ -165,12 +250,36 @@ class Session {
         pending.plan = service_.submit(std::move(plan_request), planner);
       }
       pending.counts = true;
+      pending.occupies = true;
     } catch (const Error& e) {
       // Still queued (not written out directly): the error answer takes
       // its slot in request order like every other response.
       pending.immediate_error = e.what();
     }
     enqueue(std::move(pending));
+  }
+
+  /// Degrade-planner run for `request`, stripped of its budget and
+  /// cancellation — a degraded answer must always arrive.
+  PlannerRun run_degraded(const PlanRequest& request) {
+    PlanRequest cheap = request;
+    cheap.options.deadline.reset();
+    cheap.options.cancel = nullptr;
+    return service_.run(cheap, "homogeneous");
+  }
+
+  /// Backoff hint for overloaded answers: the service's observed mean
+  /// per-job wall time, times the queue rounds ahead of the caller.
+  double retry_after_estimate(std::size_t depth) const {
+    const PlanningStats stats = service_.stats();
+    const double mean_ms =
+        stats.jobs > 0 ? stats.wall_ms / static_cast<double>(stats.jobs)
+                       : 100.0;
+    const double lanes =
+        static_cast<double>(std::max<std::size_t>(1, service_.thread_count()));
+    const double estimate =
+        mean_ms * (static_cast<double>(depth) + 1.0) / lanes;
+    return std::clamp(estimate, 1.0, 60000.0);
   }
 
   void queue_error(json::Value id, const std::string& message) {
@@ -183,6 +292,7 @@ class Session {
   void enqueue(Pending pending) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (pending.occupies) ++open_requests_;
       pending_.push_back(std::move(pending));
     }
     cv_.notify_one();
@@ -208,18 +318,36 @@ class Session {
     json::Value response = json::Value::object();
     if (front.is_stats) {
       response.set("ok", true);
-      response.set("stats", stats_to_json(service_.stats()));
+      json::Value stats = stats_to_json(service_.stats());
+      stats.set("serve", serve_stats_to_json());
+      response.set("stats", std::move(stats));
+      write(response);
+      return;
+    }
+    if (front.is_cancel) {
+      response.set("ok", true);
+      response.set("cancelled", front.cancelled_count);
       write(response);
       return;
     }
     response.set("id", front.id);
+    if (front.overloaded) {
+      response.set("ok", false);
+      response.set("status", "overloaded");
+      response.set("error", front.immediate_error);
+      response.set("retry_after_ms", front.retry_after_ms);
+      write(response);
+      return;
+    }
     if (!front.immediate_error.empty()) {
       response.set("ok", false);
       response.set("error", front.immediate_error);
       write(response);
       return;
     }
-    if (front.is_portfolio) {
+    if (front.degraded) {
+      set_run(response, front.degraded_run, /*degraded=*/true);
+    } else if (front.is_portfolio) {
       const PortfolioResult& portfolio = front.portfolio.wait();
       const bool ok = portfolio.has_winner();
       response.set("ok", ok);
@@ -230,12 +358,49 @@ class Session {
       response.set("portfolio", wire::to_json(portfolio));
     } else {
       const PlannerRun& run = front.plan.wait();
-      response.set("ok", run.ok);
-      if (!run.ok) response.set("error", run.error);
-      response.set("run", wire::to_json(run));
+      if (config_.degrade && front.request != nullptr && !run.ok &&
+          run.skipped && run.error.find("deadline") != std::string::npos) {
+        // Over-budget rescue: the full-quality plan missed its deadline,
+        // so answer with a budget-free run of the degrade planner
+        // instead of surfacing the deadline error. (Cancelled jobs stay
+        // skipped — the client asked for that.)
+        const PlannerRun rescue = run_degraded(*front.request);
+        set_run(response, rescue, /*degraded=*/true);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++degraded_total_;
+        }
+      } else {
+        set_run(response, run, /*degraded=*/false);
+      }
     }
     write(response);
     if (front.counts) ++answered_;
+    if (front.occupies) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --open_requests_;
+    }
+  }
+
+  static void set_run(json::Value& response, const PlannerRun& run,
+                      bool degraded) {
+    response.set("ok", run.ok);
+    if (degraded) response.set("degraded", true);
+    if (!run.ok) response.set("error", run.error);
+    response.set("run", wire::to_json(run));
+  }
+
+  json::Value serve_stats_to_json() {
+    json::Value out = json::Value::object();
+    out.set("max_pending", config_.max_pending);
+    out.set("degrade", config_.degrade);
+    out.set("service_pending", service_.pending_jobs());
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.set("pending", open_requests_);
+    out.set("overloaded", overloaded_total_);
+    out.set("degraded", degraded_total_);
+    out.set("cancelled", cancelled_total_);
+    return out;
   }
 
   void write(const json::Value& response) {
@@ -244,11 +409,18 @@ class Session {
   }
 
   std::ostream& out_;
+  ServeConfig config_;
   PlanningService service_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Pending> pending_;
   bool done_reading_ = false;
+  /// Admitted planning requests not yet written (guarded by mutex_) —
+  /// the admission-control queue depth.
+  std::size_t open_requests_ = 0;
+  std::uint64_t overloaded_total_ = 0;  ///< Guarded by mutex_.
+  std::uint64_t degraded_total_ = 0;    ///< Guarded by mutex_.
+  std::uint64_t cancelled_total_ = 0;   ///< Guarded by mutex_.
   std::size_t answered_ = 0;
   bool quitting_ = false;
   std::thread writer_;  ///< Last member: starts after everything it uses.

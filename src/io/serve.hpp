@@ -19,14 +19,30 @@
 ///    "options": <wire options>,              // default: PlanOptions{}
 ///    "budget_ms": <number>}                  // deadline, relative
 /// Control lines:
-///   {"cmd": "stats"}   → one response carrying the service's stats
-///   {"cmd": "quit"}    → drain in-flight work and end the session
+///   {"cmd": "stats"}             → one response carrying the service's stats
+///   {"cmd": "cancel", "id": X}   → cancel queued requests whose id equals X
+///   {"cmd": "quit"}              → drain in-flight work and end the session
 ///
 /// Response lines (one per request, same order):
 ///   {"id": ..., "ok": true,  "run": <wire PlannerRun>}
 ///   {"id": ..., "ok": true,  "portfolio": <wire PortfolioResult>}
+///   {"id": ..., "ok": true,  "degraded": true, "run": ...}  // see degrade
 ///   {"id": ..., "ok": false, "error": "..."}         // incl. parse errors
+///   {"id": ..., "ok": false, "status": "overloaded",
+///    "error": "...", "retry_after_ms": <number>}     // admission refusal
 ///   {"ok": true, "stats": {...}}                     // for "stats"
+///   {"ok": true, "cancelled": <count>}               // for "cancel"
+///
+/// Admission control: with `max_pending > 0` the session bounds the
+/// number of admitted-but-unanswered planning requests. A request
+/// arriving at a full queue is refused with an `overloaded` response
+/// (including a `retry_after_ms` estimate from the service's observed
+/// per-job wall time) — or, with `degrade` set, answered immediately on
+/// the reader thread by the cheap `homogeneous` planner and marked
+/// `"degraded": true`. Degrade also rescues over-budget requests: a job
+/// whose deadline expired before a full-quality plan completed is
+/// re-answered with a budget-free homogeneous plan instead of a
+/// deadline error.
 ///
 /// Each request's platform is deserialized into owning shared storage
 /// (wire::request_from_json), so an in-flight job can never outlive its
@@ -43,6 +59,14 @@ struct ServeConfig {
   std::size_t threads = 0;
   /// Plan-cache capacity (entries); 0 disables caching.
   std::size_t cache_capacity = 256;
+  /// Admission bound: maximum planning requests admitted but not yet
+  /// answered before new ones are refused as `overloaded` (or degraded).
+  /// 0 (default) keeps the historical unbounded behaviour.
+  std::size_t max_pending = 0;
+  /// Graceful degradation: answer refused-at-admission and over-budget
+  /// requests with the cheap `homogeneous` planner (marked
+  /// `"degraded": true`) instead of erroring.
+  bool degrade = false;
 };
 
 /// Runs one session until "quit" or end of input; returns the number of

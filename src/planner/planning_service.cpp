@@ -326,6 +326,7 @@ PlanTicket PlanningService::submit(PlanRequest request, std::string planner) {
   auto state = std::make_shared<detail::TicketState<PlannerRun>>(
       request.options.cancel);
   request.options.cancel = &state->cancel;
+  pending_jobs_.fetch_add(1, std::memory_order_relaxed);
   pool().submit([this, state, request = std::move(request),
                  planner = std::move(planner)] {
     {
@@ -340,6 +341,7 @@ PlanTicket PlanningService::submit(PlanRequest request, std::string planner) {
       state->done = true;
     }
     state->cv.notify_all();
+    pending_jobs_.fetch_sub(1, std::memory_order_relaxed);
   });
   return PlanTicket(std::move(state));
 }
@@ -349,6 +351,7 @@ PortfolioTicket PlanningService::submit_portfolio(
   auto state = std::make_shared<detail::TicketState<PortfolioResult>>(
       request.options.cancel);
   request.options.cancel = &state->cancel;
+  pending_jobs_.fetch_add(1, std::memory_order_relaxed);
   pool().submit([this, state, request = std::move(request),
                  planners = std::move(planners)] {
     {
@@ -372,6 +375,7 @@ PortfolioTicket PlanningService::submit_portfolio(
       state->done = true;
     }
     state->cv.notify_all();
+    pending_jobs_.fetch_sub(1, std::memory_order_relaxed);
   });
   return PortfolioTicket(std::move(state));
 }
@@ -379,6 +383,10 @@ PortfolioTicket PlanningService::submit_portfolio(
 PlanningStats PlanningService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+std::size_t PlanningService::pending_jobs() const {
+  return pending_jobs_.load(std::memory_order_relaxed);
 }
 
 }  // namespace adept

@@ -43,6 +43,7 @@
 /// improver's rounds poll a StopGuard, so a cancel() or a passed deadline
 /// stops an in-flight job at its next checkpoint (reported as skipped).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -267,6 +268,10 @@ class PlanningService {
   /// Workers a batch/portfolio fans out over (the pool itself is created
   /// lazily on the first executed job).
   std::size_t thread_count() const;
+  /// Jobs submitted through submit()/submit_portfolio() that have not
+  /// completed yet (queued or running). The serve tier's admission
+  /// control reads this as its queue-depth signal.
+  std::size_t pending_jobs() const;
 
  private:
   PlannerRun execute(const PlanRequest& request, const std::string& planner);
@@ -287,6 +292,8 @@ class PlanningService {
 
   mutable std::mutex stats_mutex_;
   PlanningStats stats_;
+  /// submit()ed jobs not yet completed (see pending_jobs()).
+  std::atomic<std::size_t> pending_jobs_{0};
 
   /// LRU plan cache: list front = most recent; map points into the list.
   /// Keys are 16-byte digests of the canonical request fingerprint, so

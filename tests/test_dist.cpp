@@ -13,13 +13,21 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dist/stats.hpp"
+#include "dist/supervisor.hpp"
 #include "dist/transport.hpp"
 #include "dist/worker_pool.hpp"
 #include "planner/planner.hpp"
@@ -67,6 +75,31 @@ std::vector<std::string> shell(const std::string& script) {
 std::vector<std::string> serve_command() {
   return {ADEPT_CLI_BINARY, "serve", "--jobs", "1", "--cache", "0"};
 }
+
+/// A worker that answers exactly one request and then dies — the
+/// crash-storm workhorse: every dispatch round makes progress, every
+/// round also loses the whole fleet.
+std::vector<std::string> answer_one_then_die() {
+  return shell(std::string("head -n 1 | exec ") + ADEPT_CLI_BINARY +
+               " serve --jobs 1 --cache 0");
+}
+
+/// A sentinel-file-gated worker: crashes on its first request while the
+/// sentinel exists, is a genuine serve worker once it is gone — lets a
+/// test (and the chaos bench) switch a storm on and off mid-fleet.
+std::vector<std::string> storm_gated_worker(const std::string& sentinel) {
+  return shell("if [ -e '" + sentinel + "' ]; then read -r _line; exit 1; " +
+               "else exec " + ADEPT_CLI_BINARY + " serve --jobs 1 --cache 0; "
+               "fi");
+}
+
+std::string sentinel_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("adept_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+void touch(const std::string& path) { std::ofstream(path) << "storm\n"; }
 
 // ------------------------------------------------------- bit-identity --
 
@@ -308,6 +341,174 @@ TEST(Dist, CleanRunLeavesWorkersIdleAndCountsNoFaults) {
   EXPECT_EQ(stats.worker_failures, 0u);
   EXPECT_EQ(stats.retried, 0u);
   EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+// ------------------------------------------------ supervision / respawn --
+
+TEST(Dist, CrashStormWithRespawnNeverFallsBack) {
+  // Every worker answers exactly one shard and dies, every round — the
+  // supervisor refills the fleet between rounds, so the whole request is
+  // still answered by (a parade of) real workers, never the fallback.
+  const Platform platform = multi_cluster(120, 5);
+  reset_stats_for_test();
+  PipeTransport transport(answer_one_then_die());
+  SupervisorConfig config;
+  config.workers = 2;
+  config.pool.respawn_backoff_ms = 0.0;
+  config.pool.max_retries = 32;
+  FleetSupervisor fleet(transport, config);
+  const PlanResult sharded =
+      run_planner("sharded", platform, dgemm_service(310));
+  for (int round = 0; round < 2; ++round) {
+    Coordinator coordinator(fleet);
+    expect_identical(coordinator.plan(make_request(platform)), sharded,
+                     "crash storm, plan " + std::to_string(round));
+  }
+  const DistStats stats = stats_snapshot();
+  EXPECT_GT(stats.workers_respawned, 0u);
+  EXPECT_GT(stats.worker_failures, 0u);
+  EXPECT_GT(stats.retried, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+TEST(Dist, StormFallsBackBitIdenticallyThenFleetRecovers) {
+  const Platform platform = multi_cluster(120, 5);
+  const std::string sentinel = sentinel_path("storm");
+  touch(sentinel);
+  reset_stats_for_test();
+  PipeTransport transport(storm_gated_worker(sentinel));
+  SupervisorConfig config;
+  config.workers = 2;
+  config.pool.respawn_backoff_ms = 0.0;
+  config.pool.max_retries = 1;
+  FleetSupervisor fleet(transport, config);
+  const PlanResult sharded =
+      run_planner("sharded", platform, dgemm_service(310));
+  {
+    // Storm: every worker (and every respawn) dies on first contact, so
+    // the request is answered by the in-process fallback — bit-identical.
+    Coordinator coordinator(fleet);
+    expect_identical(coordinator.plan(make_request(platform)), sharded,
+                     "full storm, fallback");
+  }
+  const DistStats storm = stats_snapshot();
+  EXPECT_GT(storm.workers_respawned, 0u);
+  EXPECT_GT(storm.fallbacks, 0u);
+  // Storm over: the next heartbeat respawns genuine workers and the next
+  // plan runs on them without a single new fault.
+  std::filesystem::remove(sentinel);
+  EXPECT_TRUE(fleet.heartbeat());
+  EXPECT_EQ(fleet.healthy_count(), 2u);
+  {
+    Coordinator coordinator(fleet);
+    expect_identical(coordinator.plan(make_request(platform)), sharded,
+                     "recovered fleet");
+  }
+  const DistStats recovered = stats_snapshot();
+  EXPECT_EQ(recovered.worker_failures, storm.worker_failures);
+  EXPECT_EQ(recovered.fallbacks, storm.fallbacks);
+  EXPECT_GT(recovered.responded, storm.responded);
+}
+
+TEST(Dist, ConcurrentPlansUnderHeartbeatStayDeterministic) {
+  // Two planner threads race each other and the 5 ms monitor heartbeat
+  // for the fleet lease while every worker keeps dying; the lease
+  // serializes them, so both still match the local sharded planner.
+  const Platform platform = multi_cluster(120, 5);
+  PipeTransport transport(answer_one_then_die());
+  SupervisorConfig config;
+  config.workers = 2;
+  config.pool.respawn_backoff_ms = 0.0;
+  config.pool.max_retries = 32;
+  config.heartbeat_interval_ms = 5.0;
+  FleetSupervisor fleet(transport, config);
+  const PlanResult sharded =
+      run_planner("sharded", platform, dgemm_service(310));
+  std::vector<PlanResult> results(2);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < results.size(); ++t)
+    threads.emplace_back([&fleet, &platform, &results, t] {
+      Coordinator coordinator(fleet);
+      results[t] = coordinator.plan(make_request(platform));
+    });
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t t = 0; t < results.size(); ++t)
+    expect_identical(results[t], sharded,
+                     "concurrent plan " + std::to_string(t));
+}
+
+TEST(Dist, HealthCheckUsesTheShortHealthTimeout) {
+  // A hung worker must fail a heartbeat in health_timeout_ms, not in the
+  // two-minute shard timeout the pool grants real planning work.
+  PipeTransport transport(shell("sleep 30"));
+  std::vector<std::unique_ptr<Worker>> fleet;
+  fleet.push_back(transport.spawn());
+  WorkerPoolConfig config;
+  config.health_timeout_ms = 100.0;
+  WorkerPool pool(std::move(fleet), config);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pool.health_check());
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 5000.0);
+  EXPECT_EQ(pool.healthy_count(), 0u);
+}
+
+// ----------------------------------------------- deadline-aware retries --
+
+TEST(Dist, HungWorkerCannotOutliveTheCallersDeadline) {
+  // Default shard timeout is two minutes; the caller's deadline is
+  // 400 ms. The dispatch round must clip its receive timeout to the
+  // remaining budget and surface the same deadline error the local
+  // sharded planner would — not sit on the pipe for 120 s.
+  const Platform platform = multi_cluster(120, 5);
+  PipeTransport transport(shell("sleep 30"));
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  PlanOptions options;
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(coordinator.plan(make_request(platform, std::move(options))),
+               Error);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 20000.0);
+}
+
+TEST(Dist, DribblingWriterCannotRestartTheReceiveTimeout) {
+  // A worker that emits one byte every 50 ms never completes a line; the
+  // receive deadline is absolute, so partial reads must not extend it.
+  PipeTransport transport(
+      shell("while true; do printf x; sleep 0.05; done"));
+  std::unique_ptr<Worker> worker = transport.spawn();
+  std::string line;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(worker->receive(line, 300.0));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 250.0);
+  EXPECT_LT(elapsed_ms, 10000.0);
+}
+
+TEST(Dist, SharedFleetStaysWarmAcrossRegistryPlans) {
+  const Platform platform = multi_cluster(120, 9);
+  // First plan warms the process-wide fleet (spawning it if this test
+  // runs first); afterwards plans must reuse the same workers.
+  run_planner("distributed", platform, dgemm_service(310));
+  const DistStats warm = stats_snapshot();
+  run_planner("distributed", platform, dgemm_service(310));
+  const DistStats after = stats_snapshot();
+  EXPECT_EQ(after.workers_spawned, warm.workers_spawned);
+  EXPECT_EQ(after.plans, warm.plans + 1u);
+  EXPECT_GT(after.responded, warm.responded);
 }
 
 }  // namespace

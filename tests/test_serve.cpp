@@ -6,14 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <sstream>
+#include <streambuf>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "io/serve.hpp"
 #include "io/wire.hpp"
+#include "planner/registry.hpp"
 #include "planning_test_util.hpp"
 #include "platform/generator.hpp"
 
@@ -21,6 +26,28 @@ namespace adept {
 namespace {
 
 constexpr MbitRate kB = 1000.0;
+
+/// A deterministic slow planner for admission-control tests: holds its
+/// service thread for a fixed beat, then answers homogeneously. Marked
+/// shard_aware so portfolios never pick it up.
+class SleeperPlanner final : public IPlanner {
+ public:
+  SleeperPlanner() {
+    info_.name = "test-sleeper";
+    info_.summary = "sleeps 200 ms, then plans homogeneously (test rig)";
+    info_.caps.shard_aware = true;
+  }
+  const PlannerInfo& info() const override { return info_; }
+  PlanResult plan(const PlanRequest& request) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return PlannerRegistry::instance().at("homogeneous").plan(request);
+  }
+
+ private:
+  PlannerInfo info_;
+};
+
+const PlannerRegistration kSleeper(std::make_unique<SleeperPlanner>());
 
 std::string platform_json(std::uint64_t seed = 9, std::size_t n = 14) {
   Rng rng(seed);
@@ -238,6 +265,178 @@ TEST(Serve, UnknownCommandIsAnError) {
   EXPECT_FALSE(responses[0].at("ok").as_bool());
   EXPECT_NE(responses[0].at("error").as_string().find("unknown command"),
             std::string::npos);
+}
+
+// --------------------------------------------------- admission control --
+
+TEST(Serve, FullQueueRefusesWithAnOverloadedResponse) {
+  const std::string platform = platform_json(41);
+  io::ServeConfig config;
+  config.threads = 1;
+  config.cache_capacity = 0;
+  config.max_pending = 1;
+  // The sleeper holds the admitted slot for 200 ms; the second request
+  // arrives at a full queue and must be refused, not planned.
+  const auto [answered, responses] = run_session(
+      {
+          R"({"id":"slow","planner":"test-sleeper","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+          R"({"id":"refused","planner":"heuristic","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+          R"({"cmd":"stats"})",
+      },
+      config);
+  EXPECT_EQ(answered, 1u);  // the refusal is not an answered plan
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool()) << responses[0].dump();
+  const json::Value& refused = responses[1];
+  EXPECT_EQ(refused.at("id").as_string(), "refused");
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_EQ(refused.at("status").as_string(), "overloaded");
+  EXPECT_GE(refused.at("retry_after_ms").as_number(), 1.0);
+  EXPECT_NE(refused.at("error").as_string().find("overloaded"),
+            std::string::npos);
+  const json::Value& serve = responses[2].at("stats").at("serve");
+  EXPECT_EQ(serve.at("max_pending").as_number(), 1.0);
+  EXPECT_EQ(serve.at("overloaded").as_number(), 1.0);
+  EXPECT_EQ(serve.at("degraded").as_number(), 0.0);
+}
+
+TEST(Serve, DegradeAnswersOverloadRequestsWithTheCheapPlanner) {
+  const std::string platform = platform_json(43);
+  io::ServeConfig config;
+  config.threads = 1;
+  config.cache_capacity = 0;
+  config.max_pending = 1;
+  config.degrade = true;
+  const auto [answered, responses] = run_session(
+      {
+          R"({"id":"slow","planner":"test-sleeper","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+          R"({"id":"cheap","planner":"heuristic","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+          R"({"cmd":"stats"})",
+      },
+      config);
+  EXPECT_EQ(answered, 2u);  // a degraded answer is still an answer
+  ASSERT_EQ(responses.size(), 3u);
+  const json::Value& degraded = responses[1];
+  EXPECT_EQ(degraded.at("id").as_string(), "cheap");
+  EXPECT_TRUE(degraded.at("ok").as_bool()) << degraded.dump();
+  EXPECT_TRUE(degraded.at("degraded").as_bool());
+  const PlannerRun run = wire::planner_run_from_json(degraded.at("run"));
+  EXPECT_TRUE(run.ok);
+  EXPECT_TRUE(run.result.hierarchy.validate().empty());
+  const json::Value& serve = responses[2].at("stats").at("serve");
+  EXPECT_EQ(serve.at("degraded").as_number(), 1.0);
+  EXPECT_EQ(serve.at("overloaded").as_number(), 0.0);
+}
+
+TEST(Serve, DegradeRescuesOverBudgetRequests) {
+  // Same request BudgetIsEnforced uses — with degrade on, the deadline
+  // error is replaced by a budget-free homogeneous answer.
+  const std::string platform = platform_json(33);
+  io::ServeConfig config;
+  config.degrade = true;
+  const auto [answered, responses] = run_session(
+      {
+          R"({"id":"late","planner":"heuristic","platform":)" + platform +
+              R"(,"service":"dgemm-310","budget_ms":0.000001})",
+      },
+      config);
+  EXPECT_EQ(answered, 1u);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool()) << responses[0].dump();
+  EXPECT_TRUE(responses[0].at("degraded").as_bool());
+  const PlannerRun run = wire::planner_run_from_json(responses[0].at("run"));
+  EXPECT_TRUE(run.ok);
+  EXPECT_FALSE(run.skipped);
+}
+
+TEST(Serve, CancelReachesRequestsStillWaitingInTheQueue) {
+  const std::string platform = platform_json(45);
+  io::ServeConfig config;
+  config.threads = 1;
+  config.cache_capacity = 0;
+  // The sleeper occupies the single service thread, so "victim" is still
+  // queued when the cancel command arrives.
+  const auto [answered, responses] = run_session(
+      {
+          R"({"id":"slow","planner":"test-sleeper","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+          R"({"id":"victim","planner":"heuristic","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+          R"({"cmd":"cancel","id":"victim"})",
+          R"({"id":"after","planner":"heuristic","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+      },
+      config);
+  EXPECT_EQ(answered, 3u);  // slow + victim (a cancelled run answers) + after
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool()) << responses[0].dump();
+  const json::Value& victim = responses[1];
+  EXPECT_EQ(victim.at("id").as_string(), "victim");
+  EXPECT_FALSE(victim.at("ok").as_bool());
+  EXPECT_NE(victim.at("error").as_string().find("cancelled"),
+            std::string::npos)
+      << victim.dump();
+  EXPECT_TRUE(responses[2].at("ok").as_bool());
+  EXPECT_EQ(responses[2].at("cancelled").as_number(), 1.0);
+  EXPECT_TRUE(responses[3].at("ok").as_bool()) << responses[3].dump();
+  EXPECT_EQ(responses[3].at("id").as_string(), "after");
+}
+
+TEST(Serve, CancelWithoutAnIdIsAnError) {
+  const auto [answered, responses] = run_session({R"({"cmd":"cancel"})"});
+  EXPECT_EQ(answered, 0u);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  EXPECT_NE(responses[0].at("error").as_string().find("cancel"),
+            std::string::npos);
+}
+
+/// An output sink whose flush stalls — a stand-in for a client that
+/// reads its responses slowly. The writer thread blocks in write();
+/// the reader must keep admitting and the order contract must hold.
+class SlowSink : public std::streambuf {
+ public:
+  std::string text;
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) text.push_back(static_cast<char>(ch));
+    return ch;
+  }
+  int sync() override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return 0;
+  }
+};
+
+TEST(Serve, SlowReaderStallsTheWriterNotTheSession) {
+  const std::string platform = platform_json(47);
+  std::stringstream in;
+  for (const std::string& id : {"a", "b", "c", "d"})
+    in << R"({"id":")" << id << R"(","planner":"star","platform":)"
+       << platform << R"(,"service":"dgemm-100"})" << "\n";
+  SlowSink sink;
+  std::ostream out(&sink);
+  io::ServeConfig config;
+  config.threads = 2;
+  config.cache_capacity = 0;
+  const std::size_t answered = io::serve_session(in, out, config);
+  EXPECT_EQ(answered, 4u);
+  std::vector<json::Value> responses;
+  std::stringstream lines(sink.text);
+  std::string line;
+  while (std::getline(lines, line))
+    if (!line.empty()) responses.push_back(json::parse(line));
+  ASSERT_EQ(responses.size(), 4u);
+  const std::vector<std::string> order = {"a", "b", "c", "d"};
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(responses[i].at("id").as_string(), order[i]);
+    EXPECT_TRUE(responses[i].at("ok").as_bool()) << responses[i].dump();
+  }
 }
 
 }  // namespace

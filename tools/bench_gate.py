@@ -106,6 +106,14 @@ def main():
             if only_series and key[0] != only_series:
                 continue
             if metric not in base:
+                if only_series:
+                    # The spec pinned this exact series, so a baseline
+                    # record without the key is a broken gate, not a
+                    # record to skip quietly.
+                    fired[f"--metric {spec}"] += 1
+                    check(key, got, metric, False,
+                          f"missing from baseline record in {args.baseline} "
+                          f"(regenerate the baseline or fix '--metric {spec}')")
                 continue
             fired[f"--metric {spec}"] += 1
             if metric not in got:
@@ -146,6 +154,9 @@ def main():
               "missing metric would silently pass the gate:")
         for spec in unfired:
             print(f"  - {spec}")
+        series_seen = sorted({k[0] for k in baseline} | {k[0] for k in fresh})
+        print("  series present in baseline/fresh: "
+              + ", ".join(str(s) for s in series_seen))
         return 2
     if failures:
         print(f"\nREGRESSION: {len(failures)} check(s) failed:")
