@@ -9,6 +9,7 @@
 ///   simulate   run the discrete-event simulator against a deployment XML,
 ///              or (--scenario) a churn scenario with online replanning
 ///   serve      answer JSON-lines planning requests on stdin/stdout
+///   metrics    render a recorded metrics snapshot (table / json / prom)
 ///   calibrate  reproduce the Table 3 measurement procedure on this host
 ///
 /// plan / predict / repair take `--json` for machine-readable output in
@@ -37,6 +38,8 @@
 #include "io/serve.hpp"
 #include "io/wire.hpp"
 #include "model/evaluate.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "planner/planner.hpp"
 #include "planner/planning_service.hpp"
 #include "planner/registry.hpp"
@@ -655,6 +658,70 @@ int cmd_serve(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_metrics(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "adept metrics",
+      "Render a recorded metrics snapshot (the `{\"cmd\":\"metrics\"}` serve "
+      "response, or its \"metrics\" payload, or a bench --metrics-out "
+      "dump) as a table, JSON, or Prometheus text format.");
+  parser.add_positional("file", "snapshot file, or '-' for stdin");
+  parser.add_option("format", "output format: table | json | prom", "table");
+  parser.parse(args);
+
+  const std::string path = parser.get("file");
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path);
+    ADEPT_CHECK(in.good(), "cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  json::Value doc = json::parse(text);
+  // Accept the serve response envelope ({"ok":true,"metrics":{...}}) as
+  // well as a bare snapshot.
+  if (const json::Value* inner = doc.find("metrics")) doc = *inner;
+  const obs::RegistrySnapshot snapshot = obs::snapshot_from_json(doc);
+
+  const std::string format = parser.get("format");
+  if (format == "json") {
+    std::cout << obs::to_json(snapshot).dump() << "\n";
+    return 0;
+  }
+  if (format == "prom") {
+    std::cout << obs::to_prometheus(snapshot);
+    return 0;
+  }
+  ADEPT_CHECK(format == "table",
+              "--format must be table, json or prom (got '" + format + "')");
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    Table counters("Counters and gauges");
+    counters.set_header({"name", "value"});
+    for (const auto& [name, value] : snapshot.counters)
+      counters.add_row({name, std::to_string(value)});
+    for (const auto& [name, value] : snapshot.gauges)
+      counters.add_row({name, Table::num(value, 3)});
+    std::cout << counters;
+  }
+  if (!snapshot.histograms.empty()) {
+    Table histograms("Latency histograms (ms unless noted)");
+    histograms.set_header(
+        {"name", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : snapshot.histograms)
+      histograms.add_row({name, std::to_string(h.count),
+                          Table::num(h.mean(), 3), Table::num(h.quantile(0.5), 3),
+                          Table::num(h.quantile(0.95), 3),
+                          Table::num(h.quantile(0.99), 3),
+                          Table::num(h.max, 3)});
+    std::cout << histograms;
+  }
+  return 0;
+}
+
 int cmd_calibrate(const std::vector<std::string>& args) {
   ArgParser parser("adept calibrate",
                    "Reproduce the Table 3 measurement procedure.");
@@ -680,7 +747,8 @@ int cmd_calibrate(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   const std::string usage =
-      "usage: adept <generate|plan|predict|simulate|repair|serve|calibrate> "
+      "usage: adept "
+      "<generate|plan|predict|simulate|repair|serve|metrics|calibrate> "
       "[options]\n"
       "run `adept <command> --help` style options are listed on error\n";
   if (args.empty()) {
@@ -696,6 +764,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "repair") return cmd_repair(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "metrics") return cmd_metrics(args);
     if (command == "calibrate") return cmd_calibrate(args);
     std::cerr << "unknown command '" << command << "'\n" << usage;
     return 2;

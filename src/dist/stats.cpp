@@ -4,6 +4,23 @@ namespace adept::dist {
 
 namespace detail {
 
+Counters::Counters()
+    : plans(obs::MetricsRegistry::process().counter("dist.plans")),
+      dispatched(obs::MetricsRegistry::process().counter("dist.dispatched")),
+      responded(obs::MetricsRegistry::process().counter("dist.responded")),
+      retried(obs::MetricsRegistry::process().counter("dist.retried")),
+      worker_failures(
+          obs::MetricsRegistry::process().counter("dist.worker_failures")),
+      fallbacks(obs::MetricsRegistry::process().counter("dist.fallbacks")),
+      workers_spawned(
+          obs::MetricsRegistry::process().counter("dist.workers_spawned")),
+      workers_respawned(
+          obs::MetricsRegistry::process().counter("dist.workers_respawned")),
+      respawn_failures(
+          obs::MetricsRegistry::process().counter("dist.respawn_failures")),
+      health_checks(
+          obs::MetricsRegistry::process().counter("dist.health_checks")) {}
+
 Counters& counters() {
   static Counters instance;
   return instance;
@@ -14,31 +31,31 @@ Counters& counters() {
 DistStats stats_snapshot() {
   const detail::Counters& c = detail::counters();
   DistStats out;
-  out.plans = c.plans.load(std::memory_order_relaxed);
-  out.dispatched = c.dispatched.load(std::memory_order_relaxed);
-  out.responded = c.responded.load(std::memory_order_relaxed);
-  out.retried = c.retried.load(std::memory_order_relaxed);
-  out.worker_failures = c.worker_failures.load(std::memory_order_relaxed);
-  out.fallbacks = c.fallbacks.load(std::memory_order_relaxed);
-  out.workers_spawned = c.workers_spawned.load(std::memory_order_relaxed);
-  out.workers_respawned = c.workers_respawned.load(std::memory_order_relaxed);
-  out.respawn_failures = c.respawn_failures.load(std::memory_order_relaxed);
-  out.health_checks = c.health_checks.load(std::memory_order_relaxed);
+  out.plans = c.plans.value();
+  out.dispatched = c.dispatched.value();
+  out.responded = c.responded.value();
+  out.retried = c.retried.value();
+  out.worker_failures = c.worker_failures.value();
+  out.fallbacks = c.fallbacks.value();
+  out.workers_spawned = c.workers_spawned.value();
+  out.workers_respawned = c.workers_respawned.value();
+  out.respawn_failures = c.respawn_failures.value();
+  out.health_checks = c.health_checks.value();
   return out;
 }
 
 void reset_stats_for_test() {
   detail::Counters& c = detail::counters();
-  c.plans.store(0, std::memory_order_relaxed);
-  c.dispatched.store(0, std::memory_order_relaxed);
-  c.responded.store(0, std::memory_order_relaxed);
-  c.retried.store(0, std::memory_order_relaxed);
-  c.worker_failures.store(0, std::memory_order_relaxed);
-  c.fallbacks.store(0, std::memory_order_relaxed);
-  c.workers_spawned.store(0, std::memory_order_relaxed);
-  c.workers_respawned.store(0, std::memory_order_relaxed);
-  c.respawn_failures.store(0, std::memory_order_relaxed);
-  c.health_checks.store(0, std::memory_order_relaxed);
+  c.plans.reset();
+  c.dispatched.reset();
+  c.responded.reset();
+  c.retried.reset();
+  c.worker_failures.reset();
+  c.fallbacks.reset();
+  c.workers_spawned.reset();
+  c.workers_respawned.reset();
+  c.respawn_failures.reset();
+  c.health_checks.reset();
 }
 
 }  // namespace adept::dist

@@ -3,16 +3,19 @@
 /// \brief Process-wide counters of the distributed planning tier.
 ///
 /// Coordinators and worker pools are short-lived (one per CLI run, one
-/// per registry plan() call), so their observability lives in one
-/// process-wide set of monotone atomic counters — the same lifetime
-/// shape PlanningStats has per service. The serve layer snapshots them
-/// into the `dist` section of its `stats` response; tests reset them
-/// around a scenario to assert exact fault-path counts. This header is
-/// dependency-free on purpose: io/serve.cpp includes it without pulling
-/// the transport machinery into the io layer.
+/// per registry plan() call), so their observability lives on the
+/// process-wide obs::MetricsRegistry under `dist.*` names — the same
+/// lifetime shape PlanningStats has per service. DistStats is a plain
+/// snapshot view over those counters: the serve layer puts it in the
+/// `dist` section of its `stats` response, and tests reset the counters
+/// around a scenario to assert exact fault-path counts. This header
+/// pulls in only obs/metrics.hpp (std-only) on purpose: io/serve.cpp
+/// includes it without dragging the transport machinery into the io
+/// layer.
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.hpp"
 
 namespace adept::dist {
 
@@ -37,25 +40,28 @@ struct DistStats {
 /// Snapshot of the process-wide counters.
 DistStats stats_snapshot();
 
-/// Resets every counter to zero (tests only — the serve `stats` contract
-/// is monotone counters, like PlanningStats).
+/// Resets every `dist.*` counter to zero (tests only — the serve `stats`
+/// contract is monotone counters, like PlanningStats).
 void reset_stats_for_test();
 
 namespace detail {
 
-/// The live counters; increment directly (relaxed ordering — these are
-/// statistics, not synchronisation).
+/// References to the live `dist.*` counters on the process registry;
+/// increment directly (obs::Counter's operator forms keep the historic
+/// `++counters().plans` call-site idiom compiling unchanged).
 struct Counters {
-  std::atomic<std::uint64_t> plans{0};
-  std::atomic<std::uint64_t> dispatched{0};
-  std::atomic<std::uint64_t> responded{0};
-  std::atomic<std::uint64_t> retried{0};
-  std::atomic<std::uint64_t> worker_failures{0};
-  std::atomic<std::uint64_t> fallbacks{0};
-  std::atomic<std::uint64_t> workers_spawned{0};
-  std::atomic<std::uint64_t> workers_respawned{0};
-  std::atomic<std::uint64_t> respawn_failures{0};
-  std::atomic<std::uint64_t> health_checks{0};
+  Counters();
+
+  obs::Counter& plans;
+  obs::Counter& dispatched;
+  obs::Counter& responded;
+  obs::Counter& retried;
+  obs::Counter& worker_failures;
+  obs::Counter& fallbacks;
+  obs::Counter& workers_spawned;
+  obs::Counter& workers_respawned;
+  obs::Counter& respawn_failures;
+  obs::Counter& health_checks;
 };
 Counters& counters();
 

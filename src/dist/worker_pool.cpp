@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -15,6 +16,7 @@
 #include "common/json.hpp"
 #include "dist/stats.hpp"
 #include "io/wire.hpp"
+#include "obs/metrics.hpp"
 
 namespace adept::dist {
 
@@ -123,6 +125,12 @@ void WorkerPool::fail(Slot& slot) {
   slot.retry_at =
       std::chrono::steady_clock::now() + backoff_delay(slot.failures);
   ++detail::counters().worker_failures;
+  // Per-worker counter so a respawn storm can be attributed to the one
+  // flapping slot instead of reading as fleet-wide churn.
+  obs::MetricsRegistry::process()
+      .counter("dist.worker." + std::to_string(&slot - slots_.data()) +
+               ".failures")
+      .inc();
   // A failed worker may be wedged mid-plan; a stale late response must
   // never reach a later round, so the worker is killed, not benched.
   if (slot.worker != nullptr) slot.worker->kill();
@@ -139,6 +147,10 @@ std::size_t WorkerPool::respawn_due() {
       slot.phase = WorkerPhase::Idle;
       ++respawned;
       ++detail::counters().workers_respawned;
+      obs::MetricsRegistry::process()
+          .counter("dist.worker." + std::to_string(&slot - slots_.data()) +
+                   ".respawns")
+          .inc();
     } catch (const std::exception&) {
       // The replacement could not even start; escalate the backoff and
       // leave the slot failed for a later pass.
@@ -225,8 +237,14 @@ std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
   for (std::size_t i = 0; i < jobs.size(); ++i) pending[i] = i;
   std::vector<std::size_t> local_jobs;
 
+  // One sample per dispatch round (assignment + pipelined drain of every
+  // healthy worker), so a storm of retries shows up as a fat tail here.
+  static obs::Histogram& round_latency =
+      obs::MetricsRegistry::process().histogram("dist.round.latency_ms");
+
   for (int round = 0; !pending.empty() && round <= config_.max_retries;
        ++round) {
+    obs::ScopedTimer round_timer(round_latency);
     // Supervised pools refill failed slots before every round, so a
     // crash in round k can be answered by a fresh worker in round k+1.
     respawn_due();
@@ -243,10 +261,16 @@ std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
         due.push_back(id);
     }
     pending.swap(due);
-    if (pending.empty()) break;
+    if (pending.empty()) {
+      round_timer.dismiss();  // nothing dispatched; not a real round
+      break;
+    }
 
     const std::vector<std::size_t> healthy = healthy_indices();
-    if (healthy.empty()) break;
+    if (healthy.empty()) {
+      round_timer.dismiss();
+      break;
+    }
     if (round > 0) detail::counters().retried += pending.size();
 
     // Deterministic round-robin assignment over the healthy workers.

@@ -16,10 +16,12 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/strings.hpp"
-// Counters only (dependency-free header); the dist tier itself sits
+// Counters only (std-only header); the dist tier itself sits
 // above io and is never pulled in here.
 #include "dist/stats.hpp"
 #include "io/wire.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "planner/planning_service.hpp"
 
 namespace adept::io {
@@ -34,6 +36,11 @@ struct Pending {
   bool is_portfolio = false;
   bool is_stats = false;    ///< A `stats` command's response slot.
   bool is_cancel = false;   ///< A `cancel` command's ack slot.
+  bool is_metrics = false;  ///< A `metrics` command's response slot.
+  /// When the line arrived — the start of the end-to-end latency span
+  /// recorded into `serve.request_ms` at emit time.
+  std::chrono::steady_clock::time_point received =
+      std::chrono::steady_clock::now();
   PlanTicket plan;
   PortfolioTicket portfolio;
   std::string immediate_error;  ///< Non-empty: no job, answer is this error.
@@ -95,12 +102,20 @@ class Session {
       : out_(out), config_(config),
         service_(config.threads, PlannerRegistry::instance(),
                  config.cache_capacity),
+        c_overloaded_(service_.metrics().counter("serve.overloaded")),
+        c_degraded_(service_.metrics().counter("serve.degraded")),
+        c_cancelled_(service_.metrics().counter("serve.cancelled")),
+        c_answered_(service_.metrics().counter("serve.answered")),
+        g_pending_(service_.metrics().gauge("serve.pending")),
+        h_request_ms_(service_.metrics().histogram("serve.request_ms")),
         writer_([this] { writer_loop(); }) {}
 
   ~Session() { finish(); }
 
   /// Only valid after finish(): the writer thread owns the counter.
-  std::size_t answered() const { return answered_; }
+  std::size_t answered() const {
+    return static_cast<std::size_t>(c_answered_.value());
+  }
 
   void handle_line(const std::string& line) {
     json::Value request;
@@ -151,6 +166,14 @@ class Session {
       enqueue(std::move(pending));
       return;
     }
+    if (name == "metrics") {
+      // Full registry exposition (counters, gauges, latency histograms
+      // with quantiles) — same in-order queueing discipline as `stats`.
+      Pending pending;
+      pending.is_metrics = true;
+      enqueue(std::move(pending));
+      return;
+    }
     if (name == "cancel") {
       const json::Value* target = request.find("id");
       ADEPT_CHECK(target != nullptr,
@@ -173,7 +196,7 @@ class Session {
             ++ack.cancelled_count;
           }
         }
-        cancelled_total_ += ack.cancelled_count;
+        c_cancelled_.inc(ack.cancelled_count);
       }
       enqueue(std::move(ack));
       return;
@@ -203,10 +226,7 @@ class Session {
             "server overloaded: " + std::to_string(depth) +
             " requests pending (max " + std::to_string(config_.max_pending) +
             ")";
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++overloaded_total_;
-        }
+        c_overloaded_.inc();
         enqueue(std::move(pending));
         return;
       }
@@ -234,10 +254,7 @@ class Session {
         pending.degraded = true;
         pending.degraded_run = run_degraded(plan_request);
         pending.counts = true;
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++degraded_total_;
-        }
+        c_degraded_.inc();
         enqueue(std::move(pending));
         return;
       }
@@ -268,13 +285,20 @@ class Session {
     return service_.run(cheap, "homogeneous");
   }
 
+  /// Backoff hint on an overloaded answer when no job has completed yet:
+  /// with zero observed wall time there is no basis for the mean-per-job
+  /// estimate below, and scaling a made-up mean by the queue depth only
+  /// amplifies the guess. Part of the wire contract (docs/WIRE.md) and
+  /// pinned by tests — clients may assume a cold server says exactly this.
+  static constexpr double kRetryAfterDefaultMs = 100.0;
+
   /// Backoff hint for overloaded answers: the service's observed mean
   /// per-job wall time, times the queue rounds ahead of the caller.
+  /// Before any job has completed it returns kRetryAfterDefaultMs.
   double retry_after_estimate(std::size_t depth) const {
     const PlanningStats stats = service_.stats();
-    const double mean_ms =
-        stats.jobs > 0 ? stats.wall_ms / static_cast<double>(stats.jobs)
-                       : 100.0;
+    if (stats.jobs == 0) return kRetryAfterDefaultMs;
+    const double mean_ms = stats.wall_ms / static_cast<double>(stats.jobs);
     const double lanes =
         static_cast<double>(std::max<std::size_t>(1, service_.thread_count()));
     const double estimate =
@@ -292,7 +316,10 @@ class Session {
   void enqueue(Pending pending) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (pending.occupies) ++open_requests_;
+      if (pending.occupies) {
+        ++open_requests_;
+        g_pending_.set(static_cast<double>(open_requests_));
+      }
       pending_.push_back(std::move(pending));
     }
     cv_.notify_one();
@@ -327,6 +354,17 @@ class Session {
     if (front.is_cancel) {
       response.set("ok", true);
       response.set("cancelled", front.cancelled_count);
+      write(response);
+      return;
+    }
+    if (front.is_metrics) {
+      // Service-scoped metrics (planning, cache, serve counters) merged
+      // with the process-wide registry (dist fleet counters) into one
+      // exposition.
+      obs::RegistrySnapshot snapshot = service_.metrics().snapshot();
+      snapshot.merge(obs::MetricsRegistry::process().snapshot());
+      response.set("ok", true);
+      response.set("metrics", obs::to_json(snapshot));
       write(response);
       return;
     }
@@ -366,19 +404,25 @@ class Session {
         // skipped — the client asked for that.)
         const PlannerRun rescue = run_degraded(*front.request);
         set_run(response, rescue, /*degraded=*/true);
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++degraded_total_;
-        }
+        c_degraded_.inc();
       } else {
         set_run(response, run, /*degraded=*/false);
       }
     }
     write(response);
-    if (front.counts) ++answered_;
+    if (front.counts) {
+      c_answered_.inc();
+      // End-to-end span: request line read → response line written
+      // (queue wait + planning + in-order write discipline).
+      h_request_ms_.record(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() -
+                               front.received)
+                               .count());
+    }
     if (front.occupies) {
       std::lock_guard<std::mutex> lock(mutex_);
       --open_requests_;
+      g_pending_.set(static_cast<double>(open_requests_));
     }
   }
 
@@ -395,11 +439,13 @@ class Session {
     out.set("max_pending", config_.max_pending);
     out.set("degrade", config_.degrade);
     out.set("service_pending", service_.pending_jobs());
-    std::lock_guard<std::mutex> lock(mutex_);
-    out.set("pending", open_requests_);
-    out.set("overloaded", overloaded_total_);
-    out.set("degraded", degraded_total_);
-    out.set("cancelled", cancelled_total_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      out.set("pending", open_requests_);
+    }
+    out.set("overloaded", c_overloaded_.value());
+    out.set("degraded", c_degraded_.value());
+    out.set("cancelled", c_cancelled_.value());
     return out;
   }
 
@@ -416,12 +462,18 @@ class Session {
   std::deque<Pending> pending_;
   bool done_reading_ = false;
   /// Admitted planning requests not yet written (guarded by mutex_) —
-  /// the admission-control queue depth.
+  /// the admission-control queue depth. Mirrored into the serve.pending
+  /// gauge for exposition.
   std::size_t open_requests_ = 0;
-  std::uint64_t overloaded_total_ = 0;  ///< Guarded by mutex_.
-  std::uint64_t degraded_total_ = 0;    ///< Guarded by mutex_.
-  std::uint64_t cancelled_total_ = 0;   ///< Guarded by mutex_.
-  std::size_t answered_ = 0;
+  // Session counters/spans live on the service's metrics registry
+  // (serve.* names) so `stats`, `metrics` and the CLI all read one
+  // source of truth; references resolved once in the constructor.
+  obs::Counter& c_overloaded_;
+  obs::Counter& c_degraded_;
+  obs::Counter& c_cancelled_;
+  obs::Counter& c_answered_;
+  obs::Gauge& g_pending_;
+  obs::Histogram& h_request_ms_;
   bool quitting_ = false;
   std::thread writer_;  ///< Last member: starts after everything it uses.
 };

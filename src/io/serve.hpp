@@ -20,6 +20,9 @@
 ///    "budget_ms": <number>}                  // deadline, relative
 /// Control lines:
 ///   {"cmd": "stats"}             → one response carrying the service's stats
+///   {"cmd": "metrics"}           → one response carrying the metrics
+///                                  registry snapshot (latency histograms
+///                                  with quantiles, cache/serve/dist counters)
 ///   {"cmd": "cancel", "id": X}   → cancel queued requests whose id equals X
 ///   {"cmd": "quit"}              → drain in-flight work and end the session
 ///
@@ -31,13 +34,16 @@
 ///   {"id": ..., "ok": false, "status": "overloaded",
 ///    "error": "...", "retry_after_ms": <number>}     // admission refusal
 ///   {"ok": true, "stats": {...}}                     // for "stats"
+///   {"ok": true, "metrics": {...}}                   // for "metrics"
 ///   {"ok": true, "cancelled": <count>}               // for "cancel"
 ///
 /// Admission control: with `max_pending > 0` the session bounds the
 /// number of admitted-but-unanswered planning requests. A request
 /// arriving at a full queue is refused with an `overloaded` response
 /// (including a `retry_after_ms` estimate from the service's observed
-/// per-job wall time) — or, with `degrade` set, answered immediately on
+/// per-job wall time; before any job has completed the estimate is a
+/// documented default of 100 ms) — or, with `degrade` set, answered
+/// immediately on
 /// the reader thread by the cheap `homogeneous` planner and marked
 /// `"degraded": true`. Degrade also rescues over-budget requests: a job
 /// whose deadline expired before a full-quality plan completed is

@@ -1,0 +1,143 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace adept::obs {
+
+namespace {
+
+json::Value histogram_to_json(const HistogramSnapshot& h) {
+  json::Value out = json::Value::object();
+  out.set("count", json::Value(static_cast<std::size_t>(h.count)));
+  out.set("sum", json::Value(h.sum));
+  out.set("min", json::Value(h.min));
+  out.set("max", json::Value(h.max));
+  // Derived, recomputed on load — emitted so a dump is readable without
+  // reimplementing the bucket math.
+  out.set("mean", json::Value(h.mean()));
+  out.set("p50", json::Value(h.quantile(0.50)));
+  out.set("p90", json::Value(h.quantile(0.90)));
+  out.set("p95", json::Value(h.quantile(0.95)));
+  out.set("p99", json::Value(h.quantile(0.99)));
+  json::Value buckets = json::Value::array();
+  for (const auto& [index, n] : h.buckets) {
+    json::Value pair = json::Value::array();
+    pair.push_back(json::Value(static_cast<std::size_t>(index)));
+    pair.push_back(json::Value(static_cast<std::size_t>(n)));
+    buckets.push_back(std::move(pair));
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
+HistogramSnapshot histogram_from_json(const json::Value& value) {
+  HistogramSnapshot h;
+  h.count = value.at("count").as_index();
+  h.sum = value.at("sum").as_number();
+  h.min = value.at("min").as_number();
+  h.max = value.at("max").as_number();
+  std::uint32_t last_index = 0;
+  bool first = true;
+  for (const json::Value& pair : value.at("buckets").as_array()) {
+    const auto& items = pair.as_array();
+    ADEPT_CHECK(items.size() == 2,
+                "histogram bucket must be an [index, count] pair");
+    const std::size_t index = items[0].as_index();
+    ADEPT_CHECK(index < Histogram::kBucketCount,
+                "histogram bucket index out of range");
+    ADEPT_CHECK(first || index > last_index,
+                "histogram buckets must be sorted by index, unique");
+    first = false;
+    last_index = static_cast<std::uint32_t>(index);
+    h.buckets.emplace_back(last_index, items[1].as_index());
+  }
+  return h;
+}
+
+/// Prometheus metric name: `adept_` + name with every character outside
+/// [a-zA-Z0-9_:] replaced by '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "adept_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Shortest-round-trip number text (reuses the JSON writer so `le` edges
+/// and values format identically everywhere).
+std::string prom_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  return json::Value(v).dump();
+}
+
+}  // namespace
+
+json::Value to_json(const RegistrySnapshot& snapshot) {
+  json::Value out = json::Value::object();
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : snapshot.counters)
+    counters.set(name, json::Value(static_cast<std::size_t>(value)));
+  out.set("counters", std::move(counters));
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : snapshot.gauges)
+    gauges.set(name, json::Value(value));
+  out.set("gauges", std::move(gauges));
+  json::Value histograms = json::Value::object();
+  for (const auto& [name, h] : snapshot.histograms)
+    histograms.set(name, histogram_to_json(h));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+RegistrySnapshot snapshot_from_json(const json::Value& value) {
+  RegistrySnapshot out;
+  for (const auto& [name, v] : value.at("counters").as_object())
+    out.counters.emplace(name, v.as_index());
+  for (const auto& [name, v] : value.at("gauges").as_object())
+    out.gauges.emplace(name, v.as_number());
+  for (const auto& [name, v] : value.at("histograms").as_object())
+    out.histograms.emplace(name, histogram_from_json(v));
+  return out;
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + prom_number(static_cast<double>(value)) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + prom_number(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, n] : h.buckets) {
+      // The saturating overflow bucket has no finite upper edge; its
+      // samples are covered by the +Inf line below.
+      if (index == Histogram::kOverflowIndex) continue;
+      cumulative += n;
+      out += prom + "_bucket{le=\"" +
+             prom_number(Histogram::bucket_upper(index)) + "\"} " +
+             prom_number(static_cast<double>(cumulative)) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " +
+           prom_number(static_cast<double>(h.count)) + "\n";
+    out += prom + "_sum " + prom_number(h.sum) + "\n";
+    out += prom + "_count " + prom_number(static_cast<double>(h.count)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace adept::obs

@@ -1,0 +1,38 @@
+#pragma once
+/// \file exposition.hpp
+/// \brief Serialization of metrics snapshots: JSON (wire + CLI) and
+/// Prometheus text format.
+///
+/// The JSON form is the wire format behind the serve `{"cmd":"metrics"}`
+/// command and `adept metrics --format json`; it round-trips exactly
+/// (snapshot_from_json(parse(to_json(s).dump())) reproduces `s`), which
+/// tests/test_docs.cpp exploits to execute the example in docs/WIRE.md.
+/// Derived fields (mean, p50/p90/p95/p99) are emitted for human and
+/// dashboard convenience but recomputed on load — only count / sum /
+/// min / max / buckets are authoritative.
+///
+/// The Prometheus form follows the text exposition conventions: metric
+/// names prefixed `adept_` with non-[a-zA-Z0-9_:] mapped to '_',
+/// `# TYPE` lines, and cumulative histogram `_bucket{le="..."}` series
+/// ending in `+Inf` plus `_sum` / `_count`.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace adept::obs {
+
+/// Serializes a snapshot to the wire JSON form (always carries the
+/// "counters", "gauges" and "histograms" sections, empty or not).
+json::Value to_json(const RegistrySnapshot& snapshot);
+
+/// Parses the wire JSON form back into a snapshot. Accepts the exact
+/// output of to_json (derived fields ignored); throws adept::Error on a
+/// malformed document.
+RegistrySnapshot snapshot_from_json(const json::Value& value);
+
+/// Renders a snapshot in the Prometheus text exposition format.
+std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+}  // namespace adept::obs

@@ -75,9 +75,25 @@ const PlannerRun& PortfolioResult::best() const {
 
 PlanningService::PlanningService(std::size_t threads,
                                  const PlannerRegistry& registry,
-                                 std::size_t cache_capacity)
+                                 std::size_t cache_capacity,
+                                 obs::MetricsRegistry* metrics)
     : registry_(registry), threads_(threads),
-      cache_capacity_(cache_capacity) {}
+      cache_capacity_(cache_capacity) {
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>(true);
+    metrics = own_metrics_.get();
+  }
+  metrics_ = metrics;
+  h_plan_ms_ = &metrics_->histogram("service.plan.latency_ms");
+  h_queue_wait_ms_ = &metrics_->histogram("service.queue_wait_ms");
+  c_failures_ = &metrics_->counter("service.plan.failures");
+  c_cancelled_ = &metrics_->counter("service.plan.cancelled");
+  c_evaluations_ = &metrics_->counter("service.evaluations");
+  c_cache_hits_ = &metrics_->counter("service.cache.hits");
+  c_cache_misses_ = &metrics_->counter("service.cache.misses");
+  c_cache_evictions_ = &metrics_->counter("service.cache.evictions");
+  c_cache_coalesced_ = &metrics_->counter("service.cache.coalesced");
+}
 
 ThreadPool& PlanningService::pool() {
   std::call_once(pool_once_, [this] {
@@ -107,17 +123,15 @@ bool PlanningService::cache_wait_or_begin(const std::string& key,
       run.ok = true;
       run.cached = true;
       run.result = found->second->result;
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.cache_hits;
-      if (coalesced) ++stats_.cache_coalesced;
+      c_cache_hits_->inc();
+      if (coalesced) c_cache_coalesced_->inc();
       return true;
     }
     const auto inflight = inflight_.find(key);
     if (inflight == inflight_.end()) {
       // No finished entry and nobody planning it: this job leads.
       inflight_.emplace(key, std::make_shared<Inflight>());
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.cache_misses;
+      c_cache_misses_->inc();
       return false;
     }
     // An identical request is in flight; wait for the leader's verdict
@@ -140,9 +154,8 @@ bool PlanningService::cache_wait_or_begin(const std::string& key,
       run.ok = true;
       run.cached = true;
       run.result = entry->result;
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.cache_hits;
-      ++stats_.cache_coalesced;
+      c_cache_hits_->inc();
+      c_cache_coalesced_->inc();
       return true;
     }
     // The leader failed; its failure is not this job's failure. Loop:
@@ -174,10 +187,7 @@ void PlanningService::cache_finish(const std::string& key,
     }
   }
   inflight_cv_.notify_all();
-  if (evicted != 0) {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    stats_.cache_evictions += evicted;
-  }
+  if (evicted != 0) c_cache_evictions_->inc(evicted);
 }
 
 void PlanningService::set_cache_capacity(std::size_t capacity) {
@@ -191,10 +201,7 @@ void PlanningService::set_cache_capacity(std::size_t capacity) {
       ++evicted;
     }
   }
-  if (evicted != 0) {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    stats_.cache_evictions += evicted;
-  }
+  if (evicted != 0) c_cache_evictions_->inc(evicted);
 }
 
 std::size_t PlanningService::cache_capacity() const {
@@ -230,7 +237,10 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
       // Answered from the cache, coalesced onto an identical in-flight
       // job, or stopped while waiting; otherwise this job is the leader
       // for the key and must publish its outcome via cache_finish below.
-      if (cache_wait_or_begin(cache_key, run, request.options)) return run;
+      if (cache_wait_or_begin(cache_key, run, request.options)) {
+        if (run.cached) planner_metrics(planner).cache_hits->inc();
+        return run;
+      }
     }
     // Offer the service's pool for the planner's internal parallelism
     // (the heuristic's per-k sweep). Safe when this job itself runs on a
@@ -256,15 +266,32 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
       std::chrono::duration<double, std::milli>(end - start).count();
   run.evaluations = model::evaluations_on_this_thread() - evals_before;
   if (!cache_key.empty()) cache_finish(cache_key, run);
+  // Per-planner latency covers runs that actually planned (cache hits
+  // return above; skipped runs never exercised this planner).
+  if (!run.skipped) planner_metrics(planner).latency->record(run.wall_ms);
   return run;
 }
 
+const PlanningService::PlannerMetrics& PlanningService::planner_metrics(
+    const std::string& planner) {
+  std::lock_guard<std::mutex> lock(planner_metrics_mutex_);
+  PlannerMetrics& entry = planner_metrics_[planner];
+  if (entry.latency == nullptr) {
+    entry.latency =
+        &metrics_->histogram("service.planner." + planner + ".latency_ms");
+    entry.cache_hits =
+        &metrics_->counter("service.planner." + planner + ".cache_hits");
+  }
+  return entry;
+}
+
 void PlanningService::record(const PlannerRun& run) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.jobs;
-  if (!run.ok) ++(run.skipped ? stats_.cancelled : stats_.failures);
-  stats_.evaluations += run.evaluations;
-  stats_.wall_ms += run.wall_ms;
+  // The aggregate latency histogram doubles as the jobs/wall_ms ledger:
+  // its count is stats().jobs and its sum is stats().wall_ms, so every
+  // attempted run — cached, failed or skipped — is recorded.
+  h_plan_ms_->record(run.wall_ms);
+  if (!run.ok) (run.skipped ? c_cancelled_ : c_failures_)->inc();
+  if (run.evaluations != 0) c_evaluations_->inc(run.evaluations);
 }
 
 PlannerRun PlanningService::run(const PlanRequest& request,
@@ -333,6 +360,10 @@ PlanTicket PlanningService::submit(PlanRequest request, std::string planner) {
       std::lock_guard<std::mutex> lock(state->mutex);
       state->started = true;
     }
+    h_queue_wait_ms_->record(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 state->submitted)
+                                 .count());
     PlannerRun run = execute(request, planner);
     record(run);
     {
@@ -358,6 +389,10 @@ PortfolioTicket PlanningService::submit_portfolio(
       std::lock_guard<std::mutex> lock(state->mutex);
       state->started = true;
     }
+    h_queue_wait_ms_->record(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 state->submitted)
+                                 .count());
     PortfolioResult portfolio;
     try {
       portfolio = run_portfolio(request, planners);
@@ -381,8 +416,21 @@ PortfolioTicket PlanningService::submit_portfolio(
 }
 
 PlanningStats PlanningService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  // A view over the metrics registry: counts are exact (the recording
+  // side is sequenced before any ticket/pool completion the caller can
+  // observe), wall_ms is the latency histogram's sum.
+  PlanningStats out;
+  const obs::HistogramSnapshot plan = h_plan_ms_->snapshot();
+  out.jobs = plan.count;
+  out.wall_ms = plan.sum;
+  out.failures = c_failures_->value();
+  out.cancelled = c_cancelled_->value();
+  out.evaluations = c_evaluations_->value();
+  out.cache_hits = c_cache_hits_->value();
+  out.cache_misses = c_cache_misses_->value();
+  out.cache_evictions = c_cache_evictions_->value();
+  out.cache_coalesced = c_cache_coalesced_->value();
+  return out;
 }
 
 std::size_t PlanningService::pending_jobs() const {

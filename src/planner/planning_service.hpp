@@ -49,12 +49,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "planner/registry.hpp"
 #include "planner/request.hpp"
 
@@ -93,7 +95,12 @@ struct PortfolioResult {
   const PlannerRun& best() const;  ///< Throws adept::Error when no winner.
 };
 
-/// Lifetime counters of a PlanningService (monotone; snapshot via stats()).
+/// Lifetime counters of a PlanningService (monotone; snapshot via
+/// stats()). Since the obs layer landed this is a *view*: the service
+/// records into its obs::MetricsRegistry (service.plan.latency_ms,
+/// service.cache.*, ...) and stats() assembles this struct from a
+/// registry snapshot, so the wire `stats` response keeps its shape while
+/// metrics() exposes the full histograms.
 struct PlanningStats {
   std::uint64_t jobs = 0;         ///< Planner runs attempted.
   std::uint64_t failures = 0;     ///< Runs that threw.
@@ -222,10 +229,15 @@ class PlanningService {
   /// `threads` = 0 means hardware_concurrency. The registry defaults to
   /// the process-wide instance; tests may inject their own.
   /// `cache_capacity` bounds the plan-cache LRU; 0 disables caching.
+  /// `metrics` is the registry the service records into; nullptr (the
+  /// default) gives the service its own always-enabled registry, so each
+  /// service's metrics are isolated. Inject a disabled registry to
+  /// measure the instrumentation's overhead (bench_service does).
   explicit PlanningService(std::size_t threads = 0,
                            const PlannerRegistry& registry =
                                PlannerRegistry::instance(),
-                           std::size_t cache_capacity = 0);
+                           std::size_t cache_capacity = 0,
+                           obs::MetricsRegistry* metrics = nullptr);
 
   PlanningService(const PlanningService&) = delete;             ///< Non-copyable.
   PlanningService& operator=(const PlanningService&) = delete;  ///< Non-copyable.
@@ -263,8 +275,13 @@ class PlanningService {
   /// Current plan-cache capacity in entries (0 = caching disabled).
   std::size_t cache_capacity() const;
 
-  /// Snapshot of the lifetime counters.
+  /// Snapshot of the lifetime counters, assembled from the metrics
+  /// registry (see PlanningStats).
   PlanningStats stats() const;
+  /// The registry this service records into: per-planner latency
+  /// histograms (`service.planner.<name>.latency_ms`), queue-wait and
+  /// aggregate plan-latency histograms, cache and failure counters.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
   /// Workers a batch/portfolio fans out over (the pool itself is created
   /// lazily on the first executed job).
   std::size_t thread_count() const;
@@ -290,8 +307,33 @@ class PlanningService {
   const PlannerRegistry& registry_;
   std::size_t threads_;
 
-  mutable std::mutex stats_mutex_;
-  PlanningStats stats_;
+  /// Owned fallback registry when none is injected. Declared before the
+  /// pool (last members below) so draining jobs can still record.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Hot-path metrics resolved once in the constructor (registry lookups
+  // take a mutex; these references are stable for the registry's life).
+  obs::Histogram* h_plan_ms_ = nullptr;     ///< Every run's wall time.
+  obs::Histogram* h_queue_wait_ms_ = nullptr;  ///< submit → job start.
+  obs::Counter* c_failures_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
+  obs::Counter* c_evaluations_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Counter* c_cache_evictions_ = nullptr;
+  obs::Counter* c_cache_coalesced_ = nullptr;
+
+  /// Per-planner metric handles, resolved on a planner's first job and
+  /// cached: the steady-state path pays one short-string map lookup
+  /// instead of building "service.planner.<name>.*" keys per job.
+  struct PlannerMetrics {
+    obs::Histogram* latency = nullptr;
+    obs::Counter* cache_hits = nullptr;
+  };
+  const PlannerMetrics& planner_metrics(const std::string& planner);
+  std::mutex planner_metrics_mutex_;
+  std::map<std::string, PlannerMetrics> planner_metrics_;
+
   /// submit()ed jobs not yet completed (see pending_jobs()).
   std::atomic<std::size_t> pending_jobs_{0};
 

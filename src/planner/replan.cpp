@@ -38,6 +38,12 @@ ReplanOrchestrator::ReplanOrchestrator(PlanningService& service,
   ADEPT_CHECK(config_.budget_ms >= 0.0, "budget_ms must be >= 0");
   ADEPT_CHECK(config_.drift_threshold > 0.0 && config_.drift_threshold <= 1.0,
               "drift_threshold must be in (0, 1]");
+  obs::MetricsRegistry& metrics = service_.metrics();
+  h_event_ms_ = &metrics.histogram("replan.event.latency_ms");
+  h_budget_util_ = &metrics.histogram("replan.budget_utilization");
+  c_events_ = &metrics.counter("replan.events");
+  c_drift_fallbacks_ = &metrics.counter("replan.fallbacks.drift");
+  c_structural_fallbacks_ = &metrics.counter("replan.fallbacks.structural");
 }
 
 const std::vector<std::size_t>& ReplanOrchestrator::shard_map(
@@ -146,6 +152,7 @@ RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
                            static_cast<std::int64_t>(config_.budget_ms * 1e3));
 
   ++stats_.events;
+  c_events_->inc();
   RepairOutcome outcome;
   outcome.before = report_.overall;
 
@@ -175,6 +182,7 @@ RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
     outcome.after = report_.overall;
     outcome.wall_ms = ms_since(start);
     stats_.wall_ms += outcome.wall_ms;
+    record_event(outcome);
     return outcome;
   }
 
@@ -236,11 +244,13 @@ RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
     if (report_.overall < config_.drift_threshold * want) {
       fallback = true;
       ++stats_.drift_fallbacks;
+      c_drift_fallbacks_->inc();
       outcome.detail += std::string(outcome.detail.empty() ? "" : "; ") +
                         "drifted below threshold";
     }
   } else {
     ++stats_.structural_fallbacks;
+    c_structural_fallbacks_->inc();
   }
 
   // 3. Full replan through the async service, on whatever budget remains.
@@ -250,7 +260,17 @@ RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
   outcome.after = report_.overall;
   outcome.wall_ms = ms_since(start);
   stats_.wall_ms += outcome.wall_ms;
+  record_event(outcome);
   return outcome;
+}
+
+void ReplanOrchestrator::record_event(const RepairOutcome& outcome) {
+  h_event_ms_->record(outcome.wall_ms);
+  // Budget utilization: fraction of the per-event budget spent. > 1.0
+  // means the budget was blown (the StopGuard granularity lets a repair
+  // overshoot slightly); unbudgeted runs record nothing.
+  if (config_.budget_ms > 0.0)
+    h_budget_util_->record(outcome.wall_ms / config_.budget_ms);
 }
 
 }  // namespace adept

@@ -143,11 +143,23 @@ class ReplanOrchestrator {
                    const std::optional<std::chrono::steady_clock::time_point>&
                        deadline,
                    RepairOutcome& outcome);
+  /// Records the finished event's latency and budget utilization.
+  void record_event(const RepairOutcome& outcome);
 
   PlanningService& service_;
   MiddlewareParams params_;
   ServiceSpec service_spec_;
   ReplanConfig config_;
+
+  // Observability spans/counters on the service's metrics registry
+  // (replan.* names), resolved once at construction: per-event repair
+  // latency, budget utilization (wall/budget when budgeted) and the
+  // fallback-escalation split (drift vs structural).
+  obs::Histogram* h_event_ms_ = nullptr;
+  obs::Histogram* h_budget_util_ = nullptr;
+  obs::Counter* c_events_ = nullptr;
+  obs::Counter* c_drift_fallbacks_ = nullptr;
+  obs::Counter* c_structural_fallbacks_ = nullptr;
 
   /// Shard-local repair state (config_.shards engaged): the cached
   /// partition and its node → shard map, rebuilt when the platform's

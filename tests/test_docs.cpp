@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "io/wire.hpp"
+#include "obs/exposition.hpp"
 
 #ifndef ADEPT_SOURCE_DIR
 #error "ADEPT_SOURCE_DIR must point at the repository root"
@@ -145,6 +146,9 @@ std::map<std::string, RoundTrip> dispatch() {
   out["recording"] = round_trip<sim::ScenarioRecording>(
       wire::recording_from_json,
       [](const sim::ScenarioRecording& x) { return wire::to_json(x); });
+  out["metrics-snapshot"] = round_trip<obs::RegistrySnapshot>(
+      obs::snapshot_from_json,
+      [](const obs::RegistrySnapshot& x) { return obs::to_json(x); });
   return out;
 }
 

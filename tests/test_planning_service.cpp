@@ -419,6 +419,51 @@ TEST(PlanningService_, StatsSinkAccumulatesAcrossRuns) {
   EXPECT_GE(stats.wall_ms, 0.0);
 }
 
+TEST(PlanningService_, MetricsRegistryMirrorsTheStatsView) {
+  // PlanningStats is a thin view over the metrics registry: every field
+  // must be derivable from the obs names, and the per-planner histograms
+  // must split what the aggregate lumps together.
+  const Platform platform = gen::homogeneous(20, 1000.0, kB);
+  const PlanRequest request(platform, kParams, dgemm_service(310));
+  PlanningService service(2);
+  service.run(request, "homogeneous");
+  service.run(request, "star");
+  service.run(request, "star");
+
+  const auto stats = service.stats();
+  const obs::RegistrySnapshot snapshot = service.metrics().snapshot();
+  const obs::HistogramSnapshot& plan =
+      snapshot.histograms.at("service.plan.latency_ms");
+  EXPECT_EQ(plan.count, stats.jobs);
+  EXPECT_DOUBLE_EQ(plan.sum, stats.wall_ms);
+  EXPECT_EQ(snapshot.counters.at("service.evaluations"), stats.evaluations);
+  EXPECT_EQ(snapshot.counters.at("service.plan.failures"), 0u);
+  EXPECT_EQ(
+      snapshot.histograms.at("service.planner.homogeneous.latency_ms").count,
+      1u);
+  const obs::HistogramSnapshot& star =
+      snapshot.histograms.at("service.planner.star.latency_ms");
+  EXPECT_EQ(star.count, 2u);
+  EXPECT_GE(star.quantile(0.5), star.min);
+  EXPECT_LE(star.quantile(0.99), star.max);
+}
+
+TEST(PlanningService_, AcceptsAnExternalMetricsRegistry) {
+  // Two services sharing one registry accumulate into the same metrics —
+  // the embedding an application uses to get one process-wide snapshot.
+  obs::MetricsRegistry shared;
+  const Platform platform = gen::homogeneous(12, 1000.0, kB);
+  const PlanRequest request(platform, kParams, dgemm_service(310));
+  PlanningService first(1, PlannerRegistry::instance(), 0, &shared);
+  PlanningService second(1, PlannerRegistry::instance(), 0, &shared);
+  first.run(request, "star");
+  second.run(request, "star");
+  EXPECT_EQ(&first.metrics(), &shared);
+  EXPECT_EQ(shared.snapshot().histograms.at("service.plan.latency_ms").count,
+            2u);
+  EXPECT_EQ(first.stats().jobs, 2u);  // the view reads the shared registry
+}
+
 // -------------------------------------------------- seed reproducibility --
 
 TEST(GeneratorSeeds, SameSeedSamePlatformFile) {

@@ -258,6 +258,74 @@ TEST(Serve, OptionsExclusionsAreHonoured) {
   }
 }
 
+TEST(Serve, MetricsCommandExposesLatencyQuantilesAndCacheRates) {
+  const std::string platform = platform_json(51);
+  const std::string request = R"({"planner":"heuristic","platform":)" +
+                              platform + R"(,"service":"dgemm-310"})";
+  // One worker serialises the jobs: request #2 is a plain cache hit, so
+  // the registry must show exactly one heuristic planning run alongside
+  // two service-level jobs.
+  io::ServeConfig config;
+  config.threads = 1;
+  const auto [answered, responses] =
+      run_session({request, request, R"({"cmd":"metrics"})"}, config);
+  EXPECT_EQ(answered, 2u);
+  ASSERT_EQ(responses.size(), 3u);
+  const json::Value& reply = responses[2];
+  EXPECT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  const json::Value& metrics = reply.at("metrics");
+  const json::Value& counters = metrics.at("counters");
+  EXPECT_EQ(counters.at("service.cache.hits").as_number(), 1.0);
+  EXPECT_EQ(counters.at("service.cache.misses").as_number(), 1.0);
+  EXPECT_EQ(counters.at("service.planner.heuristic.cache_hits").as_number(),
+            1.0);
+  EXPECT_EQ(counters.at("serve.answered").as_number(), 2.0);
+
+  const json::Value& histograms = metrics.at("histograms");
+  // The aggregate job histogram doubles as the jobs/wall ledger: both
+  // requests count, cached or not.
+  EXPECT_EQ(histograms.at("service.plan.latency_ms").at("count").as_number(),
+            2.0);
+  // Per-planner latency counts *planning* runs only — the cache hit
+  // never re-ran the heuristic.
+  const json::Value& heuristic =
+      histograms.at("service.planner.heuristic.latency_ms");
+  EXPECT_EQ(heuristic.at("count").as_number(), 1.0);
+  for (const char* q : {"p50", "p90", "p95", "p99"}) {
+    EXPECT_GE(heuristic.at(q).as_number(), heuristic.at("min").as_number());
+    EXPECT_LE(heuristic.at(q).as_number(), heuristic.at("max").as_number());
+  }
+  EXPECT_EQ(histograms.at("service.queue_wait_ms").at("count").as_number(),
+            2.0);
+  // Serve's own end-to-end span: the two counted answers.
+  EXPECT_EQ(histograms.at("serve.request_ms").at("count").as_number(), 2.0);
+}
+
+TEST(Serve, RetryAfterFallsBackToTheDocumentedDefault) {
+  const std::string platform = platform_json(53);
+  io::ServeConfig config;
+  config.threads = 1;
+  config.cache_capacity = 0;
+  config.max_pending = 1;
+  // The refusal happens while the sleeper still holds the only slot, i.e.
+  // before *any* job has completed: the estimate has no observed per-job
+  // wall time to scale and must return the documented 100 ms default —
+  // not a degenerate 0 or a depth-scaled garbage value.
+  const auto [answered, responses] = run_session(
+      {
+          R"({"id":"slow","planner":"test-sleeper","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+          R"({"id":"refused","planner":"heuristic","platform":)" + platform +
+              R"(,"service":"dgemm-310"})",
+      },
+      config);
+  EXPECT_EQ(answered, 1u);
+  ASSERT_EQ(responses.size(), 2u);
+  const json::Value& refused = responses[1];
+  EXPECT_EQ(refused.at("status").as_string(), "overloaded");
+  EXPECT_DOUBLE_EQ(refused.at("retry_after_ms").as_number(), 100.0);
+}
+
 TEST(Serve, UnknownCommandIsAnError) {
   const auto [answered, responses] = run_session({R"({"cmd":"reboot"})"});
   EXPECT_EQ(answered, 0u);

@@ -143,6 +143,16 @@ def main():
             check(key, got, metric,
                   ok, f"{got_v!r} vs baseline {base_v!r} "
                       f"(rel tol {args.value_rel:g})")
+        # Latency-quantile drift is informational, never gating: absolute
+        # milliseconds are host-dependent, but the printed deltas make a
+        # perf regression's shape visible straight from the CI log.
+        for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+            if quantile not in base or quantile not in got:
+                continue
+            base_v, got_v = base[quantile], got[quantile]
+            delta = ((got_v - base_v) / base_v * 100.0) if base_v else 0.0
+            print(f"  [info] {quantile}: {got_v:.4g} ms vs baseline "
+                  f"{base_v:.4g} ms ({delta:+.1f}%)")
 
     if matched == 0:
         print("error: no baseline record matched the fresh run "
