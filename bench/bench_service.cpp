@@ -14,6 +14,15 @@
 /// --json. The headline claim (ISSUE 3 acceptance): cache-on sustains
 /// ≥ 5× the cache-off request rate on this workload.
 ///
+/// The sustained arms replay a longer stream through the *sharded*
+/// planner at full concurrency with the whole-plan cache off, so every
+/// request actually plans; the on-arm adds only the shard-level
+/// sub-plan cache (CacheConfig::shard_capacity). This isolates the
+/// shard cache's contribution on the serving shape the ROADMAP names
+/// (sustained high-concurrency stream), asserts bit-identity against
+/// the uncached stream, and emits `sustained_speedup` + `hit_rate`
+/// into the trajectory for the CI gate.
+///
 /// The metrics arms measure the observability subsystem's overhead on
 /// the cache-off (real planning) workload: a service recording into an
 /// enabled registry vs one recording into a *disabled* registry (every
@@ -54,19 +63,21 @@ struct StreamResult {
 StreamResult run_stream(const Platform& platform,
                         const std::vector<ServiceSpec>& services,
                         std::size_t repeats, std::size_t jobs,
-                        std::size_t cache_capacity,
-                        obs::MetricsRegistry* metrics = nullptr) {
-  PlanningService service(jobs, PlannerRegistry::instance(), cache_capacity,
-                          metrics);
+                        const CacheConfig& cache,
+                        obs::MetricsRegistry* metrics = nullptr,
+                        const std::string& planner = "heuristic",
+                        std::size_t shards = 0) {
+  PlanningService service(jobs, PlannerRegistry::instance(), cache, metrics);
   const std::size_t total = services.size() * repeats;
   std::vector<PlanTicket> tickets;
   tickets.reserve(total);
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < total; ++i)
-    tickets.push_back(
-        service.submit(PlanRequest(platform, bench::params(),
-                                   services[i % services.size()]),
-                       "heuristic"));
+  for (std::size_t i = 0; i < total; ++i) {
+    PlanRequest request(platform, bench::params(),
+                        services[i % services.size()]);
+    request.options.shards = shards;
+    tickets.push_back(service.submit(request, planner));
+  }
   StreamResult out;
   out.plans.reserve(total);
   for (PlanTicket& ticket : tickets) {
@@ -93,6 +104,11 @@ int main(int argc, char** argv) {
   parser.add_option("seed", "RNG seed for the platform", "1");
   parser.add_option("rounds", "interleaved best-of-N rounds for the "
                               "metrics-overhead arms", "3");
+  parser.add_option("sustained-repeats",
+                    "times the problem set is replayed in the sustained "
+                    "high-concurrency sharded arm", "24");
+  parser.add_option("sustained-shards",
+                    "explicit shard count for the sustained arm", "4");
   parser.add_option("json", "write the bench trajectory to this file");
   parser.add_option("metrics-out",
                     "write the metrics-on arm's registry snapshot (JSON)");
@@ -121,9 +137,9 @@ int main(int argc, char** argv) {
             << distinct * repeats << " requests, planner: heuristic\n\n";
 
   const StreamResult off =
-      run_stream(platform, services, repeats, jobs, /*cache=*/0);
-  const StreamResult on =
-      run_stream(platform, services, repeats, jobs, /*cache=*/2 * distinct);
+      run_stream(platform, services, repeats, jobs, CacheConfig{});
+  const StreamResult on = run_stream(platform, services, repeats, jobs,
+                                     CacheConfig{/*plan_capacity=*/2 * distinct});
 
   // The cache must be invisible in the results: every repeat of problem i
   // gets the bit-identical plan the uncached stream computed.
@@ -170,10 +186,10 @@ int main(int argc, char** argv) {
   for (std::size_t round = 0; round < rounds; ++round) {
     obs::MetricsRegistry disabled(false);
     const StreamResult moff =
-        run_stream(platform, services, repeats, jobs, /*cache=*/0, &disabled);
+        run_stream(platform, services, repeats, jobs, CacheConfig{}, &disabled);
     obs::MetricsRegistry enabled(true);
     const StreamResult mon =
-        run_stream(platform, services, repeats, jobs, /*cache=*/0, &enabled);
+        run_stream(platform, services, repeats, jobs, CacheConfig{}, &enabled);
     const double efficiency = mon.requests_per_s / moff.requests_per_s;
     if (round == 0 || efficiency > metrics_efficiency) {
       metrics_efficiency = efficiency;
@@ -202,6 +218,67 @@ int main(int argc, char** argv) {
             << Table::num(metrics_efficiency, 4) << "x\n";
   bench::verdict("metrics instrumentation costs <= ~2% request rate",
                  metrics_efficiency >= 0.98);
+
+  // ---- sustained high-concurrency stream: shard cache off vs on -------
+  // The whole-plan cache is OFF in both arms (plan_capacity = 0), so
+  // every request runs the sharded planner; what the on-arm measures is
+  // the shard-level sub-plan cache alone. After the first replay of the
+  // problem set the cache holds every (shard, service) sub-plan, so a
+  // sustained stream answers each shard from the LRU — the ROADMAP's
+  // "sustained high-concurrency stream" serving shape.
+  const auto sustained_repeats =
+      static_cast<std::size_t>(parser.get_int("sustained-repeats"));
+  const auto sustained_shards =
+      static_cast<std::size_t>(parser.get_int("sustained-shards"));
+  const std::size_t sustained_total = distinct * sustained_repeats;
+  const StreamResult sustained_off =
+      run_stream(platform, services, sustained_repeats, jobs, CacheConfig{},
+                 nullptr, "sharded", sustained_shards);
+  const StreamResult sustained_on = run_stream(
+      platform, services, sustained_repeats, jobs,
+      CacheConfig{/*plan_capacity=*/0,
+                  /*shard_capacity=*/2 * distinct * sustained_shards,
+                  /*coalesce=*/true},
+      nullptr, "sharded", sustained_shards);
+  for (std::size_t i = 0; i < sustained_on.plans.size(); ++i) {
+    ADEPT_CHECK(
+        sustained_on.plans[i].hierarchy == sustained_off.plans[i].hierarchy &&
+            sustained_on.plans[i].report.overall ==
+                sustained_off.plans[i].report.overall,
+        "sustained cached stream diverged at request " + std::to_string(i));
+  }
+  const double sustained_speedup =
+      sustained_on.requests_per_s / sustained_off.requests_per_s;
+  const std::uint64_t shard_lookups = sustained_on.stats.shard_cache_hits +
+                                      sustained_on.stats.shard_cache_misses;
+  const double hit_rate =
+      shard_lookups > 0
+          ? static_cast<double>(sustained_on.stats.shard_cache_hits) /
+                static_cast<double>(shard_lookups)
+          : 0.0;
+
+  Table sustained("Sustained high-concurrency stream (sharded, " +
+                  std::to_string(sustained_shards) + " shards, " +
+                  std::to_string(sustained_total) + " requests)");
+  sustained.set_header({"shard cache", "req/s", "wall (ms)", "hits",
+                        "misses", "hit rate"});
+  sustained.add_row({"off", Table::num(sustained_off.requests_per_s, 1),
+                     Table::num(sustained_off.wall_ms, 2), "-", "-", "-"});
+  sustained.add_row(
+      {"on", Table::num(sustained_on.requests_per_s, 1),
+       Table::num(sustained_on.wall_ms, 2),
+       Table::num(
+           static_cast<long long>(sustained_on.stats.shard_cache_hits)),
+       Table::num(
+           static_cast<long long>(sustained_on.stats.shard_cache_misses)),
+       Table::num(100.0 * hit_rate, 1) + "%"});
+  std::cout << '\n' << sustained;
+
+  std::cout << "\nsustained speedup (shard cache on / off): "
+            << Table::num(sustained_speedup, 2) << "x\n";
+  bench::verdict("sustained cached stream is bit-identical to uncached",
+                 true);
+  bench::verdict("sustained shard-cache hit rate >= 70%", hit_rate >= 0.70);
 
   if (parser.has("metrics-out")) {
     std::ofstream snapshot_out(parser.get("metrics-out"));
@@ -234,6 +311,20 @@ int main(int argc, char** argv) {
                  {"p50_ms", plan_latency.quantile(0.50)},
                  {"p95_ms", plan_latency.quantile(0.95)},
                  {"p99_ms", plan_latency.quantile(0.99)}}});
+    writer.add({"sustained-off", nodes, sustained_off.wall_ms,
+                sustained_off.stats.evaluations,
+                sustained_off.requests_per_s,
+                {{"requests", static_cast<double>(sustained_total)}}});
+    writer.add(
+        {"sustained-on", nodes, sustained_on.wall_ms,
+         sustained_on.stats.evaluations, sustained_on.requests_per_s,
+         {{"requests", static_cast<double>(sustained_total)},
+          {"sustained_speedup", sustained_speedup},
+          {"hit_rate", hit_rate},
+          {"shard_cache_hits",
+           static_cast<double>(sustained_on.stats.shard_cache_hits)},
+          {"shard_cache_misses",
+           static_cast<double>(sustained_on.stats.shard_cache_misses)}}});
     writer.write(parser.get("json"));
   }
   return 0;

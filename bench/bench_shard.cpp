@@ -19,7 +19,11 @@
 ///   - sharded beats the monolithic wall clock in every case, and by
 ///     >= 3x on the 10k multi-cluster case;
 ///   - sharded is bit-identical with and without the pool (the PR-2
-///     determinism discipline at bench scale).
+///     determinism discipline at bench scale);
+///   - a warm shard-cache pass (ShardPlanCache filled by a cold pass)
+///     answers every shard from the LRU, bit-identical to the
+///     cache-less plan — the `cache_warm_speedup` series the release
+///     perf gate floors.
 ///
 ///   ./bench_shard [--cases orsay-1000,multi-cluster-10000] [--seed N]
 ///                 [--json BENCH_shard.json]
@@ -35,6 +39,7 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "planner/shard_cache.hpp"
 #include "planner/sharded.hpp"
 #include "platform/partition.hpp"
 
@@ -72,10 +77,12 @@ struct Measured {
 };
 
 Measured measure(const std::string& planner, const Platform& platform,
-                 const ServiceSpec& service, ThreadPool* pool) {
+                 const ServiceSpec& service, ThreadPool* pool,
+                 ShardPlanCache* cache = nullptr) {
   PlanOptions options;
   options.pool = pool;
   options.verbose_trace = false;
+  options.shard_cache = cache;
   Measured out;
   const auto start = std::chrono::steady_clock::now();
   out.plan = PlannerRegistry::instance().at(planner).plan(
@@ -125,6 +132,26 @@ int main(int argc, char** argv) {
     const Measured shard = measure("sharded", platform, service, &pool);
     const Measured shard_serial = measure("sharded", platform, service, nullptr);
 
+    // Shard-cache arm: the first pass fills the per-shard LRU, the
+    // second answers every shard from it. The warm pass must be
+    // bit-identical to the cache-less plan — the cache is a pure
+    // memoization, never a different answer.
+    ShardPlanCache cache(2 * shard_count);
+    const Measured cold = measure("sharded", platform, service, &pool, &cache);
+    const Measured warm = measure("sharded", platform, service, &pool, &cache);
+    const ShardPlanCache::Stats cache_stats = cache.stats();
+    // The warm pass does exactly one lookup per shard; all of them hit.
+    const double warm_hit_rate =
+        shard_count > 0 ? static_cast<double>(cache_stats.hits) /
+                              static_cast<double>(shard_count)
+                        : 0.0;
+    const double cache_warm_speedup =
+        warm.wall_ms > 0.0 ? cold.wall_ms / warm.wall_ms : 0.0;
+    const bool identical_warm =
+        warm.plan.hierarchy == shard.plan.hierarchy &&
+        warm.plan.report.overall == shard.plan.report.overall &&
+        cold.plan.hierarchy == shard.plan.hierarchy;
+
     const bool identical =
         shard.plan.hierarchy == shard_serial.plan.hierarchy &&
         shard.plan.report.overall == shard_serial.plan.report.overall;
@@ -146,6 +173,10 @@ int main(int argc, char** argv) {
                    Table::num(static_cast<long long>(shard.plan.nodes_used())),
                    Table::num(speedup, 1) + "x",
                    Table::num(100.0 * retained, 1) + "%"});
+    table.add_row({spec, "cache-warm", Table::num(warm.wall_ms, 1),
+                   Table::num(warm.plan.report.overall, 2),
+                   Table::num(static_cast<long long>(warm.plan.nodes_used())),
+                   Table::num(cache_warm_speedup, 1) + "x", "-"});
 
     json.add({"monolithic-" + c.preset, c.count, mono.wall_ms, 0,
               mono.plan.report.overall});
@@ -156,6 +187,11 @@ int main(int argc, char** argv) {
                {"shards", static_cast<double>(shard_count)},
                {"threads", static_cast<double>(pool.thread_count())},
                {"bit_identical_serial", identical ? 1.0 : 0.0}}});
+    json.add({"cache-warm-" + c.preset, c.count, warm.wall_ms, 0,
+              warm.plan.report.overall,
+              {{"cache_warm_speedup", cache_warm_speedup},
+               {"warm_hit_rate", warm_hit_rate},
+               {"bit_identical_warm", identical_warm ? 1.0 : 0.0}}});
 
     bench::verdict(spec + ": sharded retains >= 95% of monolithic throughput "
                           "(" + Table::num(100.0 * retained, 2) + "%)",
@@ -172,6 +208,14 @@ int main(int argc, char** argv) {
     bench::verdict(spec + ": sharded plan bit-identical with/without pool",
                    identical);
     all_ok = all_ok && identical;
+    bench::verdict(spec + ": warm shard-cache pass bit-identical to the "
+                          "cache-less plan (" +
+                       Table::num(cache_warm_speedup, 1) + "x faster)",
+                   identical_warm);
+    all_ok = all_ok && identical_warm;
+    bench::verdict(spec + ": warm pass answers every shard from the cache",
+                   warm_hit_rate >= 1.0);
+    all_ok = all_ok && warm_hit_rate >= 1.0;
   }
 
   std::cout << table << '\n';

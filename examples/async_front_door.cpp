@@ -23,7 +23,9 @@ int main() {
   // of real serving traffic) are answered from the LRU instead of
   // replanning.
   PlanningService service(/*threads=*/0, PlannerRegistry::instance(),
-                          /*cache_capacity=*/64);
+                          CacheConfig{/*plan_capacity=*/64,
+                                      /*shard_capacity=*/0,
+                                      /*coalesce=*/true});
 
   // 1. An *owning* request: the platform lives in shared storage, so the
   //    request (and every queued job copied from it) keeps it alive —

@@ -203,6 +203,10 @@ int cmd_plan(const std::vector<std::string>& args) {
   parser.add_option("exclude", "comma-separated host names never to deploy");
   parser.add_option("jobs", "worker threads for portfolio runs (0 = all cores)",
                     "0");
+  parser.add_option("shard-cache",
+                    "shard-level sub-plan cache capacity for sharded/"
+                    "distributed planners (0 disables)",
+                    "0");
   parser.add_option("workers",
                     "distributed planner only: spawn this many `adept serve` "
                     "subprocesses as the worker fleet");
@@ -223,8 +227,12 @@ int cmd_plan(const std::vector<std::string>& args) {
 
   const std::string planner = parser.get("planner");
   const long long jobs = parser.get_int("jobs");
+  const long long shard_cache = parser.get_int("shard-cache");
   ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
-  PlanningService service(static_cast<std::size_t>(jobs));
+  ADEPT_CHECK(shard_cache >= 0, "--shard-cache must be >= 0");
+  PlanningService service(
+      static_cast<std::size_t>(jobs), PlannerRegistry::instance(),
+      CacheConfig{0, static_cast<std::size_t>(shard_cache), true});
 
   const bool as_json = parser.get_flag("json");
   PlanResult plan;
@@ -287,6 +295,12 @@ int cmd_plan(const std::vector<std::string>& args) {
       fleet_config.workers = static_cast<std::size_t>(workers);
       dist::FleetSupervisor fleet(transport, fleet_config);
       dist::Coordinator coordinator(fleet);
+      // The coordinator path bypasses the PlanningService, so hand it a
+      // coordinator-side shard cache directly: repeated/overlapping shard
+      // content is answered locally and never dispatched to the fleet.
+      ShardPlanCache coordinator_cache(static_cast<std::size_t>(shard_cache));
+      if (shard_cache > 0)
+        request.options.shard_cache = &coordinator_cache;
       run.planner = planner;
       const auto start = std::chrono::steady_clock::now();
       try {
@@ -409,6 +423,10 @@ int cmd_simulate_scenario(const std::vector<std::string>& args) {
   parser.add_option("planner", "full-replan planner", "heuristic");
   parser.add_option("shards", "shard-local repair: auto|N (omit for global "
                               "repair)");
+  parser.add_option("shard-cache",
+                    "shard-level sub-plan cache capacity for sharded "
+                    "fallback replans (0 disables)",
+                    "0");
   parser.add_option("jobs", "planning service worker threads (0 = all cores)",
                     "0");
   parser.add_option("events", "stop after this many events (0 = all)", "0");
@@ -439,13 +457,17 @@ int cmd_simulate_scenario(const std::vector<std::string>& args) {
           : sim::ScenarioEngine(scenario);
 
   const long long jobs = parser.get_int("jobs");
+  const long long shard_cache = parser.get_int("shard-cache");
   ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
+  ADEPT_CHECK(shard_cache >= 0, "--shard-cache must be >= 0");
   PlanningService service(static_cast<std::size_t>(jobs));
   ReplanConfig config;
   config.planner = parser.get("planner");
   config.budget_ms = parser.get_double("budget");
   config.drift_threshold = parser.get_double("drift");
   if (parser.has("shards")) config.shards = parse_shards(parser.get("shards"));
+  if (shard_cache > 0)
+    config.cache = CacheConfig{0, static_cast<std::size_t>(shard_cache), true};
   ReplanOrchestrator orchestrator(service, MiddlewareParams::diet_grid5000(),
                                   parse_service(parser.get("service")), config);
 
@@ -633,6 +655,13 @@ int cmd_serve(const std::vector<std::string>& args) {
   parser.add_option("jobs", "worker threads (0 = all cores)", "0");
   parser.add_option("cache", "plan-cache capacity in entries (0 disables)",
                     "256");
+  parser.add_option("shard-cache",
+                    "shard-level sub-plan cache capacity in entries "
+                    "(0 disables)",
+                    "256");
+  parser.add_flag("no-coalesce",
+                  "disable single-flight coalescing of identical "
+                  "concurrent requests");
   parser.add_option("max-pending",
                     "admission bound: refuse (or degrade) new planning "
                     "requests once this many are pending (0 = unbounded)",
@@ -644,13 +673,17 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   const long long jobs = parser.get_int("jobs");
   const long long cache = parser.get_int("cache");
+  const long long shard_cache = parser.get_int("shard-cache");
   const long long max_pending = parser.get_int("max-pending");
   ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
   ADEPT_CHECK(cache >= 0, "--cache must be >= 0");
+  ADEPT_CHECK(shard_cache >= 0, "--shard-cache must be >= 0");
   ADEPT_CHECK(max_pending >= 0, "--max-pending must be >= 0");
   io::ServeConfig config;
   config.threads = static_cast<std::size_t>(jobs);
-  config.cache_capacity = static_cast<std::size_t>(cache);
+  config.cache = CacheConfig{static_cast<std::size_t>(cache),
+                             static_cast<std::size_t>(shard_cache),
+                             !parser.get_flag("no-coalesce")};
   config.max_pending = static_cast<std::size_t>(max_pending);
   config.degrade = parser.get_flag("degrade");
   const std::size_t answered = io::serve_session(std::cin, std::cout, config);

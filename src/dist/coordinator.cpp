@@ -5,11 +5,14 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
 #include "dist/stats.hpp"
+#include "planner/shard_cache.hpp"
 #include "platform/partition.hpp"
 
 namespace adept::dist {
@@ -98,6 +101,28 @@ std::vector<PlanResult> Coordinator::dispatch_leaves(
     jobs.push_back(std::move(job));
   }
 
+  // Consult the shard cache before anything touches the wire: a hit is
+  // a shard whose content-identical leaf plan is already known, so the
+  // shard is never dispatched at all — the worker fleet only sees the
+  // misses. Keys use config_.leaf_planner, the same name the jobs carry,
+  // so the local sharded planner (keyed on its own leaf planner) shares
+  // entries with a coordinator configured for the same leaf planner.
+  ShardPlanCache* cache = options.shard_cache;
+  std::vector<std::optional<PlanResult>> cached(leaves.size());
+  std::vector<std::string> keys(cache != nullptr ? leaves.size() : 0);
+  std::vector<std::size_t> pending;
+  pending.reserve(leaves.size());
+  for (std::size_t s = 0; s < leaves.size(); ++s) {
+    if (cache != nullptr) {
+      keys[s] = ShardPlanCache::key(*jobs[s].request.platform, request.params,
+                                    request.service, options,
+                                    config_.leaf_planner);
+      cached[s] = cache->lookup(keys[s]);
+      if (cached[s].has_value()) continue;
+    }
+    pending.push_back(s);
+  }
+
   // The in-process fallback: same registry planner, same (serial) path a
   // worker would run — so fallback plans are bit-identical to dispatched
   // ones and a worker loss is invisible in the result.
@@ -114,27 +139,45 @@ std::vector<PlanResult> Coordinator::dispatch_leaves(
     return run;
   };
 
+  std::vector<ShardJob> dispatch;
+  dispatch.reserve(pending.size());
+  for (const std::size_t s : pending) dispatch.push_back(std::move(jobs[s]));
+
   std::vector<PlannerRun> runs;
-  if (fleet_ != nullptr) {
-    // One lease per batch: the warm fleet is exclusively ours for the
-    // dispatch (the heartbeat and other coordinators wait), and run()'s
-    // per-round respawn pass heals any losses from earlier requests.
-    FleetSupervisor::Lease lease = fleet_->lease();
-    runs = lease.pool().run(jobs, local_fallback);
-  } else {
-    runs = owned_pool_->run(jobs, local_fallback);
+  if (!dispatch.empty()) {
+    if (fleet_ != nullptr) {
+      // One lease per batch: the warm fleet is exclusively ours for the
+      // dispatch (the heartbeat and other coordinators wait), and run()'s
+      // per-round respawn pass heals any losses from earlier requests.
+      FleetSupervisor::Lease lease = fleet_->lease();
+      runs = lease.pool().run(dispatch, local_fallback);
+    } else {
+      runs = owned_pool_->run(dispatch, local_fallback);
+    }
   }
 
   std::vector<PlanResult> plans;
   plans.reserve(leaves.size());
+  std::size_t next = 0;  // index into pending/dispatch/runs
   for (std::size_t s = 0; s < leaves.size(); ++s) {
-    // A run that is still not ok went through the local fallback, so
-    // this is a genuine planning error (or a cancelled/late request) —
-    // exactly what the local sharded planner would have thrown.
-    ADEPT_CHECK(runs[s].ok, runs[s].error.empty()
-                                ? "shard " + std::to_string(s) + " failed"
-                                : runs[s].error);
-    PlanResult plan = std::move(runs[s].result);
+    PlanResult plan;
+    if (cached[s].has_value()) {
+      plan = std::move(*cached[s]);
+    } else {
+      // A run that is still not ok went through the local fallback, so
+      // this is a genuine planning error (or a cancelled/late request) —
+      // exactly what the local sharded planner would have thrown.
+      ADEPT_CHECK(runs[next].ok,
+                  runs[next].error.empty()
+                      ? "shard " + std::to_string(s) + " failed"
+                      : runs[next].error);
+      plan = std::move(runs[next].result);
+      // Store by content in sub-platform-local ids, pre-remap, like the
+      // local leaf path — the two address identical entries.
+      if (cache != nullptr)
+        cache->insert(keys[s], *dispatch[next].request.platform, plan);
+      ++next;
+    }
     const std::vector<NodeId>& ids = leaves[s];
     // Leaf hierarchies are in sub-platform ids (positions in `ids`);
     // rewrite to platform ids for the shared stitch core.

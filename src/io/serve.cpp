@@ -100,8 +100,7 @@ class Session {
  public:
   Session(std::ostream& out, const ServeConfig& config)
       : out_(out), config_(config),
-        service_(config.threads, PlannerRegistry::instance(),
-                 config.cache_capacity),
+        service_(config.threads, PlannerRegistry::instance(), config.cache),
         c_overloaded_(service_.metrics().counter("serve.overloaded")),
         c_degraded_(service_.metrics().counter("serve.degraded")),
         c_cancelled_(service_.metrics().counter("serve.cancelled")),
@@ -346,6 +345,7 @@ class Session {
     if (front.is_stats) {
       response.set("ok", true);
       json::Value stats = stats_to_json(service_.stats());
+      stats.set("shard_cache", shard_cache_to_json());
       stats.set("serve", serve_stats_to_json());
       response.set("stats", std::move(stats));
       write(response);
@@ -434,10 +434,32 @@ class Session {
     response.set("run", wire::to_json(run));
   }
 
+  /// The worker-side shard-level sub-plan cache: occupancy plus lifetime
+  /// traffic (planner/shard_cache.hpp). A serve worker that plans shard
+  /// jobs for a coordinator — or runs sharded plans itself — answers
+  /// repeats of content-identical shards from here.
+  json::Value shard_cache_to_json() {
+    const ShardPlanCache& cache = service_.shard_cache();
+    const ShardPlanCache::Stats stats = cache.stats();
+    json::Value out = json::Value::object();
+    out.set("capacity", cache.capacity());
+    out.set("size", cache.size());
+    out.set("hits", stats.hits);
+    out.set("misses", stats.misses);
+    out.set("evictions", stats.evictions);
+    out.set("insertions", stats.insertions);
+    out.set("invalidations", stats.invalidations);
+    out.set("flushes", stats.flushes);
+    return out;
+  }
+
   json::Value serve_stats_to_json() {
     json::Value out = json::Value::object();
     out.set("max_pending", config_.max_pending);
     out.set("degrade", config_.degrade);
+    // The session's effective cache configuration (CacheConfig over the
+    // wire: plan_capacity / shard_capacity / coalesce).
+    out.set("cache", wire::to_json(config_.cache));
     out.set("service_pending", service_.pending_jobs());
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -57,14 +57,20 @@
 #include <cstddef>
 #include <iosfwd>
 
+#include "planner/cache_config.hpp"
+
 namespace adept::io {
 
 /// Tuning for one serve session.
 struct ServeConfig {
   /// Worker threads of the underlying PlanningService; 0 = all cores.
   std::size_t threads = 0;
-  /// Plan-cache capacity (entries); 0 disables caching.
-  std::size_t cache_capacity = 256;
+  /// Cache configuration of the session's PlanningService: whole-request
+  /// plan cache, worker-side shard-level sub-plan cache, single-flight
+  /// coalescing. The serve default enables both caches at 256 entries;
+  /// the `stats` response reports the effective value plus shard-cache
+  /// traffic under "shard_cache".
+  CacheConfig cache{256, 256, true};
   /// Admission bound: maximum planning requests admitted but not yet
   /// answered before new ones are refused as `overloaded` (or degraded).
   /// 0 (default) keeps the historical unbounded behaviour.

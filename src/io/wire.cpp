@@ -176,6 +176,27 @@ PlanOptions options_from_json(const json::Value& value) {
   return out;
 }
 
+// -------------------------------------------------------------- CacheConfig --
+
+json::Value to_json(const CacheConfig& config) {
+  json::Value out = json::Value::object();
+  out.set("plan_capacity", config.plan_capacity);
+  out.set("shard_capacity", config.shard_capacity);
+  out.set("coalesce", config.coalesce);
+  return out;
+}
+
+CacheConfig cache_config_from_json(const json::Value& value) {
+  CacheConfig out;
+  if (const json::Value* plan = value.find("plan_capacity"))
+    out.plan_capacity = plan->as_index();
+  if (const json::Value* shard = value.find("shard_capacity"))
+    out.shard_capacity = shard->as_index();
+  if (const json::Value* coalesce = value.find("coalesce"))
+    out.coalesce = coalesce->as_bool();
+  return out;
+}
+
 // --------------------------------------------------------------- Hierarchy --
 
 json::Value to_json(const Hierarchy& hierarchy) {

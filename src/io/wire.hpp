@@ -53,6 +53,13 @@ ServiceSpec service_from_json(const json::Value& value);
 json::Value to_json(const PlanOptions& options);
 PlanOptions options_from_json(const json::Value& value);
 
+/// Cache configuration (planner/cache_config.hpp): {"plan_capacity",
+/// "shard_capacity", "coalesce"}. Travels inside serve handshakes and is
+/// echoed by the serve `stats` response; every key is optional on input
+/// (absent keys keep the CacheConfig default).
+json::Value to_json(const CacheConfig& config);
+CacheConfig cache_config_from_json(const json::Value& value);
+
 json::Value to_json(const Hierarchy& hierarchy);
 Hierarchy hierarchy_from_json(const json::Value& value);
 

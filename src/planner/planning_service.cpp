@@ -17,26 +17,6 @@ namespace adept {
 
 namespace {
 
-/// 128-bit digest (two independent FNV-1a streams) of the canonical
-/// fingerprint string, packed into a 16-byte key. Keys stay O(1) sized
-/// however large the serialized platform is; 2^128 key space makes an
-/// accidental collision (which would serve a wrong plan) a non-concern.
-std::string fingerprint_digest(const std::string& canonical) {
-  constexpr std::uint64_t kPrime = 1099511628211ull;
-  std::uint64_t h1 = 14695981039346656037ull;   // FNV offset basis
-  std::uint64_t h2 = 0x9e3779b97f4a7c15ull;     // independent basis
-  for (const unsigned char c : canonical) {
-    h1 = (h1 ^ c) * kPrime;
-    h2 = (h2 ^ (c ^ 0x5bu)) * kPrime;
-  }
-  std::string key(16, '\0');
-  for (int i = 0; i < 8; ++i) {
-    key[i] = static_cast<char>(h1 >> (8 * i));
-    key[8 + i] = static_cast<char>(h2 >> (8 * i));
-  }
-  return key;
-}
-
 /// Score used to rank portfolio candidates. Planner reports are not
 /// directly comparable on heterogeneous-link platforms: link-blind
 /// planners report their homogeneous-model belief, which overstates what
@@ -75,10 +55,11 @@ const PlannerRun& PortfolioResult::best() const {
 
 PlanningService::PlanningService(std::size_t threads,
                                  const PlannerRegistry& registry,
-                                 std::size_t cache_capacity,
+                                 CacheConfig cache,
                                  obs::MetricsRegistry* metrics)
     : registry_(registry), threads_(threads),
-      cache_capacity_(cache_capacity) {
+      cache_capacity_(cache.plan_capacity), cache_coalesce_(cache.coalesce),
+      shard_cache_(cache.shard_capacity) {
   if (metrics == nullptr) {
     own_metrics_ = std::make_unique<obs::MetricsRegistry>(true);
     metrics = own_metrics_.get();
@@ -93,7 +74,15 @@ PlanningService::PlanningService(std::size_t threads,
   c_cache_misses_ = &metrics_->counter("service.cache.misses");
   c_cache_evictions_ = &metrics_->counter("service.cache.evictions");
   c_cache_coalesced_ = &metrics_->counter("service.cache.coalesced");
+  shard_cache_.bind_metrics(*metrics_);
 }
+
+PlanningService::PlanningService(std::size_t threads,
+                                 const PlannerRegistry& registry,
+                                 std::size_t cache_capacity,
+                                 obs::MetricsRegistry* metrics)
+    : PlanningService(threads, registry, CacheConfig{cache_capacity, 0, true},
+                      metrics) {}
 
 ThreadPool& PlanningService::pool() {
   std::call_once(pool_once_, [this] {
@@ -126,6 +115,13 @@ bool PlanningService::cache_wait_or_begin(const std::string& key,
       c_cache_hits_->inc();
       if (coalesced) c_cache_coalesced_->inc();
       return true;
+    }
+    if (!cache_coalesce_) {
+      // Coalescing disabled (CacheConfig::coalesce = false): every miss
+      // plans for itself. No inflight entry is created; cache_finish
+      // tolerates the absence and still fills the LRU on success.
+      c_cache_misses_->inc();
+      return false;
     }
     const auto inflight = inflight_.find(key);
     if (inflight == inflight_.end()) {
@@ -209,6 +205,26 @@ std::size_t PlanningService::cache_capacity() const {
   return cache_capacity_;
 }
 
+void PlanningService::set_cache_config(const CacheConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_coalesce_ = config.coalesce;
+  }
+  set_cache_capacity(config.plan_capacity);
+  shard_cache_.set_capacity(config.shard_capacity);
+}
+
+CacheConfig PlanningService::cache_config() const {
+  CacheConfig out;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    out.plan_capacity = cache_capacity_;
+    out.coalesce = cache_coalesce_;
+  }
+  out.shard_capacity = shard_cache_.capacity();
+  return out;
+}
+
 // --------------------------------------------------------------- execution --
 
 PlannerRun PlanningService::execute(const PlanRequest& request,
@@ -232,8 +248,8 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
     // request (null platform, NaN demand) must land in run.error like
     // any planner failure — never escape into a pool worker.
     if (cache_capacity() != 0) {
-      cache_key =
-          fingerprint_digest(wire::request_fingerprint(request, planner));
+      cache_key = detail::fingerprint_digest(
+          wire::request_fingerprint(request, planner));
       // Answered from the cache, coalesced onto an identical in-flight
       // job, or stopped while waiting; otherwise this job is the leader
       // for the key and must publish its outcome via cache_finish below.
@@ -249,6 +265,12 @@ PlannerRun PlanningService::execute(const PlanRequest& request,
     // bit-identical with or without the pool.
     PlanRequest effective = request;
     if (effective.options.pool == nullptr) effective.options.pool = &pool();
+    // Likewise offer the shard-level sub-plan cache to shard-aware
+    // planners; a disabled cache (capacity 0) stays out of the options so
+    // planners can treat a non-null pointer as "enabled".
+    if (effective.options.shard_cache == nullptr &&
+        shard_cache_.capacity() != 0)
+      effective.options.shard_cache = &shard_cache_;
     const IPlanner& impl = registry_.at(planner);
     run.result = impl.plan(effective);
     run.ok = true;
@@ -430,6 +452,12 @@ PlanningStats PlanningService::stats() const {
   out.cache_misses = c_cache_misses_->value();
   out.cache_evictions = c_cache_evictions_->value();
   out.cache_coalesced = c_cache_coalesced_->value();
+  const ShardPlanCache::Stats shard = shard_cache_.stats();
+  out.shard_cache_hits = shard.hits;
+  out.shard_cache_misses = shard.misses;
+  out.shard_cache_evictions = shard.evictions;
+  out.shard_cache_invalidations = shard.invalidations;
+  out.shard_cache_flushes = shard.flushes;
   return out;
 }
 

@@ -57,8 +57,10 @@
 
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "planner/cache_config.hpp"
 #include "planner/registry.hpp"
 #include "planner/request.hpp"
+#include "planner/shard_cache.hpp"
 
 namespace adept {
 
@@ -113,6 +115,13 @@ struct PlanningStats {
   /// Subset of cache_hits that waited on an identical in-flight job
   /// (single-flight coalescing) instead of finding a finished entry.
   std::uint64_t cache_coalesced = 0;
+  // Shard-level sub-plan cache traffic (service.shard_cache.* counters;
+  // see planner/shard_cache.hpp for the per-shard memoization contract).
+  std::uint64_t shard_cache_hits = 0;       ///< Leaf shards served cached.
+  std::uint64_t shard_cache_misses = 0;     ///< Leaf shards planned fresh.
+  std::uint64_t shard_cache_evictions = 0;  ///< LRU entries displaced.
+  std::uint64_t shard_cache_invalidations = 0;  ///< Churn-invalidated entries.
+  std::uint64_t shard_cache_flushes = 0;        ///< Whole-cache flushes.
 };
 
 namespace detail {
@@ -228,7 +237,9 @@ class PlanningService {
 
   /// `threads` = 0 means hardware_concurrency. The registry defaults to
   /// the process-wide instance; tests may inject their own.
-  /// `cache_capacity` bounds the plan-cache LRU; 0 disables caching.
+  /// `cache` configures the whole-request plan cache, the shard-level
+  /// sub-plan cache and single-flight coalescing (see CacheConfig); the
+  /// default disables both caches.
   /// `metrics` is the registry the service records into; nullptr (the
   /// default) gives the service its own always-enabled registry, so each
   /// service's metrics are isolated. Inject a disabled registry to
@@ -236,8 +247,15 @@ class PlanningService {
   explicit PlanningService(std::size_t threads = 0,
                            const PlannerRegistry& registry =
                                PlannerRegistry::instance(),
-                           std::size_t cache_capacity = 0,
+                           CacheConfig cache = {},
                            obs::MetricsRegistry* metrics = nullptr);
+
+  /// \deprecated Positional plan-cache capacity form, kept one release
+  /// as a delegating overload: equivalent to CacheConfig{cache_capacity,
+  /// 0, true}. New code passes a CacheConfig.
+  PlanningService(std::size_t threads, const PlannerRegistry& registry,
+                  std::size_t cache_capacity,
+                  obs::MetricsRegistry* metrics = nullptr);
 
   PlanningService(const PlanningService&) = delete;             ///< Non-copyable.
   PlanningService& operator=(const PlanningService&) = delete;  ///< Non-copyable.
@@ -271,9 +289,23 @@ class PlanningService {
 
   /// Resizes the plan cache; 0 disables and clears it. Shrinking evicts
   /// least-recently-used entries (counted as evictions).
+  /// \deprecated Prefer set_cache_config(); this adjusts plan_capacity
+  /// only.
   void set_cache_capacity(std::size_t capacity);
   /// Current plan-cache capacity in entries (0 = caching disabled).
   std::size_t cache_capacity() const;
+
+  /// Applies a full cache configuration at runtime: plan-cache capacity
+  /// (shrinking evicts), shard-cache capacity, coalescing switch.
+  void set_cache_config(const CacheConfig& config);
+  /// The effective cache configuration.
+  CacheConfig cache_config() const;
+  /// The service-owned shard-level sub-plan cache, plumbed into every
+  /// executed request that does not bring its own
+  /// (PlanOptions::shard_cache). The ReplanOrchestrator invalidates
+  /// through this handle.
+  ShardPlanCache& shard_cache() { return shard_cache_; }
+  const ShardPlanCache& shard_cache() const { return shard_cache_; }
 
   /// Snapshot of the lifetime counters, assembled from the metrics
   /// registry (see PlanningStats).
@@ -346,8 +378,13 @@ class PlanningService {
   };
   mutable std::mutex cache_mutex_;
   std::size_t cache_capacity_ = 0;
+  bool cache_coalesce_ = true;
   std::list<CacheEntry> cache_lru_;
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_map_;
+
+  /// Shard-level sub-plan cache (own mutex; see shard_cache.hpp).
+  /// Declared before the pool members so draining jobs can still probe.
+  ShardPlanCache shard_cache_;
 
   /// One in-flight (leader-owned) plan per key; followers hold the
   /// shared_ptr and wait on inflight_cv_ (paired with cache_mutex_).

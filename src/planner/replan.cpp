@@ -38,6 +38,7 @@ ReplanOrchestrator::ReplanOrchestrator(PlanningService& service,
   ADEPT_CHECK(config_.budget_ms >= 0.0, "budget_ms must be >= 0");
   ADEPT_CHECK(config_.drift_threshold > 0.0 && config_.drift_threshold <= 1.0,
               "drift_threshold must be in (0, 1]");
+  if (config_.cache.has_value()) service_.set_cache_config(*config_.cache);
   obs::MetricsRegistry& metrics = service_.metrics();
   h_event_ms_ = &metrics.histogram("replan.event.latency_ms");
   h_budget_util_ = &metrics.histogram("replan.budget_utilization");
@@ -156,6 +157,14 @@ RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
   RepairOutcome outcome;
   outcome.before = report_.overall;
 
+  // Shard-cache hygiene: the touched node's shard entries are stale-by-
+  // name (content addressing already guarantees correctness — a changed
+  // shard changes key — this bounds memory spent on dead content
+  // versions). Every other shard's entries stay warm, which is what
+  // makes a post-event sharded replan touch only the event's shard.
+  if (event.node != sim::kNoNode && event.node < platform.size())
+    service_.shard_cache().invalidate_node(platform.node(event.node).name);
+
   // 1. Prune: the plan must never deploy onto a down node.
   bool structural = current_.empty();
   if (!structural && uses_down_node(current_, down)) {
@@ -245,6 +254,10 @@ RepairOutcome ReplanOrchestrator::on_event(const sim::MutationEvent& event,
       fallback = true;
       ++stats_.drift_fallbacks;
       c_drift_fallbacks_->inc();
+      // Drift means accumulated churn has invalidated the plan's whole
+      // premise, not one shard — flush the shard cache so the global
+      // fallback replans everything from current content.
+      service_.shard_cache().clear();
       outcome.detail += std::string(outcome.detail.empty() ? "" : "; ") +
                         "drifted below threshold";
     }

@@ -64,6 +64,14 @@ struct ReplanConfig {
   /// triggers the global fallback, and the shard count is forwarded to
   /// the fallback planner (so "sharded" replans shard-wise too).
   std::optional<std::size_t> shards;
+  /// Cache configuration applied to the bound PlanningService at
+  /// construction (PlanningService::set_cache_config). nullopt leaves the
+  /// service's configuration untouched. With a shard cache enabled and a
+  /// sharded fallback planner, churn repair replans only the shards an
+  /// event touched: the orchestrator invalidates the touched node's
+  /// shard entries per event and flushes the cache on drift escalation,
+  /// so untouched shards' leaf plans come back as cache hits.
+  std::optional<CacheConfig> cache;
 };
 
 /// What the orchestrator did for one event.

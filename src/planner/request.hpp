@@ -34,6 +34,7 @@
 namespace adept {
 
 class ThreadPool;
+class ShardPlanCache;
 
 /// Unlimited client demand: the planner maximises raw throughput.
 inline constexpr RequestRate kUnlimitedDemand =
@@ -100,6 +101,13 @@ struct PlanOptions {
   /// PlanningService plumbs its own pool in, and results are identical
   /// with or without one.
   ThreadPool* pool = nullptr;
+  /// Optional shard-level plan cache (planner/shard_cache.hpp) the
+  /// sharded/distributed planners' leaf path consults. Not owned, may be
+  /// null; the PlanningService plumbs its own cache in. Runtime-only
+  /// like `pool` — it never travels on the wire or enters a fingerprint,
+  /// and by the cache's determinism contract results are bit-identical
+  /// with or without one.
+  ShardPlanCache* shard_cache = nullptr;
 
   /// True when a cancel token is attached and has been cancelled.
   bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }

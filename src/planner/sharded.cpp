@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "model/evaluate.hpp"
+#include "planner/shard_cache.hpp"
 
 namespace adept {
 
@@ -342,21 +344,46 @@ PlanResult plan_sharded(const Platform& platform,
                         const plat::Partition& partition) {
   // The local leaf planner: each shard's sub-platform through the
   // paper's heuristic, fanned over the caller's pool when one is given —
-  // bit-identical for any pool size.
+  // bit-identical for any pool size. When a shard cache rides along
+  // (PlanOptions::shard_cache) each leaf is consulted/stored by content
+  // in sub-platform-local ids, *before* the remap to platform ids — a
+  // hit returns the stored result verbatim, so plans are bit-identical
+  // with or without the cache (ARCHITECTURE.md rule 8).
   auto plan_leaves = [&](const std::vector<std::vector<NodeId>>& leaves) {
     std::vector<PlanResult> plans(leaves.size());
     auto plan_one = [&](std::size_t s) {
       const std::vector<NodeId>& ids = leaves[s];
+      ShardPlanCache* cache = options.shard_cache;
+      std::string key;
       if (ids.size() == platform.size()) {
-        // The single-shard degenerate case plans the platform as-is.
+        // The single-shard degenerate case plans the platform as-is
+        // (platform ids are the local ids, so no remap either way).
+        if (cache != nullptr) {
+          key = ShardPlanCache::key(platform, params, service, options,
+                                    kShardLeafPlanner);
+          if (std::optional<PlanResult> hit = cache->lookup(key)) {
+            plans[s] = std::move(*hit);
+            return;
+          }
+        }
         plans[s] = plan_heterogeneous(platform, params, service,
                                       options.demand, options.pool, &options);
+        if (cache != nullptr) cache->insert(key, platform, plans[s]);
         return;
       }
       const Platform sub = platform.subset(ids);
-      PlanResult plan = plan_heterogeneous(sub, params, service,
-                                           options.demand, options.pool,
-                                           &options);
+      std::optional<PlanResult> hit;
+      if (cache != nullptr) {
+        key = ShardPlanCache::key(sub, params, service, options,
+                                  kShardLeafPlanner);
+        hit = cache->lookup(key);
+      }
+      PlanResult plan = hit.has_value()
+                            ? std::move(*hit)
+                            : plan_heterogeneous(sub, params, service,
+                                                 options.demand, options.pool,
+                                                 &options);
+      if (cache != nullptr && !hit.has_value()) cache->insert(key, sub, plan);
       // Sub-platform ids are positions in `ids`; rewrite to platform ids.
       for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
         plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);

@@ -44,6 +44,12 @@ namespace adept {
 /// historical single-level path bit for bit.
 inline constexpr std::size_t kDefaultStitchFanout = 32;
 
+/// Registry name of the leaf planner the local sharded backend runs per
+/// shard (the paper's heuristic). Shard-cache keys carry this name, so
+/// the local leaf path and a distributed coordinator configured with the
+/// same leaf planner address identical cache entries.
+inline constexpr const char* kShardLeafPlanner = "heuristic";
+
 /// Batch leaf planner of the sharded core: given the canonical leaf
 /// shards (platform node ids, ascending within a shard), returns one
 /// PlanResult per shard, aligned by index, with hierarchies already in

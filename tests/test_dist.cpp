@@ -31,6 +31,7 @@
 #include "dist/transport.hpp"
 #include "dist/worker_pool.hpp"
 #include "planner/planner.hpp"
+#include "planner/shard_cache.hpp"
 #include "planner/sharded.hpp"
 #include "planning_test_util.hpp"
 #include "platform/generator.hpp"
@@ -509,6 +510,58 @@ TEST(Dist, SharedFleetStaysWarmAcrossRegistryPlans) {
   EXPECT_EQ(after.workers_spawned, warm.workers_spawned);
   EXPECT_EQ(after.plans, warm.plans + 1u);
   EXPECT_GT(after.responded, warm.responded);
+}
+
+// ----------------------------------------------------------- shard cache --
+
+TEST(Dist, ShardCacheHitsSkipDispatchBitIdentically) {
+  // A warm shard cache answers every leaf before the wire: the second
+  // plan dispatches nothing, and both results match the local sharded
+  // planner byte for byte.
+  reset_stats_for_test();
+  const Platform platform = multi_cluster(160);
+  const PlanResult sharded =
+      run_planner("sharded", platform, dgemm_service(310));
+
+  InProcessTransport transport;
+  CoordinatorConfig config;
+  config.workers = 2;
+  Coordinator coordinator(transport, config);
+  ShardPlanCache cache(64);
+  PlanOptions options;
+  options.shard_cache = &cache;
+  const PlanResult cold = coordinator.plan(make_request(platform, options));
+  const std::uint64_t dispatched = stats_snapshot().dispatched;
+  EXPECT_GT(dispatched, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  const PlanResult warm = coordinator.plan(make_request(platform, options));
+  EXPECT_EQ(stats_snapshot().dispatched, dispatched);
+  EXPECT_EQ(cache.stats().hits, cache.stats().misses);
+
+  expect_identical(cold, sharded, "cold vs sharded");
+  expect_identical(warm, sharded, "warm vs sharded");
+}
+
+TEST(Dist, LocalShardedPlanWarmsTheCoordinatorsCache) {
+  // The local leaf path and the coordinator (default leaf planner
+  // "heuristic") key shard problems identically: a plan_sharded() run
+  // fills the cache, and a distributed plan then dispatches zero shards.
+  reset_stats_for_test();
+  const Platform platform = multi_cluster(160);
+  ShardPlanCache cache(64);
+  PlanOptions options;
+  options.shard_cache = &cache;
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const PlanResult local = plan_sharded(platform, kParams, dgemm_service(310),
+                                        options, partition);
+
+  InProcessTransport transport;
+  Coordinator coordinator(transport);
+  const PlanResult distributed =
+      coordinator.plan(make_request(platform, options));
+  EXPECT_EQ(stats_snapshot().dispatched, 0u);
+  expect_identical(distributed, local, "warmed distributed vs local");
 }
 
 }  // namespace

@@ -114,6 +114,9 @@ std::map<std::string, RoundTrip> dispatch() {
   out["options"] = round_trip<PlanOptions>(
       wire::options_from_json,
       [](const PlanOptions& x) { return wire::to_json(x); });
+  out["cache-config"] = round_trip<CacheConfig>(
+      wire::cache_config_from_json,
+      [](const CacheConfig& x) { return wire::to_json(x); });
   out["hierarchy"] = round_trip<Hierarchy>(
       wire::hierarchy_from_json,
       [](const Hierarchy& x) { return wire::to_json(x); });

@@ -454,8 +454,9 @@ TEST(PlanningService_, AcceptsAnExternalMetricsRegistry) {
   obs::MetricsRegistry shared;
   const Platform platform = gen::homogeneous(12, 1000.0, kB);
   const PlanRequest request(platform, kParams, dgemm_service(310));
-  PlanningService first(1, PlannerRegistry::instance(), 0, &shared);
-  PlanningService second(1, PlannerRegistry::instance(), 0, &shared);
+  PlanningService first(1, PlannerRegistry::instance(), CacheConfig{}, &shared);
+  PlanningService second(1, PlannerRegistry::instance(), CacheConfig{},
+                         &shared);
   first.run(request, "star");
   second.run(request, "star");
   EXPECT_EQ(&first.metrics(), &shared);

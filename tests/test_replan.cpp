@@ -283,6 +283,109 @@ TEST(ReplanOrchestrator, ShardLocalWholeRunKeepsPlansValid) {
   EXPECT_EQ(stats.full_failed, 0u);
 }
 
+// ------------------------------------------------------------ shard cache --
+
+TEST(ReplanOrchestrator, RootCrashReplansOnlyTheTouchedShardThroughTheCache) {
+  // The tentpole acceptance scenario: a sharded orchestrator with a
+  // shard cache bootstraps (S cold misses), then loses the plan's root.
+  // Pruning leaves nothing, so the repair is a full sharded replan on
+  // the survivor platform — and every untouched shard's leaf plan is a
+  // content hit (hit rate exactly (S-1)/S) even though the survivor
+  // subset shifted every global node id. Only the crashed node's shard
+  // replans.
+  Rng rng(5);
+  const Platform platform = gen::grid5000_multi_cluster(60, rng);
+  PlanningService service(2);
+  ReplanConfig config;
+  config.planner = "sharded";
+  config.shards = 0;
+  config.cache = CacheConfig{0, 64, true};
+  ReplanOrchestrator orchestrator(service, kParams, kService, config);
+  orchestrator.bootstrap(platform, {}, kUnlimitedDemand);
+
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const std::size_t shards = partition.shards.size();
+  ASSERT_GE(shards, 2u);
+  const PlanningStats warm = service.stats();
+  EXPECT_EQ(warm.shard_cache_misses, shards);
+  EXPECT_EQ(warm.shard_cache_hits, 0u);
+
+  const NodeId root_node =
+      orchestrator.hierarchy().node_of(orchestrator.hierarchy().root());
+  NodeSet down;
+  down.insert(root_node);
+  const RepairOutcome outcome = orchestrator.on_event(
+      crash_event(root_node), platform, down, kUnlimitedDemand);
+  EXPECT_EQ(outcome.action, RepairAction::Full);
+
+  const PlanningStats stats = service.stats();
+  EXPECT_EQ(stats.shard_cache_invalidations, 1u);  // the root's shard entry
+  EXPECT_EQ(stats.shard_cache_hits, shards - 1);
+  EXPECT_EQ(stats.shard_cache_misses, shards + 1);
+
+  // Bit-identity: a cache-less orchestrator driven through the identical
+  // sequence lands on the same hierarchy and report.
+  PlanningService plain_service(2);
+  ReplanConfig plain = config;
+  plain.cache.reset();
+  ReplanOrchestrator reference(plain_service, kParams, kService, plain);
+  reference.bootstrap(platform, {}, kUnlimitedDemand);
+  reference.on_event(crash_event(root_node), platform, down,
+                     kUnlimitedDemand);
+  EXPECT_TRUE(orchestrator.hierarchy() == reference.hierarchy());
+  EXPECT_EQ(orchestrator.report(), reference.report());
+}
+
+TEST(ReplanOrchestrator, DriftEscalationFlushesTheShardCache) {
+  // Quality drift means accumulated churn, not one shard, invalidated
+  // the plan — the orchestrator flushes the whole shard cache before the
+  // global fallback, and the fallback re-fills it from current content.
+  Rng rng(7);
+  Platform platform = gen::grid5000_multi_cluster(48, rng);
+  PlanningService service(2);
+  ReplanConfig config;
+  config.planner = "sharded";
+  config.shards = 0;
+  config.cache = CacheConfig{0, 64, true};
+  ReplanOrchestrator orchestrator(service, kParams, kService, config);
+  orchestrator.bootstrap(platform, {}, kUnlimitedDemand);
+  ASSERT_GT(service.shard_cache().size(), 1u);
+
+  const NodeId root_node =
+      orchestrator.hierarchy().node_of(orchestrator.hierarchy().root());
+  platform.set_power(root_node, 1.0);
+  MutationEvent event;
+  event.kind = MutationKind::SetPower;
+  event.node = root_node;
+  event.value = 1.0;
+  orchestrator.on_event(event, platform, {}, kUnlimitedDemand);
+
+  EXPECT_GE(orchestrator.stats().drift_fallbacks, 1u);
+  EXPECT_EQ(service.stats().shard_cache_flushes, 1u);
+}
+
+TEST(ReplanOrchestrator, CachedChurnRunsAreBitIdenticalToUncachedOnes) {
+  // Whole-run determinism rule: the shard cache must never change a
+  // single repair decision — a full churny scenario with the cache on
+  // (and a different thread count) ends bit-identical to one without.
+  ReplanConfig plain;
+  plain.shards = 0;
+  plain.planner = "sharded";
+  ReplanConfig cached = plain;
+  cached.cache = CacheConfig{0, 256, true};
+  Hierarchy h_plain, h_cached;
+  model::ThroughputReport r_plain, r_cached;
+  const ReplanStats s_plain =
+      run_checked(clustered_churny(), 2, plain, &h_plain, &r_plain);
+  const ReplanStats s_cached =
+      run_checked(clustered_churny(), 4, cached, &h_cached, &r_cached);
+  EXPECT_TRUE(h_plain == h_cached);
+  EXPECT_EQ(r_plain, r_cached);
+  EXPECT_EQ(s_plain.incremental, s_cached.incremental);
+  EXPECT_EQ(s_plain.full, s_cached.full);
+  EXPECT_EQ(s_plain.drift_fallbacks, s_cached.drift_fallbacks);
+}
+
 TEST(ReplanOrchestrator, RejectsBadConfig) {
   PlanningService service(1);
   ReplanConfig negative;

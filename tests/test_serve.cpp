@@ -150,12 +150,46 @@ TEST(Serve, CacheCanBeDisabledPerSession) {
   const std::string request = R"({"planner":"star","platform":)" + platform +
                               R"(,"service":"dgemm-100"})";
   io::ServeConfig config;
-  config.cache_capacity = 0;
+  config.cache = {};
   const auto [answered, responses] =
       run_session({request, request, R"({"cmd":"stats"})"}, config);
   EXPECT_EQ(answered, 2u);
   EXPECT_FALSE(responses[1].at("run").at("cached").as_bool());
   EXPECT_EQ(responses[2].at("stats").at("cache_hits").as_number(), 0.0);
+}
+
+TEST(Serve, StatsExposeTheShardCacheAndEchoTheCacheConfig) {
+  // Shard cache on, whole-plan cache off: the second identical sharded
+  // request re-plans but answers every shard from the worker's shard
+  // cache — visible as exact hit/miss counts in the stats response,
+  // which also echoes the session's effective CacheConfig.
+  const std::string platform = platform_json(27, 16);
+  const std::string request = R"({"planner":"sharded","platform":)" +
+                              platform +
+                              R"(,"service":"dgemm-310","options":{"shards":4}})";
+  io::ServeConfig config;
+  config.threads = 1;
+  config.cache = CacheConfig{/*plan_capacity=*/0, /*shard_capacity=*/32,
+                             /*coalesce=*/false};
+  const auto [answered, responses] =
+      run_session({request, request, R"({"cmd":"stats"})"}, config);
+  EXPECT_EQ(answered, 2u);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[1].at("run").at("cached").as_bool());
+  // Bit-identical answers: warm shard-cache hits change nothing.
+  EXPECT_EQ(responses[0].at("run").at("result").dump(),
+            responses[1].at("run").at("result").dump());
+  const json::Value& shard = responses[2].at("stats").at("shard_cache");
+  EXPECT_EQ(shard.at("capacity").as_number(), 32.0);
+  EXPECT_EQ(shard.at("size").as_number(), 4.0);
+  EXPECT_EQ(shard.at("misses").as_number(), 4.0);
+  EXPECT_EQ(shard.at("insertions").as_number(), 4.0);
+  EXPECT_EQ(shard.at("hits").as_number(), 4.0);
+  EXPECT_EQ(shard.at("evictions").as_number(), 0.0);
+  const json::Value& cache = responses[2].at("stats").at("serve").at("cache");
+  EXPECT_EQ(cache.at("plan_capacity").as_number(), 0.0);
+  EXPECT_EQ(cache.at("shard_capacity").as_number(), 32.0);
+  EXPECT_FALSE(cache.at("coalesce").as_bool());
 }
 
 TEST(Serve, PortfolioRequestsReturnTheWholePortfolio) {
@@ -305,7 +339,7 @@ TEST(Serve, RetryAfterFallsBackToTheDocumentedDefault) {
   const std::string platform = platform_json(53);
   io::ServeConfig config;
   config.threads = 1;
-  config.cache_capacity = 0;
+  config.cache = {};
   config.max_pending = 1;
   // The refusal happens while the sleeper still holds the only slot, i.e.
   // before *any* job has completed: the estimate has no observed per-job
@@ -341,7 +375,7 @@ TEST(Serve, FullQueueRefusesWithAnOverloadedResponse) {
   const std::string platform = platform_json(41);
   io::ServeConfig config;
   config.threads = 1;
-  config.cache_capacity = 0;
+  config.cache = {};
   config.max_pending = 1;
   // The sleeper holds the admitted slot for 200 ms; the second request
   // arrives at a full queue and must be refused, not planned.
@@ -374,7 +408,7 @@ TEST(Serve, DegradeAnswersOverloadRequestsWithTheCheapPlanner) {
   const std::string platform = platform_json(43);
   io::ServeConfig config;
   config.threads = 1;
-  config.cache_capacity = 0;
+  config.cache = {};
   config.max_pending = 1;
   config.degrade = true;
   const auto [answered, responses] = run_session(
@@ -425,7 +459,7 @@ TEST(Serve, CancelReachesRequestsStillWaitingInTheQueue) {
   const std::string platform = platform_json(45);
   io::ServeConfig config;
   config.threads = 1;
-  config.cache_capacity = 0;
+  config.cache = {};
   // The sleeper occupies the single service thread, so "victim" is still
   // queued when the cancel command arrives.
   const auto [answered, responses] = run_session(
@@ -491,7 +525,7 @@ TEST(Serve, SlowReaderStallsTheWriterNotTheSession) {
   std::ostream out(&sink);
   io::ServeConfig config;
   config.threads = 2;
-  config.cache_capacity = 0;
+  config.cache = {};
   const std::size_t answered = io::serve_session(in, out, config);
   EXPECT_EQ(answered, 4u);
   std::vector<json::Value> responses;

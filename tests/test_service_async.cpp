@@ -255,7 +255,7 @@ TEST(Portfolios, SubmitPortfolioMatchesSynchronousPortfolio) {
 
 TEST(PlanCache, HitReturnsTheIdenticalResult) {
   const Platform platform = small_platform(31);
-  PlanningService service(2, PlannerRegistry::instance(), 8);
+  PlanningService service(2, PlannerRegistry::instance(), CacheConfig{8});
   const PlanRequest request(platform, kParams, dgemm_service(310));
   const PlannerRun first = service.run(request, "heuristic");
   ASSERT_TRUE(first.ok);
@@ -274,7 +274,7 @@ TEST(PlanCache, HitReturnsTheIdenticalResult) {
 
 TEST(PlanCache, DistinctProblemsMissAndLruEvicts) {
   const Platform platform = small_platform(37);
-  PlanningService service(1, PlannerRegistry::instance(), 1);  // capacity 1
+  PlanningService service(1, PlannerRegistry::instance(), CacheConfig{1});
   const PlanRequest a(platform, kParams, dgemm_service(100));
   const PlanRequest b(platform, kParams, dgemm_service(310));
   service.run(a, "star");  // miss, cached
@@ -290,7 +290,7 @@ TEST(PlanCache, PlatformContentChangesInvalidate) {
   // "Invalidation on platform identity": the key covers platform
   // content, so an edited platform can never be served a stale plan.
   Platform platform = small_platform(41);
-  PlanningService service(1, PlannerRegistry::instance(), 8);
+  PlanningService service(1, PlannerRegistry::instance(), CacheConfig{8});
   const PlannerRun before =
       service.run(PlanRequest(platform, kParams, dgemm_service(310)), "star");
   platform.set_link(0, 25.0);
@@ -316,7 +316,7 @@ TEST(PlanCache, CapacityZeroDisables) {
 
 TEST(PlanCache, SetCapacityShrinksAndDisables) {
   const Platform platform = small_platform(47);
-  PlanningService service(1, PlannerRegistry::instance(), 8);
+  PlanningService service(1, PlannerRegistry::instance(), CacheConfig{8});
   EXPECT_EQ(service.cache_capacity(), 8u);
   service.run(PlanRequest(platform, kParams, dgemm_service(100)), "star");
   service.run(PlanRequest(platform, kParams, dgemm_service(200)), "star");
@@ -333,7 +333,7 @@ TEST(PlanCache, InvalidRequestsFailTheRunNotTheProcess) {
   // With the cache on, the fingerprint serializes the request before
   // planning; a null platform (or NaN demand) must surface as run.error
   // — on the submit() path an escaping throw would terminate() the pool.
-  PlanningService service(1, PlannerRegistry::instance(), 8);
+  PlanningService service(1, PlannerRegistry::instance(), CacheConfig{8});
   const PlannerRun direct = service.run(PlanRequest{}, "heuristic");
   EXPECT_FALSE(direct.ok);
   EXPECT_NE(direct.error.find("platform"), std::string::npos) << direct.error;
@@ -345,7 +345,7 @@ TEST(PlanCache, InvalidRequestsFailTheRunNotTheProcess) {
 
 TEST(PlanCache, VerboseAndQuietTraceAreDistinctEntries) {
   const Platform platform = small_platform(53);
-  PlanningService service(1, PlannerRegistry::instance(), 8);
+  PlanningService service(1, PlannerRegistry::instance(), CacheConfig{8});
   PlanRequest verbose(platform, kParams, dgemm_service(310));
   PlanRequest quiet(platform, kParams, dgemm_service(310));
   quiet.options.verbose_trace = false;
@@ -357,6 +357,59 @@ TEST(PlanCache, VerboseAndQuietTraceAreDistinctEntries) {
   // And each repeat hits its own entry with the right trace shape.
   EXPECT_TRUE(service.run(verbose, "heuristic").cached);
   EXPECT_TRUE(service.run(quiet, "heuristic").result.trace.empty());
+}
+
+TEST(PlanCache, DeprecatedCapacityCtorMatchesCacheConfig) {
+  // The positional capacity overload must behave exactly like
+  // CacheConfig{capacity}: same effective policy, same hit behaviour.
+  const Platform platform = small_platform(59);
+  PlanningService legacy(1, PlannerRegistry::instance(), std::size_t{8});
+  const CacheConfig expected{/*plan_capacity=*/8, /*shard_capacity=*/0,
+                             /*coalesce=*/true};
+  EXPECT_EQ(legacy.cache_config(), expected);
+  EXPECT_EQ(legacy.cache_capacity(), 8u);
+  const PlanRequest request(platform, kParams, dgemm_service(310));
+  EXPECT_FALSE(legacy.run(request, "heuristic").cached);
+  EXPECT_TRUE(legacy.run(request, "heuristic").cached);
+
+  PlanningService modern(1, PlannerRegistry::instance(), expected);
+  EXPECT_EQ(modern.cache_config(), legacy.cache_config());
+  expect_identical(modern.run(request, "heuristic").result,
+                   legacy.run(request, "heuristic").result,
+                   "CacheConfig ctor vs deprecated capacity ctor");
+}
+
+TEST(PlanCache, CoalesceOffPlansEveryMissIndependently) {
+  // CacheConfig::coalesce = false turns off single-flight: a job that
+  // misses plans for itself instead of waiting on an identical leader.
+  // Under every scheduling: no coalesced waits, every job is either a
+  // plain hit or a self-planned miss, and all answers stay identical.
+  const Platform platform = small_platform(61);
+  PlanningService service(4, PlannerRegistry::instance(),
+                          CacheConfig{/*plan_capacity=*/8,
+                                      /*shard_capacity=*/0,
+                                      /*coalesce=*/false});
+  EXPECT_FALSE(service.cache_config().coalesce);
+  const PlanRequest request(platform, kParams, dgemm_service(310));
+  constexpr std::size_t kJobs = 8;
+  std::vector<PlanTicket> tickets;
+  tickets.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i)
+    tickets.push_back(service.submit(request, "heuristic"));
+  const PlannerRun first = tickets.front().wait();
+  ASSERT_TRUE(first.ok);
+  for (auto& ticket : tickets) {
+    const PlannerRun& run = ticket.wait();
+    ASSERT_TRUE(run.ok);
+    expect_identical(run.result, first.result, "coalesce-off run");
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_coalesced, 0u);
+  EXPECT_GE(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, kJobs);
+  // A later sequential repeat still finds the finished entry: turning
+  // coalescing off does not turn the LRU off.
+  EXPECT_TRUE(service.run(request, "heuristic").cached);
 }
 
 }  // namespace

@@ -181,5 +181,139 @@ TEST(Sharded, ExplicitShardCountIsHonoured) {
       << plan.trace.front();
 }
 
+// ---------------------------------------------------------- shard cache --
+
+TEST(ShardCache, CachedPlansAreBitIdentical) {
+  // Determinism rule 8: enabling the shard cache can never change a
+  // result — cold (fills) and warm (all hits) both match the uncached
+  // plan byte for byte, hierarchy, report and trace alike.
+  const Platform platform = multi_cluster(160);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const PlanResult uncached = plan_with_pool(platform, 2, partition);
+
+  ShardPlanCache cache(64);
+  PlanOptions options;
+  options.shard_cache = &cache;
+  const PlanResult cold = plan_with_pool(platform, 2, partition, options);
+  EXPECT_EQ(cache.stats().misses, partition.shards.size());
+  EXPECT_EQ(cache.stats().insertions, partition.shards.size());
+  const PlanResult warm = plan_with_pool(platform, 2, partition, options);
+  EXPECT_EQ(cache.stats().hits, partition.shards.size());
+
+  for (const PlanResult* plan : {&cold, &warm}) {
+    EXPECT_EQ(plan->hierarchy, uncached.hierarchy);
+    EXPECT_EQ(plan->report.overall, uncached.report.overall);
+    EXPECT_EQ(plan->trace, uncached.trace);
+  }
+}
+
+TEST(ShardCache, WarmHitsAreBitIdenticalForAnyThreadCount) {
+  const Platform platform = multi_cluster(160);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  ShardPlanCache cache(64);
+  PlanOptions options;
+  options.shard_cache = &cache;
+  const PlanResult serial = plan_with_pool(platform, 0, partition, options);
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    const PlanResult parallel =
+        plan_with_pool(platform, threads, partition, options);
+    EXPECT_EQ(parallel.hierarchy, serial.hierarchy) << threads << " threads";
+    EXPECT_EQ(parallel.trace, serial.trace) << threads << " threads";
+  }
+  // Concurrent probes from pool workers share one entry set: the cache
+  // holds exactly one entry per shard however the rounds interleaved.
+  EXPECT_EQ(cache.stats().insertions, partition.shards.size());
+  EXPECT_EQ(cache.size(), partition.shards.size());
+}
+
+TEST(ShardCache, ContentChangeMissesOnlyTheTouchedShard) {
+  // Content addressing: editing one node changes its shard's key and no
+  // other — a replan after the edit hits every untouched shard.
+  Platform platform = multi_cluster(160);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const std::size_t shards = partition.shards.size();
+  ASSERT_GE(shards, 2u);
+  ShardPlanCache cache(64);
+  PlanOptions options;
+  options.shard_cache = &cache;
+  plan_with_pool(platform, 2, partition, options);  // warm: all miss
+  platform.set_power(partition.shards.front().front(), 1234.0);
+  plan_with_pool(platform, 2, partition, options);
+  EXPECT_EQ(cache.stats().hits, shards - 1);
+  EXPECT_EQ(cache.stats().misses, shards + 1);
+}
+
+TEST(ShardCache, InvalidateNodeErasesOnlyThatShardsEntries) {
+  const Platform platform = multi_cluster(160);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  const std::size_t shards = partition.shards.size();
+  ASSERT_GE(shards, 2u);
+  ShardPlanCache cache(64);
+  PlanOptions options;
+  options.shard_cache = &cache;
+  plan_with_pool(platform, 2, partition, options);
+  EXPECT_EQ(cache.size(), shards);
+
+  const std::string name =
+      platform.node(partition.shards.front().front()).name;
+  EXPECT_EQ(cache.invalidate_node(name), 1u);
+  EXPECT_EQ(cache.size(), shards - 1);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  plan_with_pool(platform, 2, partition, options);
+  EXPECT_EQ(cache.stats().hits, shards - 1);  // only the erased one missed
+
+  EXPECT_EQ(cache.clear(), shards);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardCache, CapacityBoundsTheLruAndZeroDisables) {
+  const Platform platform = multi_cluster(160);
+  const plat::Partition partition = plat::partition_platform(platform, 0);
+  ASSERT_GE(partition.shards.size(), 2u);
+
+  ShardPlanCache tiny(1);
+  PlanOptions options;
+  options.shard_cache = &tiny;
+  plan_with_pool(platform, 0, partition, options);
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.stats().evictions, partition.shards.size() - 1);
+
+  ShardPlanCache off(0);
+  options.shard_cache = &off;
+  plan_with_pool(platform, 0, partition, options);
+  EXPECT_EQ(off.size(), 0u);
+  EXPECT_EQ(off.stats().hits, 0u);
+  // A disabled cache's lookups are uncounted — it is not "all misses",
+  // it is out of the path entirely.
+  EXPECT_EQ(off.stats().misses, 0u);
+}
+
+TEST(ShardCache, ServicePlumbsItsCacheIntoShardedRuns) {
+  // CacheConfig{plan=0, shard=64}: the whole-request cache stays off,
+  // but sharded runs through the service reuse leaf plans.
+  const auto platform = std::make_shared<const Platform>(multi_cluster(160));
+  PlanningService service(2, PlannerRegistry::instance(),
+                          CacheConfig{0, 64, true});
+  const PlanRequest request(platform, kParams, dgemm_service(310));
+  const PlannerRun cold = service.submit(request, "sharded").wait();
+  const PlannerRun warm = service.submit(request, "sharded").wait();
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_FALSE(warm.cached);  // plan cache off: the run truly re-ran
+  EXPECT_EQ(warm.result.hierarchy, cold.result.hierarchy);
+  EXPECT_EQ(warm.result.trace, cold.result.trace);
+
+  const PlanningStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_GT(stats.shard_cache_hits, 0u);
+
+  // And the service-cached result matches a direct uncached plan.
+  const PlanResult direct =
+      run_planner("sharded", *platform, dgemm_service(310));
+  EXPECT_EQ(warm.result.hierarchy, direct.hierarchy);
+}
+
 }  // namespace
 }  // namespace adept

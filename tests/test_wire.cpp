@@ -193,6 +193,25 @@ TEST(Wire, MinimalOptionsDocumentUsesDefaults) {
   EXPECT_TRUE(round.verbose_trace);
 }
 
+TEST(Wire, CacheConfigRoundTrips) {
+  const CacheConfig config{/*plan_capacity=*/256, /*shard_capacity=*/64,
+                           /*coalesce=*/false};
+  const CacheConfig round =
+      wire::cache_config_from_json(json::parse(wire::to_json(config).dump()));
+  EXPECT_EQ(round, config);
+  EXPECT_EQ(round.plan_capacity, 256u);
+  EXPECT_EQ(round.shard_capacity, 64u);
+  EXPECT_FALSE(round.coalesce);
+}
+
+TEST(Wire, MinimalCacheConfigDocumentUsesDefaults) {
+  const CacheConfig round = wire::cache_config_from_json(json::parse("{}"));
+  EXPECT_EQ(round, CacheConfig{});
+  EXPECT_EQ(round.plan_capacity, 0u);
+  EXPECT_EQ(round.shard_capacity, 0u);
+  EXPECT_TRUE(round.coalesce);
+}
+
 TEST(Wire, HierarchyRoundTripsIncludingReparentedShapes) {
   // Build a shape whose element order is only reachable through
   // reparent(): element 3's parent (index 4) was created *after* it.
