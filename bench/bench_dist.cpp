@@ -7,14 +7,35 @@
 ///   - dist-inproc   — a Coordinator over the in-process transport (the
 ///     fallback tier: full wire round-trip, no subprocesses);
 ///   - dist-pipe     — a Coordinator over real `adept serve` subprocess
-///     workers speaking JSON-lines over pipes.
+///     workers speaking JSON-lines over pipes;
+///   - dist-socket   — a Coordinator over TCP sessions to one warm
+///     `adept serve --listen` process (dist::ServeListener spawns it and
+///     scrapes the announced ephemeral port).
+///
+/// Two streaming A/B sections measure the streamed stitch:
+///   - dist-stream-ab   — end-to-end: the same socket coordinator with
+///     shard responses streaming into the stitch as workers answer vs
+///     the batch-collect barrier (--no-stream's path), best of 5 per
+///     mode over 96 shards at stitch fanout 2 so recursive stitch
+///     levels overlap leaf planning;
+///   - dist-stream-tail — isolated: precomputed leaf plans delivered by
+///     paced threads, measuring the *tail* — time from the last shard's
+///     arrival to the final plan. Streaming has already folded every
+///     earlier group when the last shard lands, so its tail is just the
+///     stitch spine; batch pays the whole stitch there. The tail ratio
+///     is the feature's latency win, free of socket/scheduler noise.
 ///
 /// Reported per series: wall clock, predicted throughput, dispatch
 /// overhead vs the local sharded run. Asserted (exit 1 on violation):
-///   - both distributed series are bit-identical to sharded-local
+///   - all distributed series are bit-identical to sharded-local
 ///     (hierarchy, report and trace — ISSUE-6's acceptance contract);
-///   - the healthy pipe fleet answers every dispatched shard itself: no
-///     worker failures, no in-process fallbacks.
+///   - the healthy pipe and socket fleets answer every dispatched shard
+///     themselves: no worker failures, fallbacks, or refused connects;
+///   - streaming is bit-identical to batch collect and not slower
+///     (streaming_speedup >= 0.8 — socket walls are noisy on shared
+///     runners, so end-to-end only gates non-regression);
+///   - the streamed stitch tail is >= 2x shorter than the batch tail
+///     (tail_speedup, typically ~10x; gated in CI via bench_gate).
 ///
 /// A chaos section then drives a *supervised* pipe fleet through a
 /// kill-rate sweep (ISSUE-7's acceptance contract):
@@ -36,9 +57,11 @@
 
 #include "bench_util.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -48,6 +71,8 @@
 #include "dist/stats.hpp"
 #include "dist/supervisor.hpp"
 #include "dist/transport.hpp"
+#include "planner/planner.hpp"
+#include "planner/sharded.hpp"
 #include "platform/partition.hpp"
 
 #ifndef ADEPT_CLI_BINARY
@@ -175,6 +200,149 @@ int main(int argc, char** argv) {
                       (after.fallbacks - before.fallbacks);
   const bool clean_pipe_run = faults == 0;
 
+  // ---- socket fleet: one warm `serve --listen` process over TCP --------
+  // The listener process starts (and is timed) outside the plan: the
+  // point of the socket transport is that one warm process backs many
+  // coordinators, so the measured run is connect + dispatch + stitch.
+  dist::ServeListener listener({parser.get("binary"), "serve", "--listen",
+                                "127.0.0.1:0", "--jobs",
+                                std::to_string(workers), "--cache", "0"});
+  const dist::DistStats socket_before = dist::stats_snapshot();
+  const Measured socket = timed([&] {
+    dist::SocketTransport transport({listener.endpoint()});
+    dist::Coordinator coordinator(transport, config);
+    return coordinator.plan(request);
+  });
+  const dist::DistStats socket_after = dist::stats_snapshot();
+  const bool clean_socket_run =
+      (socket_after.worker_failures - socket_before.worker_failures) +
+          (socket_after.fallbacks - socket_before.fallbacks) +
+          (socket_after.socket_connect_failures -
+           socket_before.socket_connect_failures) ==
+      0;
+
+  // ---- streaming vs batch-collect stitch (A/B) -------------------------
+  // Same coordinator, same fleet shape; the only difference is whether
+  // shard responses stream into the stitch as workers answer or park
+  // behind the batch barrier. Small fanout over many shards forces
+  // recursive stitch levels — the work streaming overlaps with planning.
+  // The fleet must be real subprocess workers: they plan in their own
+  // process, so a drain thread stitching a completed group overlaps the
+  // shards still being planned (the in-process transport plans *on* the
+  // drain thread, which would serialize the two). The sessions reuse the
+  // socket listener above — one warm process, many coordinators, which
+  // also keeps worker startup out of the measurement. Best-of-3 per mode
+  // damps scheduler noise on shared runners.
+  dist::CoordinatorConfig ab_config = config;
+  ab_config.workers = 4;
+  ab_config.stitch_fanout = 2;
+  PlanOptions ab_options = options;
+  ab_options.shards = 96;
+  const PlanRequest ab_request{platform, bench::params(), service, ab_options};
+  Measured streamed;
+  Measured batch;
+  for (int round = 0; round < 5; ++round) {
+    ab_config.streaming = true;
+    const Measured stream_run = timed([&] {
+      dist::SocketTransport transport({listener.endpoint()});
+      dist::Coordinator coordinator(transport, ab_config);
+      return coordinator.plan(ab_request);
+    });
+    if (round == 0 || stream_run.wall_ms < streamed.wall_ms)
+      streamed = stream_run;
+    ab_config.streaming = false;
+    const Measured batch_run = timed([&] {
+      dist::SocketTransport transport({listener.endpoint()});
+      dist::Coordinator coordinator(transport, ab_config);
+      return coordinator.plan(ab_request);
+    });
+    if (round == 0 || batch_run.wall_ms < batch.wall_ms) batch = batch_run;
+  }
+  const bool stream_identical = identical(streamed.plan, batch.plan);
+  const double streaming_speedup =
+      streamed.wall_ms > 0.0 ? batch.wall_ms / streamed.wall_ms : 0.0;
+
+  // ---- streamed stitch tail: latency after the last shard arrives ------
+  // The end-to-end A/B above is diluted by everything both modes share
+  // (leaf planning, the wire, the scheduler). This section isolates what
+  // streaming actually changes: by the time the last shard arrives, the
+  // streamed stitch has already folded every completed group, so only
+  // the spine (the groups the last shard closes) remains; the batch
+  // barrier still owes the entire stitch. Leaf plans are precomputed
+  // once and re-delivered by paced threads — a deterministic stand-in
+  // for workers answering progressively — and the measured quantity is
+  // the tail: last delivery to final plan.
+  const std::size_t tail_shards = ab_options.shards;
+  const std::size_t tail_fanout = ab_config.stitch_fanout;
+  const plat::Partition tail_partition =
+      plat::partition_platform(platform, tail_shards);
+  std::vector<PlanResult> leaf_bank(tail_shards);
+  plan_sharded_streamed(
+      platform, bench::params(), service, options, tail_partition, tail_fanout,
+      [&](const std::vector<std::vector<NodeId>>& leaves,
+          const ShardResultSink& ready) {
+        for (std::size_t s = 0; s < leaves.size(); ++s) {
+          const Platform sub = platform.subset(leaves[s]);
+          PlanResult plan = plan_heterogeneous(sub, bench::params(), service,
+                                               options.demand, nullptr,
+                                               &options);
+          for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+            plan.hierarchy.replace_node(e,
+                                        leaves[s][plan.hierarchy.node_of(e)]);
+          leaf_bank[s] = plan;
+          ready(s, std::move(plan));
+        }
+      });
+  std::atomic<std::chrono::steady_clock::time_point> last_delivery{
+      std::chrono::steady_clock::now()};
+  const std::size_t delivery_threads = 4;
+  const auto paced_deliver = [&](const ShardResultSink& ready) {
+    std::vector<std::thread> deliverers;
+    for (std::size_t t = 0; t < delivery_threads; ++t)
+      deliverers.emplace_back([&, t] {
+        for (std::size_t s = t; s < tail_shards; s += delivery_threads) {
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+          ready(s, PlanResult(leaf_bank[s]));
+          last_delivery.store(std::chrono::steady_clock::now());
+        }
+      });
+    for (std::thread& d : deliverers) d.join();
+  };
+  const auto tail_ms = [&last_delivery] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - last_delivery.load())
+        .count();
+  };
+  double stream_tail_ms = 0.0;
+  double batch_tail_ms = 0.0;
+  PlanResult tail_stream_plan;
+  PlanResult tail_batch_plan;
+  for (int round = 0; round < 3; ++round) {
+    tail_stream_plan = plan_sharded_streamed(
+        platform, bench::params(), service, options, tail_partition,
+        tail_fanout,
+        [&](const std::vector<std::vector<NodeId>>&,
+            const ShardResultSink& ready) { paced_deliver(ready); });
+    const double stream_round = tail_ms();
+    tail_batch_plan = plan_sharded_with(
+        platform, bench::params(), service, options, tail_partition,
+        tail_fanout, [&](const std::vector<std::vector<NodeId>>& leaves) {
+          std::vector<PlanResult> plans(leaves.size());
+          paced_deliver(
+              [&plans](std::size_t s, PlanResult p) { plans[s] = std::move(p); });
+          return plans;
+        });
+    const double batch_round = tail_ms();
+    if (round == 0 || stream_round < stream_tail_ms)
+      stream_tail_ms = stream_round;
+    if (round == 0 || batch_round < batch_tail_ms)
+      batch_tail_ms = batch_round;
+  }
+  const bool tail_identical = identical(tail_stream_plan, tail_batch_plan) &&
+                              identical(tail_stream_plan, streamed.plan);
+  const double tail_speedup =
+      stream_tail_ms > 0.0 ? batch_tail_ms / stream_tail_ms : 0.0;
+
   // ---- chaos: supervised fleet under a kill-rate sweep ------------------
   const std::string worker_cmd =
       parser.get("binary") + " serve --jobs 1 --cache 0";
@@ -239,10 +407,13 @@ int main(int argc, char** argv) {
 
   const bool inproc_identical = identical(local.plan, inproc.plan);
   const bool pipe_identical = identical(local.plan, pipe.plan);
+  const bool socket_identical = identical(local.plan, socket.plan);
   const double inproc_overhead =
       local.wall_ms > 0.0 ? inproc.wall_ms / local.wall_ms : 0.0;
   const double pipe_overhead =
       local.wall_ms > 0.0 ? pipe.wall_ms / local.wall_ms : 0.0;
+  const double socket_overhead =
+      local.wall_ms > 0.0 ? socket.wall_ms / local.wall_ms : 0.0;
 
   Table table("sharded (local pool) vs distributed fleets, " +
               std::to_string(shard_count) + " shards, dgemm-310, " +
@@ -263,7 +434,37 @@ int main(int argc, char** argv) {
                  Table::num(static_cast<long long>(pipe.plan.nodes_used())),
                  Table::num(pipe_overhead, 2) + "x",
                  pipe_identical ? "yes" : "NO"});
+  table.add_row({"dist-socket", Table::num(socket.wall_ms, 1),
+                 Table::num(socket.plan.report.overall, 2),
+                 Table::num(static_cast<long long>(socket.plan.nodes_used())),
+                 Table::num(socket_overhead, 2) + "x",
+                 socket_identical ? "yes" : "NO"});
   std::cout << table << '\n';
+
+  Table stream_table("streaming vs batch-collect stitch, " +
+                     std::to_string(ab_options.shards) + " shards, fanout " +
+                     std::to_string(ab_config.stitch_fanout) + ", " +
+                     std::to_string(ab_config.workers) +
+                     " socket sessions (best of 5)");
+  stream_table.set_header({"mode", "wall ms", "speedup", "identical"});
+  stream_table.add_row({"batch-collect", Table::num(batch.wall_ms, 1), "-",
+                        "-"});
+  stream_table.add_row({"streaming", Table::num(streamed.wall_ms, 1),
+                        Table::num(streaming_speedup, 2) + "x",
+                        stream_identical ? "yes" : "NO"});
+  std::cout << stream_table << '\n';
+
+  Table tail_table("stitch tail after the last shard arrives, " +
+                   std::to_string(tail_shards) + " shards, fanout " +
+                   std::to_string(tail_fanout) +
+                   ", paced delivery (best of 3)");
+  tail_table.set_header({"mode", "tail ms", "speedup", "identical"});
+  tail_table.add_row({"batch-collect", Table::num(batch_tail_ms, 2), "-",
+                      "-"});
+  tail_table.add_row({"streaming", Table::num(stream_tail_ms, 2),
+                      Table::num(tail_speedup, 1) + "x",
+                      tail_identical ? "yes" : "NO"});
+  std::cout << tail_table << '\n';
 
   Table chaos_table("supervised fleet under kill storms, " +
                     std::to_string(workers) + " workers (chaos sweep)");
@@ -302,6 +503,27 @@ int main(int argc, char** argv) {
              {"workers", static_cast<double>(workers)},
              {"bit_identical", pipe_identical ? 1.0 : 0.0},
              {"clean_run", clean_pipe_run ? 1.0 : 0.0}}});
+  json.add({"dist-socket", count, socket.wall_ms, 0,
+            socket.plan.report.overall,
+            {{"overhead_vs_sharded", socket_overhead},
+             {"efficiency_vs_sharded",
+              socket_overhead > 0.0 ? 1.0 / socket_overhead : 0.0},
+             {"workers", static_cast<double>(workers)},
+             {"bit_identical", socket_identical ? 1.0 : 0.0},
+             {"clean_run", clean_socket_run ? 1.0 : 0.0},
+             {"socket_connects",
+              static_cast<double>(socket_after.socket_connects -
+                                  socket_before.socket_connects)}}});
+  json.add({"dist-stream-ab", count, streamed.wall_ms, 0,
+            streamed.plan.report.overall,
+            {{"streaming_speedup", streaming_speedup},
+             {"batch_wall_ms", batch.wall_ms},
+             {"bit_identical", stream_identical ? 1.0 : 0.0}}});
+  json.add({"dist-stream-tail", count, stream_tail_ms, 0,
+            tail_stream_plan.report.overall,
+            {{"tail_speedup", tail_speedup},
+             {"batch_tail_ms", batch_tail_ms},
+             {"bit_identical", tail_identical ? 1.0 : 0.0}}});
   json.add({"dist-chaos-flap", count, flap.measured.wall_ms, 0,
             flap.measured.plan.report.overall,
             {{"bit_identical", flap_identical ? 1.0 : 0.0},
@@ -332,6 +554,20 @@ int main(int argc, char** argv) {
                  "(0 failures, 0 fallbacks; got " +
                      std::to_string(faults) + ")",
                  clean_pipe_run);
+  bench::verdict("socket fleet (serve --listen over TCP) bit-identical to "
+                 "local sharded",
+                 socket_identical);
+  bench::verdict("socket fleet ran clean (0 failures, fallbacks, refused "
+                 "connects)",
+                 clean_socket_run);
+  bench::verdict("streaming stitch bit-identical to batch collect and not "
+                 "slower (got " +
+                     Table::num(streaming_speedup, 2) + "x)",
+                 stream_identical && streaming_speedup >= 0.8);
+  bench::verdict("streamed stitch tail >= 2x shorter than the batch tail "
+                 "(got " +
+                     Table::num(tail_speedup, 1) + "x)",
+                 tail_identical && tail_speedup >= 2.0);
   bench::verdict("chaos sweep: zero client-visible failures",
                  chaos_zero_failures);
   bench::verdict("flap phase answered by respawned workers, never the "
@@ -346,9 +582,11 @@ int main(int argc, char** argv) {
 
   json.write(parser.get("json"));
   const bool ok = inproc_identical && pipe_identical && clean_pipe_run &&
-                  chaos_zero_failures && flap_identical &&
-                  flap_answered_by_workers && storm_identical &&
-                  recovered_identical && recovered_clean &&
+                  socket_identical && clean_socket_run && stream_identical &&
+                  streaming_speedup >= 0.8 && tail_identical &&
+                  tail_speedup >= 2.0 && chaos_zero_failures &&
+                  flap_identical && flap_answered_by_workers &&
+                  storm_identical && recovered_identical && recovered_clean &&
                   recovered_vs_clean >= 0.9;
   return ok ? 0 : 1;
 }

@@ -210,6 +210,16 @@ int cmd_plan(const std::vector<std::string>& args) {
   parser.add_option("workers",
                     "distributed planner only: spawn this many `adept serve` "
                     "subprocesses as the worker fleet");
+  parser.add_option("connect",
+                    "distributed planner only: comma-separated "
+                    "host:port endpoints of `adept serve --listen` "
+                    "processes; the fleet is TCP sessions instead of "
+                    "subprocesses (--workers sessions, default one per "
+                    "endpoint)");
+  parser.add_flag("no-stream",
+                  "distributed planner only: collect the whole shard batch "
+                  "before stitching instead of streaming results into the "
+                  "stitch as workers answer (identical plan, A/B latency)");
   parser.add_flag("list-planners", "print the planner registry and exit");
   parser.add_flag("json", "print the wire-format JSON result instead of tables");
   parser.add_option("xml", "write GoDIET XML to this file");
@@ -281,20 +291,42 @@ int cmd_plan(const std::vector<std::string>& args) {
     plan = portfolio.best().result;
   } else {
     PlannerRun run;
-    if (parser.has("workers")) {
+    if (parser.has("workers") || parser.has("connect")) {
       // A real distributed run: the fleet is `adept serve` subprocesses
-      // of this very binary, spoken to over stdin/stdout pipes. The
-      // result is bit-identical to the in-process registry path (and to
-      // --planner sharded); only the latency profile changes.
-      const long long workers = parser.get_int("workers");
-      ADEPT_CHECK(workers >= 1, "--workers must be >= 1");
+      // of this very binary spoken to over stdin/stdout pipes, or — with
+      // --connect — TCP sessions on already-running `adept serve
+      // --listen` processes. The result is bit-identical to the
+      // in-process registry path (and to --planner sharded); only the
+      // latency profile changes.
       ADEPT_CHECK(planner == "distributed",
-                  "--workers only applies to --planner distributed");
-      dist::PipeTransport transport(dist::self_serve_command());
+                  "--workers/--connect only apply to --planner distributed");
+      std::unique_ptr<dist::Transport> transport;
+      std::size_t fleet_size = 0;
+      if (parser.has("connect")) {
+        std::vector<std::string> endpoints;
+        std::istringstream list(parser.get("connect"));
+        for (std::string endpoint; std::getline(list, endpoint, ',');)
+          if (!endpoint.empty()) endpoints.push_back(endpoint);
+        ADEPT_CHECK(!endpoints.empty(),
+                    "--connect needs at least one host:port endpoint");
+        fleet_size = endpoints.size();
+        transport =
+            std::make_unique<dist::SocketTransport>(std::move(endpoints));
+      } else {
+        transport =
+            std::make_unique<dist::PipeTransport>(dist::self_serve_command());
+      }
+      if (parser.has("workers")) {
+        const long long workers = parser.get_int("workers");
+        ADEPT_CHECK(workers >= 1, "--workers must be >= 1");
+        fleet_size = static_cast<std::size_t>(workers);
+      }
       dist::SupervisorConfig fleet_config;
-      fleet_config.workers = static_cast<std::size_t>(workers);
-      dist::FleetSupervisor fleet(transport, fleet_config);
-      dist::Coordinator coordinator(fleet);
+      fleet_config.workers = fleet_size;
+      dist::FleetSupervisor fleet(*transport, fleet_config);
+      dist::CoordinatorConfig coordinator_config;
+      coordinator_config.streaming = !parser.get_flag("no-stream");
+      dist::Coordinator coordinator(fleet, coordinator_config);
       // The coordinator path bypasses the PlanningService, so hand it a
       // coordinator-side shard cache directly: repeated/overlapping shard
       // content is answered locally and never dispatched to the fleet.
@@ -669,16 +701,28 @@ int cmd_serve(const std::vector<std::string>& args) {
   parser.add_flag("degrade",
                   "answer overloaded/over-budget requests with the cheap "
                   "homogeneous planner instead of erroring");
+  parser.add_option("listen",
+                    "serve over TCP instead of stdio: accept JSON-lines "
+                    "sessions on host:port (port 0 picks an ephemeral port, "
+                    "announced as 'listening on host:port' on stdout)");
+  parser.add_option("max-sessions",
+                    "with --listen: exit after this many sessions have "
+                    "completed (0 = serve forever)",
+                    "0");
   parser.parse(args);
 
   const long long jobs = parser.get_int("jobs");
   const long long cache = parser.get_int("cache");
   const long long shard_cache = parser.get_int("shard-cache");
   const long long max_pending = parser.get_int("max-pending");
+  const long long max_sessions = parser.get_int("max-sessions");
   ADEPT_CHECK(jobs >= 0, "--jobs must be >= 0");
   ADEPT_CHECK(cache >= 0, "--cache must be >= 0");
   ADEPT_CHECK(shard_cache >= 0, "--shard-cache must be >= 0");
   ADEPT_CHECK(max_pending >= 0, "--max-pending must be >= 0");
+  ADEPT_CHECK(max_sessions >= 0, "--max-sessions must be >= 0");
+  ADEPT_CHECK(max_sessions == 0 || parser.has("listen"),
+              "--max-sessions only applies with --listen");
   io::ServeConfig config;
   config.threads = static_cast<std::size_t>(jobs);
   config.cache = CacheConfig{static_cast<std::size_t>(cache),
@@ -686,7 +730,13 @@ int cmd_serve(const std::vector<std::string>& args) {
                              !parser.get_flag("no-coalesce")};
   config.max_pending = static_cast<std::size_t>(max_pending);
   config.degrade = parser.get_flag("degrade");
-  const std::size_t answered = io::serve_session(std::cin, std::cout, config);
+  std::size_t answered = 0;
+  if (parser.has("listen")) {
+    answered = io::serve_listen(parser.get("listen"), config, std::cout,
+                                static_cast<std::size_t>(max_sessions));
+  } else {
+    answered = io::serve_session(std::cin, std::cout, config);
+  }
   std::cerr << "serve: answered " << answered << " request(s)\n";
   return 0;
 }

@@ -66,10 +66,29 @@ PlanResult Coordinator::plan(const PlanRequest& request) {
         options.excluded.clear();  // applied by plan_excluding already
         const plat::Partition partition =
             plat::partition_platform(platform, options.shards);
+        if (config_.streaming) {
+          auto plan_leaves =
+              [this, &platform, &r,
+               &options](const std::vector<std::vector<NodeId>>& leaves,
+                         const ShardResultSink& sink) {
+                dispatch_leaves(platform, r, options, leaves, sink);
+              };
+          return plan_sharded_streamed(platform, r.params, r.service, options,
+                                       partition, config_.stitch_fanout,
+                                       plan_leaves);
+        }
+        // Batch mode: park every shard plan until the fleet is fully
+        // drained (distinct indices — no lock needed), then stitch. A
+        // true barrier, kept as the A/B baseline for the streaming path.
         auto plan_leaves =
             [this, &platform, &r,
              &options](const std::vector<std::vector<NodeId>>& leaves) {
-              return dispatch_leaves(platform, r, options, leaves);
+              std::vector<PlanResult> plans(leaves.size());
+              dispatch_leaves(platform, r, options, leaves,
+                              [&plans](std::size_t s, PlanResult plan) {
+                                plans[s] = std::move(plan);
+                              });
+              return plans;
             };
         return plan_sharded_with(platform, r.params, r.service, options,
                                  partition, config_.stitch_fanout,
@@ -77,10 +96,10 @@ PlanResult Coordinator::plan(const PlanRequest& request) {
       });
 }
 
-std::vector<PlanResult> Coordinator::dispatch_leaves(
+void Coordinator::dispatch_leaves(
     const Platform& platform, const PlanRequest& request,
-    const PlanOptions& options,
-    const std::vector<std::vector<NodeId>>& leaves) {
+    const PlanOptions& options, const std::vector<std::vector<NodeId>>& leaves,
+    const ShardResultSink& sink) {
   // Each leaf is a self-contained request on the leaf's sub-platform.
   // Only wire-travelling options go along (demand, trace switch); the
   // runtime-only deadline/cancel stay for the local fallback, and the
@@ -123,6 +142,19 @@ std::vector<PlanResult> Coordinator::dispatch_leaves(
     pending.push_back(s);
   }
 
+  // Cache hits never touch the wire: deliver them — remapped to platform
+  // ids — ascending, before the fleet sees the misses, so the stitch can
+  // fold them in while workers are still planning.
+  for (std::size_t s = 0; s < leaves.size(); ++s) {
+    if (!cached[s].has_value()) continue;
+    PlanResult plan = std::move(*cached[s]);
+    const std::vector<NodeId>& ids = leaves[s];
+    for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+      plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
+    sink(s, std::move(plan));
+  }
+  if (pending.empty()) return;
+
   // The in-process fallback: same registry planner, same (serial) path a
   // worker would run — so fallback plans are bit-identical to dispatched
   // ones and a worker loss is invisible in the result.
@@ -143,49 +175,57 @@ std::vector<PlanResult> Coordinator::dispatch_leaves(
   dispatch.reserve(pending.size());
   for (const std::size_t s : pending) dispatch.push_back(std::move(jobs[s]));
 
-  std::vector<PlannerRun> runs;
-  if (!dispatch.empty()) {
-    if (fleet_ != nullptr) {
-      // One lease per batch: the warm fleet is exclusively ours for the
-      // dispatch (the heartbeat and other coordinators wait), and run()'s
-      // per-round respawn pass heals any losses from earlier requests.
-      FleetSupervisor::Lease lease = fleet_->lease();
-      runs = lease.pool().run(dispatch, local_fallback);
-    } else {
-      runs = owned_pool_->run(dispatch, local_fallback);
-    }
-  }
-
-  std::vector<PlanResult> plans;
-  plans.reserve(leaves.size());
-  std::size_t next = 0;  // index into pending/dispatch/runs
-  for (std::size_t s = 0; s < leaves.size(); ++s) {
-    PlanResult plan;
-    if (cached[s].has_value()) {
-      plan = std::move(*cached[s]);
-    } else {
-      // A run that is still not ok went through the local fallback, so
-      // this is a genuine planning error (or a cancelled/late request) —
-      // exactly what the local sharded planner would have thrown.
-      ADEPT_CHECK(runs[next].ok,
-                  runs[next].error.empty()
-                      ? "shard " + std::to_string(s) + " failed"
-                      : runs[next].error);
-      plan = std::move(runs[next].result);
-      // Store by content in sub-platform-local ids, pre-remap, like the
-      // local leaf path — the two address identical entries.
-      if (cache != nullptr)
-        cache->insert(keys[s], *dispatch[next].request.platform, plan);
-      ++next;
-    }
+  // Worker responses are handed onward straight off their drain threads:
+  // validate, cache, remap to platform ids, sink. `dist.streamed` counts
+  // only the deliveries that actually overlapped the batch — the ones
+  // arriving on a thread other than the caller's (fallback results come
+  // back on the calling thread after the dispatch rounds).
+  const std::thread::id caller = std::this_thread::get_id();
+  auto deliver = [&](std::size_t k, PlannerRun&& run) {
+    const std::size_t s = pending[k];
+    // A run that is still not ok went through the local fallback, so
+    // this is a genuine planning error (or a cancelled/late request) —
+    // exactly what the local sharded planner would have thrown.
+    ADEPT_CHECK(run.ok, run.error.empty()
+                            ? "shard " + std::to_string(s) + " failed"
+                            : run.error);
+    PlanResult plan = std::move(run.result);
     const std::vector<NodeId>& ids = leaves[s];
+    // An out-of-range node id in a worker's hierarchy would fault the
+    // remap below: reject it as the malformed response it is — the
+    // throw fails the *worker* (drain-thread path), the shard is
+    // re-dispatched or planned in-process — before anything reaches
+    // the cache.
+    for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+      ADEPT_CHECK(plan.hierarchy.node_of(e) < ids.size(),
+                  "shard " + std::to_string(s) + " response references node " +
+                      std::to_string(plan.hierarchy.node_of(e)) +
+                      " outside its sub-platform");
+    // Store by content in sub-platform-local ids, pre-remap, like the
+    // local leaf path — the two address identical entries. The cache is
+    // internally synchronised, so concurrent drain threads may insert.
+    if (cache != nullptr)
+      cache->insert(keys[s], *dispatch[k].request.platform, plan);
     // Leaf hierarchies are in sub-platform ids (positions in `ids`);
     // rewrite to platform ids for the shared stitch core.
     for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
       plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
-    plans.push_back(std::move(plan));
+    // Batch mode parks results in a vector — nothing reached the stitch
+    // early, so only streaming-mode drain-thread deliveries count.
+    if (config_.streaming && std::this_thread::get_id() != caller)
+      ++detail::counters().streamed;
+    sink(s, std::move(plan));
+  };
+
+  if (fleet_ != nullptr) {
+    // One lease per batch: the warm fleet is exclusively ours for the
+    // dispatch (the heartbeat and other coordinators wait), and the
+    // per-round respawn pass heals any losses from earlier requests.
+    FleetSupervisor::Lease lease = fleet_->lease();
+    lease.pool().run_streamed(dispatch, local_fallback, deliver);
+  } else {
+    owned_pool_->run_streamed(dispatch, local_fallback, deliver);
   }
-  return plans;
 }
 
 namespace {

@@ -48,6 +48,13 @@ struct CoordinatorConfig {
   /// Registry planner each worker runs per leaf shard — "heuristic" is
   /// what the local sharded backend uses.
   std::string leaf_planner = "heuristic";
+  /// Stream shard responses into the stitch as workers answer (the
+  /// plan_sharded_streamed core): intermediate stitch groups run on the
+  /// drain threads while later shards are still being planned. Off =
+  /// collect the whole batch first (a true barrier — the A/B baseline
+  /// bench_dist measures streaming against). Both modes are
+  /// bit-identical by construction.
+  bool streaming = true;
 };
 
 /// Partitions requests, dispatches shards to workers, stitches results
@@ -86,10 +93,15 @@ class Coordinator {
   const WorkerPool& pool() const;
 
  private:
-  std::vector<PlanResult> dispatch_leaves(
-      const Platform& platform, const PlanRequest& request,
-      const PlanOptions& options,
-      const std::vector<std::vector<NodeId>>& leaves);
+  /// Streamed leaf dispatch (the ShardLeafStreamFn the stitch core
+  /// consumes): shard-cache hits are delivered ascending before anything
+  /// touches the wire, then the misses run over the fleet with worker
+  /// responses handed to `sink` straight off the drain threads —
+  /// validated, cached and remapped to platform ids first.
+  void dispatch_leaves(const Platform& platform, const PlanRequest& request,
+                       const PlanOptions& options,
+                       const std::vector<std::vector<NodeId>>& leaves,
+                       const ShardResultSink& sink);
 
   CoordinatorConfig config_;
   const PlannerRegistry& registry_;

@@ -19,7 +19,12 @@ Counters::Counters()
       respawn_failures(
           obs::MetricsRegistry::process().counter("dist.respawn_failures")),
       health_checks(
-          obs::MetricsRegistry::process().counter("dist.health_checks")) {}
+          obs::MetricsRegistry::process().counter("dist.health_checks")),
+      streamed(obs::MetricsRegistry::process().counter("dist.streamed")),
+      socket_connects(
+          obs::MetricsRegistry::process().counter("dist.socket.connects")),
+      socket_connect_failures(obs::MetricsRegistry::process().counter(
+          "dist.socket.connect_failures")) {}
 
 Counters& counters() {
   static Counters instance;
@@ -41,6 +46,9 @@ DistStats stats_snapshot() {
   out.workers_respawned = c.workers_respawned.value();
   out.respawn_failures = c.respawn_failures.value();
   out.health_checks = c.health_checks.value();
+  out.streamed = c.streamed.value();
+  out.socket_connects = c.socket_connects.value();
+  out.socket_connect_failures = c.socket_connect_failures.value();
   return out;
 }
 
@@ -56,6 +64,9 @@ void reset_stats_for_test() {
   c.workers_respawned.reset();
   c.respawn_failures.reset();
   c.health_checks.reset();
+  c.streamed.reset();
+  c.socket_connects.reset();
+  c.socket_connect_failures.reset();
 }
 
 }  // namespace adept::dist

@@ -35,6 +35,13 @@ struct DistStats {
   std::uint64_t respawn_failures = 0;   ///< Respawn attempts whose spawn
                                         ///  itself failed (backoff escalates).
   std::uint64_t health_checks = 0;      ///< Fleet health-check passes run.
+  std::uint64_t streamed = 0;           ///< Shard results streamed into the
+                                        ///  stitch straight off a drain
+                                        ///  thread, ahead of the batch
+                                        ///  barrier.
+  std::uint64_t socket_connects = 0;    ///< TCP worker sessions established.
+  std::uint64_t socket_connect_failures = 0;  ///< TCP connects that failed
+                                              ///  (refused, timed out).
 };
 
 /// Snapshot of the process-wide counters.
@@ -62,6 +69,9 @@ struct Counters {
   obs::Counter& workers_respawned;
   obs::Counter& respawn_failures;
   obs::Counter& health_checks;
+  obs::Counter& streamed;
+  obs::Counter& socket_connects;
+  obs::Counter& socket_connect_failures;
 };
 Counters& counters();
 

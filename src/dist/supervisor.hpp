@@ -23,6 +23,13 @@
 ///     replaced while the serve tier is idle, not on the next request's
 ///     critical path.
 ///
+/// The supervisor is transport-agnostic: over PipeTransport a respawn
+/// is a fresh fork/exec, over SocketTransport it is a fresh connect()
+/// to the next endpoint in the round-robin — so supervising a socket
+/// fleet doubles as reconnect-with-backoff, and a `serve --listen`
+/// process that restarts is re-adopted by the next respawn pass
+/// without the coordinator noticing.
+///
 /// Determinism (rule #7, docs/ARCHITECTURE.md): respawn changes *which
 /// process* answers a shard, never the answer — workers are stateless
 /// (`--cache 0`) and leaf planners are deterministic in platform

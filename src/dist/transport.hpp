@@ -5,7 +5,7 @@
 /// A Worker is one endpoint speaking the `adept serve` JSON-lines
 /// protocol: send() a request line, receive() the matching response line
 /// (responses arrive in request order — the serve contract). A Transport
-/// spawns workers. Two implementations:
+/// spawns workers. Three implementations:
 ///
 ///   - InProcessTransport — answers each line by running the registry
 ///     planner on the calling thread. No serialization is skipped: the
@@ -21,6 +21,13 @@
 ///     hung worker is detected, and the destructor supervises shutdown:
 ///     closing the worker's stdin makes serve quit on EOF, with a
 ///     bounded wait before SIGKILL.
+///
+///   - SocketTransport — each worker is one TCP connection to an
+///     `adept serve --listen host:port` process (possibly on another
+///     machine), same line framing and receive discipline as the pipe
+///     path. The serve process is *not* supervised by this transport —
+///     it is a long-lived service shared by many coordinators; worker
+///     "respawn" is simply a reconnect.
 ///
 /// Workers are single-owner: the WorkerPool drives each worker from one
 /// drain thread at a time, so implementations need no internal locking.
@@ -104,11 +111,80 @@ class PipeTransport final : public Transport {
   std::vector<std::string> argv_;
 };
 
+/// TCP transport: each worker is one connection to an `adept serve
+/// --listen` endpoint, speaking the serve JSON-lines protocol over the
+/// socket instead of stdio. spawn() connects eagerly — round-robin over
+/// `endpoints`, so N workers against one endpoint open N independent
+/// sessions on the same warm process — using a non-blocking connect
+/// under an absolute deadline (EINTR-retried poll slices, exactly the
+/// pipe receive discipline); a refused or timed-out connect throws,
+/// which the pool turns into a Failed slot and the coordinator into an
+/// in-process fallback. receive() shares the pipe worker's framing loop,
+/// with the timeout already clipped to the request's remaining
+/// `budget_ms` by the WorkerPool. kill() shuts the connection down both
+/// ways (the serve session ends on EOF); there is no subprocess to
+/// signal.
+class SocketTransport final : public Transport {
+ public:
+  /// `endpoints` are "host:port" strings (names resolved via
+  /// getaddrinfo); must be non-empty. `connect_timeout_ms` bounds each
+  /// spawn()'s connect attempt.
+  explicit SocketTransport(std::vector<std::string> endpoints,
+                           double connect_timeout_ms = 5000.0);
+
+  const char* name() const final { return "socket"; }
+  std::unique_ptr<Worker> spawn() final;
+
+ private:
+  std::vector<std::string> endpoints_;
+  double connect_timeout_ms_;
+  std::size_t next_ = 0;
+};
+
+/// A supervised `adept serve --listen` subprocess for tests and benches:
+/// forks `argv` with stdout piped back, waits for the child to announce
+/// its bound endpoint ("listening on <host:port>" — the serve_listen
+/// contract, which resolves port 0 to the kernel-picked ephemeral port),
+/// and kills + reaps the child on destruction. This is process
+/// *hosting*, deliberately separate from SocketTransport, which only
+/// ever connects: production serve processes outlive any coordinator.
+class ServeListener {
+ public:
+  /// Throws adept::Error when the child cannot be spawned or does not
+  /// announce an endpoint within `announce_timeout_ms`.
+  explicit ServeListener(std::vector<std::string> argv,
+                         double announce_timeout_ms = 15000.0);
+  ~ServeListener();
+
+  ServeListener(const ServeListener&) = delete;
+  ServeListener& operator=(const ServeListener&) = delete;
+
+  /// The announced "host:port" (ephemeral port already resolved).
+  const std::string& endpoint() const { return endpoint_; }
+  pid_t pid() const { return pid_; }
+
+  /// SIGKILLs the listener now (fault injection: every connected worker
+  /// sees EOF). Idempotent; the destructor then only reaps.
+  void kill_now();
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::string endpoint_;
+};
+
 /// The standard worker command for this process: {self, "serve",
 /// "--jobs", jobs, "--cache", "0"} with `self` read from /proc/self/exe.
 /// `jobs` = 0 lets each worker size its own pool. Throws adept::Error
 /// when the executable path cannot be resolved (non-Linux without
 /// procfs); callers may then fall back to the in-process transport.
 std::vector<std::string> self_serve_command(std::size_t jobs = 1);
+
+/// The standard listener command for this process: self_serve_command
+/// plus {"--listen", "127.0.0.1:0"} and, when `max_sessions` > 0,
+/// {"--max-sessions", max_sessions} so the listener exits cleanly after
+/// a known number of sessions (sanitizer-friendly tests).
+std::vector<std::string> self_serve_listen_command(
+    std::size_t jobs = 1, std::size_t max_sessions = 0);
 
 }  // namespace adept::dist

@@ -179,7 +179,7 @@ double WorkerPool::receive_timeout_ms(const ShardJob& job) const {
 
 void WorkerPool::drain(Slot& slot, const std::vector<ShardJob>& jobs,
                        const std::vector<std::size_t>& job_ids,
-                       std::vector<PlannerRun>& results,
+                       const StreamResultFn& on_result,
                        std::vector<std::size_t>& unanswered,
                        std::vector<std::size_t>& remote_failed) {
   slot.phase = WorkerPhase::Dispatched;
@@ -206,7 +206,11 @@ void WorkerPool::drain(Slot& slot, const std::vector<ShardJob>& jobs,
       ADEPT_CHECK(doc.at("id").as_index() == id,
                   "worker answered out of order");
       if (doc.at("ok").as_bool()) {
-        results[id] = wire::planner_run_from_json(doc.at("run"));
+        // Streamed straight off this drain thread: the caller's sink
+        // sees the result while other workers are still planning. A
+        // throw here (the sink rejecting a protocol-level-broken run)
+        // lands in the catch below — worker failure, job re-dispatched.
+        on_result(id, wire::planner_run_from_json(doc.at("run")));
       } else {
         // The *job* failed remotely (planner error, budget); the worker
         // is fine. Re-plan locally so the error (or late success) is
@@ -230,9 +234,22 @@ void WorkerPool::drain(Slot& slot, const std::vector<ShardJob>& jobs,
 
 std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
                                         const LocalPlanFn& local_fallback) {
+  std::vector<PlannerRun> results(jobs.size());
+  // Distinct drain threads write distinct job indices of a pre-sized
+  // vector, so the collecting sink needs no lock.
+  run_streamed(jobs, local_fallback,
+               [&results](std::size_t id, PlannerRun&& run) {
+                 results[id] = std::move(run);
+               });
+  return results;
+}
+
+void WorkerPool::run_streamed(const std::vector<ShardJob>& jobs,
+                              const LocalPlanFn& local_fallback,
+                              const StreamResultFn& on_result) {
   ADEPT_CHECK(local_fallback != nullptr,
               "worker pool needs a local fallback planner");
-  std::vector<PlannerRun> results(jobs.size());
+  ADEPT_CHECK(on_result != nullptr, "worker pool needs a result sink");
   std::vector<std::size_t> pending(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) pending[i] = i;
   std::vector<std::size_t> local_jobs;
@@ -283,10 +300,10 @@ std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
     std::vector<std::thread> drains;
     for (std::size_t g = 0; g < healthy.size(); ++g) {
       if (assigned[g].empty()) continue;
-      drains.emplace_back([this, g, &healthy, &jobs, &assigned, &results,
+      drains.emplace_back([this, g, &healthy, &jobs, &assigned, &on_result,
                            &unanswered, &remote_failed] {
-        drain(slots_[healthy[g]], jobs, assigned[g], results, unanswered[g],
-              remote_failed[g]);
+        drain(slots_[healthy[g]], jobs, assigned[g], on_result,
+              unanswered[g], remote_failed[g]);
       });
     }
     for (std::thread& thread : drains) thread.join();
@@ -299,23 +316,26 @@ std::vector<PlannerRun> WorkerPool::run(const std::vector<ShardJob>& jobs,
       local_jobs.insert(local_jobs.end(), rejected.begin(), rejected.end());
   }
 
-  // Whatever no worker could answer — plus jobs workers answered with an
-  // error — is planned in-process, in ascending job order.
-  local_jobs.insert(local_jobs.end(), pending.begin(), pending.end());
-  std::sort(local_jobs.begin(), local_jobs.end());
-  for (const std::size_t id : local_jobs) {
-    results[id] = local_fallback(jobs[id]);
-    ++detail::counters().fallbacks;
-  }
-
   // A successful round leaves the worker ready for the next batch, with
-  // its failure streak (and therefore its backoff) cleared.
+  // its failure streak (and therefore its backoff) cleared. This runs
+  // *before* the fallback deliveries: the sink may throw there (a
+  // genuine planning error surfacing), and a long-lived fleet must come
+  // out of the batch with clean phases either way.
   for (Slot& slot : slots_)
     if (slot.phase == WorkerPhase::Responded) {
       slot.phase = WorkerPhase::Idle;
       slot.failures = 0;
     }
-  return results;
+
+  // Whatever no worker could answer — plus jobs workers answered with an
+  // error — is planned in-process and delivered in ascending job order.
+  local_jobs.insert(local_jobs.end(), pending.begin(), pending.end());
+  std::sort(local_jobs.begin(), local_jobs.end());
+  for (const std::size_t id : local_jobs) {
+    PlannerRun run = local_fallback(jobs[id]);
+    ++detail::counters().fallbacks;
+    on_result(id, std::move(run));
+  }
 }
 
 bool WorkerPool::health_check() {

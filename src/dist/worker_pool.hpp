@@ -106,15 +106,36 @@ class WorkerPool {
   /// returned PlannerRun, like PlanningService::execute does).
   using LocalPlanFn = std::function<PlannerRun(const ShardJob&)>;
 
+  /// Streaming delivery hook of run_streamed(): called exactly once per
+  /// job with the job's index and its final run — from a drain thread
+  /// the moment a worker's ok response is parsed (concurrently across
+  /// workers; the callee synchronises), or from the calling thread for
+  /// fallback results after the dispatch rounds. A throw from the
+  /// drain-thread path is treated as a worker failure (the job is
+  /// re-dispatched or falls back — it has NOT been delivered); a throw
+  /// from the fallback path propagates to the caller.
+  using StreamResultFn = std::function<void(std::size_t, PlannerRun&&)>;
+
   /// Runs every job; `results[i]` answers `jobs[i]`. Worker loss never
   /// surfaces as a failure here — exhausted jobs go through
   /// `local_fallback` (required non-null). A run with healthy workers
   /// pipelines each worker's share and drains the workers concurrently,
   /// one thread per dispatched worker. With respawn enabled, each
   /// dispatch round starts by refilling failed slots whose backoff has
-  /// elapsed.
+  /// elapsed. (Collect-then-return wrapper over run_streamed().)
   std::vector<PlannerRun> run(const std::vector<ShardJob>& jobs,
                               const LocalPlanFn& local_fallback);
+
+  /// run() with completion-order delivery: every job's run is handed to
+  /// `on_result` as soon as it exists — worker responses straight off
+  /// their drain threads, while other workers are still planning —
+  /// instead of parking in a results vector until the whole batch
+  /// barrier. Retry, respawn, deadline clipping and fallback behave
+  /// exactly like run(); fallback results are delivered in ascending job
+  /// order from the calling thread after the dispatch rounds.
+  void run_streamed(const std::vector<ShardJob>& jobs,
+                    const LocalPlanFn& local_fallback,
+                    const StreamResultFn& on_result);
 
   /// Pings every non-failed worker with a `stats` command and fails the
   /// ones that do not answer ok within `health_timeout_ms`. A worker
@@ -156,13 +177,13 @@ class WorkerPool {
   /// remaining deadline budget when it has one.
   double receive_timeout_ms(const ShardJob& job) const;
   /// Sends `job_ids` through `slot` pipelined, drains the responses, and
-  /// sorts the outcomes: answered jobs fill `results`, jobs the worker
-  /// answered with ok=false go to `remote_failed` (deterministically
-  /// re-planned locally), everything unanswered at failure goes to
-  /// `unanswered`.
+  /// sorts the outcomes: answered jobs are streamed to `on_result`, jobs
+  /// the worker answered with ok=false go to `remote_failed`
+  /// (deterministically re-planned locally), everything unanswered at
+  /// failure goes to `unanswered`.
   void drain(Slot& slot, const std::vector<ShardJob>& jobs,
              const std::vector<std::size_t>& job_ids,
-             std::vector<PlannerRun>& results,
+             const StreamResultFn& on_result,
              std::vector<std::size_t>& unanswered,
              std::vector<std::size_t>& remote_failed);
 

@@ -1,17 +1,29 @@
 #include "io/serve.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <istream>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <streambuf>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
@@ -82,6 +94,9 @@ json::Value stats_to_json(const PlanningStats& stats) {
   dist.set("workers_respawned", dist_stats.workers_respawned);
   dist.set("respawn_failures", dist_stats.respawn_failures);
   dist.set("health_checks", dist_stats.health_checks);
+  dist.set("streamed", dist_stats.streamed);
+  dist.set("socket_connects", dist_stats.socket_connects);
+  dist.set("socket_connect_failures", dist_stats.socket_connect_failures);
   out.set("dist", std::move(dist));
   return out;
 }
@@ -98,23 +113,26 @@ json::Value stats_to_json(const PlanningStats& stats) {
 /// input arrived.
 class Session {
  public:
+  /// Stdio mode: the session owns a private PlanningService.
   Session(std::ostream& out, const ServeConfig& config)
-      : out_(out), config_(config),
-        service_(config.threads, PlannerRegistry::instance(), config.cache),
-        c_overloaded_(service_.metrics().counter("serve.overloaded")),
-        c_degraded_(service_.metrics().counter("serve.degraded")),
-        c_cancelled_(service_.metrics().counter("serve.cancelled")),
-        c_answered_(service_.metrics().counter("serve.answered")),
-        g_pending_(service_.metrics().gauge("serve.pending")),
-        h_request_ms_(service_.metrics().histogram("serve.request_ms")),
-        writer_([this] { writer_loop(); }) {}
+      : Session(out, config,
+                std::make_unique<PlanningService>(
+                    config.threads, PlannerRegistry::instance(), config.cache),
+                nullptr) {}
+
+  /// Listener mode: the session borrows the process's shared warm
+  /// service — many concurrent sessions, one set of caches. `service`
+  /// must outlive the session.
+  Session(std::ostream& out, const ServeConfig& config,
+          PlanningService& service)
+      : Session(out, config, nullptr, &service) {}
 
   ~Session() { finish(); }
 
   /// Only valid after finish(): the writer thread owns the counter.
-  std::size_t answered() const {
-    return static_cast<std::size_t>(c_answered_.value());
-  }
+  /// Session-local (the serve.answered registry counter aggregates over
+  /// every session sharing the service).
+  std::size_t answered() const { return answered_count_; }
 
   void handle_line(const std::string& line) {
     json::Value request;
@@ -150,6 +168,18 @@ class Session {
   }
 
  private:
+  Session(std::ostream& out, const ServeConfig& config,
+          std::unique_ptr<PlanningService> owned, PlanningService* shared)
+      : out_(out), config_(config), owned_service_(std::move(owned)),
+        service_(shared != nullptr ? *shared : *owned_service_),
+        c_overloaded_(service_.metrics().counter("serve.overloaded")),
+        c_degraded_(service_.metrics().counter("serve.degraded")),
+        c_cancelled_(service_.metrics().counter("serve.cancelled")),
+        c_answered_(service_.metrics().counter("serve.answered")),
+        g_pending_(service_.metrics().gauge("serve.pending")),
+        h_request_ms_(service_.metrics().histogram("serve.request_ms")),
+        writer_([this] { writer_loop(); }) {}
+
   void handle_command(const json::Value& cmd, const json::Value& request) {
     const std::string& name = cmd.as_string();
     if (name == "quit") {
@@ -411,6 +441,7 @@ class Session {
     }
     write(response);
     if (front.counts) {
+      ++answered_count_;
       c_answered_.inc();
       // End-to-end span: request line read → response line written
       // (queue wait + planning + in-order write discipline).
@@ -478,7 +509,13 @@ class Session {
 
   std::ostream& out_;
   ServeConfig config_;
-  PlanningService service_;
+  /// Stdio mode owns its service here; listener mode leaves it null and
+  /// service_ refers to the process-shared one.
+  std::unique_ptr<PlanningService> owned_service_;
+  PlanningService& service_;
+  /// Planning requests this session answered (writer thread writes,
+  /// read after finish()'s join).
+  std::size_t answered_count_ = 0;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Pending> pending_;
@@ -500,11 +537,8 @@ class Session {
   std::thread writer_;  ///< Last member: starts after everything it uses.
 };
 
-}  // namespace
-
-std::size_t serve_session(std::istream& in, std::ostream& out,
-                          const ServeConfig& config) {
-  Session session(out, config);
+/// The reader loop shared by stdio and socket sessions.
+std::size_t run_session(std::istream& in, Session& session) {
   std::string line;
   while (!session.quitting() && std::getline(in, line)) {
     if (strings::trim(line).empty()) continue;
@@ -512,6 +546,193 @@ std::size_t serve_session(std::istream& in, std::ostream& out,
   }
   session.finish();
   return session.answered();
+}
+
+// --------------------------------------------------------------- listening --
+
+/// An unbuffered, EINTR-safe std::streambuf over a connected socket fd.
+/// Reads block until data or EOF (a session waiting for its next request
+/// line simply sleeps in read()); writes push whole lines — the Session
+/// writes one dump()ed response then '\n', so a response costs two
+/// syscalls on a TCP_NODELAY socket. Write failures (client gone) set
+/// the stream's error state; the session then drains without a reader.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
+
+ protected:
+  int_type underflow() final {
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_, sizeof in_);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+
+  int_type overflow(int_type ch) final {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+    const char c = traits_type::to_char_type(ch);
+    return write_all(&c, 1) ? ch : traits_type::eof();
+  }
+
+  std::streamsize xsputn(const char* data, std::streamsize count) final {
+    return write_all(data, static_cast<std::size_t>(count)) ? count : 0;
+  }
+
+ private:
+  bool write_all(const char* data, std::size_t size) {
+    std::size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd_, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // EPIPE/ECONNRESET: the client disconnected
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int fd_;
+  char in_[8192];
+};
+
+/// Binds a listening socket for "host:port"; returns the fd and the
+/// kernel-resolved port (meaningful when the caller asked for port 0).
+int bind_listener(const std::string& endpoint, std::string& host,
+                  int& port) {
+  const std::size_t colon = endpoint.rfind(':');
+  ADEPT_CHECK(colon != std::string::npos && colon > 0 &&
+                  colon + 1 < endpoint.size(),
+              "listen endpoint must be host:port, got '" + endpoint + "'");
+  host = endpoint.substr(0, colon);
+  const std::string service = endpoint.substr(colon + 1);
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof hints);
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* addrs = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), service.c_str(), &hints, &addrs);
+  ADEPT_CHECK(rc == 0, "cannot resolve listen endpoint '" + endpoint +
+                           "': " + ::gai_strerror(rc));
+  int fd = -1;
+  std::string reason = "no addresses";
+  for (struct addrinfo* a = addrs; a != nullptr && fd < 0; a = a->ai_next) {
+    const int sock = ::socket(a->ai_family, a->ai_socktype | SOCK_CLOEXEC,
+                              a->ai_protocol);
+    if (sock < 0) {
+      reason = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(sock, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(sock, a->ai_addr, a->ai_addrlen) != 0 ||
+        ::listen(sock, 64) != 0) {
+      reason = std::strerror(errno);
+      ::close(sock);
+      continue;
+    }
+    fd = sock;
+  }
+  ::freeaddrinfo(addrs);
+  ADEPT_CHECK(fd >= 0,
+              "cannot listen on '" + endpoint + "': " + reason);
+  // Recover the kernel-picked port for the announce line.
+  struct sockaddr_storage bound;
+  socklen_t len = sizeof bound;
+  ADEPT_CHECK(::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                            &len) == 0,
+              "getsockname failed: " + std::string(std::strerror(errno)));
+  if (bound.ss_family == AF_INET6)
+    port = ntohs(reinterpret_cast<struct sockaddr_in6&>(bound).sin6_port);
+  else
+    port = ntohs(reinterpret_cast<struct sockaddr_in&>(bound).sin_port);
+  return fd;
+}
+
+}  // namespace
+
+std::size_t serve_session(std::istream& in, std::ostream& out,
+                          const ServeConfig& config) {
+  Session session(out, config);
+  return run_session(in, session);
+}
+
+std::size_t serve_listen(const std::string& endpoint,
+                         const ServeConfig& config, std::ostream& announce,
+                         std::size_t max_sessions) {
+  // A client that disconnects mid-response must surface as a failed
+  // write(), not a process-killing SIGPIPE.
+  static std::once_flag ignore_sigpipe;
+  std::call_once(ignore_sigpipe, [] { ::signal(SIGPIPE, SIG_IGN); });
+
+  std::string host;
+  int port = 0;
+  const int listen_fd = bind_listener(endpoint, host, port);
+  announce << "listening on " << host << ":" << port << "\n";
+  announce.flush();
+
+  // The one warm service every session shares — the point of the
+  // listener: caches and worker threads stay hot across coordinators.
+  PlanningService service(config.threads, PlannerRegistry::instance(),
+                          config.cache);
+
+  std::mutex mutex;  // guards `answered` and `finished`
+  std::size_t answered = 0;
+  std::vector<std::thread::id> finished;
+  std::vector<std::thread> sessions;
+  const auto reap = [&] {
+    std::vector<std::thread::id> ids;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ids.swap(finished);
+    }
+    for (const std::thread::id id : ids) {
+      for (auto it = sessions.begin(); it != sessions.end(); ++it) {
+        if (it->get_id() != id) continue;
+        it->join();
+        sessions.erase(it);
+        break;
+      }
+    }
+  };
+
+  std::size_t accepted = 0;
+  while (max_sessions == 0 || accepted < max_sessions) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener torn down under us
+    }
+    ::fcntl(client, F_SETFD, FD_CLOEXEC);
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ++accepted;
+    reap();  // bound the live-thread set before growing it
+    sessions.emplace_back([client, &service, &config, &mutex, &answered,
+                           &finished] {
+      std::size_t count = 0;
+      {
+        FdStreamBuf in_buf(client);
+        FdStreamBuf out_buf(client);
+        std::istream in(&in_buf);
+        std::ostream out(&out_buf);
+        Session session(out, config, service);
+        count = run_session(in, session);
+      }
+      ::close(client);
+      std::lock_guard<std::mutex> lock(mutex);
+      answered += count;
+      finished.push_back(std::this_thread::get_id());
+    });
+  }
+  ::close(listen_fd);
+  for (std::thread& session : sessions) session.join();
+  return answered;
 }
 
 }  // namespace adept::io

@@ -56,6 +56,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <string>
 
 #include "planner/cache_config.hpp"
 
@@ -87,5 +88,21 @@ struct ServeConfig {
 /// responses — only on unrecoverable stream failures.
 std::size_t serve_session(std::istream& in, std::ostream& out,
                           const ServeConfig& config = {});
+
+/// TCP serve: binds `endpoint` ("host:port"; port 0 picks an ephemeral
+/// port), announces the bound endpoint on `announce` as exactly one line
+/// `listening on <host>:<port>` (flushed — process supervisors and
+/// dist::ServeListener scrape it), then runs one JSON-lines session per
+/// accepted connection, concurrently. All sessions share ONE warm
+/// PlanningService, so plan/shard caches stay hot across the many
+/// coordinators a single serve process backs; a session ends when its
+/// client disconnects or sends `quit` (the process keeps serving).
+/// `max_sessions` > 0 returns after that many sessions have *completed*
+/// (deterministic teardown for tests and benches); 0 accepts until the
+/// process dies. Returns the total planning requests answered across
+/// sessions. Throws adept::Error when the endpoint cannot be bound.
+std::size_t serve_listen(const std::string& endpoint,
+                         const ServeConfig& config, std::ostream& announce,
+                         std::size_t max_sessions = 0);
 
 }  // namespace adept::io

@@ -5,7 +5,9 @@
 #include "planner/sharded.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <iterator>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -180,6 +182,229 @@ StitchOutcome stitch_children(const Platform& platform,
   return out;
 }
 
+/// The streaming stitch engine behind plan_sharded_streamed(). The whole
+/// recursive stitch tree — which consecutive slots group at which level,
+/// with which node-id region — is a pure function of (canonical
+/// partition, fanout) computed up front, using the same balanced-group
+/// arithmetic as the historical batch loop. Leaf plans are then routed
+/// in as they arrive: the thread delivering a group's last child claims
+/// that group's stitch (outside the lock — stitching is the expensive
+/// part and owns only that group's children) and cascades the group plan
+/// upward. Because every group stitch is a pure function of its child
+/// plans, completion order cannot influence any result bit — only how
+/// much stitch work overlaps the still-running leaf planners.
+class StreamingStitch {
+ public:
+  StreamingStitch(const Platform& platform, const MiddlewareParams& params,
+                  const ServiceSpec& service, const PlanOptions& options,
+                  const std::vector<std::vector<NodeId>>& leaf_regions,
+                  std::size_t fanout)
+      : platform_(platform), params_(params), service_(service),
+        options_(options), group_options_(options),
+        leaf_count_(leaf_regions.size()), delivered_(leaf_regions.size()) {
+    group_options_.verbose_trace = false;  // intermediate traces don't travel
+    if (options_.verbose_trace) {
+      std::string shape =
+          "sharded: " + std::to_string(leaf_count_) + " shards (";
+      for (std::size_t s = 0; s < leaf_count_; ++s)
+        shape += (s > 0 ? "+" : "") + std::to_string(leaf_regions[s].size());
+      shape += " nodes)";
+      shape_line_ = std::move(shape);
+      shard_lines_.resize(leaf_count_);
+    }
+    // Precompute the levels with the batch loop's exact arithmetic, so
+    // the tree shape (and therefore every stitch input) is bit-for-bit
+    // the historical one.
+    std::vector<std::vector<NodeId>> regions = leaf_regions;
+    std::size_t n = regions.size();
+    std::size_t level_number = 1;
+    while (n > fanout) {
+      const std::size_t groups = (n + fanout - 1) / fanout;
+      Level level;
+      level.consumer_of.resize(n);
+      level.nodes.reserve(groups);
+      std::vector<std::vector<NodeId>> merged;
+      merged.reserve(groups);
+      for (std::size_t g = 0; g < groups; ++g) {
+        Node node;
+        node.begin = g * n / groups;
+        node.end = (g + 1) * n / groups;
+        std::vector<NodeId> region;
+        for (std::size_t s = node.begin; s < node.end; ++s)
+          region.insert(region.end(), regions[s].begin(), regions[s].end());
+        std::sort(region.begin(), region.end());
+        node.region = region;
+        node.children.resize(node.end - node.begin);
+        node.missing = node.end - node.begin;
+        for (std::size_t s = node.begin; s < node.end; ++s)
+          level.consumer_of[s] = g;
+        level.nodes.push_back(std::move(node));
+        merged.push_back(std::move(region));
+      }
+      levels_.push_back(std::move(level));
+      regions = std::move(merged);
+      n = regions.size();
+      ++level_number;
+      if (options_.verbose_trace)
+        level_lines_.push_back("stitch level " + std::to_string(level_number) +
+                               ": " + std::to_string(n) + " groups of <= " +
+                               std::to_string(fanout) + " children");
+    }
+    top_plans_.resize(n);
+    top_missing_ = n;
+  }
+
+  /// The ShardResultSink: thread-safe, exactly-once per shard.
+  void deliver(std::size_t shard, PlanResult plan) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ADEPT_CHECK(shard < leaf_count_, "leaf planner delivered shard " +
+                                           std::to_string(shard) + " of " +
+                                           std::to_string(leaf_count_));
+      ADEPT_CHECK(!delivered_[shard], "leaf planner delivered shard " +
+                                          std::to_string(shard) + " twice");
+      delivered_[shard] = true;
+      if (options_.verbose_trace)
+        shard_lines_[shard] =
+            "shard " + std::to_string(shard) + ": " +
+            std::to_string(plan.hierarchy.size()) +
+            " nodes deployed, predicted " +
+            std::to_string(plan.report.overall) + " req/s";
+    }
+    route(0, shard, std::move(plan));
+  }
+
+  /// Top-level stitch + trace assembly; call on the coordinating thread
+  /// after the leaf stream returned. Rethrows any group-stitch failure.
+  PlanResult finalize() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (failure_ != nullptr) std::rethrow_exception(failure_);
+      ADEPT_CHECK(top_missing_ == 0,
+                  "leaf planner did not deliver every shard");
+    }
+    StitchOutcome top =
+        stitch_children(platform_, params_, service_, options_, top_plans_);
+    PlanResult result = std::move(top.result);
+    std::vector<std::string> trace;
+    if (options_.verbose_trace) {
+      trace.push_back(std::move(shape_line_));
+      for (std::string& line : shard_lines_)
+        trace.push_back(std::move(line));
+      for (std::string& line : level_lines_)
+        trace.push_back(std::move(line));
+      trace.push_back("stitch: " + top.detail + ", predicted " +
+                      std::to_string(top.stitched_objective.rho) + " req/s");
+      trace.push_back(
+          top.kept_stitched
+              ? "repair: accepted stitched plan at " +
+                    std::to_string(result.report.overall) + " req/s"
+              : "repair: stitched plan lost to shard " +
+                    std::to_string(top.best_child) +
+                    " alone; returning the shard plan");
+      trace.insert(trace.end(),
+                   std::make_move_iterator(result.trace.begin()),
+                   std::make_move_iterator(result.trace.end()));
+    }
+    result.trace = std::move(trace);
+    return result;
+  }
+
+ private:
+  /// One stitch-tree node: a balanced run of consecutive slots of the
+  /// level below.
+  struct Node {
+    std::size_t begin = 0;       ///< First child slot (inclusive).
+    std::size_t end = 0;         ///< Last child slot (exclusive).
+    std::vector<NodeId> region;  ///< Sorted platform ids it covers.
+    std::vector<PlanResult> children;  ///< Filled as children complete.
+    std::size_t missing = 0;     ///< Children not yet delivered.
+  };
+  struct Level {
+    std::vector<Node> nodes;
+    /// Which node of this level consumes each slot of the level below.
+    std::vector<std::size_t> consumer_of;
+  };
+
+  /// Hands `plan` (the result for `slot` of slot-level `level`) to its
+  /// consumer; when that completes a group, stitches it and climbs.
+  void route(std::size_t level, std::size_t slot, PlanResult plan) {
+    for (;;) {
+      if (level == levels_.size()) {  // a child of the top-level stitch
+        std::lock_guard<std::mutex> lock(mutex_);
+        top_plans_[slot] = std::move(plan);
+        --top_missing_;
+        return;
+      }
+      Level& consumers = levels_[level];
+      const std::size_t g = consumers.consumer_of[slot];
+      Node& node = consumers.nodes[g];
+      bool complete = false;
+      bool poisoned = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        node.children[slot - node.begin] = std::move(plan);
+        complete = (--node.missing == 0);
+        poisoned = failure_ != nullptr;
+      }
+      if (!complete || poisoned) return;  // finalize() reports a failure
+      try {
+        plan = stitch_node(node);
+      } catch (...) {
+        // A group stitch failing (deadline mid-repair, cancellation) is
+        // the request's failure, not a worker's: park it for finalize().
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (failure_ == nullptr) failure_ = std::current_exception();
+        return;
+      }
+      slot = g;
+      ++level;
+    }
+  }
+
+  /// The batch loop's group stitch, verbatim: single-child groups pass
+  /// through; otherwise remap the children into the region sub-platform,
+  /// stitch + repair there, remap back, drop the intermediate trace.
+  PlanResult stitch_node(Node& node) {
+    if (node.children.size() == 1) return std::move(node.children.front());
+    const std::vector<NodeId>& region = node.region;
+    const Platform sub = platform_.subset(region);
+    auto local_of = [&region](NodeId id) {
+      return static_cast<NodeId>(
+          std::lower_bound(region.begin(), region.end(), id) -
+          region.begin());
+    };
+    for (PlanResult& child : node.children)
+      for (Hierarchy::Index e = 0; e < child.hierarchy.size(); ++e)
+        child.hierarchy.replace_node(e,
+                                     local_of(child.hierarchy.node_of(e)));
+    StitchOutcome group =
+        stitch_children(sub, params_, service_, group_options_,
+                        node.children);
+    for (Hierarchy::Index e = 0; e < group.result.hierarchy.size(); ++e)
+      group.result.hierarchy.replace_node(
+          e, region[group.result.hierarchy.node_of(e)]);
+    group.result.trace.clear();
+    return std::move(group.result);
+  }
+
+  const Platform& platform_;
+  const MiddlewareParams& params_;
+  const ServiceSpec& service_;
+  const PlanOptions& options_;
+  PlanOptions group_options_;
+  std::size_t leaf_count_;
+  std::mutex mutex_;  ///< Guards delivery bookkeeping (not the stitches).
+  std::vector<bool> delivered_;
+  std::vector<Level> levels_;
+  std::vector<PlanResult> top_plans_;
+  std::size_t top_missing_ = 0;
+  std::exception_ptr failure_;
+  std::string shape_line_;
+  std::vector<std::string> shard_lines_;
+  std::vector<std::string> level_lines_;
+};
+
 }  // namespace
 
 PlanResult plan_sharded_with(const Platform& platform,
@@ -189,16 +414,43 @@ PlanResult plan_sharded_with(const Platform& platform,
                              const plat::Partition& partition,
                              std::size_t stitch_fanout,
                              const ShardLeafBatchFn& plan_leaves) {
+  ADEPT_CHECK(plan_leaves != nullptr, "plan_sharded_with needs a leaf planner");
+  // Batch adapter over the streaming core: obtain the whole batch, then
+  // deliver ascending. Identity with the streaming path is therefore by
+  // construction — both feed the same engine, which does not care about
+  // arrival order.
+  return plan_sharded_streamed(
+      platform, params, service, options, partition, stitch_fanout,
+      [&plan_leaves](const std::vector<std::vector<NodeId>>& leaves,
+                     const ShardResultSink& ready) {
+        std::vector<PlanResult> plans = plan_leaves(leaves);
+        ADEPT_CHECK(plans.size() == leaves.size(),
+                    "leaf planner returned " + std::to_string(plans.size()) +
+                        " plans for " + std::to_string(leaves.size()) +
+                        (leaves.size() == 1 ? " shard" : " shards"));
+        for (std::size_t s = 0; s < plans.size(); ++s)
+          ready(s, std::move(plans[s]));
+      });
+}
+
+PlanResult plan_sharded_streamed(const Platform& platform,
+                                 const MiddlewareParams& params,
+                                 const ServiceSpec& service,
+                                 const PlanOptions& options,
+                                 const plat::Partition& partition,
+                                 std::size_t stitch_fanout,
+                                 const ShardLeafStreamFn& plan_leaves) {
   ADEPT_CHECK(platform.size() >= 2, "a deployment needs at least two nodes");
   ADEPT_CHECK(options.demand > 0.0, "client demand must be positive");
   ADEPT_CHECK(options.excluded.empty(),
               "plan_sharded expects exclusion to be applied by the registry "
               "wrapper (plan on the surviving sub-platform)");
   ADEPT_CHECK(stitch_fanout >= 2, "stitch fanout must be at least 2");
-  ADEPT_CHECK(plan_leaves != nullptr, "plan_sharded_with needs a leaf planner");
+  ADEPT_CHECK(plan_leaves != nullptr,
+              "plan_sharded_streamed needs a leaf planner");
   params.validate();
 
-  // Canonical shard order: the stitch below merges results in this
+  // Canonical shard order: the stitch tree merges results in this
   // order, so two partitions differing only in shard ordering produce
   // bit-identical plans.
   plat::Partition shards = partition;
@@ -209,13 +461,15 @@ PlanResult plan_sharded_with(const Platform& platform,
                   std::to_string(platform.size()) + " nodes)");
   (void)shards.shard_of(platform.size());  // throws on overlapping shards
 
-  PlanResult result;
   if (shards.size() <= 1) {
-    std::vector<PlanResult> plans = plan_leaves(shards.shards);
-    ADEPT_CHECK(plans.size() == 1, "leaf planner returned " +
-                                       std::to_string(plans.size()) +
-                                       " plans for 1 shard");
-    result = std::move(plans[0]);
+    std::optional<PlanResult> only;
+    plan_leaves(shards.shards, [&only](std::size_t s, PlanResult plan) {
+      ADEPT_CHECK(s == 0 && !only.has_value(),
+                  "leaf planner delivered an unexpected shard");
+      only = std::move(plan);
+    });
+    ADEPT_CHECK(only.has_value(), "leaf planner did not deliver the shard");
+    PlanResult result = std::move(*only);
     if (options.verbose_trace)
       result.trace.insert(result.trace.begin(),
                           "sharded: single shard, planning monolithically");
@@ -228,114 +482,17 @@ PlanResult plan_sharded_with(const Platform& platform,
                                        "one of " +
                                        std::to_string(shard.size()) + ")");
 
-  // --- per-shard plans, in one batch, bit-identical for any executor ---
-  std::vector<PlanResult> plans = plan_leaves(shards.shards);
-  ADEPT_CHECK(plans.size() == shards.size(),
-              "leaf planner returned " + std::to_string(plans.size()) +
-                  " plans for " + std::to_string(shards.size()) + " shards");
-
-  std::vector<std::string> trace;
-  if (options.verbose_trace) {
-    std::string shape =
-        "sharded: " + std::to_string(shards.size()) + " shards (";
-    for (std::size_t s = 0; s < shards.size(); ++s)
-      shape += (s > 0 ? "+" : "") + std::to_string(shards.shards[s].size());
-    shape += " nodes)";
-    trace.push_back(std::move(shape));
-    for (std::size_t s = 0; s < shards.size(); ++s)
-      trace.push_back("shard " + std::to_string(s) + ": " +
-                      std::to_string(plans[s].hierarchy.size()) +
-                      " nodes deployed, predicted " +
-                      std::to_string(plans[s].report.overall) + " req/s");
-  }
-
-  // --- recursive stitch levels -----------------------------------------
-  // More shards than the fanout: group consecutive canonical shards into
-  // balanced runs, stitch + repair each group on its own sub-platform,
-  // and let the group plans meet at the next level. Grouping follows the
-  // canonical shard order, so the tree shape — like everything else here
-  // — is a pure function of the platform content. The per-level quality
-  // floor makes the guarantee transitive: the final plan is never worse
-  // than the best leaf shard alone.
-  std::vector<std::vector<NodeId>> region_ids = shards.shards;
-  std::size_t levels = 1;
-  PlanOptions group_options = options;
-  group_options.verbose_trace = false;  // intermediate traces don't travel
-  while (plans.size() > stitch_fanout) {
-    const std::size_t n = plans.size();
-    const std::size_t groups = (n + stitch_fanout - 1) / stitch_fanout;
-    std::vector<PlanResult> merged_plans;
-    std::vector<std::vector<NodeId>> merged_ids;
-    merged_plans.reserve(groups);
-    merged_ids.reserve(groups);
-    for (std::size_t g = 0; g < groups; ++g) {
-      const std::size_t begin = g * n / groups;
-      const std::size_t end = (g + 1) * n / groups;
-      std::vector<NodeId> region;
-      for (std::size_t s = begin; s < end; ++s)
-        region.insert(region.end(), region_ids[s].begin(),
-                      region_ids[s].end());
-      std::sort(region.begin(), region.end());
-      if (end - begin == 1) {  // a group of one child passes through
-        merged_plans.push_back(std::move(plans[begin]));
-        merged_ids.push_back(std::move(region));
-        continue;
-      }
-      const Platform sub = platform.subset(region);
-      // Child hierarchies use platform ids; the group stitch runs on the
-      // region sub-platform, so remap in (ids are positions in `region`)
-      // and back out after.
-      auto local_of = [&region](NodeId id) {
-        return static_cast<NodeId>(
-            std::lower_bound(region.begin(), region.end(), id) -
-            region.begin());
-      };
-      std::vector<PlanResult> children;
-      children.reserve(end - begin);
-      for (std::size_t s = begin; s < end; ++s) {
-        PlanResult child = std::move(plans[s]);
-        for (Hierarchy::Index e = 0; e < child.hierarchy.size(); ++e)
-          child.hierarchy.replace_node(e,
-                                       local_of(child.hierarchy.node_of(e)));
-        children.push_back(std::move(child));
-      }
-      StitchOutcome group =
-          stitch_children(sub, params, service, group_options, children);
-      for (Hierarchy::Index e = 0; e < group.result.hierarchy.size(); ++e)
-        group.result.hierarchy.replace_node(
-            e, region[group.result.hierarchy.node_of(e)]);
-      group.result.trace.clear();
-      merged_plans.push_back(std::move(group.result));
-      merged_ids.push_back(std::move(region));
-    }
-    plans = std::move(merged_plans);
-    region_ids = std::move(merged_ids);
-    ++levels;
-    if (options.verbose_trace)
-      trace.push_back("stitch level " + std::to_string(levels) + ": " +
-                      std::to_string(plans.size()) + " groups of <= " +
-                      std::to_string(stitch_fanout) + " children");
-  }
-
-  // --- top-level stitch + repair + floor -------------------------------
-  StitchOutcome top = stitch_children(platform, params, service, options,
-                                      plans);
-  result = std::move(top.result);
-
-  if (options.verbose_trace) {
-    trace.push_back("stitch: " + top.detail + ", predicted " +
-                    std::to_string(top.stitched_objective.rho) + " req/s");
-    trace.push_back(top.kept_stitched
-                        ? "repair: accepted stitched plan at " +
-                              std::to_string(result.report.overall) + " req/s"
-                        : "repair: stitched plan lost to shard " +
-                              std::to_string(top.best_child) +
-                              " alone; returning the shard plan");
-    trace.insert(trace.end(), std::make_move_iterator(result.trace.begin()),
-                 std::make_move_iterator(result.trace.end()));
-  }
-  result.trace = std::move(trace);
-  return result;
+  // --- streamed per-shard plans, stitched as groups complete -----------
+  // The engine holds the whole recursive-stitch state; the leaf stream
+  // pushes shard plans in whatever order they finish (see the engine's
+  // comment for why order cannot matter), and only the top-level stitch
+  // waits for the stream to end.
+  StreamingStitch engine(platform, params, service, options, shards.shards,
+                         stitch_fanout);
+  plan_leaves(shards.shards, [&engine](std::size_t shard, PlanResult plan) {
+    engine.deliver(shard, std::move(plan));
+  });
+  return engine.finalize();
 }
 
 PlanResult plan_sharded(const Platform& platform,

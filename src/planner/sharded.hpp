@@ -61,6 +61,24 @@ inline constexpr const char* kShardLeafPlanner = "heuristic";
 using ShardLeafBatchFn = std::function<std::vector<PlanResult>(
     const std::vector<std::vector<NodeId>>&)>;
 
+/// Per-shard completion sink of the streaming sharded core: called
+/// exactly once per leaf shard — from any thread, in any completion
+/// order — with the shard's index in the canonical partition and its
+/// plan (hierarchy already in platform node ids). Thread-safe; cheap
+/// unless the delivery completes a stitch group, in which case the
+/// delivering thread runs that group's stitch + repair before returning
+/// (that is the point: group stitches overlap the shards still being
+/// planned).
+using ShardResultSink = std::function<void(std::size_t, PlanResult)>;
+
+/// Streaming leaf planner of the sharded core: must deliver every leaf
+/// shard's plan through `ready` exactly once, in any order and from any
+/// threads, and return only after all deliveries have completed. The
+/// distributed Coordinator implements this over its worker fleet —
+/// responses stream into the stitch straight off the drain threads.
+using ShardLeafStreamFn = std::function<void(
+    const std::vector<std::vector<NodeId>>&, const ShardResultSink&)>;
+
 /// Plans `platform` shard-by-shard over an explicit `partition` and
 /// stitches the result (see the file comment for the algorithm). The
 /// entry point the registry's "sharded" planner calls after resolving
@@ -92,6 +110,27 @@ PlanResult plan_sharded_with(const Platform& platform,
                              const plat::Partition& partition,
                              std::size_t stitch_fanout,
                              const ShardLeafBatchFn& plan_leaves);
+
+/// The streaming sharded core — the engine plan_sharded_with() is a
+/// batch adapter over. The stitch tree (balanced consecutive groups,
+/// ≤ `stitch_fanout` children per node) is precomputed from the
+/// canonical partition alone; as `plan_leaves` delivers shard plans, the
+/// delivering thread stitches + repairs any group whose children just
+/// completed and cascades the group plan upward, so intermediate stitch
+/// levels run while later shards are still being planned. Only the top-
+/// level stitch (which needs every input) runs after `plan_leaves`
+/// returns, on the calling thread. Determinism rule #7: because each
+/// group's stitch is a pure function of its child plans and groups
+/// follow the canonical shard order, the result is bit-identical to the
+/// batch path — and to the local `sharded` planner — for ANY arrival
+/// order. All validation of plan_sharded() applies.
+PlanResult plan_sharded_streamed(const Platform& platform,
+                                 const MiddlewareParams& params,
+                                 const ServiceSpec& service,
+                                 const PlanOptions& options,
+                                 const plat::Partition& partition,
+                                 std::size_t stitch_fanout,
+                                 const ShardLeafStreamFn& plan_leaves);
 
 /// Factory for the registry entry ("sharded", demand- and shard-aware).
 /// Called by PlannerRegistry::instance() when the built-ins register.

@@ -1,0 +1,253 @@
+#pragma once
+/// \file dist_test_util.hpp
+/// \brief Helpers shared by the distributed-tier suites (test_dist.cpp,
+/// test_dist_socket.cpp): the reference platform/request builders, the
+/// bit-identity matcher, the rigged-subprocess fault commands, and a
+/// scriptable in-process TCP server for socket fault injection.
+///
+/// Every including target must define ADEPT_CLI_BINARY (the CMake lists
+/// add the compile definition plus a dependency on the `adept` target)
+/// so the helpers can spawn genuine serve workers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "model/parameters.hpp"
+#include "planner/planner.hpp"
+#include "planner/request.hpp"
+#include "platform/generator.hpp"
+
+namespace adept::dist_test {
+
+inline const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
+
+inline Platform multi_cluster(std::size_t count, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  return gen::grid5000_multi_cluster(count, rng);
+}
+
+inline PlanRequest make_request(const Platform& platform,
+                                PlanOptions options = {}) {
+  return PlanRequest(platform, kParams, dgemm_service(310),
+                     std::move(options));
+}
+
+/// The tier's acceptance contract, member by member: hierarchy, every
+/// report field, and the trace must match bit for bit.
+inline void expect_identical(const PlanResult& a, const PlanResult& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.hierarchy, b.hierarchy) << what;
+  EXPECT_EQ(a.report.overall, b.report.overall) << what;
+  EXPECT_EQ(a.report.sched, b.report.sched) << what;
+  EXPECT_EQ(a.report.service, b.report.service) << what;
+  EXPECT_EQ(a.report.bottleneck, b.report.bottleneck) << what;
+  EXPECT_EQ(a.trace, b.trace) << what;
+}
+
+/// A rigged worker command: bash running `script` with its stdin/stdout
+/// on the coordinator's pipes.
+inline std::vector<std::string> shell(const std::string& script) {
+  return {"bash", "-c", script};
+}
+
+/// The real thing: the built CLI in serve mode, one worker thread, no
+/// cache (a worker must plan, not remember).
+inline std::vector<std::string> serve_command() {
+  return {ADEPT_CLI_BINARY, "serve", "--jobs", "1", "--cache", "0"};
+}
+
+/// The real thing over TCP: the built CLI in listen mode on an ephemeral
+/// loopback port — hand this to dist::ServeListener, which scrapes the
+/// announced endpoint.
+inline std::vector<std::string> serve_listen_command(std::size_t jobs = 1) {
+  return {ADEPT_CLI_BINARY, "serve",    "--listen", "127.0.0.1:0",
+          "--jobs",         std::to_string(jobs),   "--cache",  "0"};
+}
+
+/// A worker that answers exactly one request and then dies — the
+/// crash-storm workhorse: every dispatch round makes progress, every
+/// round also loses the whole fleet.
+inline std::vector<std::string> answer_one_then_die() {
+  return shell(std::string("head -n 1 | exec ") + ADEPT_CLI_BINARY +
+               " serve --jobs 1 --cache 0");
+}
+
+/// A sentinel-file-gated worker: crashes on its first request while the
+/// sentinel exists, is a genuine serve worker once it is gone — lets a
+/// test (and the chaos bench) switch a storm on and off mid-fleet.
+inline std::vector<std::string> storm_gated_worker(
+    const std::string& sentinel) {
+  return shell("if [ -e '" + sentinel + "' ]; then read -r _line; exit 1; " +
+               "else exec " + ADEPT_CLI_BINARY + " serve --jobs 1 --cache 0; "
+               "fi");
+}
+
+inline std::string sentinel_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("adept_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+inline void touch(const std::string& path) {
+  std::ofstream(path) << "storm\n";
+}
+
+// ------------------------------------------------ socket fault rigging --
+
+/// Writes all of `data`, ignoring EINTR; returns false once the peer is
+/// gone (fault handlers keep dribbling until the client hangs up).
+inline bool write_all(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking single-line read (newline stripped); false on EOF/error.
+/// Fault handlers use it to consume a request before misbehaving.
+inline bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    if (c == '\n') return true;
+    line.push_back(c);
+  }
+}
+
+/// A scriptable TCP server on an ephemeral loopback port: every accepted
+/// connection runs `handler(fd)` on its own thread (the fd is closed
+/// after the handler returns). This is the socket-side analogue of the
+/// `shell(...)` rigged subprocess — misbehaving "serve" endpoints for
+/// fault-injection tests, without a process to spawn.
+class FakeTcpServer {
+ public:
+  using Handler = std::function<void(int fd)>;
+
+  explicit FakeTcpServer(Handler handler) : handler_(std::move(handler)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ADEPT_CHECK(listen_fd_ >= 0, "FakeTcpServer: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    ADEPT_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "FakeTcpServer: bind() failed");
+    socklen_t len = sizeof(addr);
+    ADEPT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                              &len) == 0,
+                "FakeTcpServer: getsockname() failed");
+    endpoint_ = "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+    ADEPT_CHECK(::listen(listen_fd_, 16) == 0,
+                "FakeTcpServer: listen() failed");
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  FakeTcpServer(const FakeTcpServer&) = delete;
+  FakeTcpServer& operator=(const FakeTcpServer&) = delete;
+
+  ~FakeTcpServer() {
+    stopping_.store(true);
+    // Closing the listening socket unblocks accept(); shutdown first for
+    // platforms where close alone does not wake the acceptor.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (acceptor_.joinable()) acceptor_.join();
+    std::vector<std::thread> sessions;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sessions.swap(sessions_);
+    }
+    for (std::thread& session : sessions)
+      if (session.joinable()) session.join();
+  }
+
+  /// "127.0.0.1:<port>" — feed straight to dist::SocketTransport.
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Connections accepted so far.
+  std::size_t connections() const { return connections_.load(); }
+
+ private:
+  void accept_loop() {
+    while (!stopping_.load()) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener closed — shutting down
+      }
+      ++connections_;
+      std::lock_guard<std::mutex> lock(mutex_);
+      sessions_.emplace_back([this, fd] {
+        handler_(fd);
+        ::close(fd);
+      });
+    }
+  }
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::string endpoint_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> connections_{0};
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::vector<std::thread> sessions_;
+};
+
+/// An endpoint that refuses connections: bind + listen on an ephemeral
+/// port, then close — the kernel rejects what nobody accepts. Returns
+/// the dead "host:port".
+inline std::string refused_endpoint() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ADEPT_CHECK(fd >= 0, "refused_endpoint: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ADEPT_CHECK(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "refused_endpoint: bind() failed");
+  socklen_t len = sizeof(addr);
+  ADEPT_CHECK(
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+      "refused_endpoint: getsockname() failed");
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+  ::close(fd);
+  return endpoint;
+}
+
+}  // namespace adept::dist_test

@@ -7,22 +7,23 @@
 ///
 /// Pipe-based tests spawn real subprocesses: shell one-liners rig the
 /// faults, and ADEPT_CLI_BINARY (a compile definition pointing at the
-/// built `adept` binary) provides genuine serve workers.
+/// built `adept` binary) provides genuine serve workers. The platform,
+/// request, fault-command and identity helpers live in
+/// tests/dist_test_util.hpp, shared with the socket suite.
 
 #include "dist/coordinator.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
-
-#include <unistd.h>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -30,11 +31,11 @@
 #include "dist/supervisor.hpp"
 #include "dist/transport.hpp"
 #include "dist/worker_pool.hpp"
+#include "dist_test_util.hpp"
 #include "planner/planner.hpp"
 #include "planner/shard_cache.hpp"
 #include "planner/sharded.hpp"
 #include "planning_test_util.hpp"
-#include "platform/generator.hpp"
 #include "platform/partition.hpp"
 
 namespace adept {
@@ -42,65 +43,7 @@ namespace {
 
 using test_util::run_planner;
 using namespace dist;
-
-const MiddlewareParams kParams = MiddlewareParams::diet_grid5000();
-
-Platform multi_cluster(std::size_t count, std::uint64_t seed = 42) {
-  Rng rng(seed);
-  return gen::grid5000_multi_cluster(count, rng);
-}
-
-PlanRequest make_request(const Platform& platform, PlanOptions options = {}) {
-  return PlanRequest(platform, kParams, dgemm_service(310),
-                     std::move(options));
-}
-
-void expect_identical(const PlanResult& a, const PlanResult& b,
-                      const std::string& what) {
-  EXPECT_EQ(a.hierarchy, b.hierarchy) << what;
-  EXPECT_EQ(a.report.overall, b.report.overall) << what;
-  EXPECT_EQ(a.report.sched, b.report.sched) << what;
-  EXPECT_EQ(a.report.service, b.report.service) << what;
-  EXPECT_EQ(a.report.bottleneck, b.report.bottleneck) << what;
-  EXPECT_EQ(a.trace, b.trace) << what;
-}
-
-/// A rigged worker command: bash running `script` with its stdin/stdout
-/// on the coordinator's pipes.
-std::vector<std::string> shell(const std::string& script) {
-  return {"bash", "-c", script};
-}
-
-/// The real thing: the built CLI in serve mode, one worker thread, no
-/// cache (a worker must plan, not remember).
-std::vector<std::string> serve_command() {
-  return {ADEPT_CLI_BINARY, "serve", "--jobs", "1", "--cache", "0"};
-}
-
-/// A worker that answers exactly one request and then dies — the
-/// crash-storm workhorse: every dispatch round makes progress, every
-/// round also loses the whole fleet.
-std::vector<std::string> answer_one_then_die() {
-  return shell(std::string("head -n 1 | exec ") + ADEPT_CLI_BINARY +
-               " serve --jobs 1 --cache 0");
-}
-
-/// A sentinel-file-gated worker: crashes on its first request while the
-/// sentinel exists, is a genuine serve worker once it is gone — lets a
-/// test (and the chaos bench) switch a storm on and off mid-fleet.
-std::vector<std::string> storm_gated_worker(const std::string& sentinel) {
-  return shell("if [ -e '" + sentinel + "' ]; then read -r _line; exit 1; " +
-               "else exec " + ADEPT_CLI_BINARY + " serve --jobs 1 --cache 0; "
-               "fi");
-}
-
-std::string sentinel_path(const std::string& tag) {
-  return (std::filesystem::temp_directory_path() /
-          ("adept_" + tag + "_" + std::to_string(::getpid())))
-      .string();
-}
-
-void touch(const std::string& path) { std::ofstream(path) << "storm\n"; }
+using namespace dist_test;
 
 // ------------------------------------------------------- bit-identity --
 
@@ -198,6 +141,162 @@ TEST(Dist, RecursiveStitchMatchesTheLocalCoreAtTheSameFanout) {
       coordinator.plan(make_request(platform, options));
   expect_identical(distributed, local, "recursive stitch, fanout 3");
   EXPECT_TRUE(distributed.hierarchy.validate().empty());
+}
+
+// ----------------------------------------------------- streaming stitch --
+
+/// Serial reference leaf plans in platform ids, one per shard — the
+/// exact computation the local sharded core's leaf path runs.
+std::vector<PlanResult> serial_leaf_plans(
+    const Platform& platform, const PlanOptions& options,
+    const std::vector<std::vector<NodeId>>& leaves) {
+  std::vector<PlanResult> plans;
+  plans.reserve(leaves.size());
+  for (const std::vector<NodeId>& ids : leaves) {
+    const Platform sub = platform.subset(ids);
+    PlanResult plan = plan_heterogeneous(sub, kParams, dgemm_service(310),
+                                         options.demand, nullptr, &options);
+    for (Hierarchy::Index e = 0; e < plan.hierarchy.size(); ++e)
+      plan.hierarchy.replace_node(e, ids[plan.hierarchy.node_of(e)]);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+TEST(Dist, StreamedArrivalOrderCannotChangeTheResult) {
+  // Determinism rule #7, streaming extension: the stitch folds shard
+  // plans in whatever order they arrive, and the result — hierarchy,
+  // report, trace — must be bit-identical to the batch path for every
+  // ordering. 9 shards over fanout 3 force recursive stitch levels, so
+  // out-of-order arrival exercises group completion mid-stream.
+  const Platform platform = multi_cluster(160);
+  PlanOptions options;
+  options.shards = 9;
+  const plat::Partition partition = plat::partition_platform(platform, 9);
+  const auto batch_fn =
+      [&platform, &options](const std::vector<std::vector<NodeId>>& leaves) {
+        return serial_leaf_plans(platform, options, leaves);
+      };
+  const PlanResult batch =
+      plan_sharded_with(platform, kParams, dgemm_service(310), options,
+                        partition, 3, batch_fn);
+
+  for (int mode = 0; mode < 3; ++mode) {
+    const auto stream_fn =
+        [&platform, &options, mode](
+            const std::vector<std::vector<NodeId>>& leaves,
+            const ShardResultSink& ready) {
+          std::vector<PlanResult> plans =
+              serial_leaf_plans(platform, options, leaves);
+          std::vector<std::size_t> order(plans.size());
+          for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+          if (mode == 0) {
+            std::reverse(order.begin(), order.end());
+          } else if (mode == 1) {
+            std::rotate(order.begin(), order.begin() + order.size() / 2,
+                        order.end());
+          } else {
+            std::mt19937 rng(20080615);
+            std::shuffle(order.begin(), order.end(), rng);
+          }
+          for (const std::size_t i : order) ready(i, std::move(plans[i]));
+        };
+    const PlanResult streamed =
+        plan_sharded_streamed(platform, kParams, dgemm_service(310), options,
+                              partition, 3, stream_fn);
+    expect_identical(streamed, batch, "arrival order " + std::to_string(mode));
+  }
+}
+
+TEST(Dist, StreamedConcurrentDeliveryIsBitIdentical) {
+  // Every shard delivered from its own racing thread: the engine's
+  // internal synchronisation must serialize group completion without
+  // letting the schedule leak into the result.
+  const Platform platform = multi_cluster(160);
+  PlanOptions options;
+  options.shards = 9;
+  const plat::Partition partition = plat::partition_platform(platform, 9);
+  const auto batch_fn =
+      [&platform, &options](const std::vector<std::vector<NodeId>>& leaves) {
+        return serial_leaf_plans(platform, options, leaves);
+      };
+  const PlanResult batch =
+      plan_sharded_with(platform, kParams, dgemm_service(310), options,
+                        partition, 3, batch_fn);
+  const auto stream_fn =
+      [&platform, &options](const std::vector<std::vector<NodeId>>& leaves,
+                            const ShardResultSink& ready) {
+        std::vector<PlanResult> plans =
+            serial_leaf_plans(platform, options, leaves);
+        std::vector<std::thread> threads;
+        threads.reserve(plans.size());
+        for (std::size_t s = 0; s < plans.size(); ++s)
+          threads.emplace_back(
+              [&ready, &plans, s] { ready(s, std::move(plans[s])); });
+        for (std::thread& thread : threads) thread.join();
+      };
+  for (int round = 0; round < 3; ++round)
+    expect_identical(
+        plan_sharded_streamed(platform, kParams, dgemm_service(310), options,
+                              partition, 3, stream_fn),
+        batch, "concurrent delivery round " + std::to_string(round));
+}
+
+TEST(Dist, StreamedMissingOrDuplicateDeliveryIsAnError) {
+  const Platform platform = multi_cluster(120, 5);
+  PlanOptions options;
+  options.shards = 4;
+  const plat::Partition partition = plat::partition_platform(platform, 4);
+  // A leaf planner that never delivers: the stitch must refuse to
+  // finalize rather than stitch a hole.
+  EXPECT_THROW(
+      plan_sharded_streamed(platform, kParams, dgemm_service(310), options,
+                            partition, kDefaultStitchFanout,
+                            [](const std::vector<std::vector<NodeId>>&,
+                               const ShardResultSink&) {}),
+      Error);
+  // Delivering the same shard twice is a contract violation, not a
+  // silent overwrite.
+  EXPECT_THROW(
+      plan_sharded_streamed(
+          platform, kParams, dgemm_service(310), options, partition,
+          kDefaultStitchFanout,
+          [&platform, &options](const std::vector<std::vector<NodeId>>& leaves,
+                                const ShardResultSink& ready) {
+            std::vector<PlanResult> plans =
+                serial_leaf_plans(platform, options, leaves);
+            ready(0, plans[0]);
+            ready(0, plans[0]);
+          }),
+      Error);
+}
+
+TEST(Dist, BatchModeCoordinatorMatchesStreamingAndCountsNoStreamed) {
+  // --no-stream's A/B baseline: same plan bit for bit, but nothing may
+  // reach the stitch before the batch barrier — dist.streamed stays 0.
+  const Platform platform = multi_cluster(160);
+  const PlanResult sharded =
+      run_planner("sharded", platform, dgemm_service(310));
+  reset_stats_for_test();
+  {
+    InProcessTransport transport;
+    CoordinatorConfig config;
+    config.workers = 2;
+    config.streaming = false;
+    Coordinator coordinator(transport, config);
+    expect_identical(coordinator.plan(make_request(platform)), sharded,
+                     "batch-mode coordinator");
+    EXPECT_EQ(stats_snapshot().streamed, 0u);
+  }
+  {
+    InProcessTransport transport;
+    CoordinatorConfig config;
+    config.workers = 2;
+    Coordinator coordinator(transport, config);
+    expect_identical(coordinator.plan(make_request(platform)), sharded,
+                     "streaming coordinator");
+    EXPECT_GT(stats_snapshot().streamed, 0u);
+  }
 }
 
 // ----------------------------------------------------- fault injection --

@@ -10,6 +10,8 @@
 
 #include <cmath>
 #include <limits>
+#include <random>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
@@ -325,6 +327,149 @@ TEST(Wire, FingerprintIsCanonicalAndDiscriminating) {
   edited.set_link(0, 10.0);
   const PlanRequest edited_request(edited, kParams, dgemm_service(310));
   EXPECT_NE(wire::request_fingerprint(edited_request, "heuristic"), base);
+}
+
+// ---------------------------------------------------- randomized corpus --
+
+/// A random JSON document: every value kind, nested to `depth`, with
+/// keys/strings drawn from an alphabet that exercises escaping.
+json::Value random_value(std::mt19937& rng, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth > 0 ? 5 : 3);
+  const auto random_string = [&rng] {
+    static const std::string alphabet =
+        "ab \"\\\n\t/\x01{}[]:,\xc3\xa9";  // quotes, escapes, UTF-8
+    std::uniform_int_distribution<std::size_t> length(0, 12);
+    std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+    std::string out;
+    const std::size_t n = length(rng);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(alphabet[pick(rng)]);
+    return out;
+  };
+  switch (kind(rng)) {
+    case 0:
+      return json::Value();
+    case 1:
+      return json::Value(std::uniform_int_distribution<int>(0, 1)(rng) == 1);
+    case 2: {
+      // Mantissa/exponent sampling covers the shortest-round-trip
+      // printer's whole range, not just friendly magnitudes.
+      const double mantissa =
+          std::uniform_real_distribution<double>(-1.0, 1.0)(rng);
+      const int exponent = std::uniform_int_distribution<int>(-300, 300)(rng);
+      return json::Value(mantissa * std::pow(10.0, exponent));
+    }
+    case 3:
+      return json::Value(random_string());
+    case 4: {
+      json::Value array = json::Value::array();
+      std::uniform_int_distribution<int> count(0, 4);
+      const int n = count(rng);
+      for (int i = 0; i < n; ++i)
+        array.push_back(random_value(rng, depth - 1));
+      return array;
+    }
+    default: {
+      json::Value object = json::Value::object();
+      std::uniform_int_distribution<int> count(0, 4);
+      const int n = count(rng);
+      for (int i = 0; i < n; ++i)
+        object.set(random_string() + std::to_string(i),  // keys stay unique
+                   random_value(rng, depth - 1));
+      return object;
+    }
+  }
+}
+
+TEST(Json, RandomDocumentsRoundTripExactly) {
+  // parse(dump(x)) ≡ x for 300 random documents: the canonical-form
+  // property every cache fingerprint and wire hop relies on.
+  std::mt19937 rng(20080615);
+  for (int i = 0; i < 300; ++i) {
+    const json::Value value = random_value(rng, 4);
+    const std::string once = value.dump();
+    EXPECT_EQ(json::parse(once).dump(), once) << "document " << i;
+  }
+}
+
+TEST(Wire, RandomRequestsRoundTripBitExactly) {
+  // Full wire PlanRequests over random platforms/options: the document
+  // must round-trip to an equal request AND an identical fingerprint —
+  // the property that makes worker answers cache-compatible.
+  std::mt19937 seeds(7);
+  for (int i = 0; i < 20; ++i) {
+    Rng rng(seeds());
+    const std::size_t nodes = 2 + (seeds() % 30);
+    const Platform platform = gen::uniform(nodes, 100.0, 1500.0, kB, rng);
+    PlanRequest request(platform, kParams, dgemm_service(310));
+    if (seeds() % 2 == 0) request.options.demand = 1.0 + (seeds() % 1000);
+    if (seeds() % 3 == 0) request.options.excluded = {0};
+    request.options.shards = seeds() % 5;
+    request.options.verbose_trace = seeds() % 2 == 0;
+    const std::string doc = wire::to_json(request).dump();
+    const PlanRequest round = wire::request_from_json(json::parse(doc));
+    EXPECT_EQ(*round.platform, platform) << i;
+    EXPECT_EQ(wire::to_json(round).dump(), doc) << i;
+    EXPECT_EQ(wire::request_fingerprint(round, "heuristic"),
+              wire::request_fingerprint(request, "heuristic"))
+        << i;
+  }
+}
+
+TEST(Wire, TruncatedFramesAlwaysThrowNeverMisparse) {
+  // A request line cut anywhere — a worker dying mid-write — must be a
+  // parse error, never a shorter valid document (object-rooted docs have
+  // no complete proper prefix).
+  Rng rng(13);
+  const Platform platform = gen::uniform(12, 200.0, 1200.0, kB, rng);
+  const PlanRequest request(platform, kParams, dgemm_service(310));
+  const std::string doc = wire::to_json(request).dump();
+  ASSERT_GT(doc.size(), 2u);
+  for (std::size_t cut = 1; cut < doc.size(); cut += 7)
+    EXPECT_THROW(json::parse(doc.substr(0, cut)), Error) << "cut " << cut;
+  EXPECT_THROW(json::parse(std::string()), Error);
+}
+
+TEST(Wire, InterleavedGarbageThrowsOrVisiblyCorruptsNeverPassesSilently) {
+  // Non-whitespace garbage injected anywhere in a frame must either fail
+  // to parse or produce a document that no longer dumps to the original
+  // — a corrupted line can never impersonate the clean one.
+  Rng rng(13);
+  const Platform platform = gen::uniform(10, 200.0, 1200.0, kB, rng);
+  const std::string doc =
+      wire::to_json(PlanRequest(platform, kParams, dgemm_service(310))).dump();
+  std::mt19937 where(99);
+  const std::string garbage = "@\x01~Z";
+  for (int i = 0; i < 200; ++i) {
+    std::string corrupted = doc;
+    corrupted.insert(
+        std::uniform_int_distribution<std::size_t>(0, doc.size())(where),
+        1, garbage[i % garbage.size()]);
+    try {
+      EXPECT_NE(json::parse(corrupted).dump(), doc) << "iteration " << i;
+    } catch (const Error&) {
+      // rejected outright — the common (and best) outcome
+    }
+  }
+  // Trailing garbage after a complete document is also a frame error.
+  EXPECT_THROW(json::parse(doc + "@"), Error);
+  EXPECT_THROW(json::parse(doc + " {}"), Error);
+}
+
+TEST(Wire, OversizedLinesParseWithoutTruncationOrCrash) {
+  // Megabyte-scale single-line documents (a 5k-node platform easily
+  // produces one) must round-trip intact — the framing layers carry
+  // whole lines, whatever their size.
+  std::string big(1 << 20, 'x');
+  big[0] = '"';
+  big[big.size() - 1] = '"';
+  EXPECT_EQ(json::parse(big).as_string().size(), big.size() - 2);
+
+  json::Value array = json::Value::array();
+  for (int i = 0; i < 100000; ++i) array.push_back(i);
+  const std::string dumped = array.dump();
+  EXPECT_GT(dumped.size(), 500000u);
+  EXPECT_EQ(json::parse(dumped).as_array().size(), 100000u);
+  EXPECT_EQ(json::parse(dumped).dump(), dumped);
 }
 
 }  // namespace

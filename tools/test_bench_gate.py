@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_gate.py — the CI perf gate's own logic.
+
+The gate guards every release job, so its three check kinds (ratio,
+floor, near-exact), its record matching, and especially its exit-code
+contract (0 pass / 1 regression / 2 broken gate) are pinned here with a
+pure-stdlib unittest file; registered as the `bench_gate_unit` ctest.
+
+Run directly:  python3 tools/test_bench_gate.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "bench_gate.py")
+
+
+def bench_doc(records):
+    return {"bench": "unit", "records": records}
+
+
+def record(series, size, **metrics):
+    out = {"series": series, "platform_size": size}
+    out.update(metrics)
+    return out
+
+
+class GateHarness(unittest.TestCase):
+    """Writes baseline/fresh docs to temp files and runs the gate."""
+
+    def run_gate(self, baseline, fresh, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            with open(base_path, "w") as fh:
+                json.dump(bench_doc(baseline), fh)
+            with open(fresh_path, "w") as fh:
+                json.dump(bench_doc(fresh), fh)
+            proc = subprocess.run(
+                [sys.executable, GATE, "--baseline", base_path,
+                 "--fresh", fresh_path, *extra],
+                capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+class RatioMetricTest(GateHarness):
+    def test_equal_metrics_pass(self):
+        base = [record("a", 100, speedup=2.0)]
+        code, _ = self.run_gate(base, base, "--metric", "speedup")
+        self.assertEqual(code, 0)
+
+    def test_drop_within_tolerance_passes(self):
+        base = [record("a", 100, speedup=2.0)]
+        fresh = [record("a", 100, speedup=1.2)]
+        code, _ = self.run_gate(base, fresh, "--metric", "speedup",
+                                "--tolerance", "0.5")
+        self.assertEqual(code, 0)
+
+    def test_drop_past_tolerance_fails(self):
+        base = [record("a", 100, speedup=2.0)]
+        fresh = [record("a", 100, speedup=0.9)]
+        code, out = self.run_gate(base, fresh, "--metric", "speedup",
+                                  "--tolerance", "0.5")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_improvement_passes(self):
+        base = [record("a", 100, speedup=2.0)]
+        fresh = [record("a", 100, speedup=5.0)]
+        code, _ = self.run_gate(base, fresh, "--metric", "speedup")
+        self.assertEqual(code, 0)
+
+    def test_series_pin_only_checks_that_series(self):
+        base = [record("slow", 100, speedup=2.0),
+                record("fast", 100, speedup=2.0)]
+        # The unpinned series regressed, but the check is pinned to the
+        # healthy one — pass.
+        fresh = [record("slow", 100, speedup=0.1),
+                 record("fast", 100, speedup=2.0)]
+        code, _ = self.run_gate(base, fresh, "--metric", "speedup@fast",
+                                "--tolerance", "0.1")
+        self.assertEqual(code, 0)
+        code, _ = self.run_gate(base, fresh, "--metric", "speedup@slow",
+                                "--tolerance", "0.1")
+        self.assertEqual(code, 1)
+
+    def test_pinned_series_missing_metric_is_a_broken_gate(self):
+        # The pinned series exists but its baseline record lacks the key:
+        # the gate must fail loudly (the check fired, as a failure), not
+        # skip the acceptance check.
+        base = [record("a", 100, other=1.0)]
+        fresh = [record("a", 100, other=1.0, speedup=9.0)]
+        code, out = self.run_gate(base, fresh, "--metric", "speedup@a")
+        self.assertEqual(code, 1)
+        self.assertIn("missing from baseline", out)
+
+    def test_metric_missing_from_fresh_record_fails(self):
+        base = [record("a", 100, speedup=2.0)]
+        fresh = [record("a", 100)]
+        code, out = self.run_gate(base, fresh, "--metric", "speedup")
+        self.assertEqual(code, 1)
+        self.assertIn("missing from fresh", out)
+
+
+class FloorTest(GateHarness):
+    def test_floor_met_passes_and_floor_missed_fails(self):
+        base = [record("a", 100, bit_identical=1.0)]
+        code, _ = self.run_gate(base, base, "--floor", "bit_identical=1.0")
+        self.assertEqual(code, 0)
+        fresh = [record("a", 100, bit_identical=0.0)]
+        code, out = self.run_gate(base, fresh, "--floor", "bit_identical=1.0")
+        self.assertEqual(code, 1)
+        self.assertIn("bit_identical", out)
+
+    def test_floor_series_pin(self):
+        base = [record("a", 100, ok=0.0), record("b", 100, ok=1.0)]
+        code, _ = self.run_gate(base, base, "--floor", "ok@b=1.0")
+        self.assertEqual(code, 0)
+        code, _ = self.run_gate(base, base, "--floor", "ok@a=1.0")
+        self.assertEqual(code, 1)
+
+    def test_floor_metric_missing_from_fresh_fails(self):
+        base = [record("a", 100, ok=1.0)]
+        fresh = [record("a", 100)]
+        code, out = self.run_gate(base, fresh, "--floor", "ok=1.0")
+        self.assertEqual(code, 1)
+        self.assertIn("missing from fresh", out)
+
+    def test_malformed_floor_spec_is_usage_error(self):
+        base = [record("a", 100, ok=1.0)]
+        code, out = self.run_gate(base, base, "--floor", "ok")
+        self.assertEqual(code, 2)
+        self.assertIn("KEY[@SERIES]=VALUE", out)
+
+
+class ValueMetricTest(GateHarness):
+    def test_exact_match_passes_and_drift_fails(self):
+        base = [record("a", 100, throughput=59.582)]
+        code, _ = self.run_gate(base, base, "--value-metric", "throughput")
+        self.assertEqual(code, 0)
+        fresh = [record("a", 100, throughput=59.581)]
+        code, out = self.run_gate(base, fresh, "--value-metric", "throughput")
+        self.assertEqual(code, 1)
+        self.assertIn("throughput", out)
+
+    def test_value_rel_widens_the_match(self):
+        base = [record("a", 100, throughput=100.0)]
+        fresh = [record("a", 100, throughput=100.5)]
+        code, _ = self.run_gate(base, fresh, "--value-metric", "throughput",
+                                "--value-rel", "0.01")
+        self.assertEqual(code, 0)
+
+
+class MatchingAndExitContractTest(GateHarness):
+    def test_empty_baseline_is_a_broken_gate(self):
+        code, out = self.run_gate([], [record("a", 100, x=1.0)],
+                                  "--metric", "x")
+        self.assertEqual(code, 2)
+        self.assertIn("no records", out)
+
+    def test_no_matching_records_is_a_broken_gate(self):
+        base = [record("a", 100, x=1.0)]
+        fresh = [record("a", 999, x=1.0)]
+        code, out = self.run_gate(base, fresh, "--metric", "x")
+        self.assertEqual(code, 2)
+        self.assertIn("no baseline record matched", out)
+
+    def test_renamed_series_makes_the_check_never_fire(self):
+        # The pinned series vanished from both files: the check never
+        # fires, which must be exit 2 (broken gate), not a silent pass.
+        base = [record("old-name", 100, x=1.0), record("other", 100, y=1.0)]
+        fresh = [record("old-name", 100, x=1.0), record("other", 100, y=1.0)]
+        code, out = self.run_gate(base, fresh, "--metric", "x@new-name")
+        self.assertEqual(code, 2)
+        self.assertIn("never fired", out)
+
+    def test_unmatched_baseline_records_are_skipped_not_fatal(self):
+        # CI runs benches at a subset of sizes: extra baseline records
+        # skip, the matched one still gates.
+        base = [record("a", 100, x=1.0), record("a", 2000, x=1.0)]
+        fresh = [record("a", 100, x=1.0)]
+        code, out = self.run_gate(base, fresh, "--metric", "x")
+        self.assertEqual(code, 0)
+        self.assertIn("[skip]", out)
+
+    def test_fresh_only_series_is_ignored(self):
+        base = [record("a", 100, x=1.0)]
+        fresh = [record("a", 100, x=1.0), record("brand-new", 100, x=0.0)]
+        code, _ = self.run_gate(base, fresh, "--metric", "x")
+        self.assertEqual(code, 0)
+
+    def test_multiple_failures_are_all_reported(self):
+        base = [record("a", 100, x=1.0, ok=1.0)]
+        fresh = [record("a", 100, x=0.1, ok=0.0)]
+        code, out = self.run_gate(base, fresh, "--metric", "x",
+                                  "--floor", "ok=1.0",
+                                  "--tolerance", "0.5")
+        self.assertEqual(code, 1)
+        self.assertIn("2 check(s) failed", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
